@@ -1,0 +1,75 @@
+"""Ablation — tau-subsequence selector (§3.2, Propositions 3-4).
+
+Compares the greedy 2-approximation against the exact optimum and the
+baseline selectors on candidate counts:
+
+- on unit-cost models (EDR) greedy must EQUAL exact (Proposition 4);
+- greedy is always within 2x of exact (Proposition 3);
+- prefix (DISON) and all (Torch) generate progressively more candidates.
+"""
+
+from _helpers import load_workload, taus_for
+
+from repro.bench.harness import SeriesTable
+from repro.core.engine import SubtrajectorySearch
+
+SELECTORS = ["greedy", "exact", "prefix", "all"]
+TAU_RATIOS = [0.1, 0.2, 0.3]
+
+
+def test_ablation_selector_candidates(benchmark, recorder, bench_scale):
+    _, dataset, costs, queries = load_workload(
+        "beijing", "EDR", scale=bench_scale, query_length=10
+    )
+    engines = {
+        s: SubtrajectorySearch(dataset, costs, selector=s) for s in SELECTORS
+    }
+    measured = {s: [] for s in SELECTORS}
+    for ratio in TAU_RATIOS:
+        taus = taus_for(costs, queries, ratio)
+        for s in SELECTORS:
+            measured[s].append(
+                sum(
+                    len(engines[s].candidates(q, tau=t))
+                    for q, t in zip(queries, taus)
+                )
+            )
+    table = SeriesTable(
+        "selector",
+        [f"tau={r}" for r in TAU_RATIOS],
+        title="Ablation: candidate count per tau-subsequence selector",
+    )
+    for s in SELECTORS:
+        table.add_row(s, measured[s])
+    table.print()
+
+    for i in range(len(TAU_RATIOS)):
+        # Proposition 4: unit-cost -> greedy is exactly optimal.
+        assert measured["greedy"][i] == measured["exact"][i]
+        # Proposition 3 holds a fortiori.
+        assert measured["greedy"][i] <= 2 * measured["exact"][i]
+        # The baseline selectors are no better than greedy.
+        assert measured["greedy"][i] <= measured["prefix"][i]
+        assert measured["greedy"][i] <= measured["all"][i]
+
+    # On a continuous-cost model greedy may lose to exact, but by < 2x.
+    _, erp_ds, erp_costs, erp_queries = load_workload(
+        "beijing", "ERP", scale=bench_scale, query_length=10
+    )
+    g = SubtrajectorySearch(erp_ds, erp_costs, selector="greedy")
+    e = SubtrajectorySearch(erp_ds, erp_costs, selector="exact")
+    taus = taus_for(erp_costs, erp_queries, 0.2)
+    for q, t in zip(erp_queries, taus):
+        n_g = len(g.candidates(q, tau=t))
+        n_e = len(e.candidates(q, tau=t))
+        assert n_g <= 2 * n_e
+
+    recorder.record(
+        "ablation_selector",
+        {"tau_ratios": TAU_RATIOS, "candidates": measured, "scale": bench_scale},
+        expectation="greedy == exact on unit costs (Prop. 4); "
+        "greedy <= prefix <= all",
+    )
+
+    taus = taus_for(costs, queries, 0.2)
+    benchmark(lambda: engines["greedy"].candidates(queries[0], tau=taus[0]))

@@ -1,0 +1,156 @@
+"""Figure 5 — naturalness of alternative routes vs result cardinality.
+
+Paper shape: cardinality grows with tau_ratio; WED instances with
+non-spatial costs suggest routes with high naturalness; LORS (and LCSS)
+score lower because they reward shared segments without penalizing
+detours.
+
+The corridor workload supplies genuine alternatives: every corridor has
+many travelers on one-detour variants that share the corridor's origin and
+destination.
+"""
+
+import math
+
+from repro.apps.route_suggestion import (
+    distances_to_target,
+    route_naturalness,
+    suggest_routes,
+)
+from repro.bench.corridors import build_corridor_workload
+from repro.bench.harness import SeriesTable
+from repro.core.engine import SubtrajectorySearch
+from repro.distance.costs import EDRCost, LevenshteinCost, SURSCost
+from repro.distance.nonwed import lors_best_match
+
+TAU_RATIOS = [0.0, 0.1, 0.2, 0.3]
+SEED = 7
+CORRIDOR_LENGTH = (14, 20)
+
+
+def _routes_from_matches(graph, dataset, query, matches, *, edge_rep):
+    origin, destination = query[0], query[-1]
+    routes = set()
+    for m in matches:
+        symbols = dataset.symbols(m.trajectory_id)[m.start : m.end + 1]
+        vpath = (
+            tuple(graph.edges_to_path(list(symbols)))
+            if edge_rep
+            else tuple(symbols)
+        )
+        if vpath[0] == origin and vpath[-1] == destination:
+            routes.add(vpath)
+    return routes
+
+
+def _score(graph, queries, routes_per_query):
+    counts, scores = [], []
+    for query, routes in zip(queries, routes_per_query):
+        counts.append(len(routes))
+        if routes:
+            dist = distances_to_target(graph, query[-1])
+            scores.extend(
+                route_naturalness(graph, r, dist_to_dest=dist) for r in routes
+            )
+    cardinality = sum(counts) / len(counts)
+    naturalness = sum(scores) / len(scores) if scores else math.nan
+    return cardinality, naturalness
+
+
+def test_fig05_route_naturalness(benchmark, recorder):
+    vertex_w = build_corridor_workload(
+        seed=SEED, corridor_length=CORRIDOR_LENGTH
+    )
+    edge_w = build_corridor_workload(
+        seed=SEED, corridor_length=CORRIDOR_LENGTH, representation="edge"
+    )
+    graph = vertex_w.graph
+    vqueries = vertex_w.corridors
+    equeries = [edge_w.graph.path_to_edges(c) for c in edge_w.corridors]
+
+    measured = {}
+    wed_setups = [
+        ("Lev", LevenshteinCost(), vertex_w.dataset, vqueries, False),
+        ("EDR", EDRCost(graph, epsilon=80.0), vertex_w.dataset, vqueries, False),
+        ("SURS", SURSCost(edge_w.graph), edge_w.dataset, equeries, True),
+    ]
+    for name, costs, ds, queries, edge_rep in wed_setups:
+        engine = SubtrajectorySearch(ds, costs)
+        card_series, nat_series = [], []
+        for ratio in TAU_RATIOS:
+            routes_per_query = []
+            for vq, q in zip(vqueries, queries):
+                matches = engine.query(q, tau_ratio=ratio).matches
+                routes_per_query.append(
+                    _routes_from_matches(graph, ds, vq, matches, edge_rep=edge_rep)
+                )
+            card, nat = _score(graph, vqueries, routes_per_query)
+            card_series.append(card)
+            nat_series.append(nat)
+        measured[name] = (card_series, nat_series)
+
+    # LORS via brute-force scan (no efficient subtrajectory search, §6.2.1).
+    weights = [e.weight for e in edge_w.graph.edges]
+    card_series, nat_series = [], []
+    for ratio in TAU_RATIOS:
+        routes_per_query = []
+        for vq, q in zip(vqueries, equeries):
+            qweight = sum(weights[e] for e in q)
+            routes = set()
+            for tid in range(len(edge_w.dataset)):
+                data = edge_w.dataset.symbols(tid)
+                s, t, shared = lors_best_match(data, q, lambda e: weights[e])
+                if t < s or shared < (1.0 - ratio) * qweight:
+                    continue
+                vpath = tuple(edge_w.graph.edges_to_path(list(data[s : t + 1])))
+                if vpath[0] == vq[0] and vpath[-1] == vq[-1]:
+                    routes.add(vpath)
+            routes_per_query.append(routes)
+        card, nat = _score(graph, vqueries, routes_per_query)
+        card_series.append(card)
+        nat_series.append(nat)
+    measured["LORS"] = (card_series, nat_series)
+
+    card_table = SeriesTable(
+        "function",
+        [f"tau={r}" for r in TAU_RATIOS],
+        title="Fig. 5: avg cardinality of suggested routes",
+    )
+    nat_table = SeriesTable(
+        "function",
+        [f"tau={r}" for r in TAU_RATIOS],
+        title="Fig. 5: avg naturalness of suggested routes",
+    )
+    for name, (card, nat) in measured.items():
+        card_table.add_row(name, card, formatter=lambda v: f"{v:.2f}")
+        nat_table.add_row(
+            name, nat, formatter=lambda v: "nan" if math.isnan(v) else f"{v:.3f}"
+        )
+    card_table.print()
+    nat_table.print()
+
+    # Shape: cardinality grows with tau for WED instances and finds real
+    # alternatives (> 1 route per query at the widest threshold).
+    for name in ("Lev", "EDR", "SURS"):
+        card, nat = measured[name]
+        assert card[-1] >= card[0]
+        assert card[-1] > 1.0
+        # WED suggestions stay highly natural (paper: ~0.72-0.79 band on
+        # Beijing; our grid shortest-path corridors score near 1).
+        assert nat[-1] > 0.8
+
+    recorder.record(
+        "fig05_naturalness",
+        {
+            "tau_ratios": TAU_RATIOS,
+            "cardinality": {k: v[0] for k, v in measured.items()},
+            "naturalness": {k: v[1] for k, v in measured.items()},
+        },
+        expectation="cardinality grows with tau; WED instances keep high "
+        "naturalness; LORS does not penalize detours",
+    )
+
+    engine = SubtrajectorySearch(vertex_w.dataset, LevenshteinCost())
+    benchmark(
+        lambda: suggest_routes(engine, vertex_w.dataset, vqueries[0], tau_ratio=0.2)
+    )

@@ -1,0 +1,65 @@
+"""Figure 6 — query processing time vs tau_ratio, all methods.
+
+Paper shape: OSF-BT is fastest everywhere; BT verification beats SW;
+OSF < DISON < Torch in filter quality; Plain-SW is orders of magnitude
+slower; gaps grow with tau_ratio.
+"""
+
+import pytest
+from _helpers import (
+    avg_query_seconds,
+    dataset_names,
+    function_names,
+    load_workload,
+    method_registry,
+    supports,
+    taus_for,
+)
+
+from repro.bench.harness import SeriesTable, format_seconds
+
+TAU_RATIOS = [0.1, 0.2, 0.3]
+
+
+@pytest.mark.parametrize("profile", dataset_names())
+@pytest.mark.parametrize("function", function_names())
+def test_fig06_vary_tau(profile, function, benchmark, recorder, bench_scale):
+    graph, dataset, costs, queries = load_workload(
+        profile, function, scale=bench_scale
+    )
+    methods = method_registry()
+    table = SeriesTable(
+        "method",
+        [f"tau={r}" for r in TAU_RATIOS],
+        title=f"Fig. 6 ({profile} / {function}): avg query time vs tau_ratio",
+    )
+    measured = {}
+    for method in methods:
+        if not supports(method, costs):
+            continue
+        method.build(dataset, costs)
+        series = []
+        for ratio in TAU_RATIOS:
+            taus = taus_for(costs, queries, ratio)
+            series.append(avg_query_seconds(method, queries, taus))
+        table.add_row(method.name, series, formatter=format_seconds)
+        measured[method.name] = series
+    table.print()
+
+    # Shape assertions (paper: OSF-BT wins; Torch generates the most
+    # candidates so Torch-BT >= OSF-BT).
+    for i, _ in enumerate(TAU_RATIOS):
+        assert measured["OSF-BT"][i] <= measured["Torch-BT"][i] * 1.5
+    if "Plain-SW" in measured:
+        assert measured["Plain-SW"][-1] > measured["OSF-BT"][-1]
+
+    recorder.record(
+        f"fig06_{profile}_{function}",
+        {"tau_ratios": TAU_RATIOS, "seconds": measured, "scale": bench_scale},
+        expectation="OSF-BT fastest; *-BT <= *-SW; Plain-SW slowest; "
+        "time grows with tau_ratio",
+    )
+
+    osf = [m for m in methods if m.name == "OSF-BT"][0]
+    taus = taus_for(costs, queries, 0.1)
+    benchmark(lambda: osf.query(queries[0], taus[0]))

@@ -1,0 +1,69 @@
+"""Figure 7 — query processing time vs query length |Q|.
+
+Paper shape: OSF-BT always fastest; every method's time grows with |Q|
+(verification cost is proportional to |Q| and tau grows with |Q| under the
+ratio parameterization).
+"""
+
+import pytest
+from _helpers import (
+    avg_query_seconds,
+    dataset_names,
+    function_names,
+    load_workload,
+    method_registry,
+    supports,
+    taus_for,
+)
+
+from repro.bench.harness import SeriesTable, format_seconds
+
+# Paper sweeps |Q| in {20, 40, 60, 80} on avg-length-100 trajectories; our
+# scaled trips average ~40, so sweep 1/4 of that grid.
+QUERY_LENGTHS = [5, 10, 15, 20]
+TAU_RATIO = 0.1
+
+
+@pytest.mark.parametrize("profile", dataset_names())
+@pytest.mark.parametrize("function", function_names())
+def test_fig07_vary_query_length(profile, function, benchmark, recorder, bench_scale):
+    measured = {}
+    methods = method_registry()
+    workloads = {}
+    for length in QUERY_LENGTHS:
+        workloads[length] = load_workload(
+            profile, function, scale=bench_scale, query_length=length
+        )
+    table = SeriesTable(
+        "method",
+        [f"|Q|={n}" for n in QUERY_LENGTHS],
+        title=f"Fig. 7 ({profile} / {function}): avg query time vs |Q|",
+    )
+    _, dataset, costs, _ = workloads[QUERY_LENGTHS[0]]
+    for method in methods:
+        if not supports(method, costs):
+            continue
+        method.build(dataset, costs)
+        series = []
+        for length in QUERY_LENGTHS:
+            _, _, _, queries = workloads[length]
+            taus = taus_for(costs, queries, TAU_RATIO)
+            series.append(avg_query_seconds(method, queries, taus))
+        table.add_row(method.name, series, formatter=format_seconds)
+        measured[method.name] = series
+    table.print()
+
+    # Shape: OSF-BT beats the SW verifiers at the longest queries.
+    assert measured["OSF-BT"][-1] <= measured["OSF-SW"][-1]
+    assert measured["OSF-BT"][-1] <= measured["Torch-SW"][-1]
+
+    recorder.record(
+        f"fig07_{profile}_{function}",
+        {"query_lengths": QUERY_LENGTHS, "seconds": measured, "scale": bench_scale},
+        expectation="OSF-BT fastest at every |Q|; times grow with |Q|",
+    )
+
+    osf = [m for m in methods if m.name == "OSF-BT"][0]
+    _, _, costs, queries = workloads[QUERY_LENGTHS[-1]]
+    taus = taus_for(costs, queries, TAU_RATIO)
+    benchmark(lambda: osf.query(queries[0], taus[0]))

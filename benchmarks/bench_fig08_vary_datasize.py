@@ -1,0 +1,70 @@
+"""Figure 8 — query processing time vs dataset size (25/50/75/100%).
+
+Paper shape: every method scales roughly linearly in |T|; OSF-BT is
+consistently the fastest at all sizes.
+"""
+
+import pytest
+from _helpers import (
+    avg_query_seconds,
+    dataset_names,
+    function_names,
+    load_workload,
+    method_registry,
+    supports,
+    taus_for,
+)
+
+from repro.bench.harness import SeriesTable, format_seconds
+
+FRACTIONS = [0.25, 0.5, 0.75, 1.0]
+TAU_RATIO = 0.1
+
+
+@pytest.mark.parametrize("profile", dataset_names())
+@pytest.mark.parametrize("function", function_names())
+def test_fig08_vary_dataset_size(profile, function, benchmark, recorder, bench_scale):
+    methods = method_registry()
+    measured = {m.name: [] for m in methods}
+    # Queries are sampled from the full dataset so they stay fixed across
+    # fractions (the paper's setup).
+    _, full_dataset, full_costs, queries = load_workload(
+        profile, function, scale=bench_scale
+    )
+    for fraction in FRACTIONS:
+        graph, dataset, costs, _ = load_workload(
+            profile, function, scale=bench_scale * fraction
+        )
+        taus = taus_for(costs, queries, TAU_RATIO)
+        for method in methods:
+            if not supports(method, costs):
+                measured.pop(method.name, None)
+                continue
+            method.build(dataset, costs)
+            measured[method.name].append(avg_query_seconds(method, queries, taus))
+    table = SeriesTable(
+        "method",
+        [f"{int(f * 100)}%" for f in FRACTIONS],
+        title=f"Fig. 8 ({profile} / {function}): avg query time vs |T|",
+    )
+    for name, series in measured.items():
+        table.add_row(name, series, formatter=format_seconds)
+    table.print()
+
+    # Shape: larger datasets are slower for the scan baseline (monotone up
+    # to noise) and OSF-BT stays fastest at full size.
+    if "Plain-SW" in measured:
+        assert measured["Plain-SW"][-1] > measured["Plain-SW"][0] * 1.5
+        assert measured["OSF-BT"][-1] < measured["Plain-SW"][-1]
+    assert measured["OSF-BT"][-1] <= measured["Torch-SW"][-1]
+
+    recorder.record(
+        f"fig08_{profile}_{function}",
+        {"fractions": FRACTIONS, "seconds": measured, "scale": bench_scale},
+        expectation="linear scaling in |T|; OSF-BT consistently fastest",
+    )
+
+    osf = [m for m in methods if m.name == "OSF-BT"][0]
+    taus = taus_for(full_costs, queries, TAU_RATIO)
+    osf.build(full_dataset, full_costs)
+    benchmark(lambda: osf.query(queries[0], taus[0]))

@@ -1,0 +1,86 @@
+"""Figure 10 — vs DITA / ERP-index, varying the number of indexed
+trajectories (the paper indexes 5k/10k/15k; we scale down).
+
+Paper shape: all methods grow roughly linearly in the indexed count; OSF
+stays far below DITA; the enumeration indexes carry orders of magnitude
+more entries than the postings index at every size (which is why the
+paper cannot index the full datasets with them at all).
+"""
+
+import time
+
+import pytest
+from _helpers import make_cost_model, taus_for
+
+from repro.baselines import DITAIndex, ERPIndex
+from repro.bench.datasets import build_dataset
+from repro.bench.harness import SeriesTable, format_seconds
+from repro.bench.workloads import sample_queries
+from repro.core.engine import SubtrajectorySearch
+
+FRACTIONS = [0.4, 0.7, 1.0]
+TAU_RATIO = 0.1
+
+
+@pytest.mark.parametrize("function", ["EDR", "ERP"])
+def test_fig10_enumeration_baselines_vary_size(function, benchmark, recorder):
+    enum_name = "DITA" if function == "EDR" else "ERP-index"
+    times = {"OSF-BT": [], enum_name: []}
+    entries = {"postings": [], enum_name: []}
+    queries = None
+    for fraction in FRACTIONS:
+        graph, dataset = build_dataset("small", scale=fraction)
+        costs = make_cost_model(function, graph)
+        if queries is None:
+            queries = sample_queries(dataset, 3, 10, seed=11)
+        taus = taus_for(costs, queries, TAU_RATIO)
+        engine = SubtrajectorySearch(dataset, costs)
+        index = (
+            DITAIndex(dataset, costs, max_subtrajectories=5_000_000)
+            if function == "EDR"
+            else ERPIndex(dataset, costs, max_subtrajectories=5_000_000)
+        )
+        t0 = time.perf_counter()
+        for q, tau in zip(queries, taus):
+            engine.query(q, tau=tau)
+        times["OSF-BT"].append((time.perf_counter() - t0) / len(queries))
+        t0 = time.perf_counter()
+        for q, tau in zip(queries, taus):
+            index.query(q, tau)
+        times[enum_name].append((time.perf_counter() - t0) / len(queries))
+        entries["postings"].append(engine.index.num_postings)
+        entries[enum_name].append(index.num_subtrajectories)
+
+    table = SeriesTable(
+        "series",
+        [f"{int(f * 100)}%" for f in FRACTIONS],
+        title=f"Fig. 10 (small / {function}): OSF vs {enum_name}, vary #traj",
+    )
+    for name, series in times.items():
+        table.add_row(f"{name} time", series, formatter=format_seconds)
+    for name, series in entries.items():
+        table.add_row(f"{name} entries", series)
+    table.print()
+
+    if function == "EDR":
+        for i in range(len(FRACTIONS)):
+            assert times["OSF-BT"][i] < times[enum_name][i]
+    # The enumeration index dwarfs the postings index at every size.
+    for i in range(len(FRACTIONS)):
+        assert entries[enum_name][i] > entries["postings"][i] * 5
+    # Both index families grow with dataset size.
+    assert entries[enum_name][-1] > entries[enum_name][0]
+    assert entries["postings"][-1] > entries["postings"][0]
+
+    recorder.record(
+        f"fig10_small_{function}",
+        {"fractions": FRACTIONS, "seconds": times, "entries": entries},
+        expectation="OSF-BT far below DITA; enumeration index entries "
+        "dwarf postings at every size",
+    )
+
+    graph, dataset = build_dataset("small", scale=1.0)
+    costs = make_cost_model(function, graph)
+    engine = SubtrajectorySearch(dataset, costs)
+    taus = taus_for(costs, queries, TAU_RATIO)
+    benchmark(lambda: engine.query(queries[0], tau=taus[0]))

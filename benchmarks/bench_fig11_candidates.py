@@ -1,0 +1,99 @@
+"""Figure 11 — number of candidate positions per filtering strategy.
+
+Paper shape: OSF produces the fewest candidates at every tau_ratio and |Q|
+(at least ~3x fewer than DISON and q-gram, ~25x fewer than Torch); OSF
+scales gracefully with |Q| because a longer query gives MinCand more
+items to choose from.
+"""
+
+import pytest
+from _helpers import function_names, load_workload, taus_for
+
+from repro.baselines import QGramIndex, dison_engine, torch_engine
+from repro.bench.harness import SeriesTable
+from repro.core.engine import SubtrajectorySearch
+from repro.distance.costs import EDRCost, LevenshteinCost, NetEDRCost
+
+TAU_RATIOS = [0.1, 0.2, 0.3]
+QUERY_LENGTHS = [5, 10, 15]
+
+
+def _candidate_counts(dataset, costs, queries, taus):
+    osf = SubtrajectorySearch(dataset, costs)
+    dison = dison_engine(dataset, costs)
+    torch = torch_engine(dataset, costs)
+    out = {
+        "OSF": sum(len(osf.candidates(q, tau=t)) for q, t in zip(queries, taus)),
+        "DISON": sum(len(dison.candidates(q, tau=t)) for q, t in zip(queries, taus)),
+        "Torch": sum(len(torch.candidates(q, tau=t)) for q, t in zip(queries, taus)),
+    }
+    if isinstance(costs, (EDRCost, LevenshteinCost, NetEDRCost)):
+        qg = QGramIndex(dataset, costs, q=3)
+        # q-gram candidates are whole trajectories; count their positions to
+        # compare against (id, j, iq) candidate positions fairly, as the
+        # paper does.
+        total = 0
+        for q, tau in zip(queries, taus):
+            for tid in qg.candidates(q, tau):
+                total += len(dataset.symbols(tid))
+        out["q-gram"] = total
+    return out
+
+
+@pytest.mark.parametrize("function", function_names())
+def test_fig11_candidate_counts(function, benchmark, recorder, bench_scale):
+    _, dataset, costs, queries = load_workload("beijing", function, scale=bench_scale)
+    measured_tau = {}
+    for ratio in TAU_RATIOS:
+        taus = taus_for(costs, queries, ratio)
+        for name, count in _candidate_counts(dataset, costs, queries, taus).items():
+            measured_tau.setdefault(name, []).append(count)
+
+    measured_qlen = {}
+    for qlen in QUERY_LENGTHS:
+        _, _, _, qs = load_workload(
+            "beijing", function, scale=bench_scale, query_length=qlen
+        )
+        taus = taus_for(costs, qs, 0.1)
+        for name, count in _candidate_counts(dataset, costs, qs, taus).items():
+            measured_qlen.setdefault(name, []).append(count)
+
+    t1 = SeriesTable(
+        "filter",
+        [f"tau={r}" for r in TAU_RATIOS],
+        title=f"Fig. 11 (beijing / {function}): candidates vs tau_ratio",
+    )
+    for name, series in measured_tau.items():
+        t1.add_row(name, series)
+    t1.print()
+    t2 = SeriesTable(
+        "filter",
+        [f"|Q|={n}" for n in QUERY_LENGTHS],
+        title=f"Fig. 11 (beijing / {function}): candidates vs |Q|",
+    )
+    for name, series in measured_qlen.items():
+        t2.add_row(name, series)
+    t2.print()
+
+    # Shape: OSF <= DISON <= Torch everywhere.
+    for i in range(len(TAU_RATIOS)):
+        assert measured_tau["OSF"][i] <= measured_tau["DISON"][i]
+        assert measured_tau["DISON"][i] <= measured_tau["Torch"][i]
+    for i in range(len(QUERY_LENGTHS)):
+        assert measured_qlen["OSF"][i] <= measured_qlen["Torch"][i]
+
+    recorder.record(
+        f"fig11_beijing_{function}",
+        {
+            "tau_ratios": TAU_RATIOS,
+            "candidates_vs_tau": measured_tau,
+            "query_lengths": QUERY_LENGTHS,
+            "candidates_vs_qlen": measured_qlen,
+            "scale": bench_scale,
+        },
+        expectation="OSF smallest candidate set; Torch largest",
+    )
+
+    engine = SubtrajectorySearch(dataset, costs)
+    taus = taus_for(costs, queries, 0.1)
+    benchmark(lambda: engine.candidates(queries[0], tau=taus[0]))

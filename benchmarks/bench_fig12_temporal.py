@@ -1,0 +1,84 @@
+"""Figure 12 — temporal selectivity: TF candidate pruning vs
+postprocessing (no-TF).
+
+Paper shape: with TF, processing time scales almost linearly with
+temporal selectivity and beats no-TF by about an order of magnitude at
+low selectivity; both return identical results.
+"""
+
+import time
+
+from _helpers import load_workload, taus_for
+
+from repro.bench.harness import SeriesTable, format_seconds
+from repro.core.engine import SubtrajectorySearch
+from repro.core.temporal import TimeInterval
+
+SELECTIVITIES = [0.01, 0.02, 0.05, 0.10]
+
+
+def test_fig12_temporal_selectivity(benchmark, recorder, bench_scale):
+    _, dataset, costs, queries = load_workload("beijing", "EDR", scale=bench_scale)
+    engine = SubtrajectorySearch(dataset, costs, sort_by_departure=True)
+    taus = taus_for(costs, queries, 0.1)
+    departures = sorted(dataset[t].start_time for t in range(len(dataset)))
+    t_min = departures[0]
+
+    measured = {"TF": [], "no-TF": []}
+    for sel in SELECTIVITIES:
+        t_hi = departures[max(0, int(len(departures) * sel) - 1)]
+        interval = TimeInterval(t_min, t_hi)
+        for label, tf in (("TF", True), ("no-TF", False)):
+            t0 = time.perf_counter()
+            results = [
+                engine.query(
+                    q, tau=tau, time_interval=interval, temporal_filter=tf
+                ).matches
+                for q, tau in zip(queries, taus)
+            ]
+            measured[label].append((time.perf_counter() - t0) / len(queries))
+        # Both strategies must agree (checked once per selectivity).
+        a = [
+            engine.query(q, tau=tau, time_interval=interval, temporal_filter=True).matches
+            for q, tau in zip(queries, taus)
+        ]
+        b = [
+            engine.query(q, tau=tau, time_interval=interval, temporal_filter=False).matches
+            for q, tau in zip(queries, taus)
+        ]
+        assert a == b
+
+    table = SeriesTable(
+        "strategy",
+        [f"TS={int(s * 100)}%" for s in SELECTIVITIES],
+        title="Fig. 12 (beijing / EDR): temporal selectivity",
+    )
+    for label, series in measured.items():
+        table.add_row(label, series, formatter=format_seconds)
+    table.print()
+
+    # Shape: TF is faster than no-TF at every selectivity, most at 1%.
+    for i in range(len(SELECTIVITIES)):
+        assert measured["TF"][i] < measured["no-TF"][i]
+    gain_low = measured["no-TF"][0] / measured["TF"][0]
+    gain_high = measured["no-TF"][-1] / measured["TF"][-1]
+    assert gain_low > 1.0
+
+    recorder.record(
+        "fig12_temporal",
+        {
+            "selectivities": SELECTIVITIES,
+            "seconds": measured,
+            "speedup_at_lowest": gain_low,
+            "speedup_at_highest": gain_high,
+            "scale": bench_scale,
+        },
+        expectation="TF beats no-TF; gap widest at low selectivity",
+    )
+
+    interval = TimeInterval(t_min, departures[len(departures) // 20])
+    benchmark(
+        lambda: engine.query(
+            queries[0], tau=taus[0], time_interval=interval, temporal_filter=True
+        )
+    )

@@ -1,0 +1,80 @@
+"""Figure 13 (Appendix D) — sensitivity to the neighborhood threshold eta
+for the continuous cost functions (ERP, NetERP).
+
+Paper shape: small eta gives consistently fast queries; processing time
+rises steeply once eta grows past a sweet spot (neighborhoods explode and
+with them the candidate set); very small eta risks losing the
+tau-subsequence entirely (engine falls back to scanning).
+"""
+
+import time
+
+import pytest
+from _helpers import taus_for
+
+from repro.bench.datasets import build_dataset
+from repro.bench.harness import SeriesTable, format_seconds
+from repro.bench.workloads import sample_queries
+from repro.core.engine import SubtrajectorySearch
+from repro.distance.costs import ERPCost, NetERPCost
+
+#: eta scaled by the median nearest-neighbor distance (ERP) or the median
+#: edge weight (NetERP), mirroring the dimensionless sweep of Fig. 13.
+ETA_MULTIPLIERS = [1e-4, 1e-2, 1.0, 3.0]
+
+
+@pytest.mark.parametrize("function", ["ERP", "NetERP"])
+def test_fig13_vary_eta(function, benchmark, recorder, bench_scale):
+    graph, dataset = build_dataset("beijing", scale=bench_scale)
+    queries = sample_queries(dataset, 3, 15, seed=777)
+    unit = graph.median_edge_weight()
+
+    series = []
+    candidates = []
+    for mult in ETA_MULTIPLIERS:
+        eta = mult * unit
+        if function == "ERP":
+            costs = ERPCost(graph, eta=eta)
+        else:
+            costs = NetERPCost(graph, g_del=2_000.0, eta=eta)
+        engine = SubtrajectorySearch(dataset, costs)
+        taus = taus_for(costs, queries, 0.1)
+        t0 = time.perf_counter()
+        n_cands = 0
+        for q, tau in zip(queries, taus):
+            r = engine.query(q, tau=tau)
+            n_cands += r.num_candidates
+        series.append((time.perf_counter() - t0) / len(queries))
+        candidates.append(n_cands)
+
+    table = SeriesTable(
+        "metric",
+        [f"eta={m}x" for m in ETA_MULTIPLIERS],
+        title=f"Fig. 13 (beijing / {function}): eta sensitivity",
+    )
+    table.add_row("query time", series, formatter=format_seconds)
+    table.add_row("candidates", candidates)
+    table.print()
+
+    # Shape: the largest eta inflates the candidate set beyond the small-eta
+    # settings.
+    assert candidates[-1] >= candidates[0]
+
+    recorder.record(
+        f"fig13_{function}",
+        {
+            "eta_multipliers": ETA_MULTIPLIERS,
+            "seconds": series,
+            "candidates": candidates,
+            "scale": bench_scale,
+        },
+        expectation="small eta fast; time/candidates blow up at large eta",
+    )
+
+    if function == "ERP":
+        costs = ERPCost(graph, eta=1e-4 * unit)
+    else:
+        costs = NetERPCost(graph, g_del=2_000.0, eta=unit)
+    engine = SubtrajectorySearch(dataset, costs)
+    taus = taus_for(costs, queries, 0.1)
+    benchmark(lambda: engine.query(queries[0], tau=taus[0]))

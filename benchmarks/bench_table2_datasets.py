@@ -1,0 +1,52 @@
+"""Table 2 — dataset statistics.
+
+Paper values are fixed (four real datasets); we print them next to the
+synthetic analogues and check that the *relative ordering* of sizes and
+trajectory lengths is preserved.
+"""
+
+from repro.bench.datasets import DATASET_PROFILES, build_dataset
+from repro.bench.harness import SeriesTable
+
+
+def test_table2_dataset_statistics(benchmark, recorder, bench_scale):
+    table = SeriesTable(
+        "dataset",
+        ["paper #traj", "ours #traj", "paper avg|P|", "ours avg|P|", "|V|", "|E|"],
+        title="Table 2: dataset statistics (paper vs synthetic analogue)",
+    )
+    payload = {}
+    for name in ["beijing", "porto", "singapore", "sanfran"]:
+        spec = DATASET_PROFILES[name]
+        graph, ds = build_dataset(name, scale=bench_scale)
+        stats = ds.statistics()
+        table.add_row(
+            name,
+            [
+                spec.paper_trajectories,
+                stats["num_trajectories"],
+                spec.paper_avg_length,
+                stats["avg_length"],
+                stats["num_vertices"],
+                stats["num_edges"],
+            ],
+        )
+        payload[name] = stats
+    table.print()
+
+    # Shape checks mirroring the paper's ordering.
+    counts = {n: payload[n]["num_trajectories"] for n in payload}
+    assert counts["sanfran"] > counts["porto"] > counts["beijing"] > counts["singapore"]
+    lengths = {n: payload[n]["avg_length"] for n in payload}
+    assert lengths["singapore"] == max(lengths.values())
+
+    recorder.record(
+        "table2_datasets",
+        {"measured": payload, "scale": bench_scale},
+        expectation="sanfran > porto > beijing > singapore in count; "
+        "singapore has the longest trajectories",
+    )
+
+    # Timed kernel: building the smallest profile from scratch.
+    build_dataset.cache_clear()
+    benchmark(lambda: build_dataset("tiny", scale=1.0))

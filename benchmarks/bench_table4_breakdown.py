@@ -1,0 +1,67 @@
+"""Table 4 — query-time breakdown: MinCand / index lookup / verification.
+
+Paper shape: verification dominates (~99%); MinCand is negligible and does
+not depend on dataset size; every component grows with tau_ratio and |Q|.
+"""
+
+from _helpers import load_workload, taus_for
+
+from repro.bench.harness import SeriesTable
+from repro.core.engine import SubtrajectorySearch
+
+SETTINGS = [
+    ("default (tau=0.1, |Q|=15)", 0.1, 15),
+    ("tau=0.2", 0.2, 15),
+    ("tau=0.3", 0.3, 15),
+    ("|Q|=5", 0.1, 5),
+    ("|Q|=10", 0.1, 10),
+]
+
+
+def test_table4_running_time_breakdown(benchmark, recorder, bench_scale):
+    rows = {"MinCand": [], "Index lookup": [], "Verify": []}
+    for label, ratio, qlen in SETTINGS:
+        _, dataset, costs, queries = load_workload(
+            "beijing", "EDR", scale=bench_scale, query_length=qlen
+        )
+        engine = SubtrajectorySearch(dataset, costs)
+        taus = taus_for(costs, queries, ratio)
+        mincand = lookup = verify = 0.0
+        for q, tau in zip(queries, taus):
+            r = engine.query(q, tau=tau)
+            mincand += r.mincand_seconds
+            lookup += r.lookup_seconds
+            verify += r.verify_seconds
+        n = len(queries)
+        rows["MinCand"].append(mincand / n * 1e3)
+        rows["Index lookup"].append(lookup / n * 1e3)
+        rows["Verify"].append(verify / n * 1e3)
+
+    table = SeriesTable(
+        "stage (ms)",
+        [label for label, _, _ in SETTINGS],
+        title="Table 4: running time breakdown (beijing / EDR)",
+    )
+    for stage, series in rows.items():
+        table.add_row(stage, series, formatter=lambda v: f"{v:.4f}")
+    table.print()
+
+    # Shape: verification dominates and grows with tau; MinCand tiny.
+    for i in range(len(SETTINGS)):
+        assert rows["Verify"][i] > rows["MinCand"][i]
+        assert rows["Verify"][i] > rows["Index lookup"][i]
+    assert rows["Verify"][2] > rows["Verify"][0]  # tau=0.3 > tau=0.1
+
+    recorder.record(
+        "table4_breakdown",
+        {
+            "settings": [label for label, _, _ in SETTINGS],
+            "milliseconds": rows,
+            "scale": bench_scale,
+        },
+        expectation="verification ~99% of query time; MinCand negligible",
+    )
+
+    _, dataset, costs, queries = load_workload("beijing", "EDR", scale=bench_scale)
+    engine = SubtrajectorySearch(dataset, costs)
+    benchmark(lambda: engine.query(queries[0], tau_ratio=0.1))

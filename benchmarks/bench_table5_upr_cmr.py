@@ -1,0 +1,70 @@
+"""Table 5 — verification pruning metrics: UPR, CMR, TUR (§6.4).
+
+Paper shape: UPR and CMR grow with tau_ratio and |Q| (looser constraint,
+longer verification), CMR shrinks with dataset size (more shared
+prefixes); TUR = UPR x CMR stays small — far fewer StepDP calls than SW.
+"""
+
+from _helpers import load_workload, taus_for
+
+from repro.bench.harness import SeriesTable
+from repro.core.engine import SubtrajectorySearch
+
+SETTINGS = [
+    ("default", dict(ratio=0.1, qlen=15, frac=1.0)),
+    ("tau=0.2", dict(ratio=0.2, qlen=15, frac=1.0)),
+    ("tau=0.3", dict(ratio=0.3, qlen=15, frac=1.0)),
+    ("|Q|=5", dict(ratio=0.1, qlen=5, frac=1.0)),
+    ("|Q|=10", dict(ratio=0.1, qlen=10, frac=1.0)),
+    ("25% data", dict(ratio=0.1, qlen=15, frac=0.25)),
+    ("50% data", dict(ratio=0.1, qlen=15, frac=0.5)),
+]
+
+
+def test_table5_upr_cmr_tur(benchmark, recorder, bench_scale):
+    rows = {"UPR": [], "CMR": [], "TUR": []}
+    for label, cfg in SETTINGS:
+        _, dataset, costs, queries = load_workload(
+            "beijing", "EDR", scale=bench_scale * cfg["frac"], query_length=cfg["qlen"]
+        )
+        engine = SubtrajectorySearch(dataset, costs)
+        taus = taus_for(costs, queries, cfg["ratio"])
+        upr = cmr = tur = 0.0
+        for q, tau in zip(queries, taus):
+            stats = engine.query(q, tau=tau).verification
+            upr += stats.unpruned_position_rate
+            cmr += stats.cache_miss_rate
+            tur += stats.total_unpruned_rate
+        n = len(queries)
+        rows["UPR"].append(100 * upr / n)
+        rows["CMR"].append(100 * cmr / n)
+        rows["TUR"].append(100 * tur / n)
+
+    table = SeriesTable(
+        "rate (%)",
+        [label for label, _ in SETTINGS],
+        title="Table 5: verification pruning (beijing / EDR)",
+    )
+    for metric, series in rows.items():
+        table.add_row(metric, series, formatter=lambda v: f"{v:.2f}")
+    table.print()
+
+    labels = [label for label, _ in SETTINGS]
+    d = {label: i for i, label in enumerate(labels)}
+    # Shape assertions from the paper.
+    assert rows["UPR"][d["tau=0.3"]] > rows["UPR"][d["default"]]
+    assert rows["UPR"][d["default"]] > rows["UPR"][d["|Q|=5"]]
+    assert rows["TUR"][d["default"]] < rows["UPR"][d["default"]]
+    for i in range(len(SETTINGS)):
+        assert 0 <= rows["TUR"][i] <= 100
+
+    recorder.record(
+        "table5_upr_cmr",
+        {"settings": labels, "percent": rows, "scale": bench_scale},
+        expectation="UPR/CMR grow with tau and |Q|; TUR small "
+        "(StepDP calls far below SW)",
+    )
+
+    _, dataset, costs, queries = load_workload("beijing", "EDR", scale=bench_scale)
+    engine = SubtrajectorySearch(dataset, costs)
+    benchmark(lambda: engine.query(queries[0], tau_ratio=0.1).verification)

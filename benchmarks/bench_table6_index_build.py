@@ -1,0 +1,82 @@
+"""Table 6 — index construction time and size.
+
+Paper shape: the OSF postings index builds fast (seconds) and its size is
+linear in the dataset; q-gram indexing is a few times slower to build at a
+similar size; DITA and ERP-index blow up even on tiny fractions because
+they enumerate all subtrajectories.
+"""
+
+import time
+
+from _helpers import make_cost_model
+
+from repro.baselines import DITAIndex, ERPIndex, QGramIndex
+from repro.bench.datasets import build_dataset
+from repro.bench.harness import SeriesTable
+from repro.core.invindex import InvertedIndex
+
+
+def test_table6_index_construction(benchmark, recorder, bench_scale):
+    profiles = ["beijing", "porto", "sanfran"]
+    rows = {"OSF postings": [], "q-gram": []}
+    for profile in profiles:
+        graph, dataset = build_dataset(profile, scale=bench_scale)
+        costs = make_cost_model("EDR", graph)
+        index = InvertedIndex(dataset)
+        rows["OSF postings"].append(
+            (index.build_seconds, index.memory_bytes() / 1e6)
+        )
+        t0 = time.perf_counter()
+        qg = QGramIndex(dataset, costs, q=3)
+        rows["q-gram"].append((time.perf_counter() - t0, qg.num_grams * 120 / 1e6))
+
+    # Enumeration indexes: tiny dataset only (the paper's 5,000-trajectory
+    # fraction; ours is scaled likewise).
+    graph, tiny = build_dataset("tiny", scale=1.0)
+    edr = make_cost_model("EDR", graph)
+    erp = make_cost_model("ERP", graph)
+    t0 = time.perf_counter()
+    dita = DITAIndex(tiny, edr)
+    dita_row = (time.perf_counter() - t0, dita.memory_bytes() / 1e6)
+    t0 = time.perf_counter()
+    erpx = ERPIndex(tiny, erp)
+    erp_row = (time.perf_counter() - t0, erpx.memory_bytes() / 1e6)
+
+    table = SeriesTable(
+        "index",
+        profiles + ["tiny (enum)"],
+        title="Table 6: build time (s) / size (MB)",
+    )
+    fmt = lambda v: f"{v[0]:.2f}s/{v[1]:.2f}MB"  # noqa: E731
+    table.add_row("OSF postings", rows["OSF postings"] + ["-"], formatter=lambda v: fmt(v) if v != "-" else v)
+    table.add_row("q-gram", rows["q-gram"] + ["-"], formatter=lambda v: fmt(v) if v != "-" else v)
+    table.add_row("DITA", ["-", "-", "-", dita_row], formatter=lambda v: fmt(v) if v != "-" else v)
+    table.add_row("ERP-index", ["-", "-", "-", erp_row], formatter=lambda v: fmt(v) if v != "-" else v)
+    table.print()
+
+    # Shape: millisecond-scale build times are too noisy to order reliably
+    # at this dataset size (the paper's 2x gap appears at 786k+
+    # trajectories), so assert the structural facts instead: both linear
+    # indexes build quickly, and the enumeration indexes carry orders of
+    # magnitude more entries than trajectories.
+    for (t_osf, _), (t_qg, _) in zip(rows["OSF postings"], rows["q-gram"]):
+        assert t_osf < 10.0 and t_qg < 10.0
+    assert dita.num_subtrajectories > len(tiny) * 10
+    assert erpx.num_subtrajectories == dita.num_subtrajectories
+
+    recorder.record(
+        "table6_index_build",
+        {
+            "profiles": profiles,
+            "osf_postings": rows["OSF postings"],
+            "qgram": rows["q-gram"],
+            "dita_tiny": dita_row,
+            "erp_index_tiny": erp_row,
+            "scale": bench_scale,
+        },
+        expectation="postings index fast/linear; q-gram slower; "
+        "enumeration indexes explode",
+    )
+
+    graph, dataset = build_dataset("beijing", scale=bench_scale)
+    benchmark(lambda: InvertedIndex(dataset))

@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Pure-Python timings cannot match the paper's C++ numbers; the benchmarks
+reproduce *relative* behaviour on scaled-down synthetic datasets.  Scale is
+controlled by environment variables:
+
+- ``REPRO_BENCH_FULL=1`` — run the complete grid (all four dataset
+  profiles, all six similarity functions).  Default: a representative
+  subset so the whole suite finishes in minutes.
+- ``REPRO_BENCH_SCALE=<float>`` — multiply dataset sizes (default 0.25
+  quick / 1.0 full).
+
+Each benchmark prints a paper-vs-measured table and writes a JSON record
+under ``results/``.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.bench.harness import ResultRecorder
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0" if FULL else "0.25"))
+
+
+@pytest.fixture(scope="session")
+def recorder() -> ResultRecorder:
+    return ResultRecorder()
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def full_grid() -> bool:
+    return FULL

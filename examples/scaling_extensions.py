@@ -1,0 +1,80 @@
+"""The implemented future-work extensions: sharding, top-k, eta tuning.
+
+The paper flags three directions beyond its scope (§2.1, §3.1, §8); this
+library implements all three and this example exercises them together:
+
+1. partitioned search — exact answers from trajectory shards;
+2. top-k search — the k most similar subtrajectories without a threshold;
+3. per-query eta tuning — pick the ERP neighborhood threshold that
+   minimizes the predicted candidate count.
+
+Run:  python examples/scaling_extensions.py
+"""
+
+from repro import (
+    ERPCost,
+    PartitionedSubtrajectorySearch,
+    SubtrajectorySearch,
+    TrajectoryDataset,
+    TripGenerator,
+    grid_city,
+    topk_search,
+)
+from repro.core.eta_tuning import tune_eta
+from repro.core.filtering import tau_from_ratio
+
+
+def main() -> None:
+    graph = grid_city(12, 12, seed=61)
+    trips = TripGenerator(graph, seed=62).generate(600, min_length=10, max_length=60)
+    dataset = TrajectoryDataset(graph, "vertex")
+    dataset.extend(trips)
+    costs = ERPCost(graph, eta=0.5)
+    query = list(dataset.symbols(7))[2:14]
+
+    # --- 1. partitioned (simulated shared-nothing) search ----------------
+    single = SubtrajectorySearch(dataset, costs)
+    sharded = PartitionedSubtrajectorySearch(dataset, costs, num_shards=4)
+    a = single.query(query, tau_ratio=0.1)
+    b = sharded.query(query, tau_ratio=0.1)
+    assert [(m.trajectory_id, m.start, m.end) for m in a.matches] == [
+        (m.trajectory_id, m.start, m.end) for m in b.matches
+    ]
+    print(
+        f"sharded == single-node: {len(b.matches)} matches across "
+        f"{sharded.num_shards} shards"
+    )
+
+    # --- 2. top-k without choosing a threshold ---------------------------
+    top = topk_search(single, query, 5)
+    print("top-5 most similar subtrajectories:")
+    for m in top:
+        print(
+            f"   trajectory {m.trajectory_id} [{m.start}..{m.end}] "
+            f"ERP={m.distance:.1f}"
+        )
+
+    # --- 3. per-query eta tuning -----------------------------------------
+    tau = tau_from_ratio(query, costs, 0.1)
+    best_eta, trace = tune_eta(
+        lambda eta: ERPCost(graph, eta=eta), query, tau, single.index
+    )
+    print(f"eta tuning for tau={tau:.2f}:")
+    for choice in trace:
+        status = (
+            f"{choice.predicted_candidates} predicted candidates"
+            if choice.feasible
+            else "infeasible"
+        )
+        marker = " <- chosen" if choice.eta == best_eta else ""
+        print(f"   eta={choice.eta:10.4f}: {status}{marker}")
+    tuned = SubtrajectorySearch(dataset, ERPCost(graph, eta=best_eta))
+    result = tuned.query(query, tau=tau)
+    print(
+        f"tuned engine: {result.num_candidates} candidates, "
+        f"{len(result.matches)} matches"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network access, so PEP-517 build isolation
+(which downloads setuptools/wheel) cannot run; this shim lets
+``pip install -e . --no-use-pep517`` perform a legacy editable install with
+the locally available setuptools.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

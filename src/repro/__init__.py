@@ -1,0 +1,75 @@
+"""repro — subtrajectory similarity search in road networks under WED.
+
+A faithful, self-contained reproduction of
+
+    Koide, Xiao, Ishikawa.
+    "Fast Subtrajectory Similarity Search in Road Networks under
+    Weighted Edit Distance Constraints."  PVLDB, 2020.
+
+Quickstart::
+
+    from repro import (
+        SubtrajectorySearch, TrajectoryDataset, Trajectory,
+        LevenshteinCost, grid_city,
+    )
+
+    graph = grid_city(10, 10, seed=7)
+    data = TrajectoryDataset(graph)
+    data.add(Trajectory([0, 1, 2, 3]))
+    engine = SubtrajectorySearch(data, LevenshteinCost())
+    for match in engine.query([1, 2], tau=1.0).matches:
+        print(match)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured reproduction record.
+"""
+
+from repro.core.engine import QueryResult, SubtrajectorySearch
+from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.core.results import Match
+from repro.core.temporal import TimeInterval
+from repro.core.topk import topk_search
+from repro.distance.costs import (
+    CostModel,
+    EDRCost,
+    ERPCost,
+    LevenshteinCost,
+    NetEDRCost,
+    NetERPCost,
+    SURSCost,
+)
+from repro.distance.smith_waterman import all_matches, best_match
+from repro.distance.wed import wed
+from repro.network.generators import grid_city, radial_ring_city, random_city
+from repro.network.graph import RoadNetwork
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.generator import TripGenerator
+from repro.trajectory.model import Trajectory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "EDRCost",
+    "ERPCost",
+    "LevenshteinCost",
+    "Match",
+    "NetEDRCost",
+    "NetERPCost",
+    "PartitionedSubtrajectorySearch",
+    "QueryResult",
+    "RoadNetwork",
+    "SURSCost",
+    "SubtrajectorySearch",
+    "TimeInterval",
+    "Trajectory",
+    "TrajectoryDataset",
+    "TripGenerator",
+    "all_matches",
+    "best_match",
+    "grid_city",
+    "radial_ring_city",
+    "random_city",
+    "topk_search",
+    "wed",
+]

@@ -1,0 +1,24 @@
+"""Application layer: the paper's motivating use cases (§1, §6.2).
+
+- :mod:`travel_time` — on-the-fly travel-time estimation from similar
+  subtrajectories, with the leave-one-out RMSE protocol of Appendix E;
+- :mod:`route_suggestion` — alternative-route retrieval scored by the
+  route-naturalness measure of §6.2.2;
+- :mod:`popularity` — path popularity (how often a path appears in the
+  database, exactly or approximately).
+"""
+
+from repro.apps.popularity import path_popularity
+from repro.apps.route_suggestion import route_naturalness, suggest_routes
+from repro.apps.travel_time import (
+    TravelTimeEstimator,
+    relative_mse,
+)
+
+__all__ = [
+    "TravelTimeEstimator",
+    "path_popularity",
+    "relative_mse",
+    "route_naturalness",
+    "suggest_routes",
+]

@@ -1,0 +1,49 @@
+"""Path popularity estimation (§1).
+
+How often does a path appear in the database?  Exact counting (the classic
+exact path query [20, 22]) undercounts on sparse data; counting *similar*
+subtrajectories (one per trajectory) gives a robust popularity signal —
+one of the motivating applications for subtrajectory similarity search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.apps._common import best_match_per_trajectory, find_exact_occurrences
+from repro.core.engine import SubtrajectorySearch
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["PopularityReport", "path_popularity"]
+
+
+@dataclass(frozen=True, slots=True)
+class PopularityReport:
+    """Exact and similarity-based popularity counts for one path."""
+
+    exact_occurrences: int
+    exact_trajectories: int
+    similar_trajectories: Optional[int]
+
+
+def path_popularity(
+    dataset: TrajectoryDataset,
+    query: Sequence[int],
+    *,
+    engine: Optional[SubtrajectorySearch] = None,
+    tau_ratio: float = 0.1,
+) -> PopularityReport:
+    """Count exact occurrences of ``query`` and, when an engine is given,
+    the number of trajectories containing a similar subtrajectory."""
+    index = engine.index if engine is not None else None
+    exact = find_exact_occurrences(dataset, query, index)
+    similar = None
+    if engine is not None:
+        matches = engine.query(query, tau_ratio=tau_ratio).matches
+        similar = len(best_match_per_trajectory(matches))
+    return PopularityReport(
+        exact_occurrences=len(exact),
+        exact_trajectories=len({tid for tid, _, _ in exact}),
+        similar_trajectories=similar,
+    )

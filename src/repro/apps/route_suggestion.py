@@ -1,0 +1,96 @@
+"""Alternative route suggestion and route naturalness (§6.2.2).
+
+A driver traveling from ``u`` to ``v`` along a planned route ``Q`` asks for
+variations of ``Q`` found in the historical database: subtrajectories
+similar to ``Q`` that also start at ``u`` and end at ``v``.  Suggested
+routes are scored by *naturalness* (after [66] §7): the fraction of hops
+that bring the driver strictly closer (in road-network distance) to the
+destination than ever before — routes with many detours score low.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import SubtrajectorySearch
+from repro.core.results import Match
+from repro.network.graph import RoadNetwork
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["distances_to_target", "route_naturalness", "suggest_routes"]
+
+
+def distances_to_target(graph: RoadNetwork, target: int) -> List[float]:
+    """``d(u, target)`` for every vertex ``u``: one backward Dijkstra."""
+    dist = [math.inf] * graph.num_vertices
+    dist[target] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, target)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for e in graph.in_edges(u):
+            nd = d + e.weight
+            if nd < dist[e.source]:
+                dist[e.source] = nd
+                heapq.heappush(heap, (nd, e.source))
+    return dist
+
+
+def route_naturalness(
+    graph: RoadNetwork,
+    path: Sequence[int],
+    *,
+    dist_to_dest: Optional[Sequence[float]] = None,
+) -> float:
+    """``|C| / (|P| - 1)`` where ``C`` are the hops strictly closer to the
+    destination than any earlier position (§6.2.2).
+
+    ``dist_to_dest`` may carry precomputed distances to ``path[-1]`` (from
+    :func:`distances_to_target`) when scoring many routes with a shared
+    destination.
+    """
+    if len(path) < 2:
+        return 1.0
+    if dist_to_dest is None:
+        dist_to_dest = distances_to_target(graph, path[-1])
+    closest_so_far = dist_to_dest[path[0]]
+    closer_hops = 0
+    for v in path[1:]:
+        d = dist_to_dest[v]
+        if d < closest_so_far:
+            closer_hops += 1
+            closest_so_far = d
+    return closer_hops / (len(path) - 1)
+
+
+def suggest_routes(
+    engine: SubtrajectorySearch,
+    dataset: TrajectoryDataset,
+    query: Sequence[int],
+    *,
+    tau: Optional[float] = None,
+    tau_ratio: Optional[float] = None,
+) -> List[Tuple[Tuple[int, ...], Match]]:
+    """Distinct alternative routes for a query path.
+
+    Returns ``(vertex_path, match)`` pairs for subtrajectories similar to
+    the query that share its origin and destination vertices, deduplicated
+    by path (each route reported once, with its best match).  Requires a
+    vertex-representation dataset.
+    """
+    if dataset.representation != "vertex":
+        raise ValueError("route suggestion requires vertex representation")
+    origin, destination = query[0], query[-1]
+    result = engine.query(query, tau=tau, tau_ratio=tau_ratio)
+    routes: Dict[Tuple[int, ...], Match] = {}
+    for m in result.matches:
+        path = dataset[m.trajectory_id].path[m.start : m.end + 1]
+        if path[0] != origin or path[-1] != destination:
+            continue
+        cur = routes.get(path)
+        if cur is None or m.distance < cur.distance:
+            routes[path] = m
+    return sorted(routes.items(), key=lambda kv: kv[1].distance)

@@ -1,0 +1,254 @@
+"""On-the-fly travel-time estimation (§6.2.1, Appendix E).
+
+Given a query path, the estimator retrieves similar subtrajectories from
+the historical database and averages their travel times.  Accuracy is
+evaluated exactly as in the paper: the travel times of *exact* occurrences
+of the query are the ground truth, estimates are scored by leave-one-out
+cross-validation, and the headline metric is the MSE of similarity search
+relative to the MSE of exact match (RMSE < 100% means similarity search
+helps — the sparse-data motivation of the paper).
+
+Both WED cost models (through the search engine) and the non-WED
+comparison functions DTW / LCSS / LORS / LCRS (through a scan, as the
+paper does) are supported, with the §6.2.1 threshold normalizations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Literal, Optional, Sequence, Tuple
+
+from repro.apps._common import (
+    best_match_per_trajectory,
+    find_exact_occurrences,
+    match_travel_time,
+)
+from repro.core.engine import SubtrajectorySearch
+from repro.distance.nonwed import (
+    lcss_best_match,
+    lors_best_match,
+    subsequence_dtw_best,
+)
+from repro.distance.smith_waterman import best_match
+from repro.distance.wed import wed
+from repro.exceptions import QueryError
+from repro.spatial.geometry import squared_euclidean
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["TravelTimeEstimator", "relative_mse"]
+
+NonWEDKind = Literal["dtw", "lcss", "lors", "lcrs"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Retrieved:
+    """One retrieved subtrajectory and its travel time."""
+
+    trajectory_id: int
+    start: int
+    end: int
+    travel_time: float
+
+
+class TravelTimeEstimator:
+    """Travel-time estimation by subtrajectory similarity search.
+
+    Construct either with a WED ``engine`` (any cost model) or with a
+    non-WED ``function`` name; the latter scans the dataset per query, as
+    the paper does for DTW/LCSS/LORS/LCRS (§6.2.1).
+    """
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        *,
+        engine: Optional[SubtrajectorySearch] = None,
+        function: Optional[NonWEDKind] = None,
+    ) -> None:
+        if (engine is None) == (function is None):
+            raise QueryError("provide exactly one of engine / function")
+        if function is not None and function not in ("dtw", "lcss", "lors", "lcrs"):
+            raise QueryError(f"unknown similarity function {function!r}")
+        self._dataset = dataset
+        self._engine = engine
+        self._function = function
+        self._index = engine.index if engine is not None else None
+
+    # -- retrieval -----------------------------------------------------------
+
+    def ground_truths(self, query: Sequence[int]) -> List[float]:
+        """Travel times of the exact occurrences of ``query`` (App. E)."""
+        return [
+            match_travel_time(self._dataset, tid, s, t)
+            for tid, s, t in find_exact_occurrences(self._dataset, query, self._index)
+        ]
+
+    def similar_times(self, query: Sequence[int], tau_ratio: float) -> List[float]:
+        """Travel times of the best similar subtrajectory per trajectory."""
+        return [r.travel_time for r in self._retrieve(query, tau_ratio)]
+
+    def estimate(self, query: Sequence[int], tau_ratio: float) -> float:
+        """The travel-time estimate: mean over retrieved subtrajectories
+        (``nan`` when nothing qualifies)."""
+        times = self.similar_times(query, tau_ratio)
+        return sum(times) / len(times) if times else math.nan
+
+    def _retrieve(self, query: Sequence[int], tau_ratio: float) -> List[_Retrieved]:
+        if self._engine is not None:
+            result = self._engine.query(query, tau_ratio=tau_ratio)
+            chosen = best_match_per_trajectory(result.matches)
+            return [
+                _Retrieved(
+                    m.trajectory_id,
+                    m.start,
+                    m.end,
+                    match_travel_time(self._dataset, m.trajectory_id, m.start, m.end),
+                )
+                for m in chosen.values()
+            ]
+        return self._retrieve_nonwed(query, tau_ratio)
+
+    # -- non-WED scan (paper: subtrajectory enumeration / DP scan) ---------
+
+    def _retrieve_nonwed(self, query: Sequence[int], tau_ratio: float) -> List[_Retrieved]:
+        kind = self._function
+        ds = self._dataset
+        out: List[_Retrieved] = []
+        if kind == "dtw":
+            coords = ds.graph.coords
+
+            def dist(a: int, b: int) -> float:
+                return squared_euclidean(coords[a], coords[b])
+
+            scale = sum(
+                squared_euclidean(coords[a], coords[b])
+                for a, b in zip(query, query[1:])
+            )
+            threshold = tau_ratio * scale
+            for tid in range(len(ds)):
+                s, t, v = subsequence_dtw_best(ds.symbols(tid), query, dist)
+                if t >= s and v <= threshold:
+                    out.append(_Retrieved(tid, s, t, match_travel_time(ds, tid, s, t)))
+            return out
+        if kind == "lcss":
+            threshold = (1.0 - tau_ratio) * len(query)
+            for tid in range(len(ds)):
+                s, t, v = lcss_best_match(ds.symbols(tid), query, lambda a, b: a == b)
+                if t >= s and v >= threshold:
+                    out.append(_Retrieved(tid, s, t, match_travel_time(ds, tid, s, t)))
+            return out
+        # LORS / LCRS are defined on shared road segments: edge symbols.
+        if ds.representation != "edge":
+            raise QueryError(f"{kind} requires an edge-representation dataset")
+        weights = [e.weight for e in ds.graph.edges]
+
+        def weight(e: int) -> float:
+            return weights[e]
+
+        qweight = sum(weight(e) for e in query)
+        for tid in range(len(ds)):
+            data = ds.symbols(tid)
+            s, t, shared = lors_best_match(data, query, weight)
+            if t < s:
+                continue
+            if kind == "lors":
+                if shared >= (1.0 - tau_ratio) * qweight:
+                    out.append(_Retrieved(tid, s, t, match_travel_time(ds, tid, s, t)))
+            else:  # lcrs on the matched span
+                span_weight = sum(weight(e) for e in data[s : t + 1])
+                denom = span_weight + qweight - shared
+                ratio = shared / denom if denom > 0 else 1.0
+                if ratio >= 1.0 - tau_ratio:
+                    out.append(_Retrieved(tid, s, t, match_travel_time(ds, tid, s, t)))
+        return out
+
+    # -- top-k estimation (Table 3) ------------------------------------------
+
+    def topk_times(
+        self,
+        query: Sequence[int],
+        k: int,
+        *,
+        mode: Literal["subtrajectory", "whole"],
+    ) -> List[float]:
+        """Travel times of the ``k`` most similar trajectories.
+
+        ``"subtrajectory"`` ranks by the best substring WED and uses the
+        matched span's travel time; ``"whole"`` ranks by whole-trajectory
+        WED and uses the full trajectory duration — the Table 3 contrast.
+        """
+        if self._engine is None:
+            raise QueryError("top-k estimation requires a WED engine")
+        costs = self._engine._costs  # noqa: SLF001 - deliberate internal access
+        ds = self._dataset
+        scored: List[Tuple[float, float]] = []
+        for tid in range(len(ds)):
+            data = ds.symbols(tid)
+            if mode == "subtrajectory":
+                s, t, d = best_match(data, query, costs)
+                if t < s:
+                    continue
+                scored.append((d, match_travel_time(ds, tid, s, t)))
+            else:
+                d = wed(data, query, costs)
+                scored.append((d, ds[tid].duration))
+        scored.sort(key=lambda x: x[0])
+        return [time for _, time in scored[:k]]
+
+
+def _loo_mse(ground_truths: Sequence[float], pool: Sequence[float]) -> Optional[float]:
+    """Leave-one-out MSE of ``avg(pool minus one instance of the truth)``
+    against each ground truth (App. E).  ``None`` when undefined."""
+    if not ground_truths or not pool:
+        return None
+    errors: List[float] = []
+    for omega in ground_truths:
+        rest = list(pool)
+        try:
+            rest.remove(omega)
+        except ValueError:
+            pass  # estimate pool may not contain this truth (non-WED picks)
+        if not rest:
+            continue
+        est = sum(rest) / len(rest)
+        errors.append((omega - est) ** 2)
+    if not errors:
+        return None
+    return sum(errors) / len(errors)
+
+
+def relative_mse(
+    estimator: TravelTimeEstimator,
+    queries: Sequence[Sequence[int]],
+    tau_ratio: float,
+    *,
+    topk: Optional[int] = None,
+    topk_mode: Literal["subtrajectory", "whole"] = "subtrajectory",
+) -> float:
+    """Average ``MSE(similarity) / MSE(exact)`` over queries, in percent.
+
+    Values below 100 mean similarity search beats exact matching (Fig. 4).
+    With ``topk`` set, the similarity pool is the top-k estimate instead of
+    the thresholded one (Table 3).  Queries whose exact-match LOO-MSE is
+    undefined or zero are skipped, as in the paper's protocol.
+    """
+    ratios: List[float] = []
+    for query in queries:
+        truths = estimator.ground_truths(query)
+        if len(truths) < 2:
+            continue
+        mse_exact = _loo_mse(truths, truths)
+        if not mse_exact:
+            continue
+        if topk is not None:
+            pool = estimator.topk_times(query, topk, mode=topk_mode)
+        else:
+            pool = estimator.similar_times(query, tau_ratio)
+        mse_sim = _loo_mse(truths, pool)
+        if mse_sim is None:
+            continue
+        ratios.append(100.0 * mse_sim / mse_exact)
+    if not ratios:
+        return math.nan
+    return sum(ratios) / len(ratios)

@@ -1,0 +1,31 @@
+"""Competitor methods from the paper's evaluation (§6.1, Appendix C).
+
+Every baseline answers the same exact query semantics as the engine
+(Definition 3), so their result sets are interchangeable and only their
+candidate counts and running times differ:
+
+- :mod:`plain_sw` — index-free Smith–Waterman scan (Plain-SW);
+- :func:`dison_engine` / :func:`torch_engine` — the engine with the
+  DISON-style prefix filter / Torch-style all-symbols filter, each with BT
+  or SW verification;
+- :mod:`qgram` — q-gram counting filter for EDR-like unit-cost functions;
+- :mod:`dita` — pivot-trie over enumerated subtrajectories (whole-matching
+  DITA adapted to subtrajectory search);
+- :mod:`erp_index` — coordinate-sum lower bound in a kd-tree over
+  enumerated subtrajectories (ERP-index).
+"""
+
+from repro.baselines.adapted_engines import dison_engine, torch_engine
+from repro.baselines.dita import DITAIndex
+from repro.baselines.erp_index import ERPIndex
+from repro.baselines.plain_sw import PlainSWScan
+from repro.baselines.qgram import QGramIndex
+
+__all__ = [
+    "DITAIndex",
+    "ERPIndex",
+    "PlainSWScan",
+    "QGramIndex",
+    "dison_engine",
+    "torch_engine",
+]

@@ -1,0 +1,45 @@
+"""DISON and Torch adapted to subtrajectory WED search (§6.1).
+
+Both whole-matching systems differ from OSF only in how they pick the query
+symbols whose postings are scanned:
+
+- *DISON* [64] realizes the tau-subsequence as the shortest query *prefix*
+  with ``sum c(q) >= tau`` — correct but blind to symbol selectivity;
+- *Torch* [48] scans the postings of *every* query symbol.
+
+Since the engine isolates that choice behind its ``selector`` parameter,
+the baselines are thin factories; verification can be the bidirectional
+trie (\\*-BT) or Smith–Waterman (\\*-SW), exactly as benchmarked in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import SubtrajectorySearch, VerificationMode
+from repro.distance.costs import CostModel
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["dison_engine", "torch_engine"]
+
+
+def dison_engine(
+    dataset: TrajectoryDataset,
+    costs: CostModel,
+    *,
+    verification: VerificationMode = "trie",
+) -> SubtrajectorySearch:
+    """DISON-BT / DISON-SW: prefix filtering + the requested verifier."""
+    return SubtrajectorySearch(
+        dataset, costs, selector="prefix", verification=verification
+    )
+
+
+def torch_engine(
+    dataset: TrajectoryDataset,
+    costs: CostModel,
+    *,
+    verification: VerificationMode = "trie",
+) -> SubtrajectorySearch:
+    """Torch-BT / Torch-SW: all-symbols filtering + the requested verifier."""
+    return SubtrajectorySearch(
+        dataset, costs, selector="all", verification=verification
+    )

@@ -1,0 +1,175 @@
+"""DITA adapted to subtrajectory WED search (§6.1, Appendix C).
+
+DITA [41] is a whole-matching system, so the adaptation enumerates *every*
+subtrajectory offline and indexes it — which is why the paper only runs it
+on dataset fractions (1.4 billion subtrajectories for full Beijing).  Per
+subtrajectory, ``K`` pivot symbols are selected and stored in a trie
+together with the subtrajectory's identity; at query time the trie is
+pruned with the pivot lower bound
+
+    LB_pivot(P'', Q) = sum over p in P'' of min over q in Q+{eps} of sub(p, q)
+                     <= wed(P', Q)
+
+which is monotone along trie paths, and the surviving subtrajectories are
+verified by whole-matching WED.
+
+Pivot selection follows Appendix C: globally *frequent* symbols for
+unit-cost models (keeps the trie narrow), symbols with the *largest
+deletion cost* for ERP-like models.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import Match, MatchSet
+from repro.distance.costs import CostModel
+from repro.distance.wed import wed_within
+from repro.exceptions import IndexError_
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["DITAIndex"]
+
+SubtrajectoryRef = Tuple[int, int, int]  # (trajectory id, start, end) inclusive
+
+
+class _PivotTrieNode:
+    __slots__ = ("children", "refs")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "_PivotTrieNode"] = {}
+        self.refs: List[SubtrajectoryRef] = []
+
+
+class DITAIndex:
+    """Pivot trie over enumerated subtrajectories.
+
+    ``max_subtrajectories`` guards against the quadratic enumeration
+    blowing up accidentally — the paper itself only runs DITA on small
+    dataset fractions.
+    """
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        costs: CostModel,
+        *,
+        num_pivots: int = 10,
+        pivot_strategy: Optional[str] = None,
+        max_subtrajectories: int = 2_000_000,
+    ) -> None:
+        self._dataset = dataset
+        self._costs = costs
+        self._k = num_pivots
+        if pivot_strategy is None:
+            # App. C: frequent symbols for EDR-like, large deletion cost for
+            # ERP-like.  Unit insertion cost marks the former.
+            unit = all(
+                costs.ins(dataset.symbols(t)[0]) == 1.0
+                for t in range(min(3, len(dataset)))
+            )
+            pivot_strategy = "frequent" if unit else "costly"
+        if pivot_strategy not in ("frequent", "costly"):
+            raise IndexError_(f"unknown pivot strategy {pivot_strategy!r}")
+        self._strategy = pivot_strategy
+        self._freq: Dict[int, int] = {}
+        for tid in range(len(dataset)):
+            for s in dataset.symbols(tid):
+                self._freq[s] = self._freq.get(s, 0) + 1
+        self._root = _PivotTrieNode()
+        self.num_subtrajectories = 0
+        total = sum(
+            len(dataset.symbols(t)) * (len(dataset.symbols(t)) + 1) // 2
+            for t in range(len(dataset))
+        )
+        if total > max_subtrajectories:
+            raise IndexError_(
+                f"DITA would enumerate {total} subtrajectories "
+                f"(limit {max_subtrajectories}); use a smaller dataset fraction"
+            )
+        for tid in range(len(dataset)):
+            symbols = dataset.symbols(tid)
+            n = len(symbols)
+            for s in range(n):
+                for t in range(s, n):
+                    self._insert(tid, s, t, symbols[s : t + 1])
+
+    # -- construction -------------------------------------------------------
+
+    def _pivots(self, symbols: Sequence[int]) -> List[int]:
+        if len(symbols) <= self._k:
+            chosen = list(range(len(symbols)))
+        else:
+            if self._strategy == "frequent":
+                ranked = sorted(
+                    range(len(symbols)), key=lambda i: -self._freq[symbols[i]]
+                )
+            else:
+                ranked = sorted(
+                    range(len(symbols)),
+                    key=lambda i: -self._costs.delete(symbols[i]),
+                )
+            chosen = sorted(ranked[: self._k])  # keep sequence order
+        return [symbols[i] for i in chosen]
+
+    def _insert(self, tid: int, s: int, t: int, symbols: Sequence[int]) -> None:
+        node = self._root
+        for p in self._pivots(symbols):
+            child = node.children.get(p)
+            if child is None:
+                child = _PivotTrieNode()
+                node.children[p] = child
+            node = child
+        node.refs.append((tid, s, t))
+        self.num_subtrajectories += 1
+
+    # -- query ----------------------------------------------------------------
+
+    def candidates(self, query: Sequence[int], tau: float) -> List[SubtrajectoryRef]:
+        """Subtrajectories surviving the pivot lower bound."""
+        costs = self._costs
+        memo: Dict[int, float] = {}
+
+        def mismatch(p: int) -> float:
+            m = memo.get(p)
+            if m is None:
+                m = costs.delete(p)
+                for q in query:
+                    c = costs.sub(p, q)
+                    if c < m:
+                        m = c
+                memo[p] = m
+            return m
+
+        out: List[SubtrajectoryRef] = []
+        stack: List[Tuple[_PivotTrieNode, float]] = [(self._root, 0.0)]
+        while stack:
+            node, lb = stack.pop()
+            if lb >= tau:
+                continue
+            out.extend(node.refs)
+            for p, child in node.children.items():
+                stack.append((child, lb + mismatch(p)))
+        return out
+
+    def query(self, query: Sequence[int], tau: float) -> List[Match]:
+        """Exact answers: pivot pruning, then whole-matching verification."""
+        matches = MatchSet()
+        for tid, s, t in self.candidates(query, tau):
+            sub = self._dataset.symbols(tid)[s : t + 1]
+            d = wed_within(sub, query, self._costs, tau)
+            if d < tau:
+                matches.add(tid, s, t, d)
+        return matches.to_list()
+
+    def memory_bytes(self) -> int:
+        """Rough index footprint (Table 6 comparison)."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += sys.getsizeof(node.children) + sys.getsizeof(node.refs)
+            total += 64 * len(node.refs)
+            stack.extend(node.children.values())
+        return total

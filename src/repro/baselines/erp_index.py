@@ -1,0 +1,95 @@
+"""The ERP-index baseline (§6.1): coordinate-sum lower bound in a kd-tree.
+
+Chen & Ng's bound: every ERP edit operation changes the g-shifted
+coordinate sum of a sequence by a vector no longer than the operation's
+cost, so
+
+    || sum(P' - g) - sum(Q - g) ||_2  <=  ERP(P', Q).
+
+The baseline enumerates all subtrajectories (whole-matching index adapted
+to subtrajectory search, like DITA), stores each one's shifted coordinate
+sum in a kd-tree, answers a query by a radius-``tau`` range search around
+``sum(Q - g)``, and verifies survivors with whole-matching WED.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.results import Match, MatchSet
+from repro.distance.costs import ERPCost
+from repro.distance.wed import wed_within
+from repro.exceptions import IndexError_
+from repro.spatial.kdtree import KDTree
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["ERPIndex"]
+
+SubtrajectoryRef = Tuple[int, int, int]
+
+
+class ERPIndex:
+    """kd-tree over per-subtrajectory shifted coordinate sums."""
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        costs: ERPCost,
+        *,
+        max_subtrajectories: int = 2_000_000,
+    ) -> None:
+        if not isinstance(costs, ERPCost):
+            raise IndexError_("ERPIndex only supports the ERP cost model")
+        if dataset.representation != "vertex":
+            raise IndexError_("ERPIndex requires vertex representation")
+        self._dataset = dataset
+        self._costs = costs
+        gx, gy = costs.reference
+        coords = dataset.graph.coords
+        refs: List[SubtrajectoryRef] = []
+        sums: List[Tuple[float, float]] = []
+        total = sum(
+            len(dataset.symbols(t)) * (len(dataset.symbols(t)) + 1) // 2
+            for t in range(len(dataset))
+        )
+        if total > max_subtrajectories:
+            raise IndexError_(
+                f"ERPIndex would enumerate {total} subtrajectories "
+                f"(limit {max_subtrajectories}); use a smaller dataset fraction"
+            )
+        for tid in range(len(dataset)):
+            path = dataset.symbols(tid)
+            n = len(path)
+            for s in range(n):
+                sx = sy = 0.0
+                for t in range(s, n):
+                    x, y = coords[path[t]]
+                    sx += x - gx
+                    sy += y - gy
+                    refs.append((tid, s, t))
+                    sums.append((sx, sy))
+        self._refs = refs
+        self._tree = KDTree(sums)
+        self.num_subtrajectories = len(refs)
+
+    def candidates(self, query: Sequence[int], tau: float) -> List[SubtrajectoryRef]:
+        """Subtrajectories whose sum lies within ``tau`` of the query's."""
+        gx, gy = self._costs.reference
+        coords = self._dataset.graph.coords
+        qx = sum(coords[v][0] - gx for v in query)
+        qy = sum(coords[v][1] - gy for v in query)
+        return [self._refs[i] for i in self._tree.range_search((qx, qy), tau)]
+
+    def query(self, query: Sequence[int], tau: float) -> List[Match]:
+        """Exact answers: range filter, then whole-matching verification."""
+        matches = MatchSet()
+        for tid, s, t in self.candidates(query, tau):
+            sub = self._dataset.symbols(tid)[s : t + 1]
+            d = wed_within(sub, query, self._costs, tau)
+            if d < tau:
+                matches.add(tid, s, t, d)
+        return matches.to_list()
+
+    def memory_bytes(self) -> int:
+        """Rough index footprint (Table 6 comparison)."""
+        return 88 * self.num_subtrajectories

@@ -1,0 +1,68 @@
+"""Plain-SW: the index-free Smith–Waterman scan baseline (§3, §6.1).
+
+Scans every data trajectory per query.  Two semantics are offered:
+
+- ``"all"`` (default) — exact Definition 3 answers via the per-start
+  thresholded DP; this is the honest exact competitor;
+- ``"best"`` — the paper's Appendix A algorithm: one ``O(|P|*|Q|)`` pass
+  per trajectory reporting its best-matching substring when under ``tau``
+  (the original Smith–Waterman adaptation, cheaper but weaker semantics).
+"""
+
+from __future__ import annotations
+
+from typing import List, Literal, Optional, Sequence
+
+from repro.core.results import Match, MatchSet
+from repro.core.temporal import TemporalMode, TimeInterval, match_satisfies
+from repro.distance.costs import CostModel
+from repro.distance.smith_waterman import all_matches, best_match
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["PlainSWScan"]
+
+
+class PlainSWScan:
+    """Query-time full scan with Smith–Waterman verification."""
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        costs: CostModel,
+        *,
+        semantics: Literal["all", "best"] = "all",
+    ) -> None:
+        if semantics not in ("all", "best"):
+            raise ValueError(f"unknown semantics {semantics!r}")
+        self._dataset = dataset
+        self._costs = costs
+        self._semantics = semantics
+
+    def query(
+        self,
+        query: Sequence[int],
+        tau: float,
+        *,
+        time_interval: Optional[TimeInterval] = None,
+        temporal_mode: TemporalMode = "overlap",
+    ) -> List[Match]:
+        """Exact Definition 3 answers (or best-per-trajectory in "best"
+        mode), optionally postfiltered by a time interval."""
+        matches = MatchSet()
+        for tid in range(len(self._dataset)):
+            data = self._dataset.symbols(tid)
+            if self._semantics == "all":
+                for s, t, d in all_matches(data, query, self._costs, tau):
+                    matches.add(tid, s, t, d)
+            else:
+                s, t, d = best_match(data, query, self._costs)
+                if d < tau and t >= s:
+                    matches.add(tid, s, t, d)
+        out = matches.to_list()
+        if time_interval is not None:
+            out = [
+                m
+                for m in out
+                if match_satisfies(self._dataset, m, time_interval, temporal_mode)
+            ]
+        return out

@@ -1,0 +1,118 @@
+"""q-gram count filtering adapted to subtrajectory EDR search (App. C).
+
+The classic bound: if two strings are within ``t`` (unit-cost) edits, they
+share at least ``max(|P|,|Q|) - q + 1 - t*q`` q-grams.  The paper's
+adaptation indexes each data trajectory's q-grams once (no substring
+enumeration) and, per query:
+
+1. for every query q-gram ``x``, enumerates the q-grams ``x'`` that match
+   it position-wise (each symbol within the cost model's zero-cost
+   neighborhood — exact symbols for Lev, epsilon-balls for EDR);
+2. accumulates per-trajectory hit counts ``H[id]`` over the postings of
+   all those ``x'``;
+3. keeps trajectories with ``H[id] >= |Q| - q + 1 - t*q`` (using ``|Q|``
+   as the lower bound of ``max(|P'|,|Q|)``), where ``t`` is the number of
+   whole edit operations allowed under ``tau``;
+4. verifies survivors with the Smith–Waterman oracle.
+
+When ``tau`` is large the bound drops to zero or below and *everything*
+becomes a candidate — the looseness that motivates subsequence filtering
+(§1).  The filter is only sound for unit-cost models (Lev/EDR/NetEDR);
+construction rejects others.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.results import Match, MatchSet
+from repro.distance.costs import CostModel, EDRCost, LevenshteinCost, NetEDRCost
+from repro.distance.smith_waterman import all_matches
+from repro.exceptions import QueryError
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["QGramIndex"]
+
+_UNIT_COST_MODELS = (LevenshteinCost, EDRCost, NetEDRCost)
+
+
+class QGramIndex:
+    """q-gram inverted index with count filtering (default ``q = 3``)."""
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        costs: CostModel,
+        *,
+        q: int = 3,
+        max_enumeration: int = 200_000,
+    ) -> None:
+        if not isinstance(costs, _UNIT_COST_MODELS):
+            raise QueryError(
+                "q-gram filtering requires a unit-cost model (Lev/EDR/NetEDR); "
+                f"got {type(costs).__name__}"
+            )
+        if q < 1:
+            raise QueryError("q must be >= 1")
+        self._dataset = dataset
+        self._costs = costs
+        self._q = q
+        self._max_enumeration = max_enumeration
+        self._postings: Dict[Tuple[int, ...], List[int]] = {}
+        for tid in range(len(dataset)):
+            symbols = dataset.symbols(tid)
+            for i in range(len(symbols) - q + 1):
+                gram = tuple(symbols[i : i + q])
+                self._postings.setdefault(gram, []).append(tid)
+
+    @property
+    def num_grams(self) -> int:
+        """Number of distinct q-grams indexed."""
+        return len(self._postings)
+
+    def _allowed_edits(self, tau: float) -> int:
+        """Largest integer edit count consistent with ``wed < tau``."""
+        return max(0, math.ceil(tau - 1e-9) - 1)
+
+    def candidates(self, query: Sequence[int], tau: float) -> List[int]:
+        """Trajectory ids passing the count filter (everything, when the
+        bound degenerates)."""
+        q = self._q
+        if len(query) < q:
+            return list(range(len(self._dataset)))
+        threshold = len(query) - q + 1 - self._allowed_edits(tau) * q
+        if threshold <= 0:
+            return list(range(len(self._dataset)))
+        neighborhoods = [self._costs.neighbors(s) for s in query]
+        hits: Dict[int, int] = {}
+        for i in range(len(query) - q + 1):
+            parts = neighborhoods[i : i + q]
+            combos = 1
+            for p in parts:
+                combos *= len(p)
+            if combos > self._max_enumeration:
+                # Matching-gram enumeration blew up; the sound fallback is
+                # to not filter on this gram position at all, which can only
+                # weaken the threshold by one.
+                threshold -= 1
+                if threshold <= 0:
+                    return list(range(len(self._dataset)))
+                continue
+            seen_in_gram: Dict[int, int] = {}
+            for variant in product(*parts):
+                for tid in self._postings.get(tuple(variant), ()):
+                    seen_in_gram[tid] = seen_in_gram.get(tid, 0) + 1
+            for tid, c in seen_in_gram.items():
+                hits[tid] = hits.get(tid, 0) + c
+        return [tid for tid, c in hits.items() if c >= threshold]
+
+    def query(self, query: Sequence[int], tau: float) -> List[Match]:
+        """Exact answers: count filter then Smith–Waterman verification."""
+        matches = MatchSet()
+        for tid in self.candidates(query, tau):
+            data = self._dataset.symbols(tid)
+            for s, t, d in all_matches(data, query, self._costs, tau):
+                matches.add(tid, s, t, d)
+        return matches.to_list()

@@ -1,0 +1,29 @@
+"""Benchmark support: synthetic dataset profiles, workload sampling, and
+result recording.
+
+The paper's four datasets (Beijing, Porto, Singapore, SanFran — Table 2)
+are proprietary or impractically large, so :mod:`repro.bench.datasets`
+builds laptop-scale synthetic analogues that preserve the *relative* shape
+(network style, trajectory count ratios, average length ratios).  Every
+benchmark under ``benchmarks/`` prints a paper-vs-measured table through
+:mod:`repro.bench.harness` and appends a JSON record under ``results/``.
+"""
+
+from repro.bench.corridors import CorridorWorkload, build_corridor_workload
+from repro.bench.datasets import DATASET_PROFILES, build_dataset
+from repro.bench.harness import ResultRecorder, SeriesTable
+from repro.bench.report import load_results, render_markdown
+from repro.bench.workloads import sample_queries, sample_sparse_queries
+
+__all__ = [
+    "DATASET_PROFILES",
+    "CorridorWorkload",
+    "ResultRecorder",
+    "SeriesTable",
+    "build_corridor_workload",
+    "build_dataset",
+    "load_results",
+    "render_markdown",
+    "sample_queries",
+    "sample_sparse_queries",
+]

@@ -1,0 +1,192 @@
+"""Corridor workloads for the effectiveness experiments (Fig. 4/5, Table 3).
+
+The paper's travel-time and route-suggestion results rest on a property of
+real taxi data: popular paths are traveled by *many* vehicles whose routes
+differ slightly (detours, shortcuts) and whose travel times share context.
+Uniform random trips do not produce that density at laptop scale, so this
+module constructs it explicitly:
+
+- a handful of *corridors* (shortest paths of moderate length);
+- each corridor gets many travelers; a fraction of them take a local
+  *variant* (one vertex replaced by an alternative subroute), so they are
+  similar-but-not-exact matches for the corridor;
+- per-trip speed factors plus per-edge noise give travel times whose mean
+  is corridor-specific — exactly the signal similarity search can pool;
+- background random trips complete the database.
+
+The corridors double as queries: they have few exact travelers (the
+sparse case of §6.2.1) but many similar ones.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.network.generators import grid_city
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import shortest_path
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.generator import TripGenerator
+from repro.trajectory.model import Trajectory
+
+__all__ = ["CorridorWorkload", "build_corridor_workload"]
+
+
+@dataclass(frozen=True)
+class CorridorWorkload:
+    """A corridor-structured dataset plus its natural queries."""
+
+    graph: RoadNetwork
+    dataset: TrajectoryDataset
+    corridors: List[List[int]]  # vertex paths; also the queries
+
+
+def _route_avoiding(
+    graph: RoadNetwork, source: int, target: int, banned: int
+) -> Optional[List[int]]:
+    """Shortest path from ``source`` to ``target`` that skips ``banned``."""
+    import heapq
+
+    dist = {source: 0.0}
+    parent = {source: -1}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u == target:
+            break
+        if d > dist.get(u, math.inf):
+            continue
+        for e in graph.out_edges(u):
+            if e.target == banned:
+                continue
+            nd = d + e.weight
+            if nd < dist.get(e.target, math.inf):
+                dist[e.target] = nd
+                parent[e.target] = u
+                heapq.heappush(heap, (nd, e.target))
+    if target not in dist:
+        return None
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def _variant_of(path: List[int], graph: RoadNetwork, rng: random.Random) -> List[int]:
+    """Replace one interior vertex by a short alternative subroute.
+
+    Falls back to the original path when no detour exists (dead ends)."""
+    if len(path) < 4:
+        return path
+    for _ in range(6):
+        i = rng.randrange(1, len(path) - 1)
+        detour = _route_avoiding(graph, path[i - 1], path[i + 1], path[i])
+        if detour is not None and 2 <= len(detour) <= 6:
+            candidate = path[: i - 1] + detour + path[i + 2 :]
+            if len(set(candidate)) == len(candidate):  # keep it simple
+                return candidate
+    return path
+
+
+def _timestamps(
+    graph: RoadNetwork,
+    path: Sequence[int],
+    rng: random.Random,
+    *,
+    base_speed: float,
+    trip_speed_sigma: float,
+    edge_noise_sigma: float,
+) -> List[float]:
+    speed = base_speed * math.exp(rng.gauss(0.0, trip_speed_sigma))
+    ts = [rng.uniform(0.0, 86_400.0)]
+    for a, b in zip(path, path[1:]):
+        w = graph.edge(graph.edge_id(a, b)).weight
+        noise = math.exp(rng.gauss(0.0, edge_noise_sigma))
+        ts.append(ts[-1] + max(1e-6, w / speed * noise))
+    return ts
+
+
+def build_corridor_workload(
+    *,
+    num_corridors: int = 8,
+    exact_travelers: int = 5,
+    variant_travelers: int = 30,
+    background_trips: int = 300,
+    corridor_length: Tuple[int, int] = (10, 16),
+    representation: str = "vertex",
+    seed: int = 0,
+    graph: Optional[RoadNetwork] = None,
+) -> CorridorWorkload:
+    """Build the corridor-structured workload.
+
+    ``exact_travelers`` trips follow each corridor verbatim (few — the
+    sparse case); ``variant_travelers`` follow a one-detour variant, making
+    them similar under WED but invisible to exact path queries.
+    """
+    if graph is None:
+        graph = grid_city(16, 16, seed=seed + 977)
+    rng = random.Random(seed)
+    lo, hi = corridor_length
+    corridors: List[List[int]] = []
+    attempts = 0
+    while len(corridors) < num_corridors and attempts < 4_000:
+        attempts += 1
+        u = rng.randrange(graph.num_vertices)
+        v = rng.randrange(graph.num_vertices)
+        if u == v:
+            continue
+        path = shortest_path(graph, u, v)
+        if path is not None and lo <= len(path) <= hi:
+            corridors.append(path)
+    if len(corridors) < num_corridors:
+        raise ValueError("could not find enough corridors; enlarge the graph")
+
+    def _extended(route: List[int]) -> List[int]:
+        """Prepend an approach and append an exit segment, so corridor
+        travelers are longer trips that *contain* the corridor — whole
+        matching then genuinely overshoots the query span (Table 3)."""
+        out = list(route)
+        for _ in range(10):
+            head = shortest_path(graph, rng.randrange(graph.num_vertices), out[0])
+            if head is not None and 3 <= len(head) <= 8:
+                out = head[:-1] + out
+                break
+        for _ in range(10):
+            tail = shortest_path(graph, out[-1], rng.randrange(graph.num_vertices))
+            if tail is not None and 3 <= len(tail) <= 8:
+                out = out + tail[1:]
+                break
+        return out
+
+    def _add_traveler(route: List[int]) -> None:
+        full = _extended(route)
+        dataset.add(
+            Trajectory(
+                full,
+                _timestamps(
+                    graph,
+                    full,
+                    rng,
+                    base_speed=10.0,
+                    trip_speed_sigma=0.15,
+                    edge_noise_sigma=0.10,
+                ),
+            )
+        )
+
+    dataset = TrajectoryDataset(graph, representation)
+    for path in corridors:
+        for _ in range(exact_travelers):
+            _add_traveler(path)
+        for _ in range(variant_travelers):
+            _add_traveler(_variant_of(path, graph, rng))
+    if background_trips:
+        gen = TripGenerator(graph, seed=seed + 31)
+        dataset.extend(
+            gen.generate(background_trips, min_length=8, max_length=40)
+        )
+    return CorridorWorkload(graph=graph, dataset=dataset, corridors=corridors)

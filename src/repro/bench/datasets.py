@@ -1,0 +1,158 @@
+"""Synthetic analogues of the paper's four datasets (Table 2).
+
+Real sizes (Table 2) are far beyond a pure-Python benchmark budget, so each
+profile reproduces the *shape*, scaled down ~400x:
+
+==========  ============  ===========  ======  ======  ====================
+profile     paper #traj   paper avg|P|  |V|     style   our defaults
+==========  ============  ===========  ======  ======  ====================
+beijing     786,801       101          86,484  ring+grid  2,000 traj, len~50
+porto       1,701,238     81           75,265  irregular  3,000 traj, len~40
+singapore   287,524       262          18,127  grid       800 traj, len~90
+sanfran     11,505,922    101          175,343 grid       6,000 traj, len~50
+==========  ============  ===========  ======  ======  ====================
+
+The relative ordering (porto > beijing > singapore in count; singapore has
+the longest trajectories; sanfran the largest) is preserved, which is what
+the scaling experiments (Figs. 8, 10) exercise.  ``scale`` multiplies the
+trajectory count; datasets are memoized per (profile, scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Tuple
+
+from repro.network.generators import grid_city, random_city
+from repro.network.graph import RoadNetwork
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.generator import TripGenerator
+
+__all__ = ["DATASET_PROFILES", "DatasetProfile", "build_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Recipe for one synthetic dataset."""
+
+    name: str
+    paper_trajectories: int
+    paper_avg_length: float
+    paper_vertices: int
+    paper_edges: int
+    build_graph: Callable[[], RoadNetwork]
+    num_trajectories: int
+    min_length: int
+    max_length: int
+    seed: int
+
+    def graph(self) -> RoadNetwork:
+        """Build this profile's road network."""
+        return self.build_graph()
+
+
+DATASET_PROFILES: Dict[str, DatasetProfile] = {
+    "beijing": DatasetProfile(
+        name="beijing",
+        paper_trajectories=786_801,
+        paper_avg_length=101,
+        paper_vertices=86_484,
+        paper_edges=171_135,
+        build_graph=lambda: grid_city(24, 24, diagonal_prob=0.15, seed=11),
+        num_trajectories=2_000,
+        min_length=12,
+        max_length=90,
+        seed=101,
+    ),
+    "porto": DatasetProfile(
+        name="porto",
+        paper_trajectories=1_701_238,
+        paper_avg_length=81,
+        paper_vertices=75_265,
+        paper_edges=135_133,
+        build_graph=lambda: random_city(520, extent=4200.0, seed=12),
+        num_trajectories=3_000,
+        min_length=10,
+        max_length=70,
+        seed=102,
+    ),
+    "singapore": DatasetProfile(
+        name="singapore",
+        paper_trajectories=287_524,
+        paper_avg_length=262,
+        paper_vertices=18_127,
+        paper_edges=48_236,
+        build_graph=lambda: grid_city(14, 14, diagonal_prob=0.05, seed=13),
+        num_trajectories=800,
+        min_length=40,
+        max_length=160,
+        seed=103,
+    ),
+    "sanfran": DatasetProfile(
+        name="sanfran",
+        paper_trajectories=11_505_922,
+        paper_avg_length=101,
+        paper_vertices=175_343,
+        paper_edges=223_606,
+        build_graph=lambda: grid_city(28, 28, diagonal_prob=0.10, seed=14),
+        num_trajectories=6_000,
+        min_length=12,
+        max_length=90,
+        seed=104,
+    ),
+    # Profiles for the enumeration baselines (DITA / ERP-index), mirroring
+    # the paper's 5,000-trajectory fractions: "small" is the benchmark
+    # workload (large enough that enumeration hurts), "tiny" is for tests.
+    "small": DatasetProfile(
+        name="small",
+        paper_trajectories=5_000,
+        paper_avg_length=101,
+        paper_vertices=86_484,
+        paper_edges=171_135,
+        build_graph=lambda: grid_city(16, 16, seed=16),
+        num_trajectories=150,
+        min_length=15,
+        max_length=60,
+        seed=106,
+    ),
+    "tiny": DatasetProfile(
+        name="tiny",
+        paper_trajectories=5_000,
+        paper_avg_length=101,
+        paper_vertices=86_484,
+        paper_edges=171_135,
+        build_graph=lambda: grid_city(10, 10, seed=15),
+        num_trajectories=60,
+        min_length=8,
+        max_length=30,
+        seed=105,
+    ),
+}
+
+
+@lru_cache(maxsize=16)
+def build_dataset(
+    profile: str,
+    *,
+    scale: float = 1.0,
+    representation: str = "vertex",
+) -> Tuple[RoadNetwork, TrajectoryDataset]:
+    """Build (and memoize) one synthetic dataset.
+
+    ``scale`` multiplies the trajectory count — the Fig. 8 / Fig. 10 dataset
+    size sweeps pass 0.25 / 0.5 / 0.75 / 1.0.
+    """
+    try:
+        spec = DATASET_PROFILES[profile]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {profile!r}; choose from {sorted(DATASET_PROFILES)}"
+        ) from None
+    graph = spec.graph()
+    gen = TripGenerator(graph, seed=spec.seed)
+    count = max(1, int(spec.num_trajectories * scale))
+    trips = gen.generate(count, min_length=spec.min_length, max_length=spec.max_length)
+    dataset = TrajectoryDataset(graph, representation)
+    dataset.extend(trips)
+    return graph, dataset

@@ -1,0 +1,103 @@
+"""Benchmark reporting: aligned tables on stdout + JSON records on disk.
+
+Every experiment prints a table of measured series next to the paper's
+qualitative expectation, and appends a machine-readable record under
+``results/`` so EXPERIMENTS.md can be regenerated from artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ResultRecorder", "SeriesTable", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale time formatting for table cells."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+class SeriesTable:
+    """An aligned text table keyed by a leading label column.
+
+    >>> t = SeriesTable("method", ["0.1", "0.2"], title="Fig. 6")
+    >>> t.add_row("OSF-BT", [0.01, 0.02], formatter=format_seconds)
+    >>> print(t.render())
+    """
+
+    def __init__(self, key_header: str, columns: Sequence[str], *, title: str = "") -> None:
+        self.title = title
+        self._key_header = key_header
+        self._columns = [str(c) for c in columns]
+        self._rows: List[List[str]] = []
+        self._raw: Dict[str, List[Any]] = {}
+
+    def add_row(self, label: str, values: Sequence[Any], *, formatter=None) -> None:
+        """Append one labeled series (must match the column count)."""
+        if len(values) != len(self._columns):
+            raise ValueError(
+                f"row {label!r} has {len(values)} values for {len(self._columns)} columns"
+            )
+        fmt = formatter or (lambda v: f"{v:.4g}" if isinstance(v, float) else str(v))
+        self._rows.append([label] + [fmt(v) for v in values])
+        self._raw[label] = list(values)
+
+    @property
+    def raw(self) -> Dict[str, List[Any]]:
+        """Unformatted values keyed by row label."""
+        return self._raw
+
+    def render(self) -> str:
+        """The aligned table as a string."""
+        header = [self._key_header] + self._columns
+        widths = [len(h) for h in header]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the table (flushed, for live benchmark output)."""
+        print("\n" + self.render(), flush=True)
+
+
+class ResultRecorder:
+    """Append experiment records as JSON files under ``results/``."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        if root is None:
+            root = Path(__file__).resolve().parents[3] / "results"
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    def record(
+        self,
+        experiment: str,
+        payload: Dict[str, Any],
+        *,
+        expectation: str = "",
+    ) -> Path:
+        """Write one record; returns the file path."""
+        out = {
+            "experiment": experiment,
+            "expectation": expectation,
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            **payload,
+        }
+        path = self._root / f"{experiment}.json"
+        path.write_text(json.dumps(out, indent=2, default=str) + "\n", encoding="utf-8")
+        return path

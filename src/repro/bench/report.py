@@ -1,0 +1,122 @@
+"""Render the recorded experiment results as a markdown report.
+
+``python -m repro.bench.report [results_dir]`` regenerates a compact
+paper-vs-measured summary from the JSON records the benchmarks write under
+``results/`` — the data behind ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+__all__ = ["load_results", "render_markdown"]
+
+#: canonical presentation order (paper order)
+_ORDER = [
+    "table2",
+    "fig04",
+    "table3",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "table4",
+    "fig11",
+    "table5",
+    "table6",
+    "fig12",
+    "fig13",
+    "ablation",
+]
+
+
+def load_results(results_dir: Path) -> List[Dict[str, Any]]:
+    """All experiment records, sorted into paper order."""
+    records = []
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            records.append(json.loads(path.read_text()))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: corrupt record: {exc}") from exc
+
+    def rank(rec: Dict[str, Any]) -> tuple:
+        name = rec.get("experiment", "")
+        for i, prefix in enumerate(_ORDER):
+            if name.startswith(prefix):
+                return (i, name)
+        return (len(_ORDER), name)
+
+    records.sort(key=rank)
+    return records
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _series_lines(payload: Dict[str, Any]) -> List[str]:
+    """Render dict-of-series payload entries as markdown bullet lists."""
+    lines: List[str] = []
+    for key, value in payload.items():
+        if key in ("experiment", "expectation", "recorded_at", "scale"):
+            continue
+        if isinstance(value, dict) and value and all(
+            isinstance(v, list) for v in value.values()
+        ):
+            lines.append(f"- **{key}**:")
+            for label, series in value.items():
+                rendered = ", ".join(_fmt(v) for v in series)
+                lines.append(f"    - {label}: {rendered}")
+        elif isinstance(value, list):
+            lines.append(f"- **{key}**: {', '.join(_fmt(v) for v in value)}")
+        else:
+            lines.append(f"- **{key}**: {_fmt(value)}")
+    return lines
+
+
+def render_markdown(results_dir: Path) -> str:
+    """The full report as a markdown string."""
+    records = load_results(results_dir)
+    lines = [
+        "# Recorded experiment results",
+        "",
+        f"{len(records)} experiment records from `{results_dir}`.",
+        "",
+    ]
+    for rec in records:
+        lines.append(f"## {rec.get('experiment', '?')}")
+        expectation = rec.get("expectation")
+        if expectation:
+            lines.append(f"*Expected (paper):* {expectation}")
+        scale = rec.get("scale")
+        if scale is not None:
+            lines.append(f"*Dataset scale:* {scale}")
+        lines.append("")
+        lines.extend(_series_lines(rec))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> int:  # pragma: no cover - thin CLI
+    argv = sys.argv[1:] if argv is None else argv
+    results_dir = Path(argv[0]) if argv else Path("results")
+    if not results_dir.is_dir():
+        print(f"no such results directory: {results_dir}", file=sys.stderr)
+        return 1
+    print(render_markdown(results_dir))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Query workload sampling (§6.3).
+
+The paper samples query paths uniformly from the data trajectories
+(following [20, 22, 51, 53]), with a default length of 60.  Our scaled
+datasets use proportionally shorter defaults; every benchmark passes the
+length explicitly so the sweep axes stay faithful.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.apps._common import find_exact_occurrences
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["sample_queries", "sample_sparse_queries"]
+
+
+def sample_queries(
+    dataset: TrajectoryDataset,
+    count: int,
+    length: int,
+    *,
+    seed: int = 0,
+) -> List[List[int]]:
+    """``count`` query strings sampled as random subtrajectories of random
+    data trajectories (all of length exactly ``length``)."""
+    rng = random.Random(seed)
+    eligible = [
+        tid for tid in range(len(dataset)) if len(dataset.symbols(tid)) >= length
+    ]
+    if not eligible:
+        raise ValueError(f"no trajectory is >= {length} symbols long")
+    out: List[List[int]] = []
+    for _ in range(count):
+        tid = rng.choice(eligible)
+        symbols = dataset.symbols(tid)
+        s = rng.randrange(0, len(symbols) - length + 1)
+        out.append(list(symbols[s : s + length]))
+    return out
+
+
+def sample_sparse_queries(
+    dataset: TrajectoryDataset,
+    count: int,
+    length: int,
+    *,
+    min_exact: int = 2,
+    max_exact: int = 10,
+    seed: int = 0,
+    attempts: int = 4000,
+) -> List[List[int]]:
+    """Queries whose exact-occurrence count lies in ``[min_exact,
+    max_exact]`` — the sparse travel-time setting of §6.2.1 (the paper uses
+    "< 10 exact matches"; at least 2 are needed for the leave-one-out
+    protocol)."""
+    rng = random.Random(seed)
+    eligible = [
+        tid for tid in range(len(dataset)) if len(dataset.symbols(tid)) >= length
+    ]
+    if not eligible:
+        raise ValueError(f"no trajectory is >= {length} symbols long")
+    out: List[List[int]] = []
+    seen: set = set()
+    for _ in range(attempts):
+        if len(out) >= count:
+            break
+        tid = rng.choice(eligible)
+        symbols = dataset.symbols(tid)
+        s = rng.randrange(0, len(symbols) - length + 1)
+        query = tuple(symbols[s : s + length])
+        if query in seen:
+            continue
+        seen.add(query)
+        hits = find_exact_occurrences(dataset, query)
+        if min_exact <= len(hits) <= max_exact:
+            out.append(list(query))
+    return out

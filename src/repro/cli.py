@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users a no-code path through the full workflow:
+
+- ``generate-network`` — synthesize a road network to a file;
+- ``generate-trips`` — synthesize a trajectory dataset on a network;
+- ``stats`` — Table-2-style statistics of a dataset;
+- ``query`` — run one subtrajectory similarity query;
+- ``travel-time`` — estimate the travel time of a path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.apps.travel_time import TravelTimeEstimator
+from repro.core.engine import SubtrajectorySearch
+from repro.core.temporal import TimeInterval
+from repro.distance.costs import (
+    CostModel,
+    EDRCost,
+    ERPCost,
+    LevenshteinCost,
+    NetEDRCost,
+    NetERPCost,
+    SURSCost,
+)
+from repro.network.generators import grid_city, radial_ring_city, random_city
+from repro.network.graph import RoadNetwork
+from repro.network.io import load_network, save_network
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.generator import TripGenerator
+
+__all__ = ["main"]
+
+
+def _build_cost_model(args: argparse.Namespace, graph: RoadNetwork) -> CostModel:
+    name = args.function.lower()
+    if name == "lev":
+        return LevenshteinCost(args.representation)
+    if name == "edr":
+        return EDRCost(graph, epsilon=args.epsilon)
+    if name == "erp":
+        return ERPCost(graph, eta=args.eta)
+    if name == "netedr":
+        return NetEDRCost(graph)
+    if name == "neterp":
+        return NetERPCost(graph, g_del=args.g_del)
+    if name == "surs":
+        return SURSCost(graph)
+    raise SystemExit(f"unknown similarity function {args.function!r}")
+
+
+def _parse_symbols(text: str) -> List[int]:
+    try:
+        return [int(tok) for tok in text.replace(",", " ").split()]
+    except ValueError as exc:
+        raise SystemExit(f"bad symbol list {text!r}: {exc}") from exc
+
+
+def _add_cost_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--function",
+        default="edr",
+        choices=["lev", "edr", "erp", "netedr", "neterp", "surs"],
+        help="similarity function (default: edr)",
+    )
+    parser.add_argument(
+        "--representation",
+        default="vertex",
+        choices=["vertex", "edge"],
+        help="symbol alphabet; surs requires edge (default: vertex)",
+    )
+    parser.add_argument("--epsilon", type=float, default=100.0, help="EDR threshold")
+    parser.add_argument("--eta", type=float, default=0.01, help="ERP/NetERP eta")
+    parser.add_argument("--g-del", type=float, default=2000.0, help="NetERP del cost")
+
+
+def _cmd_generate_network(args: argparse.Namespace) -> int:
+    if args.style == "grid":
+        graph = grid_city(args.rows, args.cols, seed=args.seed)
+    elif args.style == "radial":
+        graph = radial_ring_city(args.rows, args.cols, seed=args.seed)
+    else:
+        graph = random_city(args.rows * args.cols, seed=args.seed)
+    save_network(graph, args.out)
+    print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges to {args.out}")
+    return 0
+
+
+def _cmd_generate_trips(args: argparse.Namespace) -> int:
+    graph = load_network(args.network)
+    gen = TripGenerator(graph, seed=args.seed)
+    dataset = TrajectoryDataset(graph)
+    dataset.extend(
+        gen.generate(args.count, min_length=args.min_length, max_length=args.max_length)
+    )
+    dataset.save(args.out)
+    print(f"wrote {len(dataset)} trajectories to {args.out}")
+    return 0
+
+
+def _load(args: argparse.Namespace, representation: str) -> tuple:
+    graph = load_network(args.network)
+    dataset = TrajectoryDataset.load(graph, args.trips)
+    if representation == "edge":
+        edge_ds = TrajectoryDataset(graph, "edge")
+        for t in dataset:
+            edge_ds.add(t)
+        dataset = edge_ds
+    return graph, dataset
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    _, dataset = _load(args, "vertex")
+    print(json.dumps(dataset.statistics(), indent=2))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph, dataset = _load(args, args.representation)
+    costs = _build_cost_model(args, graph)
+    if costs.representation != dataset.representation:
+        raise SystemExit(
+            f"{args.function} needs --representation {costs.representation}"
+        )
+    engine = SubtrajectorySearch(dataset, costs)
+    query = _parse_symbols(args.query)
+    interval = None
+    if args.time_from is not None or args.time_to is not None:
+        if args.time_from is None or args.time_to is None:
+            raise SystemExit("--time-from and --time-to must be given together")
+        interval = TimeInterval(args.time_from, args.time_to)
+    result = engine.query(
+        query,
+        tau=args.tau,
+        tau_ratio=args.tau_ratio if args.tau is None else None,
+        time_interval=interval,
+    )
+    out = {
+        "tau": result.tau,
+        "candidates": result.num_candidates,
+        "seconds": result.total_seconds,
+        "matches": [
+            {
+                "trajectory": m.trajectory_id,
+                "start": m.start,
+                "end": m.end,
+                "distance": m.distance,
+            }
+            for m in result.matches[: args.limit]
+        ],
+        "total_matches": len(result.matches),
+    }
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def _cmd_travel_time(args: argparse.Namespace) -> int:
+    graph, dataset = _load(args, args.representation)
+    costs = _build_cost_model(args, graph)
+    engine = SubtrajectorySearch(dataset, costs)
+    estimator = TravelTimeEstimator(dataset, engine=engine)
+    query = _parse_symbols(args.query)
+    truths = estimator.ground_truths(query)
+    estimate = estimator.estimate(query, tau_ratio=args.tau_ratio)
+    print(
+        json.dumps(
+            {
+                "exact_occurrences": len(truths),
+                "exact_mean": sum(truths) / len(truths) if truths else None,
+                "estimate": None if estimate != estimate else estimate,
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.report import render_markdown
+
+    results_dir = Path(args.results)
+    if not results_dir.is_dir():
+        raise SystemExit(f"no such results directory: {results_dir}")
+    print(render_markdown(results_dir))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Subtrajectory similarity search in road networks under WED",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate-network", help="synthesize a road network")
+    p.add_argument("--style", default="grid", choices=["grid", "radial", "random"])
+    p.add_argument("--rows", type=int, default=12)
+    p.add_argument("--cols", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate_network)
+
+    p = sub.add_parser("generate-trips", help="synthesize trajectories")
+    p.add_argument("--network", required=True)
+    p.add_argument("--count", type=int, default=500)
+    p.add_argument("--min-length", type=int, default=8)
+    p.add_argument("--max-length", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate_trips)
+
+    p = sub.add_parser("stats", help="dataset statistics")
+    p.add_argument("--network", required=True)
+    p.add_argument("--trips", required=True)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("query", help="run one similarity query")
+    p.add_argument("--network", required=True)
+    p.add_argument("--trips", required=True)
+    p.add_argument("--query", required=True, help="symbols, e.g. '3,4,5'")
+    p.add_argument("--tau", type=float, default=None)
+    p.add_argument("--tau-ratio", type=float, default=0.1)
+    p.add_argument("--time-from", type=float, default=None)
+    p.add_argument("--time-to", type=float, default=None)
+    p.add_argument("--limit", type=int, default=20, help="max matches printed")
+    _add_cost_options(p)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("travel-time", help="estimate travel time of a path")
+    p.add_argument("--network", required=True)
+    p.add_argument("--trips", required=True)
+    p.add_argument("--query", required=True)
+    p.add_argument("--tau-ratio", type=float, default=0.1)
+    _add_cost_options(p)
+    p.set_defaults(func=_cmd_travel_time)
+
+    p = sub.add_parser(
+        "report", help="render recorded benchmark results as markdown"
+    )
+    p.add_argument("--results", default="results", help="results directory")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

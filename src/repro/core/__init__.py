@@ -1,0 +1,39 @@
+"""The paper's core contribution: subsequence filtering + bidirectional-trie
+verification for subtrajectory similarity search under WED.
+
+Public entry point: :class:`~repro.core.engine.SubtrajectorySearch`.
+"""
+
+from repro.core.engine import QueryResult, SubtrajectorySearch
+from repro.core.eta_tuning import tune_eta
+from repro.core.filtering import QueryElement, query_profile, tau_from_ratio
+from repro.core.invindex import InvertedIndex
+from repro.core.mincand import (
+    mincand_all,
+    mincand_exact,
+    mincand_greedy,
+    mincand_prefix,
+)
+from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.core.results import Match, MatchSet
+from repro.core.temporal import TimeInterval
+from repro.core.topk import topk_search
+
+__all__ = [
+    "InvertedIndex",
+    "Match",
+    "MatchSet",
+    "PartitionedSubtrajectorySearch",
+    "QueryElement",
+    "QueryResult",
+    "SubtrajectorySearch",
+    "TimeInterval",
+    "mincand_all",
+    "mincand_exact",
+    "mincand_greedy",
+    "mincand_prefix",
+    "query_profile",
+    "tau_from_ratio",
+    "topk_search",
+    "tune_eta",
+]

@@ -1,0 +1,378 @@
+"""The subtrajectory similarity search engine (Algorithm 2).
+
+:class:`SubtrajectorySearch` indexes a :class:`TrajectoryDataset` once and
+answers queries ``(Q, wed, tau)`` exactly:
+
+1. *filter* — profile the query (``B(q)``, ``c(q)``, ``N_q``), pick a
+   tau-subsequence with the configured selector (greedy 2-approximation by
+   default — Algorithm 1), and collect candidates ``(id, j, iq)`` from the
+   postings lists of all substitution neighbors;
+2. *verify* — run bidirectional local verification with trie caching
+   (Algorithms 3–6), or per-trajectory Smith–Waterman when configured as
+   the OSF-SW ablation.
+
+The result carries per-stage wall-clock timings (Table 4), the candidate
+count (Fig. 11) and the verification counters (Table 5), so the benchmark
+harness reads everything from one object.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Literal, Optional, Sequence
+
+from repro.core.filtering import QueryElement, query_profile, tau_from_ratio
+from repro.core.invindex import InvertedIndex
+from repro.core.mincand import (
+    mincand_all,
+    mincand_exact,
+    mincand_greedy,
+    mincand_prefix,
+)
+from repro.core.results import Match, MatchSet
+from repro.core.temporal import (
+    TemporalMode,
+    TimeInterval,
+    filter_candidates,
+    match_satisfies,
+)
+from repro.core.verification import Candidate, VerificationStats, Verifier
+from repro.distance.smith_waterman import all_matches
+from repro.exceptions import QueryError
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["QueryResult", "SubtrajectorySearch"]
+
+logger = logging.getLogger(__name__)
+
+Selector = Literal["greedy", "exact", "prefix", "all"]
+VerificationMode = Literal["trie", "local", "sw"]
+
+_SELECTORS: Dict[str, Callable] = {
+    "greedy": mincand_greedy,
+    "exact": mincand_exact,
+    "prefix": mincand_prefix,
+    "all": mincand_all,
+}
+
+
+@dataclass(slots=True)
+class QueryResult:
+    """Answer plus instrumentation for one query."""
+
+    matches: List[Match]
+    tau: float
+    subsequence: List[QueryElement]
+    num_candidates: int
+    mincand_seconds: float
+    lookup_seconds: float
+    verify_seconds: float
+    verification: VerificationStats
+    used_fallback: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end query latency across the three stages."""
+        return self.mincand_seconds + self.lookup_seconds + self.verify_seconds
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+
+class SubtrajectorySearch:
+    """Exact subtrajectory similarity search under any WED cost model.
+
+    Parameters
+    ----------
+    dataset:
+        Trajectories to index; its representation (vertex/edge) must match
+        the cost model's.
+    costs:
+        Any :class:`~repro.distance.costs.CostModel`.  Switching similarity
+        functions needs no algorithmic changes — the paper's headline
+        property.
+    selector:
+        tau-subsequence strategy: ``"greedy"`` (Algorithm 1, default),
+        ``"exact"`` (brute force), ``"prefix"`` (DISON-style), ``"all"``
+        (Torch-style).
+    verification:
+        ``"trie"`` = bidirectional tries (OSF-BT), ``"local"`` = local
+        verification without caching, ``"sw"`` = per-trajectory
+        Smith–Waterman oracle (OSF-SW).
+    early_termination:
+        Apply the Eq. 11 lower-bound cutoff during local verification.
+    sort_by_departure:
+        Order postings by trajectory departure time to accelerate
+        temporal-constrained queries (§4.3).
+    fallback_to_scan:
+        When no tau-subsequence exists (``c(Q) < tau``, possible for
+        continuous costs with tiny eta — §3.1), scan the whole dataset
+        instead of raising.
+    """
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        costs,
+        *,
+        selector: Selector = "greedy",
+        verification: VerificationMode = "trie",
+        early_termination: bool = True,
+        sort_by_departure: bool = False,
+        fallback_to_scan: bool = True,
+        dp_backend: str = "python",
+    ) -> None:
+        if costs.representation != dataset.representation:
+            raise QueryError(
+                f"cost model works on {costs.representation!r} symbols but the "
+                f"dataset uses {dataset.representation!r} representation"
+            )
+        if selector not in _SELECTORS:
+            raise QueryError(f"unknown selector {selector!r}")
+        if verification not in ("trie", "local", "sw"):
+            raise QueryError(f"unknown verification mode {verification!r}")
+        if dp_backend not in ("python", "numpy"):
+            raise QueryError(f"unknown dp_backend {dp_backend!r}")
+        self._dataset = dataset
+        self._costs = costs
+        self._selector = _SELECTORS[selector]
+        self._verification: VerificationMode = verification
+        self._early_termination = early_termination
+        self._fallback = fallback_to_scan
+        self._dp_backend = dp_backend
+        self.index = InvertedIndex(dataset, sort_by_departure=sort_by_departure)
+
+    # -- public API --------------------------------------------------------
+
+    def add_trajectory(self, trajectory, *, validate: bool = False) -> int:
+        """Append one trajectory to the dataset and index it online (§4.1:
+        postings lists grow by appending records).
+
+        Returns the new trajectory id.  Not available on departure-sorted
+        indexes, which are built once over a closed dataset.
+        """
+        tid = self._dataset.add(trajectory, validate=validate)
+        self.index.append_trajectory(tid)
+        return tid
+
+    def query(
+        self,
+        query: Sequence[int],
+        *,
+        tau: Optional[float] = None,
+        tau_ratio: Optional[float] = None,
+        time_interval: Optional[TimeInterval] = None,
+        temporal_filter: bool = True,
+        temporal_mode: TemporalMode = "overlap",
+    ) -> QueryResult:
+        """All subtrajectories within WED ``tau`` of ``query``
+        (Definition 3: strict inequality).
+
+        Exactly one of ``tau`` / ``tau_ratio`` must be given; ``tau_ratio``
+        uses the paper's parameterization ``tau = ratio * sum c(q)``.
+        """
+        tau = self._resolve_tau(query, tau, tau_ratio)
+        if tau <= 0:
+            return QueryResult([], tau, [], 0, 0.0, 0.0, 0.0, VerificationStats())
+        self._check_assumption(query, tau)
+
+        # Stage 1: MinCand — choose the tau-subsequence.
+        t0 = time.perf_counter()
+        profile = query_profile(query, self._costs, self.index)
+        try:
+            subsequence = self._selector(profile, tau)
+        except QueryError:
+            if not self._fallback:
+                raise
+            return self._scan_fallback(query, tau, t0, time_interval, temporal_mode)
+        t1 = time.perf_counter()
+
+        # Stage 2: index lookup — gather candidates.  Sorted-postings
+        # pruning is part of the TF strategy (§4.3), so the no-TF ablation
+        # must not benefit from it.
+        candidates = self._collect_candidates(
+            subsequence, time_interval if temporal_filter else None
+        )
+        if time_interval is not None and temporal_filter:
+            candidates = filter_candidates(self._dataset, candidates, time_interval)
+        t2 = time.perf_counter()
+
+        # Stage 3: verification.
+        matches = MatchSet()
+        stats = VerificationStats()
+        if self._verification == "sw":
+            stats = self._verify_sw(candidates, query, tau, matches)
+        else:
+            verifier = Verifier(
+                self._dataset.symbols,
+                query,
+                self._costs,
+                tau,
+                use_trie=self._verification == "trie",
+                early_termination=self._early_termination,
+                dp_backend=self._dp_backend,
+            )
+            verifier.verify_all(candidates, matches)
+            stats = verifier.stats
+        t3 = time.perf_counter()
+
+        result = matches.to_list()
+        if time_interval is not None:
+            result = [
+                m
+                for m in result
+                if match_satisfies(self._dataset, m, time_interval, temporal_mode)
+            ]
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "query |Q|=%d tau=%.4g: |Q'|=%d, %d candidates, %d matches "
+                "(mincand %.2fms, lookup %.2fms, verify %.2fms)",
+                len(query),
+                tau,
+                len(subsequence),
+                len(candidates),
+                len(result),
+                (t1 - t0) * 1e3,
+                (t2 - t1) * 1e3,
+                (t3 - t2) * 1e3,
+            )
+        return QueryResult(
+            matches=result,
+            tau=tau,
+            subsequence=subsequence,
+            num_candidates=len(candidates),
+            mincand_seconds=t1 - t0,
+            lookup_seconds=t2 - t1,
+            verify_seconds=t3 - t2,
+            verification=stats,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SubtrajectorySearch({len(self._dataset)} trajectories, "
+            f"costs={type(self._costs).__name__}, "
+            f"verification={self._verification!r})"
+        )
+
+    def candidates(
+        self, query: Sequence[int], *, tau: Optional[float] = None,
+        tau_ratio: Optional[float] = None,
+    ) -> List[Candidate]:
+        """The candidate set alone (filter-power experiments, Fig. 11)."""
+        tau = self._resolve_tau(query, tau, tau_ratio)
+        profile = query_profile(query, self._costs, self.index)
+        subsequence = self._selector(profile, tau)
+        return self._collect_candidates(subsequence, None)
+
+    # -- internals ------------------------------------------------------------
+
+    def _resolve_tau(
+        self,
+        query: Sequence[int],
+        tau: Optional[float],
+        tau_ratio: Optional[float],
+    ) -> float:
+        if len(query) == 0:
+            raise QueryError("empty query")
+        if (tau is None) == (tau_ratio is None):
+            raise QueryError("exactly one of tau / tau_ratio must be given")
+        if tau_ratio is not None:
+            return tau_from_ratio(query, self._costs, tau_ratio)
+        assert tau is not None
+        return tau
+
+    def _check_assumption(self, query: Sequence[int], tau: float) -> None:
+        # §2.3: sum of insertion costs must reach tau, otherwise the empty
+        # subtrajectory "matches" and the problem is degenerate.
+        total_ins = sum(self._costs.ins(q) for q in query)
+        if total_ins < tau:
+            raise QueryError(
+                f"degenerate query: sum of insertion costs {total_ins:.6g} < "
+                f"tau={tau:.6g} (the empty string would match)"
+            )
+
+    def _collect_candidates(
+        self,
+        subsequence: Sequence[QueryElement],
+        interval: Optional[TimeInterval],
+    ) -> List[Candidate]:
+        out: List[Candidate] = []
+        index = self.index
+        use_sorted = interval is not None and getattr(index, "_sorted", False)
+        for element in subsequence:
+            iq = element.position
+            for b in element.neighborhood:
+                postings = (
+                    index.postings_departing_before(b, interval.end)  # type: ignore[union-attr]
+                    if use_sorted
+                    else index.postings(b)
+                )
+                for tid, j in postings:
+                    out.append((tid, j, iq))
+        return out
+
+    def _verify_sw(
+        self,
+        candidates: Sequence[Candidate],
+        query: Sequence[int],
+        tau: float,
+        matches: MatchSet,
+    ) -> VerificationStats:
+        """OSF-SW: run the Smith–Waterman oracle once per candidate
+        trajectory (finds the same matches, without locality or caching)."""
+        stats = VerificationStats()
+        seen: set = set()
+        for tid, _, _ in candidates:
+            if tid in seen:
+                continue
+            seen.add(tid)
+            data = self._dataset.symbols(tid)
+            stats.candidates += 1
+            stats.sw_columns += len(data)
+            stats.visited_columns += len(data)
+            stats.computed_columns += len(data)
+            for s, t, d in all_matches(data, query, self._costs, tau):
+                matches.add(tid, s, t, d)
+                stats.emitted += 1
+        return stats
+
+    def _scan_fallback(
+        self,
+        query: Sequence[int],
+        tau: float,
+        t0: float,
+        interval: Optional[TimeInterval],
+        temporal_mode: TemporalMode,
+    ) -> QueryResult:
+        """Exact full scan used when no tau-subsequence exists."""
+        t1 = time.perf_counter()
+        matches = MatchSet()
+        stats = VerificationStats()
+        for tid in range(len(self._dataset)):
+            data = self._dataset.symbols(tid)
+            stats.candidates += 1
+            stats.sw_columns += len(data)
+            for s, t, d in all_matches(data, query, self._costs, tau):
+                matches.add(tid, s, t, d)
+                stats.emitted += 1
+        t2 = time.perf_counter()
+        result = matches.to_list()
+        if interval is not None:
+            result = [
+                m
+                for m in result
+                if match_satisfies(self._dataset, m, interval, temporal_mode)
+            ]
+        return QueryResult(
+            matches=result,
+            tau=tau,
+            subsequence=[],
+            num_candidates=len(self._dataset),
+            mincand_seconds=t1 - t0,
+            lookup_seconds=0.0,
+            verify_seconds=t2 - t1,
+            verification=stats,
+            used_fallback=True,
+        )

@@ -1,0 +1,96 @@
+"""Per-query eta tuning for continuous cost functions (§3.1 future work).
+
+For ERP/NetERP the neighborhood threshold ``eta`` trades filter tightness
+against candidate volume: growing ``eta`` raises every ``c(q)`` (tighter
+lower bound, shorter tau-subsequences) but inflates ``B(q)`` (more
+postings per chosen element).  The paper fixes one global ``eta`` per
+dataset (App. D) and leaves per-query optimization as future work; this
+module implements it:
+
+1. candidate ``eta`` grid: geometric steps around ``tau / |Q|`` — the
+   value that *guarantees* a tau-subsequence exists (every ``c(q) >= eta``);
+2. for each ``eta``, profile the query against the index and run MinCand;
+3. pick the ``eta`` whose optimized subsequence predicts the fewest
+   candidates (the MinCand objective is exactly the candidate count, §3.2).
+
+The search costs one MinCand run (``O(|Q|^2)``) plus ``|Q|`` neighborhood
+queries per grid point — negligible next to verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.filtering import query_profile
+from repro.core.invindex import InvertedIndex
+from repro.core.mincand import mincand_greedy
+from repro.distance.costs import CostModel
+from repro.exceptions import QueryError
+
+__all__ = ["EtaChoice", "tune_eta"]
+
+
+@dataclass(frozen=True, slots=True)
+class EtaChoice:
+    """One evaluated grid point."""
+
+    eta: float
+    feasible: bool
+    predicted_candidates: Optional[int]
+
+
+def tune_eta(
+    cost_factory: Callable[[float], CostModel],
+    query: Sequence[int],
+    tau: float,
+    index: InvertedIndex,
+    *,
+    grid: Optional[Sequence[float]] = None,
+    grid_points: int = 6,
+    grid_span: float = 8.0,
+) -> tuple[float, List[EtaChoice]]:
+    """Pick the ``eta`` minimizing the predicted candidate count.
+
+    ``cost_factory(eta)`` must build the cost model for a trial ``eta``
+    (e.g. ``lambda eta: ERPCost(graph, eta=eta)``).  Returns the winning
+    ``eta`` plus the full evaluation trace.  When ``grid`` is omitted, a
+    geometric grid of ``grid_points`` values spanning ``grid_span`` around
+    the feasibility guarantee ``tau / |Q|`` is used.
+
+    Raises :class:`QueryError` when no grid point admits a
+    tau-subsequence (should not happen when the default grid is used,
+    since ``eta = tau/|Q|`` guarantees feasibility — §3.1).
+    """
+    if len(query) == 0:
+        raise QueryError("empty query")
+    if tau <= 0:
+        raise QueryError("tau must be positive")
+    if grid is None:
+        anchor = tau / len(query)
+        lo = anchor / grid_span
+        ratio = grid_span ** (2.0 / max(1, grid_points - 1))
+        grid = [lo * (ratio**i) for i in range(grid_points)]
+
+    trace: List[EtaChoice] = []
+    best_eta: Optional[float] = None
+    best_obj: Optional[int] = None
+    for eta in grid:
+        costs = cost_factory(eta)
+        profile = query_profile(query, costs, index)
+        try:
+            chosen = mincand_greedy(profile, tau)
+        except QueryError:
+            trace.append(EtaChoice(eta, False, None))
+            continue
+        objective = sum(e.candidate_count for e in chosen)
+        trace.append(EtaChoice(eta, True, objective))
+        if best_obj is None or objective < best_obj:
+            best_obj = objective
+            best_eta = eta
+    if best_eta is None:
+        raise QueryError(
+            "no eta in the grid admits a tau-subsequence; widen the grid "
+            "(eta = tau/|Q| always does — check the cost factory)"
+        )
+    return best_eta, trace

@@ -1,0 +1,113 @@
+"""Inverted index over trajectory symbols (§4.1).
+
+One postings list per symbol; a posting is ``(trajectory_id, position)``.
+Postings can optionally be ordered by trajectory departure time so that
+temporal constraints can prune candidates with a binary search instead of a
+scan (§4.3).
+"""
+
+from __future__ import annotations
+
+import bisect
+import sys
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["InvertedIndex"]
+
+Posting = Tuple[int, int]  # (trajectory id, position)
+
+_EMPTY: Tuple[Posting, ...] = ()
+
+
+class InvertedIndex:
+    """Postings lists ``L_q`` for every symbol occurring in the dataset.
+
+    ``sort_by_departure=True`` orders each list by the owning trajectory's
+    first timestamp and keeps a parallel key array for binary search —
+    the paper's optimization for interval-constrained queries.
+    """
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        *,
+        sort_by_departure: bool = False,
+    ) -> None:
+        t0 = time.perf_counter()
+        self._dataset = dataset
+        self._sorted = sort_by_departure
+        postings: Dict[int, List[Posting]] = {}
+        for tid in range(len(dataset)):
+            for pos, sym in enumerate(dataset.symbols(tid)):
+                postings.setdefault(sym, []).append((tid, pos))
+        self._departures: Dict[int, List[float]] = {}
+        if sort_by_departure:
+            for sym, plist in postings.items():
+                plist.sort(key=lambda p: dataset[p[0]].start_time)
+                self._departures[sym] = [dataset[p[0]].start_time for p in plist]
+        self._postings: Dict[int, Tuple[Posting, ...]] = {
+            sym: tuple(plist) for sym, plist in postings.items()
+        }
+        self.build_seconds = time.perf_counter() - t0
+
+    # -- incremental updates (§4.1: append a record) -----------------------
+
+    def append_trajectory(self, tid: int) -> None:
+        """Index one trajectory that was appended to the dataset.
+
+        Only valid for unsorted indexes — the sorted variant is built once
+        over a closed dataset (it orders by departure time).
+        """
+        if self._sorted:
+            raise ValueError("cannot append to a departure-sorted index")
+        for pos, sym in enumerate(self._dataset.symbols(tid)):
+            self._postings[sym] = self._postings.get(sym, _EMPTY) + ((tid, pos),)
+
+    # -- lookups ------------------------------------------------------------
+
+    def postings(self, symbol: int) -> Sequence[Posting]:
+        """``L_q``: every ``(id, position)`` where ``symbol`` occurs."""
+        return self._postings.get(symbol, _EMPTY)
+
+    def frequency(self, symbol: int) -> int:
+        """``n(q)``: total occurrence count of ``symbol`` in the dataset."""
+        return len(self._postings.get(symbol, _EMPTY))
+
+    def postings_departing_before(self, symbol: int, latest: float) -> Sequence[Posting]:
+        """Postings of trajectories departing at or before ``latest``.
+
+        Requires ``sort_by_departure``; a trajectory departing after the end
+        of the query interval cannot overlap it, so a binary search bounds
+        the scan (§4.3).
+        """
+        if not self._sorted:
+            raise ValueError("index not sorted by departure time")
+        plist = self._postings.get(symbol, _EMPTY)
+        if not plist:
+            return _EMPTY
+        hi = bisect.bisect_right(self._departures[symbol], latest)
+        return plist[:hi]
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def num_symbols(self) -> int:
+        """Distinct symbols with non-empty postings."""
+        return len(self._postings)
+
+    @property
+    def num_postings(self) -> int:
+        """Total posting count (== total symbols in the dataset)."""
+        return sum(len(p) for p in self._postings.values())
+
+    def memory_bytes(self) -> int:
+        """Rough memory footprint of the postings (index-size metric for
+        Table 6)."""
+        total = sys.getsizeof(self._postings)
+        for sym, plist in self._postings.items():
+            total += sys.getsizeof(sym) + sys.getsizeof(plist)
+            total += sum(sys.getsizeof(p) for p in plist)
+        return total

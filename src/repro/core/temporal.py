@@ -1,0 +1,93 @@
+"""Temporal constraints on matches (§2.3, §4.3).
+
+A temporal constraint restricts the timestamps of the *matched positions*:
+for a match ``P[s..t]`` with timestamps ``[T_s, T_t]`` and a query interval
+``I``, the paper considers containment (``[T_s, T_t] ⊆ I``) and overlap
+(``[T_s, T_t] ∩ I ≠ ∅``).
+
+Two evaluation strategies (§4.3):
+
+- *postprocessing* (no-TF): solve the similarity search, then filter;
+- *candidate filtering* (TF): before verification, drop candidates whose
+  whole-trajectory interval ``[T_1, T_n]`` cannot satisfy the constraint —
+  sound because the matched interval is contained in the trajectory
+  interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.core.results import Match
+from repro.core.verification import Candidate
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["TemporalMode", "TimeInterval", "filter_candidates", "match_satisfies"]
+
+TemporalMode = Literal["overlap", "within"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimeInterval:
+    """A closed interval ``[start, end]`` on the timestamp axis."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"empty interval [{self.start}, {self.end}]")
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """Closed-interval intersection test."""
+        return self.start <= other.end and other.start <= self.end
+
+    def contains(self, other: "TimeInterval") -> bool:
+        """True iff ``other`` lies entirely inside this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+
+def match_satisfies(
+    dataset: TrajectoryDataset,
+    match: Match,
+    interval: TimeInterval,
+    mode: TemporalMode = "overlap",
+) -> bool:
+    """Whether the matched subtrajectory's time span satisfies the
+    constraint.  For edge representation, symbol position ``k`` spans
+    vertices ``k .. k+1``, so the time span widens by one vertex."""
+    traj = dataset[match.trajectory_id]
+    s, t = match.start, match.end
+    if dataset.representation == "edge":
+        t = t + 1
+    span = TimeInterval(traj.timestamps[s], traj.timestamps[t])  # type: ignore[index]
+    if mode == "overlap":
+        return interval.overlaps(span)
+    return interval.contains(span)
+
+
+def filter_candidates(
+    dataset: TrajectoryDataset,
+    candidates: Sequence[Candidate],
+    interval: TimeInterval,
+) -> list[Candidate]:
+    """TF pruning: keep candidates whose whole-trajectory interval overlaps
+    the query interval.
+
+    Sound for both modes: the matched interval ``[T_s, T_t]`` lies inside
+    ``[T_1, T_n]``, so if the trajectory interval misses ``I`` entirely,
+    no matched interval can overlap (let alone be contained in) ``I``.
+    """
+    out = []
+    seen: dict[int, bool] = {}
+    for cand in candidates:
+        tid = cand[0]
+        keep = seen.get(tid)
+        if keep is None:
+            t0, t1 = dataset[tid].time_interval()
+            keep = interval.overlaps(TimeInterval(t0, t1))
+            seen[tid] = keep
+        if keep:
+            out.append(cand)
+    return out

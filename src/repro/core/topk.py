@@ -1,0 +1,74 @@
+"""Top-k subtrajectory similarity search.
+
+The paper's effectiveness study (§6.2.1, Table 3) uses a top-k setting
+when thresholded search returns too few results.  This module implements
+top-k on top of the exact threshold engine by *iterative threshold
+doubling*: query with a small ``tau``, and widen until ``k`` distinct
+trajectories respond.  Every intermediate result is exact, so the final
+top-k is exact as well; the degenerate-query bound (``tau`` must stay
+below the query's total insertion cost) caps the expansion, after which a
+Smith–Waterman sweep over the unseen remainder completes the answer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.apps._common import best_match_per_trajectory
+from repro.core.engine import SubtrajectorySearch
+from repro.core.results import Match
+from repro.distance.smith_waterman import best_match
+from repro.exceptions import QueryError
+
+__all__ = ["topk_search"]
+
+
+def topk_search(
+    engine: SubtrajectorySearch,
+    query: Sequence[int],
+    k: int,
+    *,
+    initial_tau_ratio: float = 0.05,
+    growth: float = 2.0,
+) -> List[Match]:
+    """The ``k`` most similar subtrajectories, one per trajectory.
+
+    Returns up to ``k`` matches ordered by ``(distance, trajectory_id)``;
+    fewer when the dataset holds fewer than ``k`` trajectories.  Ties at
+    the k-th distance are broken deterministically by trajectory id.
+    """
+    if k <= 0:
+        raise QueryError("k must be positive")
+    if growth <= 1.0:
+        raise QueryError("growth must exceed 1")
+    costs = engine._costs  # noqa: SLF001 - engine-internal cooperation
+    dataset = engine._dataset  # noqa: SLF001
+    total_ins = sum(costs.ins(q) for q in query)
+    if total_ins <= 0:
+        raise QueryError("query has zero total insertion cost")
+    c_total = sum(costs.filter_cost(q) for q in query)
+    tau = max(min(initial_tau_ratio * c_total, total_ins * 0.5), 1e-9)
+
+    best: dict = {}
+    while True:
+        result = engine.query(query, tau=tau)
+        best = best_match_per_trajectory(result.matches)
+        if len(best) >= k:
+            break
+        next_tau = tau * growth
+        if next_tau >= total_ins:
+            # Threshold expansion exhausted: sweep the trajectories that
+            # still have no match with the O(|P||Q|) best-substring scan.
+            for tid in range(len(dataset)):
+                if tid in best:
+                    continue
+                s, t, d = best_match(dataset.symbols(tid), query, costs)
+                if t >= s:
+                    best[tid] = Match(tid, s, t, d)
+            break
+        tau = next_tau
+
+    ranked = sorted(
+        best.values(), key=lambda m: (m.distance, m.trajectory_id, m.start, m.end)
+    )
+    return ranked[:k]

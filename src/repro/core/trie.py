@@ -1,0 +1,64 @@
+"""DP-column tries for verification caching (§5.2).
+
+Each trie caches the dynamic-programming columns produced while verifying
+candidates in one direction (forward or backward) for one anchor position
+``iq`` of the query.  A path from the root spells a sequence of data
+symbols; the node at its end stores the DP column ``A(x)`` for that data
+prefix against the fixed query part ``Q^d``.  Because trajectories in a
+road network share prefixes (out-degree is tiny), later candidates walk
+cached nodes instead of recomputing columns — the cache-miss rate is the
+CMR metric of §6.4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["TrieNode", "VerificationTrie"]
+
+
+class TrieNode:
+    """One cached DP column.
+
+    ``column`` is ``A(x)`` of Algorithm 5 (length ``|Q^d| + 1``);
+    ``column_min`` caches ``min(column)``, the early-termination lower bound
+    ``LB`` of Eq. 11.
+    """
+
+    __slots__ = ("children", "column", "column_min")
+
+    def __init__(self, column: Sequence[float]) -> None:
+        self.children: Dict[int, "TrieNode"] = {}
+        self.column: Sequence[float] = column
+        self.column_min: float = min(column)
+
+    def find_child(self, symbol: int) -> Optional["TrieNode"]:
+        """The cached child for ``symbol``, or None (a cache miss)."""
+        return self.children.get(symbol)
+
+    def create_child(self, symbol: int, column: Sequence[float]) -> "TrieNode":
+        """Cache ``column`` as the child for ``symbol`` and return it."""
+        child = TrieNode(column)
+        self.children[symbol] = child
+        return child
+
+
+class VerificationTrie:
+    """A trie rooted at the empty data prefix.
+
+    The root column is ``wed(eps, Q^d_{1:j})`` for all ``j`` — the
+    cumulative insertion costs of the query part.
+    """
+
+    def __init__(self, root_column: Sequence[float]) -> None:
+        self.root = TrieNode(root_column)
+
+    def node_count(self) -> int:
+        """Number of cached columns (root included) — a cache-size metric."""
+        count = 0
+        stack: List[TrieNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count

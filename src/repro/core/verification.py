@@ -1,0 +1,329 @@
+"""Candidate verification (§5, Algorithms 3–6).
+
+Given a candidate ``(id, j, iq)`` — trajectory ``id`` contains, at position
+``j``, a substitution neighbor of the query symbol at position ``iq`` — we
+must report every subtrajectory ``P[s..t]`` with ``s <= j <= t`` and
+``wed(P[s..t], Q) < tau``.  Lemma 1 licenses the decomposition
+
+    wed(P[s..t], Q) = wed(P[s..j-1], Q[0..iq-1])   (backward part)
+                    + sub(P[j], Q[iq])             (anchor)
+                    + wed(P[j+1..t], Q[iq+1..])    (forward part)
+
+for at least one candidate of every true match, so verifying all candidates
+bidirectionally finds all matches; for the remaining candidates the sum is
+an upper bound on the true WED, hence no false positives either.
+
+Contract: Lemma 1 presupposes that the candidates come from a valid
+tau-subsequence (``c(Q') >= tau``).  Only then is the minimum decomposition
+over anchors *equal* to the true WED for every match; with an arbitrary
+candidate set the reported distances are sound upper bounds.  The engine
+never verifies outside this contract — when no tau-subsequence exists it
+falls back to an exact scan.
+
+Three optimizations, individually switchable for ablation:
+
+- *local verification*: DP runs outward from ``j`` only while the running
+  prefix lower bound (Eq. 11 — the column minimum) stays below the budget;
+- *bidirectional tries*: DP columns are cached per (direction, ``iq``)
+  across candidates sharing data prefixes (§5.2);
+- the anchor tightens the budget to ``tau' = tau - sub(Q[iq], P[j])``.
+
+The :class:`VerificationStats` counters implement the §6.4 metrics: UPR
+(columns surviving early termination vs. a full Smith–Waterman pass) and
+CMR (columns actually computed vs. columns visited).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.results import MatchSet
+from repro.core.trie import TrieNode, VerificationTrie
+from repro.distance.costs import CostModel
+from repro.exceptions import QueryError
+
+__all__ = ["Candidate", "VerificationStats", "Verifier", "step_dp_numpy"]
+
+
+def step_dp_numpy(
+    sub_row: np.ndarray,
+    delete_cost: float,
+    ins_prefix: np.ndarray,
+    prev: np.ndarray,
+) -> np.ndarray:
+    """Vectorized StepDP (Algorithm 6) without the sequential insert chain.
+
+    The classic recurrence ``B[j] = min(C[j], B[j-1] + ins[j])`` unrolls to
+    ``B[j] = min over i <= j of (C[i] + ins_prefix[j] - ins_prefix[i])``
+    where ``C[j] = min(prev[j-1] + sub[j-1], prev[j] + del)`` (``C[0] =
+    prev[0] + del``), which numpy evaluates with one ``minimum.accumulate``
+    pass — exact, no approximation.
+    """
+    c = prev + delete_cost
+    np.minimum(c[1:], prev[:-1] + sub_row, out=c[1:])
+    return ins_prefix + np.minimum.accumulate(c - ins_prefix)
+
+Candidate = Tuple[int, int, int]  # (trajectory id, position j, query position iq)
+
+
+@dataclass(slots=True)
+class VerificationStats:
+    """Counters backing the UPR / CMR / TUR metrics of §6.4."""
+
+    candidates: int = 0
+    #: columns a full SW pass would compute: |P| per candidate (denominator of UPR)
+    sw_columns: int = 0
+    #: columns visited before early termination fired (numerator of UPR)
+    visited_columns: int = 0
+    #: columns actually computed by StepDP, i.e. trie cache misses
+    computed_columns: int = 0
+    #: matches emitted (pre-deduplication)
+    emitted: int = 0
+
+    @property
+    def unpruned_position_rate(self) -> float:
+        """UPR: fraction of SW's DP columns that local verification visits."""
+        return self.visited_columns / self.sw_columns if self.sw_columns else 0.0
+
+    @property
+    def cache_miss_rate(self) -> float:
+        """CMR: fraction of visited columns that needed a StepDP call."""
+        return (
+            self.computed_columns / self.visited_columns
+            if self.visited_columns
+            else 0.0
+        )
+
+    @property
+    def total_unpruned_rate(self) -> float:
+        """TUR = UPR x CMR: StepDP calls relative to a full SW pass."""
+        return self.computed_columns / self.sw_columns if self.sw_columns else 0.0
+
+
+class _DirectionContext:
+    """Precomputed per-direction query data shared by all candidates with
+    the same anchor position ``iq``."""
+
+    __slots__ = ("query_part", "ins_row", "ins_prefix", "trie")
+
+    def __init__(
+        self, query_part: Sequence[int], costs: CostModel, numpy_backend: bool
+    ) -> None:
+        self.query_part = tuple(query_part)
+        self.ins_row = [costs.ins(q) for q in self.query_part]
+        root_column: Sequence[float] = [0.0]
+        for c in self.ins_row:
+            root_column.append(root_column[-1] + c)  # type: ignore[attr-defined]
+        self.ins_prefix: Optional[np.ndarray] = None
+        if numpy_backend:
+            self.ins_prefix = np.asarray(root_column, dtype=np.float64)
+            root_column = self.ins_prefix
+        self.trie = VerificationTrie(root_column)
+
+
+class Verifier:
+    """Verifies candidates for one query, accumulating matches and stats.
+
+    Parameters
+    ----------
+    symbols_of:
+        Callable mapping a trajectory id to its symbol string (the dataset's
+        ``symbols`` method).
+    query / costs / tau:
+        The query string, cost model, and similarity threshold.
+    use_trie:
+        Cache DP columns in bidirectional tries (§5.2).  Disabling recomputes
+        every column (OSF-BT -> OSF with plain local verification).
+    early_termination:
+        Stop extending a direction once the column minimum reaches the
+        budget (§5.1).  Disabling scans to the trajectory ends.
+    """
+
+    def __init__(
+        self,
+        symbols_of,
+        query: Sequence[int],
+        costs: CostModel,
+        tau: float,
+        *,
+        use_trie: bool = True,
+        early_termination: bool = True,
+        dp_backend: str = "python",
+    ) -> None:
+        if dp_backend not in ("python", "numpy"):
+            raise QueryError(f"unknown dp_backend {dp_backend!r}")
+        self._symbols_of = symbols_of
+        self._query = tuple(query)
+        self._costs = costs
+        self._tau = tau
+        self._use_trie = use_trie
+        self._early_termination = early_termination
+        self._numpy = dp_backend == "numpy"
+        # One context per (query position, direction); built lazily since
+        # only tau-subsequence positions are anchors (2|Q'| tries, §5.2).
+        self._contexts: Dict[Tuple[int, str], _DirectionContext] = {}
+        self.stats = VerificationStats()
+
+    # -- Algorithm 3: drive all candidates ---------------------------------
+
+    def verify_all(self, candidates: Sequence[Candidate], matches: MatchSet) -> None:
+        """Algorithm 3: verify every candidate into ``matches``."""
+        for cand in candidates:
+            self.verify_candidate(cand, matches)
+
+    # -- Algorithm 4 --------------------------------------------------------
+
+    def verify_candidate(self, candidate: Candidate, matches: MatchSet) -> None:
+        """Emit every match of Definition 3 anchored at this candidate."""
+        tid, j, iq = candidate
+        data = self._symbols_of(tid)
+        self.stats.candidates += 1
+        self.stats.sw_columns += len(data)
+        anchor_cost = self._costs.sub(self._query[iq], data[j])
+        budget = self._tau - anchor_cost
+        if budget <= 0:
+            return
+        backward = self._context(iq, "b")
+        forward = self._context(iq, "f")
+        # Backward part: both strings reversed (WED is invariant under
+        # simultaneous reversal because costs are position-independent).
+        eb = self._all_prefix_wed(
+            _Reversed(data, j), backward, budget
+        )
+        ef = self._all_prefix_wed(
+            _Suffix(data, j + 1), forward, budget
+        )
+        # Combine: match P[j-kb .. j+kf] for every pair under budget.
+        for kb, cost_b in enumerate(eb):
+            remaining = budget - cost_b
+            if remaining <= 0:
+                continue
+            for kf, cost_f in enumerate(ef):
+                if cost_f < remaining:
+                    matches.add(tid, j - kb, j + kf, anchor_cost + cost_b + cost_f)
+                    self.stats.emitted += 1
+
+    def _context(self, iq: int, direction: str) -> _DirectionContext:
+        key = (iq, direction)
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            if direction == "b":
+                part = tuple(reversed(self._query[:iq]))
+            else:
+                part = self._query[iq + 1 :]
+            ctx = _DirectionContext(part, self._costs, self._numpy)
+            self._contexts[key] = ctx
+        return ctx
+
+    # -- Algorithm 5: AllPrefixWED ------------------------------------------
+
+    def _all_prefix_wed(
+        self,
+        data_part: Sequence[int],
+        ctx: _DirectionContext,
+        budget: float,
+    ) -> List[float]:
+        """``E[k] = wed(data_part[:k], ctx.query_part)`` for growing ``k``.
+
+        Stops early once the column minimum reaches ``budget`` (the stopped
+        column's E value could only be >= budget, so nothing is lost).
+        ``E[0]`` is the cost of inserting the whole query part.
+        """
+        node: TrieNode = ctx.trie.root
+        query_part = ctx.query_part
+        out: List[float] = [node.column[-1]]
+        if self._early_termination and node.column_min >= budget:
+            return out
+        costs = self._costs
+        ins_row = ctx.ins_row
+        nq = len(query_part)
+        for k in range(len(data_part)):
+            symbol = data_part[k]
+            self.stats.visited_columns += 1
+            child = node.find_child(symbol) if self._use_trie else None
+            if child is None:
+                if self._numpy:
+                    column: Sequence[float] = step_dp_numpy(
+                        np.asarray(costs.sub_row(symbol, query_part)),
+                        costs.delete(symbol),
+                        ctx.ins_prefix,  # type: ignore[arg-type]
+                        node.column,  # type: ignore[arg-type]
+                    )
+                else:
+                    column = self._step_dp(
+                        symbol, query_part, ins_row, node.column, nq
+                    )
+                self.stats.computed_columns += 1
+                if self._use_trie:
+                    child = node.create_child(symbol, column)
+                else:
+                    child = TrieNode(column)
+            node = child
+            out.append(node.column[-1])
+            if self._early_termination and node.column_min >= budget:
+                break
+        return out
+
+    # -- Algorithm 6: StepDP -------------------------------------------------
+
+    def _step_dp(
+        self,
+        symbol: int,
+        query_part: Sequence[int],
+        ins_row: Sequence[float],
+        prev: Sequence[float],
+        nq: int,
+    ) -> List[float]:
+        costs = self._costs
+        sub_row = costs.sub_row(symbol, query_part)
+        dele = costs.delete(symbol)
+        column = [prev[0] + dele]
+        for j in range(nq):
+            best = prev[j] + sub_row[j]
+            via_del = prev[j + 1] + dele
+            if via_del < best:
+                best = via_del
+            via_ins = column[j] + ins_row[j]
+            if via_ins < best:
+                best = via_ins
+            column.append(best)
+        return column
+
+    def trie_node_count(self) -> int:
+        """Total cached columns across all live tries."""
+        return sum(ctx.trie.node_count() for ctx in self._contexts.values())
+
+
+class _Reversed:
+    """Lazy reversed view of ``seq[:end]`` (avoids copying long prefixes)."""
+
+    __slots__ = ("_seq", "_end")
+
+    def __init__(self, seq: Sequence[int], end: int) -> None:
+        self._seq = seq
+        self._end = end  # number of elements, reading backwards from end-1
+
+    def __len__(self) -> int:
+        return self._end
+
+    def __getitem__(self, k: int) -> int:
+        return self._seq[self._end - 1 - k]
+
+
+class _Suffix:
+    """Lazy view of ``seq[start:]``."""
+
+    __slots__ = ("_seq", "_start")
+
+    def __init__(self, seq: Sequence[int], start: int) -> None:
+        self._seq = seq
+        self._start = start
+
+    def __len__(self) -> int:
+        return len(self._seq) - self._start
+
+    def __getitem__(self, k: int) -> int:
+        return self._seq[self._start + k]

@@ -1,0 +1,39 @@
+"""Distance layer: weighted edit distance and friends.
+
+- :mod:`repro.distance.costs` — the :class:`CostModel` abstraction (§2.2.1)
+  and the six WED instances from the paper (§2.2.2–2.2.3).
+- :mod:`repro.distance.wed` — dynamic-programming WED computation.
+- :mod:`repro.distance.smith_waterman` — the adapted Smith–Waterman scan
+  (Appendix A) and the exhaustive all-matches oracle.
+- :mod:`repro.distance.alignment` — optimal alignment backtrace.
+- :mod:`repro.distance.nonwed` — DTW / LCSS / LORS / LCRS used by the
+  effectiveness experiments (§6.2); these are *not* WED instances.
+"""
+
+from repro.distance.costs import (
+    CostModel,
+    EDRCost,
+    ERPCost,
+    LevenshteinCost,
+    NetEDRCost,
+    NetERPCost,
+    SURSCost,
+    validate_cost_model,
+)
+from repro.distance.smith_waterman import all_matches, best_match
+from repro.distance.wed import wed, wed_within
+
+__all__ = [
+    "CostModel",
+    "EDRCost",
+    "ERPCost",
+    "LevenshteinCost",
+    "NetEDRCost",
+    "NetERPCost",
+    "SURSCost",
+    "all_matches",
+    "best_match",
+    "validate_cost_model",
+    "wed",
+    "wed_within",
+]

@@ -1,0 +1,231 @@
+"""Similarity functions outside the WED class (§2.2.4, §6.2, App. F).
+
+DTW, LCSS, LORS, and LCRS are used by the paper's *effectiveness*
+experiments (travel-time estimation, route naturalness) as comparison
+points; they are not WED instances, and the paper finds the best-matching
+subtrajectory for them by brute force.  We provide:
+
+- whole-string values: :func:`dtw`, :func:`lcss`, :func:`lors`, :func:`lcrs`;
+- best-subtrajectory searches with free boundaries on the data string:
+  :func:`subsequence_dtw_best`, :func:`lcss_best_match`,
+  :func:`lors_best_match` (the latter two track the matched data span).
+
+LORS here is the weighted longest common subsequence over edge symbols,
+which satisfies the App. F identities with SURS and LCRS:
+
+    SURS(x, y) = w(x) + w(y) - 2 * LORS(x, y)
+    LCRS(x, y) = LORS(x, y) / (w(x) + w(y) - LORS(x, y))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, Tuple
+
+__all__ = [
+    "discrete_frechet",
+    "dtw",
+    "lcrs",
+    "lcss",
+    "lcss_best_match",
+    "lors",
+    "lors_best_match",
+    "subsequence_dtw_best",
+]
+
+DistanceFn = Callable[[int, int], float]
+MatchFn = Callable[[int, int], bool]
+
+
+def dtw(a: Sequence[int], b: Sequence[int], dist: DistanceFn) -> float:
+    """Classic dynamic time warping with per-pair cost ``dist``."""
+    if not a or not b:
+        return math.inf
+    n = len(b)
+    prev = [math.inf] * (n + 1)
+    prev[0] = 0.0
+    for x in a:
+        cur = [math.inf] * (n + 1)
+        for j in range(1, n + 1):
+            c = dist(x, b[j - 1])
+            cur[j] = c + min(prev[j - 1], prev[j], cur[j - 1])
+        prev = cur
+        prev[0] = math.inf  # only the very first row may start for free
+    return prev[n]
+
+
+def subsequence_dtw_best(
+    data: Sequence[int], query: Sequence[int], dist: DistanceFn
+) -> Tuple[int, int, float]:
+    """Best DTW alignment of ``query`` against any subtrajectory of ``data``.
+
+    Free start/end on the data axis (Mueller's subsequence DTW); returns
+    ``(s, t, value)`` with 0-based inclusive data bounds.
+    """
+    if not data or not query:
+        return 0, -1, math.inf
+    nq = len(query)
+    # cost[i][j] over query index i (rows) and data index j (cols).
+    prev = [0.0] * len(data)  # row 0: free start before any query symbol
+    starts = list(range(len(data)))
+    # First query row: each data position may begin a match.
+    cur = [dist(query[0], data[j]) for j in range(len(data))]
+    cur_starts = list(range(len(data)))
+    for j in range(1, len(data)):
+        if cur[j - 1] + dist(query[0], data[j]) < cur[j]:
+            cur[j] = cur[j - 1] + dist(query[0], data[j])
+            cur_starts[j] = cur_starts[j - 1]
+    prev, starts = cur, cur_starts
+    for i in range(1, nq):
+        cur = [math.inf] * len(data)
+        cur_starts = [0] * len(data)
+        for j in range(len(data)):
+            c = dist(query[i], data[j])
+            best = prev[j]  # advance query only
+            best_s = starts[j]
+            if j > 0:
+                if prev[j - 1] < best:
+                    best = prev[j - 1]
+                    best_s = starts[j - 1]
+                if cur[j - 1] < best:
+                    best = cur[j - 1]
+                    best_s = cur_starts[j - 1]
+            cur[j] = c + best
+            cur_starts[j] = best_s
+        prev, starts = cur, cur_starts
+    t = min(range(len(data)), key=lambda j: (prev[j], j - starts[j]))
+    return starts[t], t, prev[t]
+
+
+def discrete_frechet(a: Sequence[int], b: Sequence[int], dist: DistanceFn) -> float:
+    """Discrete Frechet distance (the coupling distance of Eiter & Mannila).
+
+    Like DTW with ``max`` in place of ``sum``: the length of the shortest
+    leash that lets two walkers traverse both sequences monotonically.
+    Listed among the related coordinate-aware functions in §7 (used by the
+    distributed system of Xie et al. [58]); not a WED instance.
+    """
+    if not a or not b:
+        return math.inf
+    n = len(b)
+    prev = [math.inf] * n
+    for i, x in enumerate(a):
+        cur = [math.inf] * n
+        for j in range(n):
+            d = dist(x, b[j])
+            if i == 0 and j == 0:
+                reach = d
+            elif i == 0:
+                reach = max(cur[j - 1], d)
+            elif j == 0:
+                reach = max(prev[j], d)
+            else:
+                reach = max(min(prev[j - 1], prev[j], cur[j - 1]), d)
+            cur[j] = reach
+        prev = cur
+    return prev[n - 1]
+
+
+def lcss(a: Sequence[int], b: Sequence[int], match: MatchFn) -> int:
+    """Longest common subsequence length under a match predicate."""
+    n = len(b)
+    prev = [0] * (n + 1)
+    for x in a:
+        cur = [0] * (n + 1)
+        for j in range(1, n + 1):
+            if match(x, b[j - 1]):
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return prev[n]
+
+
+def _weighted_lcs_with_span(
+    data: Sequence[int],
+    query: Sequence[int],
+    gain: Callable[[int], float],
+    match: MatchFn,
+) -> Tuple[int, int, float]:
+    """Weighted LCS of ``query`` vs ``data`` returning the matched data span.
+
+    ``gain(symbol)`` is the score contributed by matching ``symbol``.
+    Returns ``(s, t, value)``; ``(0, -1, 0.0)`` when nothing matches.  The
+    span is the first/last matched data position of one optimal solution
+    (ties resolved toward shorter spans).
+    """
+    m, n = len(data), len(query)
+    val = [[0.0] * (n + 1) for _ in range(m + 1)]
+    for i in range(1, m + 1):
+        row, prev = val[i], val[i - 1]
+        d = data[i - 1]
+        g = gain(d)
+        for j in range(1, n + 1):
+            if match(d, query[j - 1]):
+                row[j] = max(prev[j - 1] + g, prev[j], row[j - 1])
+            else:
+                row[j] = max(prev[j], row[j - 1])
+    best = val[m][n]
+    if best <= 0.0:
+        return 0, -1, 0.0
+    # Backtrace one optimal solution, collecting matched data positions.
+    i, j = m, n
+    first = last = -1
+    while i > 0 and j > 0:
+        d = data[i - 1]
+        if match(d, query[j - 1]) and abs(
+            val[i][j] - (val[i - 1][j - 1] + gain(d))
+        ) < 1e-9:
+            last = max(last, i - 1)
+            first = i - 1
+            i -= 1
+            j -= 1
+        elif val[i - 1][j] >= val[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    return first, last, best
+
+
+def lors(
+    x: Sequence[int],
+    y: Sequence[int],
+    weight: Callable[[int], float],
+) -> float:
+    """Longest overlapping road segments: total weight of the heaviest
+    order-preserving common subsequence of edge symbols [48]."""
+    _, _, v = _weighted_lcs_with_span(x, y, weight, lambda a, b: a == b)
+    return v
+
+
+def lcrs(
+    x: Sequence[int],
+    y: Sequence[int],
+    weight: Callable[[int], float],
+) -> float:
+    """Longest common road segments ratio [64]:
+    ``LORS / (w(x) + w(y) - LORS)`` in ``[0, 1]``."""
+    shared = lors(x, y, weight)
+    total = sum(weight(e) for e in x) + sum(weight(e) for e in y)
+    denom = total - shared
+    if denom <= 0.0:
+        return 1.0
+    return shared / denom
+
+
+def lors_best_match(
+    data: Sequence[int],
+    query: Sequence[int],
+    weight: Callable[[int], float],
+) -> Tuple[int, int, float]:
+    """Best-matching data span under LORS; ``(s, t, shared_weight)``."""
+    return _weighted_lcs_with_span(data, query, weight, lambda a, b: a == b)
+
+
+def lcss_best_match(
+    data: Sequence[int],
+    query: Sequence[int],
+    match: MatchFn,
+) -> Tuple[int, int, float]:
+    """Best-matching data span under LCSS; ``(s, t, match_count)``."""
+    return _weighted_lcs_with_span(data, query, lambda _: 1.0, match)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed road networks (unknown vertices, bad edges...)."""
+
+
+class TrajectoryError(ReproError):
+    """Raised for invalid trajectories (non-paths, bad timestamps...)."""
+
+
+class CostModelError(ReproError):
+    """Raised when a cost model violates the WED assumptions (§2.2)."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid queries (empty query, non-positive threshold...)."""
+
+
+class IndexError_(ReproError):
+    """Raised for index construction/lookup failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class MapMatchError(ReproError):
+    """Raised when HMM map matching cannot produce a path (broken HMM)."""

@@ -1,0 +1,36 @@
+"""Road-network substrate.
+
+The paper models the road network as a directed graph ``G = (V, E)`` whose
+vertices carry planar coordinates and whose edges carry travel costs
+(§2.1).  This package provides the graph container, synthetic network
+generators (substituting for the OSM networks used in the paper), shortest
+path algorithms (Dijkstra variants), and a pruned-landmark hub-labeling
+index for fast pairwise network distances (used by NetEDR / NetERP).
+"""
+
+from repro.network.graph import Edge, RoadNetwork
+from repro.network.generators import (
+    grid_city,
+    radial_ring_city,
+    random_city,
+)
+from repro.network.hub_labeling import HubLabeling
+from repro.network.shortest_path import (
+    bounded_dijkstra,
+    dijkstra,
+    shortest_path,
+    shortest_path_distance,
+)
+
+__all__ = [
+    "Edge",
+    "HubLabeling",
+    "RoadNetwork",
+    "bounded_dijkstra",
+    "dijkstra",
+    "grid_city",
+    "radial_ring_city",
+    "random_city",
+    "shortest_path",
+    "shortest_path_distance",
+]

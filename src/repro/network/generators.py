@@ -1,0 +1,185 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on the Beijing, Porto, Singapore, and San Francisco road
+networks, which we cannot ship.  These generators build laptop-scale
+networks with the structural properties the algorithms depend on:
+
+- *sparsity*: small out-degree (typically 3–4, §5.2 notes "typically three"
+  possible next edges), which drives the bidirectional-trie hit rate;
+- *planarity-ish locality*: edges connect spatially nearby vertices, so
+  spatial range queries correlate with graph neighborhoods;
+- *directedness with mostly two-way streets* plus a fraction of one-way
+  streets, matching urban grids.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.network.graph import RoadNetwork
+
+__all__ = ["grid_city", "radial_ring_city", "random_city"]
+
+
+def grid_city(
+    rows: int,
+    cols: int,
+    *,
+    spacing: float = 100.0,
+    jitter: float = 0.25,
+    diagonal_prob: float = 0.10,
+    one_way_prob: float = 0.08,
+    removal_prob: float = 0.04,
+    seed: int = 0,
+) -> RoadNetwork:
+    """A jittered grid with occasional diagonals and one-way streets.
+
+    ``spacing`` is the nominal block size (meters); ``jitter`` perturbs
+    vertex positions by a fraction of the spacing so edge weights vary;
+    ``diagonal_prob`` adds shortcut diagonals; ``one_way_prob`` drops the
+    reverse direction of a street; ``removal_prob`` deletes whole streets to
+    break the perfect lattice.  The result is guaranteed weakly connected
+    (removals that would disconnect the grid border are skipped).
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid_city needs at least a 2x2 grid")
+    rng = random.Random(seed)
+    g = RoadNetwork()
+    ids: List[List[int]] = []
+    for r in range(rows):
+        row_ids = []
+        for c in range(cols):
+            x = c * spacing + rng.uniform(-jitter, jitter) * spacing
+            y = r * spacing + rng.uniform(-jitter, jitter) * spacing
+            row_ids.append(g.add_vertex((x, y)))
+        ids.append(row_ids)
+
+    def connect(a: int, b: int) -> None:
+        if rng.random() < removal_prob and _is_interior(a, b):
+            return
+        g.add_edge(a, b)
+        if rng.random() >= one_way_prob:
+            g.add_edge(b, a)
+
+    def _is_interior(a: int, b: int) -> bool:
+        ra, ca = divmod(a, cols)
+        rb, cb = divmod(b, cols)
+        return 0 < ra < rows - 1 and 0 < rb < rows - 1 and 0 < ca < cols - 1 and 0 < cb < cols - 1
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                connect(ids[r][c], ids[r][c + 1])
+            if r + 1 < rows:
+                connect(ids[r][c], ids[r + 1][c])
+            if (
+                r + 1 < rows
+                and c + 1 < cols
+                and rng.random() < diagonal_prob
+            ):
+                if rng.random() < 0.5:
+                    connect(ids[r][c], ids[r + 1][c + 1])
+                else:
+                    connect(ids[r][c + 1], ids[r + 1][c])
+    return g
+
+
+def radial_ring_city(
+    rings: int,
+    spokes: int,
+    *,
+    ring_spacing: float = 150.0,
+    seed: int = 0,
+) -> RoadNetwork:
+    """A radial/ring topology (Beijing-like ring roads around a center)."""
+    if rings < 1 or spokes < 3:
+        raise ValueError("need >=1 ring and >=3 spokes")
+    rng = random.Random(seed)
+    g = RoadNetwork()
+    center = g.add_vertex((0.0, 0.0))
+    ring_ids: List[List[int]] = []
+    for r in range(1, rings + 1):
+        radius = r * ring_spacing * (1.0 + rng.uniform(-0.05, 0.05))
+        ring = []
+        for s in range(spokes):
+            theta = 2 * math.pi * s / spokes + rng.uniform(-0.02, 0.02)
+            ring.append(g.add_vertex((radius * math.cos(theta), radius * math.sin(theta))))
+        ring_ids.append(ring)
+    for s in range(spokes):
+        g.add_edge(center, ring_ids[0][s])
+        g.add_edge(ring_ids[0][s], center)
+        for r in range(rings - 1):
+            a, b = ring_ids[r][s], ring_ids[r + 1][s]
+            g.add_edge(a, b)
+            g.add_edge(b, a)
+    for r in range(rings):
+        for s in range(spokes):
+            a, b = ring_ids[r][s], ring_ids[r][(s + 1) % spokes]
+            g.add_edge(a, b)
+            g.add_edge(b, a)
+    return g
+
+
+def random_city(
+    num_vertices: int,
+    *,
+    extent: float = 5000.0,
+    k_neighbors: int = 3,
+    one_way_prob: float = 0.05,
+    seed: int = 0,
+) -> RoadNetwork:
+    """An irregular network: random points wired to their nearest neighbors.
+
+    Produces organically-shaped street patterns (Porto-like old town).  Each
+    vertex connects to its ``k_neighbors`` nearest neighbors; a spanning
+    chain over the x-sorted points guarantees weak connectivity.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least 2 vertices")
+    rng = random.Random(seed)
+    pts: List[Tuple[float, float]] = [
+        (rng.uniform(0, extent), rng.uniform(0, extent)) for _ in range(num_vertices)
+    ]
+    g = RoadNetwork()
+    for p in pts:
+        g.add_vertex(p)
+
+    def add_two_way(a: int, b: int) -> None:
+        if a == b:
+            return
+        if not g.has_edge(a, b):
+            g.add_edge(a, b)
+        if rng.random() >= one_way_prob and not g.has_edge(b, a):
+            g.add_edge(b, a)
+
+    # kNN wiring via a simple grid hash (avoids O(n^2) for large n).
+    cell = extent / max(1, int(math.sqrt(num_vertices)))
+    buckets: dict = {}
+    for i, (x, y) in enumerate(pts):
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(i)
+    for i, (x, y) in enumerate(pts):
+        cx, cy = int(x / cell), int(y / cell)
+        cand: List[int] = []
+        radius = 1
+        while len(cand) <= k_neighbors and radius < 10:
+            cand = [
+                j
+                for dx in range(-radius, radius + 1)
+                for dy in range(-radius, radius + 1)
+                for j in buckets.get((cx + dx, cy + dy), [])
+                if j != i
+            ]
+            radius += 1
+        cand.sort(key=lambda j: (pts[j][0] - x) ** 2 + (pts[j][1] - y) ** 2)
+        for j in cand[:k_neighbors]:
+            add_two_way(i, j)
+
+    # Connectivity backbone: chain along x-sorted order.
+    order = sorted(range(num_vertices), key=lambda i: pts[i])
+    for a, b in zip(order, order[1:]):
+        add_two_way(a, b)
+    return g

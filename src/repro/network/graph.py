@@ -1,0 +1,227 @@
+"""Directed road-network graph with vertex coordinates and edge weights.
+
+Vertices are dense integers ``0..n-1`` (the paper's alphabet for vertex
+representation); edges are dense integers ``0..m-1`` (the alphabet for edge
+representation).  Both alphabets are used by the search engine, so the graph
+exposes fast translation in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.spatial.geometry import Point, euclidean
+
+__all__ = ["Edge", "RoadNetwork"]
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A directed road segment ``source -> target`` with travel cost ``weight``."""
+
+    eid: int
+    source: int
+    target: int
+    weight: float
+
+
+class RoadNetwork:
+    """A directed graph ``G = (V, E)`` with coordinates and edge weights.
+
+    Construction is incremental (``add_vertex`` / ``add_edge``); all query
+    structures (adjacency, reverse adjacency, edge lookup) are maintained
+    eagerly so the graph is always consistent.
+
+    >>> g = RoadNetwork()
+    >>> a = g.add_vertex((0.0, 0.0)); b = g.add_vertex((1.0, 0.0))
+    >>> eid = g.add_edge(a, b)          # weight defaults to Euclidean length
+    >>> g.edge(eid).weight
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._coords: List[Point] = []
+        self._edges: List[Edge] = []
+        self._out: List[List[int]] = []  # vertex -> outgoing edge ids
+        self._in: List[List[int]] = []  # vertex -> incoming edge ids
+        self._edge_by_pair: Dict[Tuple[int, int], int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_vertex(self, coord: Point) -> int:
+        """Add a vertex at ``coord`` and return its id."""
+        self._coords.append((float(coord[0]), float(coord[1])))
+        self._out.append([])
+        self._in.append([])
+        return len(self._coords) - 1
+
+    def add_edge(self, source: int, target: int, weight: Optional[float] = None) -> int:
+        """Add a directed edge; weight defaults to the Euclidean length.
+
+        Parallel edges are rejected: the edge alphabet must map one symbol
+        per ``(source, target)`` pair, which also matches real road graphs.
+        """
+        self._check_vertex(source)
+        self._check_vertex(target)
+        if source == target:
+            raise GraphError(f"self-loop edge at vertex {source}")
+        if (source, target) in self._edge_by_pair:
+            raise GraphError(f"duplicate edge {source}->{target}")
+        if weight is None:
+            weight = euclidean(self._coords[source], self._coords[target])
+        if weight < 0:
+            raise GraphError(f"negative edge weight {weight} on {source}->{target}")
+        eid = len(self._edges)
+        self._edges.append(Edge(eid, source, target, float(weight)))
+        self._out[source].append(eid)
+        self._in[target].append(eid)
+        self._edge_by_pair[(source, target)] = eid
+        return eid
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._coords):
+            raise GraphError(f"unknown vertex {v}")
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """|V|."""
+        return len(self._coords)
+
+    @property
+    def num_edges(self) -> int:
+        """|E|."""
+        return len(self._edges)
+
+    def coord(self, v: int) -> Point:
+        """Planar coordinate of vertex ``v``."""
+        self._check_vertex(v)
+        return self._coords[v]
+
+    @property
+    def coords(self) -> Sequence[Point]:
+        """All vertex coordinates, indexed by vertex id."""
+        return self._coords
+
+    def edge(self, eid: int) -> Edge:
+        """The :class:`Edge` with id ``eid``."""
+        if not 0 <= eid < len(self._edges):
+            raise GraphError(f"unknown edge {eid}")
+        return self._edges[eid]
+
+    @property
+    def edges(self) -> Sequence[Edge]:
+        """All edges, indexed by edge id."""
+        return self._edges
+
+    def edge_id(self, source: int, target: int) -> int:
+        """The edge id for ``source -> target``; raises if absent."""
+        try:
+            return self._edge_by_pair[(source, target)]
+        except KeyError:
+            raise GraphError(f"no edge {source}->{target}") from None
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the directed edge ``source -> target`` exists."""
+        return (source, target) in self._edge_by_pair
+
+    def out_edges(self, v: int) -> Iterator[Edge]:
+        """Outgoing edges of ``v``."""
+        self._check_vertex(v)
+        return (self._edges[eid] for eid in self._out[v])
+
+    def in_edges(self, v: int) -> Iterator[Edge]:
+        """Incoming edges of ``v``."""
+        self._check_vertex(v)
+        return (self._edges[eid] for eid in self._in[v])
+
+    def successors(self, v: int) -> List[int]:
+        """Vertices reachable from ``v`` by one edge."""
+        self._check_vertex(v)
+        return [self._edges[eid].target for eid in self._out[v]]
+
+    def predecessors(self, v: int) -> List[int]:
+        """Vertices with an edge into ``v``."""
+        self._check_vertex(v)
+        return [self._edges[eid].source for eid in self._in[v]]
+
+    def out_degree(self, v: int) -> int:
+        """Number of outgoing edges of ``v``."""
+        self._check_vertex(v)
+        return len(self._out[v])
+
+    def degree(self, v: int) -> int:
+        """Total (in + out) degree, used for hub-labeling vertex ordering."""
+        self._check_vertex(v)
+        return len(self._out[v]) + len(self._in[v])
+
+    # -- path helpers --------------------------------------------------------
+
+    def is_path(self, vertices: Sequence[int]) -> bool:
+        """True iff consecutive vertices are connected by edges (a valid
+        trajectory in vertex representation, §2.1)."""
+        return all(
+            self.has_edge(a, b) for a, b in zip(vertices, vertices[1:])
+        ) and all(0 <= v < self.num_vertices for v in vertices)
+
+    def path_to_edges(self, vertices: Sequence[int]) -> List[int]:
+        """Convert a vertex path to its edge representation (§2.1)."""
+        return [self.edge_id(a, b) for a, b in zip(vertices, vertices[1:])]
+
+    def edges_to_path(self, edge_ids: Sequence[int]) -> List[int]:
+        """Convert an edge path back to its vertex representation."""
+        if not edge_ids:
+            return []
+        verts = [self.edge(edge_ids[0]).source]
+        for eid in edge_ids:
+            e = self.edge(eid)
+            if e.source != verts[-1]:
+                raise GraphError(
+                    f"edge {eid} does not continue the path at vertex {verts[-1]}"
+                )
+            verts.append(e.target)
+        return verts
+
+    def path_length(self, vertices: Sequence[int]) -> float:
+        """Total edge weight along a vertex path."""
+        return sum(
+            self._edges[self.edge_id(a, b)].weight
+            for a, b in zip(vertices, vertices[1:])
+        )
+
+    # -- derived views -------------------------------------------------------
+
+    def undirected(self) -> "RoadNetwork":
+        """An undirected view: every edge gets a reverse twin if missing.
+
+        §2.2.3: shortest-path distance on a directed graph is asymmetric,
+        which violates the WED symmetry assumption; the paper's fix is to
+        make the road network undirected.  Reverse edges reuse the forward
+        weight.
+        """
+        g = RoadNetwork()
+        for c in self._coords:
+            g.add_vertex(c)
+        for e in self._edges:
+            if not g.has_edge(e.source, e.target):
+                g.add_edge(e.source, e.target, e.weight)
+            if not g.has_edge(e.target, e.source):
+                w = e.weight
+                if (e.target, e.source) in self._edge_by_pair:
+                    w = self._edges[self._edge_by_pair[(e.target, e.source)]].weight
+                g.add_edge(e.target, e.source, w)
+        return g
+
+    def median_edge_weight(self) -> float:
+        """Median edge weight — the paper's default NetEDR epsilon and
+        NetERP eta (§6.1)."""
+        if not self._edges:
+            raise GraphError("graph has no edges")
+        ws = sorted(e.weight for e in self._edges)
+        return ws[len(ws) // 2]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoadNetwork(|V|={self.num_vertices}, |E|={self.num_edges})"

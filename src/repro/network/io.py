@@ -1,0 +1,63 @@
+"""Serialization of road networks and trajectory datasets.
+
+A minimal line-oriented text format keeps datasets inspectable and
+diff-friendly; JSON is avoided for the bulk payload because vertex/edge
+tables dominate and benefit from the compact representation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.network.graph import RoadNetwork
+
+__all__ = ["load_network", "save_network"]
+
+_MAGIC = "repro-network-v1"
+
+
+def save_network(graph: RoadNetwork, path: Union[str, Path]) -> None:
+    """Write ``graph`` to ``path`` in the repro text format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as f:
+        header = {
+            "magic": _MAGIC,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        }
+        f.write(json.dumps(header) + "\n")
+        for v in range(graph.num_vertices):
+            x, y = graph.coord(v)
+            f.write(f"v {x!r} {y!r}\n")
+        for e in graph.edges:
+            f.write(f"e {e.source} {e.target} {e.weight!r}\n")
+
+
+def load_network(path: Union[str, Path]) -> RoadNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    path = Path(path)
+    g = RoadNetwork()
+    with path.open("r", encoding="utf-8") as f:
+        header_line = f.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise GraphError(f"{path}: bad header: {exc}") from exc
+        if header.get("magic") != _MAGIC:
+            raise GraphError(f"{path}: not a repro network file")
+        for line in f:
+            parts = line.split()
+            if not parts:
+                continue
+            if parts[0] == "v":
+                g.add_vertex((float(parts[1]), float(parts[2])))
+            elif parts[0] == "e":
+                g.add_edge(int(parts[1]), int(parts[2]), float(parts[3]))
+            else:
+                raise GraphError(f"{path}: unknown record {parts[0]!r}")
+    if g.num_vertices != header["num_vertices"] or g.num_edges != header["num_edges"]:
+        raise GraphError(f"{path}: truncated file")
+    return g

@@ -1,0 +1,154 @@
+"""Shortest-path algorithms on :class:`~repro.network.graph.RoadNetwork`.
+
+Three variants are provided, each matching a use in the paper:
+
+- :func:`dijkstra` — full single-source distances, used by the synthetic
+  trajectory generator (route planning) and as a test oracle.
+- :func:`bounded_dijkstra` — distances within a radius, used to compute
+  network-distance substitution neighborhoods ``B(q)`` for NetEDR/NetERP
+  (Def. 4) and the filtering cost ``c(q)`` (Eq. 7).
+- :func:`bidirectional_dijkstra` — point-to-point queries, the fallback when
+  no hub-labeling index has been built.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.network.graph import RoadNetwork
+
+__all__ = [
+    "bidirectional_dijkstra",
+    "bounded_dijkstra",
+    "dijkstra",
+    "shortest_path",
+    "shortest_path_distance",
+]
+
+
+def dijkstra(graph: RoadNetwork, source: int) -> Tuple[List[float], List[int]]:
+    """Single-source shortest paths.
+
+    Returns ``(dist, parent)`` where ``dist[v]`` is ``inf`` for unreachable
+    vertices and ``parent[v]`` is the predecessor on a shortest path (-1 for
+    the source and unreachable vertices).
+    """
+    n = graph.num_vertices
+    dist = [math.inf] * n
+    parent = [-1] * n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for e in graph.out_edges(u):
+            nd = d + e.weight
+            if nd < dist[e.target]:
+                dist[e.target] = nd
+                parent[e.target] = u
+                heapq.heappush(heap, (nd, e.target))
+    return dist, parent
+
+
+def bounded_dijkstra(graph: RoadNetwork, source: int, radius: float) -> Dict[int, float]:
+    """All vertices within network distance ``radius`` of ``source``.
+
+    The scan stops as soon as the frontier exceeds ``radius``, so the cost is
+    proportional to the neighborhood size, not the graph size — this is what
+    keeps ``B(q)`` computation cheap on sparse road networks.
+    """
+    if radius < 0:
+        raise ValueError("radius must be nonnegative")
+    dist: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, math.inf):
+            continue
+        if d > radius:
+            break
+        for e in graph.out_edges(u):
+            nd = d + e.weight
+            if nd <= radius and nd < dist.get(e.target, math.inf):
+                dist[e.target] = nd
+                heapq.heappush(heap, (nd, e.target))
+    return {v: d for v, d in dist.items() if d <= radius}
+
+
+def bidirectional_dijkstra(graph: RoadNetwork, source: int, target: int) -> float:
+    """Point-to-point shortest path distance (``inf`` if disconnected)."""
+    if source == target:
+        return 0.0
+    dist_f: Dict[int, float] = {source: 0.0}
+    dist_b: Dict[int, float] = {target: 0.0}
+    heap_f: List[Tuple[float, int]] = [(0.0, source)]
+    heap_b: List[Tuple[float, int]] = [(0.0, target)]
+    best = math.inf
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        # Expand the smaller frontier.
+        if heap_f[0][0] <= heap_b[0][0]:
+            d, u = heapq.heappop(heap_f)
+            if d > dist_f.get(u, math.inf):
+                continue
+            if u in dist_b:
+                best = min(best, d + dist_b[u])
+            for e in graph.out_edges(u):
+                nd = d + e.weight
+                if nd < dist_f.get(e.target, math.inf):
+                    dist_f[e.target] = nd
+                    heapq.heappush(heap_f, (nd, e.target))
+        else:
+            d, u = heapq.heappop(heap_b)
+            if d > dist_b.get(u, math.inf):
+                continue
+            if u in dist_f:
+                best = min(best, d + dist_f[u])
+            for e in graph.in_edges(u):
+                nd = d + e.weight
+                if nd < dist_b.get(e.source, math.inf):
+                    dist_b[e.source] = nd
+                    heapq.heappush(heap_b, (nd, e.source))
+    return best
+
+
+def shortest_path_distance(graph: RoadNetwork, source: int, target: int) -> float:
+    """Convenience wrapper over :func:`bidirectional_dijkstra`."""
+    return bidirectional_dijkstra(graph, source, target)
+
+
+def shortest_path(graph: RoadNetwork, source: int, target: int) -> Optional[List[int]]:
+    """A shortest vertex path from ``source`` to ``target`` (None if
+    disconnected).  Used by the trip generator and HMM map matching."""
+    n = graph.num_vertices
+    dist = [math.inf] * n
+    parent = [-1] * n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u == target:
+            break
+        if d > dist[u]:
+            continue
+        for e in graph.out_edges(u):
+            nd = d + e.weight
+            if nd < dist[e.target]:
+                dist[e.target] = nd
+                parent[e.target] = u
+                heapq.heappush(heap, (nd, e.target))
+    if math.isinf(dist[target]):
+        return None
+    path = [target]
+    while path[-1] != source:
+        prev = parent[path[-1]]
+        if prev < 0:
+            raise GraphError("broken parent chain in shortest_path")
+        path.append(prev)
+    path.reverse()
+    return path

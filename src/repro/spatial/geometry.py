@@ -1,0 +1,107 @@
+"""Primitive planar geometry used across the library.
+
+Coordinates live in the plane (the paper associates an ``R^2`` coordinate
+with every road-network vertex).  Points are plain ``(x, y)`` tuples so that
+they can be stored compactly in lists and numpy arrays; this module provides
+the small set of operations the rest of the library needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two planar points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def squared_euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    """Squared Euclidean distance (avoids the sqrt in hot comparison loops)."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def centroid(points: Iterable[Sequence[float]]) -> Point:
+    """Barycenter of a non-empty collection of points.
+
+    Used as the default ERP reference point ``g`` (§2.2.2 suggests the
+    barycenter of the vertices).
+    """
+    xs = 0.0
+    ys = 0.0
+    n = 0
+    for p in points:
+        xs += p[0]
+        ys += p[1]
+        n += 1
+    if n == 0:
+        raise ValueError("centroid of empty point set")
+    return (xs / n, ys / n)
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """Axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(f"degenerate bounding box: {self}")
+
+    @staticmethod
+    def from_points(points: Iterable[Sequence[float]]) -> "BoundingBox":
+        """The tightest box covering a non-empty point collection."""
+        xs, ys = [], []
+        for p in points:
+            xs.append(p[0])
+            ys.append(p[1])
+        if not xs:
+            raise ValueError("bounding box of empty point set")
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+    def contains(self, p: Sequence[float]) -> bool:
+        """Closed containment test for a point."""
+        return self.xmin <= p[0] <= self.xmax and self.ymin <= p[1] <= self.ymax
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether two boxes share any point (boundaries count)."""
+        return not (
+            other.xmax < self.xmin
+            or other.xmin > self.xmax
+            or other.ymax < self.ymin
+            or other.ymin > self.ymax
+        )
+
+    def expanded(self, other: "BoundingBox") -> "BoundingBox":
+        """The smallest box covering both ``self`` and ``other``."""
+        return BoundingBox(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def min_distance(self, p: Sequence[float]) -> float:
+        """Minimum Euclidean distance from ``p`` to this box (0 if inside)."""
+        dx = max(self.xmin - p[0], 0.0, p[0] - self.xmax)
+        dy = max(self.ymin - p[1], 0.0, p[1] - self.ymax)
+        return math.hypot(dx, dy)
+
+    @property
+    def area(self) -> float:
+        """Box area."""
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
+
+    def enlargement(self, other: "BoundingBox") -> float:
+        """Area increase if this box were expanded to cover ``other``."""
+        return self.expanded(other).area - self.area

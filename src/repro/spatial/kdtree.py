@@ -1,0 +1,200 @@
+"""A static 2-d kd-tree with range and nearest-neighbor queries.
+
+The paper (§4.2, Fig. 2) indexes vertex coordinates in a kd-tree to compute
+substitution neighborhoods ``B(q)`` by range search for EDR/ERP, and to find
+the nearest symbol *outside* a neighborhood when evaluating the filtering
+cost ``c(q)`` for ERP (§3.1: "For ERP, the complexity is O(log |V|) using a
+kd-tree").  The ERP-index baseline (§6.1) also stores coordinate sums here.
+
+The tree is built once over a fixed point set (median splits, so the tree is
+balanced) and is immutable afterwards, which matches how the paper uses it:
+road networks do not change during a query workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.spatial.geometry import Point, euclidean
+
+__all__ = ["KDTree"]
+
+_LEAF_SIZE = 16
+
+
+class _Node:
+    __slots__ = ("axis", "split", "left", "right", "indices", "xmin", "xmax", "ymin", "ymax")
+
+    def __init__(self) -> None:
+        self.axis: int = -1
+        self.split: float = 0.0
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.indices: Optional[List[int]] = None
+        self.xmin = self.ymin = math.inf
+        self.xmax = self.ymax = -math.inf
+
+    def min_distance(self, p: Sequence[float]) -> float:
+        """Distance from ``p`` to this node's bounding box (0 inside)."""
+        dx = max(self.xmin - p[0], 0.0, p[0] - self.xmax)
+        dy = max(self.ymin - p[1], 0.0, p[1] - self.ymax)
+        return math.hypot(dx, dy)
+
+
+class KDTree:
+    """Balanced 2-d tree over a list of points.
+
+    Points are addressed by their integer position in the input list; query
+    results return those indices, which callers map back to vertex ids.
+
+    >>> tree = KDTree([(0, 0), (1, 1), (2, 2)])
+    >>> sorted(tree.range_search((1, 1), 0.5))
+    [1]
+    >>> tree.nearest((1.9, 1.9))
+    (2, ...)
+    """
+
+    def __init__(self, points: Sequence[Point]) -> None:
+        if not points:
+            raise ValueError("KDTree requires at least one point")
+        self._points: List[Point] = [(float(p[0]), float(p[1])) for p in points]
+        self._root = self._build(list(range(len(self._points))), depth=0)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> Sequence[Point]:
+        """The indexed points, by insertion order."""
+        return self._points
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self, idxs: List[int], depth: int) -> _Node:
+        node = _Node()
+        pts = self._points
+        for i in idxs:
+            x, y = pts[i]
+            node.xmin = min(node.xmin, x)
+            node.xmax = max(node.xmax, x)
+            node.ymin = min(node.ymin, y)
+            node.ymax = max(node.ymax, y)
+        if len(idxs) <= _LEAF_SIZE:
+            node.indices = idxs
+            return node
+        axis = depth % 2
+        idxs.sort(key=lambda i: pts[i][axis])
+        mid = len(idxs) // 2
+        node.axis = axis
+        node.split = pts[idxs[mid]][axis]
+        node.left = self._build(idxs[:mid], depth + 1)
+        node.right = self._build(idxs[mid:], depth + 1)
+        return node
+
+    # -- queries -----------------------------------------------------------
+
+    def range_search(self, center: Sequence[float], radius: float) -> List[int]:
+        """Indices of all points with Euclidean distance <= ``radius``."""
+        if radius < 0:
+            raise ValueError("radius must be nonnegative")
+        out: List[int] = []
+        pts = self._points
+        r2 = radius * radius
+        stack = [self._root]
+        cx, cy = center[0], center[1]
+        while stack:
+            node = stack.pop()
+            if node.min_distance(center) > radius:
+                continue
+            if node.indices is not None:
+                for i in node.indices:
+                    x, y = pts[i]
+                    dx = x - cx
+                    dy = y - cy
+                    if dx * dx + dy * dy <= r2:
+                        out.append(i)
+            else:
+                stack.append(node.left)  # type: ignore[arg-type]
+                stack.append(node.right)  # type: ignore[arg-type]
+        return out
+
+    def nearest(self, target: Sequence[float]) -> Tuple[int, float]:
+        """The index and distance of the point closest to ``target``."""
+        result = self.k_nearest(target, 1)
+        return result[0]
+
+    def k_nearest(self, target: Sequence[float], k: int) -> List[Tuple[int, float]]:
+        """The ``k`` points closest to ``target`` as ``(index, distance)``.
+
+        Results are sorted by increasing distance; fewer than ``k`` entries
+        are returned when the tree is smaller than ``k``.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        best: List[Tuple[float, int]] = []  # max-heap via negated distance
+        pts = self._points
+
+        def visit(node: _Node) -> None:
+            if len(best) == k and node.min_distance(target) >= -best[0][0]:
+                return
+            if node.indices is not None:
+                for i in node.indices:
+                    d = euclidean(pts[i], target)
+                    if len(best) < k:
+                        heapq.heappush(best, (-d, i))
+                    elif d < -best[0][0]:
+                        heapq.heapreplace(best, (-d, i))
+                return
+            axis, split = node.axis, node.split
+            near, far = (
+                (node.left, node.right)
+                if target[axis] <= split
+                else (node.right, node.left)
+            )
+            visit(near)  # type: ignore[arg-type]
+            visit(far)  # type: ignore[arg-type]
+
+        visit(self._root)
+        return sorted(((i, -nd) for nd, i in best), key=lambda t: (t[1], t[0]))
+
+    def nearest_outside(
+        self,
+        target: Sequence[float],
+        radius: float,
+        predicate: Optional[Callable[[int], bool]] = None,
+    ) -> Optional[Tuple[int, float]]:
+        """Closest point strictly farther than ``radius`` from ``target``.
+
+        This answers the ERP filtering-cost query ``c(q) = min substitution
+        cost to a symbol outside B(q)`` (Eq. 7): ``B(q)`` is the closed ball
+        of radius eta, so the cheapest substitution outside it goes to the
+        nearest point at distance > eta.  ``predicate`` can further restrict
+        admissible points.  Returns ``None`` when no point qualifies.
+        """
+        best_i = -1
+        best_d = math.inf
+        pts = self._points
+        heap: List[Tuple[float, int, _Node]] = [(self._root.min_distance(target), 0, self._root)]
+        counter = 1
+        while heap:
+            lb, _, node = heapq.heappop(heap)
+            if lb >= best_d:
+                break
+            if node.indices is not None:
+                for i in node.indices:
+                    if predicate is not None and not predicate(i):
+                        continue
+                    d = euclidean(pts[i], target)
+                    if d > radius and d < best_d:
+                        best_d = d
+                        best_i = i
+            else:
+                for child in (node.left, node.right):
+                    assert child is not None
+                    heapq.heappush(heap, (child.min_distance(target), counter, child))
+                    counter += 1
+        if best_i < 0:
+            return None
+        return best_i, best_d

@@ -1,0 +1,137 @@
+"""An R-tree with Sort-Tile-Recursive (STR) bulk loading.
+
+The paper mentions the R-tree as an alternative to the kd-tree for the
+spatial side-index (§4.2).  We provide it for parity and use it in tests as
+an independent oracle for range queries.  Rectangles (not just points) are
+supported so edges can be indexed by their bounding boxes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.spatial.geometry import BoundingBox
+
+__all__ = ["RTree"]
+
+_MAX_ENTRIES = 16
+
+
+class _RNode:
+    __slots__ = ("box", "children", "entries")
+
+    def __init__(self, box: BoundingBox) -> None:
+        self.box = box
+        self.children: List["_RNode"] = []
+        self.entries: List[Tuple[int, BoundingBox]] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        """Leaf nodes hold entries; internal nodes hold children."""
+        return not self.children
+
+
+class RTree:
+    """Static R-tree over ``(id, BoundingBox)`` entries, STR bulk-loaded.
+
+    >>> tree = RTree([(7, BoundingBox(0, 0, 1, 1))])
+    >>> tree.search(BoundingBox(0.5, 0.5, 2, 2))
+    [7]
+    """
+
+    def __init__(self, entries: Sequence[Tuple[int, BoundingBox]]) -> None:
+        if not entries:
+            raise ValueError("RTree requires at least one entry")
+        leaves = self._build_leaves(list(entries))
+        while len(leaves) > 1:
+            leaves = self._build_level(leaves)
+        self._root = leaves[0]
+        self._size = len(entries)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def _center(box: BoundingBox) -> Tuple[float, float]:
+        return ((box.xmin + box.xmax) / 2.0, (box.ymin + box.ymax) / 2.0)
+
+    def _build_leaves(self, entries: List[Tuple[int, BoundingBox]]) -> List[_RNode]:
+        n = len(entries)
+        n_leaves = math.ceil(n / _MAX_ENTRIES)
+        n_slices = math.ceil(math.sqrt(n_leaves))
+        entries.sort(key=lambda e: self._center(e[1])[0])
+        slice_size = math.ceil(n / n_slices)
+        leaves: List[_RNode] = []
+        for s in range(0, n, slice_size):
+            chunk = sorted(entries[s : s + slice_size], key=lambda e: self._center(e[1])[1])
+            for t in range(0, len(chunk), _MAX_ENTRIES):
+                group = chunk[t : t + _MAX_ENTRIES]
+                box = group[0][1]
+                for _, b in group[1:]:
+                    box = box.expanded(b)
+                node = _RNode(box)
+                node.entries = group
+                leaves.append(node)
+        return leaves
+
+    def _build_level(self, nodes: List[_RNode]) -> List[_RNode]:
+        n = len(nodes)
+        n_parents = math.ceil(n / _MAX_ENTRIES)
+        n_slices = math.ceil(math.sqrt(n_parents))
+        nodes.sort(key=lambda nd: self._center(nd.box)[0])
+        slice_size = math.ceil(n / n_slices)
+        parents: List[_RNode] = []
+        for s in range(0, n, slice_size):
+            chunk = sorted(nodes[s : s + slice_size], key=lambda nd: self._center(nd.box)[1])
+            for t in range(0, len(chunk), _MAX_ENTRIES):
+                group = chunk[t : t + _MAX_ENTRIES]
+                box = group[0].box
+                for nd in group[1:]:
+                    box = box.expanded(nd.box)
+                parent = _RNode(box)
+                parent.children = group
+                parents.append(parent)
+        return parents
+
+    def search(self, query: BoundingBox) -> List[int]:
+        """Ids of all entries whose boxes intersect ``query``."""
+        out: List[int] = []
+        stack: List[_RNode] = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(query):
+                continue
+            if node.is_leaf:
+                out.extend(eid for eid, box in node.entries if box.intersects(query))
+            else:
+                stack.extend(node.children)
+        return out
+
+    def range_search(self, center: Sequence[float], radius: float) -> List[int]:
+        """Ids of point entries within Euclidean ``radius`` of ``center``.
+
+        Assumes entries were inserted as degenerate (point) boxes; the final
+        distance check uses the box's lower-left corner.
+        """
+        if radius < 0:
+            raise ValueError("radius must be nonnegative")
+        query = BoundingBox(
+            center[0] - radius, center[1] - radius, center[0] + radius, center[1] + radius
+        )
+        out: List[int] = []
+        stack: List[_RNode] = [self._root]
+        r2 = radius * radius
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(query):
+                continue
+            if node.is_leaf:
+                for eid, box in node.entries:
+                    dx = box.xmin - center[0]
+                    dy = box.ymin - center[1]
+                    if dx * dx + dy * dy <= r2:
+                        out.append(eid)
+            else:
+                stack.extend(node.children)
+        return out

@@ -1,0 +1,25 @@
+"""Trajectory substrate.
+
+A trajectory is a pair ``(P, T)``: a path ``P`` on the road network and a
+timestamp per vertex (Definition 1).  This package provides the data model,
+the dataset container the engine indexes, a Brinkhoff-style synthetic trip
+generator (substituting for the taxi datasets), a GPS noise model, and HMM
+map matching (Newson–Krumm) to convert noisy coordinate tracks back into
+network-constrained paths — the same preprocessing pipeline the paper
+applies to Beijing and Porto (§6.1).
+"""
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.generator import TripGenerator
+from repro.trajectory.mapmatch import HMMMapMatcher
+from repro.trajectory.model import Trajectory
+from repro.trajectory.noise import gps_noise, resample
+
+__all__ = [
+    "HMMMapMatcher",
+    "Trajectory",
+    "TrajectoryDataset",
+    "TripGenerator",
+    "gps_noise",
+    "resample",
+]

@@ -1,0 +1,143 @@
+"""The trajectory database ``T = {(P^(id), T^(id))}`` (§2.3).
+
+:class:`TrajectoryDataset` is the container the search engine indexes.  It
+supports both the vertex and the edge representation transparently: the
+engine asks for ``symbols(id)`` and receives the string over the configured
+alphabet.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Literal, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import TrajectoryError
+from repro.network.graph import RoadNetwork
+from repro.trajectory.model import Trajectory
+
+__all__ = ["TrajectoryDataset"]
+
+Representation = Literal["vertex", "edge"]
+
+
+class TrajectoryDataset:
+    """An in-memory collection of trajectories over one road network.
+
+    ``representation`` selects the alphabet used by ``symbols``:
+    ``"vertex"`` strings are the paths themselves, ``"edge"`` strings are
+    edge-id sequences (one symbol shorter).  Edge strings are materialized
+    lazily and cached, since verification touches them repeatedly.
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        representation: Representation = "vertex",
+    ) -> None:
+        if representation not in ("vertex", "edge"):
+            raise ValueError(f"unknown representation {representation!r}")
+        self._graph = graph
+        self._repr: Representation = representation
+        self._trajectories: List[Trajectory] = []
+        self._edge_strings: List[Optional[Tuple[int, ...]]] = []
+
+    # -- population -----------------------------------------------------------
+
+    def add(self, trajectory: Trajectory, *, validate: bool = False) -> int:
+        """Append a trajectory and return its id (dense ints from 0)."""
+        if validate:
+            trajectory.validate(self._graph)
+        if self._repr == "edge" and len(trajectory) < 2:
+            raise TrajectoryError("edge representation requires paths of length >= 2")
+        self._trajectories.append(trajectory)
+        self._edge_strings.append(None)
+        return len(self._trajectories) - 1
+
+    def extend(self, trajectories: Sequence[Trajectory], *, validate: bool = False) -> None:
+        """Append many trajectories."""
+        for t in trajectories:
+            self.add(t, validate=validate)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def graph(self) -> RoadNetwork:
+        """The road network the trajectories live on."""
+        return self._graph
+
+    @property
+    def representation(self) -> Representation:
+        """The configured alphabet: "vertex" or "edge"."""
+        return self._repr
+
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self._trajectories)
+
+    def __getitem__(self, tid: int) -> Trajectory:
+        return self._trajectories[tid]
+
+    def symbols(self, tid: int) -> Sequence[int]:
+        """The string for trajectory ``tid`` over the configured alphabet."""
+        if self._repr == "vertex":
+            return self._trajectories[tid].path
+        cached = self._edge_strings[tid]
+        if cached is None:
+            cached = tuple(self._trajectories[tid].edge_representation(self._graph))
+            self._edge_strings[tid] = cached
+        return cached
+
+    def alphabet_size(self) -> int:
+        """|Sigma|: number of vertices or edges depending on representation."""
+        if self._repr == "vertex":
+            return self._graph.num_vertices
+        return self._graph.num_edges
+
+    def total_symbols(self) -> int:
+        """Total string length over the dataset (index size driver)."""
+        return sum(len(self.symbols(i)) for i in range(len(self)))
+
+    def average_length(self) -> float:
+        """Mean string length over the dataset (Table 2's avg |P|)."""
+        if not self._trajectories:
+            return 0.0
+        return self.total_symbols() / len(self._trajectories)
+
+    def statistics(self) -> dict:
+        """Dataset statistics in the shape of the paper's Table 2."""
+        return {
+            "num_trajectories": len(self),
+            "avg_length": round(self.average_length(), 1),
+            "num_vertices": self._graph.num_vertices,
+            "num_edges": self._graph.num_edges,
+        }
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write trajectories as JSON lines (graph saved separately)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as f:
+            f.write(json.dumps({"representation": self._repr, "count": len(self)}) + "\n")
+            for t in self._trajectories:
+                rec = {"path": list(t.path)}
+                if t.timestamps is not None:
+                    rec["timestamps"] = list(t.timestamps)
+                f.write(json.dumps(rec) + "\n")
+
+    @staticmethod
+    def load(graph: RoadNetwork, path: Union[str, Path]) -> "TrajectoryDataset":
+        """Read a dataset previously written by :meth:`save`."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as f:
+            header = json.loads(f.readline())
+            ds = TrajectoryDataset(graph, header.get("representation", "vertex"))
+            for line in f:
+                rec = json.loads(line)
+                ds.add(Trajectory(rec["path"], rec.get("timestamps")))
+        if len(ds) != header.get("count", len(ds)):
+            raise TrajectoryError(f"{path}: truncated dataset")
+        return ds

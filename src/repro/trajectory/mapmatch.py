@@ -1,0 +1,133 @@
+"""HMM map matching (Newson & Krumm, 2009).
+
+Converts a noisy GPS coordinate sequence into a network-constrained vertex
+path — the preprocessing the paper applies to the Beijing and Porto raw
+trajectories (§2.1 and §6.1 cite [34]).  The implementation matches the
+original formulation:
+
+- *candidates* per observation: vertices within ``candidate_radius``;
+- *emission*: Gaussian in the distance between observation and candidate;
+- *transition*: exponential in the absolute difference between the network
+  distance of consecutive candidates and the great-circle (here Euclidean)
+  distance between the observations;
+- Viterbi decoding, followed by stitching consecutive matched vertices with
+  shortest paths to produce a connected route.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.exceptions import MapMatchError
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import bounded_dijkstra, shortest_path
+from repro.spatial.geometry import Point, euclidean
+from repro.spatial.kdtree import KDTree
+from repro.trajectory.model import Trajectory
+
+__all__ = ["HMMMapMatcher"]
+
+
+class HMMMapMatcher:
+    """Viterbi map matcher over vertex candidates.
+
+    Parameters mirror Newson–Krumm: ``sigma`` is the GPS noise standard
+    deviation (emission), ``beta`` the transition scale, and
+    ``candidate_radius`` bounds the candidate search.
+    """
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        *,
+        sigma: float = 10.0,
+        beta: float = 30.0,
+        candidate_radius: float = 60.0,
+        max_candidates: int = 8,
+    ) -> None:
+        self._graph = graph
+        self._sigma = sigma
+        self._beta = beta
+        self._radius = candidate_radius
+        self._max_candidates = max_candidates
+        self._tree = KDTree(list(graph.coords))
+
+    # -- HMM pieces -------------------------------------------------------
+
+    def _candidates(self, obs: Point) -> List[int]:
+        cands = self._tree.range_search(obs, self._radius)
+        if not cands:
+            nearest, _ = self._tree.nearest(obs)
+            return [nearest]
+        cands.sort(key=lambda v: euclidean(self._graph.coord(v), obs))
+        return cands[: self._max_candidates]
+
+    def _log_emission(self, obs: Point, v: int) -> float:
+        d = euclidean(self._graph.coord(v), obs)
+        return -0.5 * (d / self._sigma) ** 2
+
+    def _log_transition(self, prev_obs: Point, obs: Point, route_dist: float) -> float:
+        if math.isinf(route_dist):
+            return -math.inf
+        great_circle = euclidean(prev_obs, obs)
+        return -abs(route_dist - great_circle) / self._beta
+
+    def match(self, observations: Sequence[Point]) -> Trajectory:
+        """Decode the most likely vertex path for ``observations``.
+
+        Raises :class:`MapMatchError` when the HMM breaks (no connected
+        candidate chain) — callers typically drop such tracks, as the paper's
+        preprocessing does.
+        """
+        if not observations:
+            raise MapMatchError("no observations")
+        layers = [self._candidates(o) for o in observations]
+        # Viterbi over log-probabilities.
+        score: Dict[int, float] = {v: self._log_emission(observations[0], v) for v in layers[0]}
+        back: List[Dict[int, int]] = []
+        for t in range(1, len(observations)):
+            obs, prev_obs = observations[t], observations[t - 1]
+            # Network distances from every previous candidate, bounded by a
+            # generous multiple of the observation gap.
+            gap = euclidean(prev_obs, obs)
+            bound = 3.0 * gap + 4.0 * self._radius
+            reach: Dict[int, Dict[int, float]] = {
+                u: bounded_dijkstra(self._graph, u, bound) for u in score
+            }
+            new_score: Dict[int, float] = {}
+            new_back: Dict[int, int] = {}
+            for v in layers[t]:
+                emit = self._log_emission(obs, v)
+                best_u, best_val = -1, -math.inf
+                for u, s in score.items():
+                    route = reach[u].get(v, math.inf)
+                    val = s + self._log_transition(prev_obs, obs, route)
+                    if val > best_val:
+                        best_u, best_val = u, val
+                if best_u >= 0 and best_val > -math.inf:
+                    new_score[v] = best_val + emit
+                    new_back[v] = best_u
+            if not new_score:
+                raise MapMatchError(f"HMM broke at observation {t}")
+            score = new_score
+            back.append(new_back)
+        # Backtrace.
+        end = max(score, key=lambda v: score[v])
+        matched = [end]
+        for tb in reversed(back):
+            matched.append(tb[matched[-1]])
+        matched.reverse()
+        return self._stitch(matched)
+
+    def _stitch(self, matched: List[int]) -> Trajectory:
+        """Connect consecutive matched vertices with shortest paths."""
+        route: List[int] = [matched[0]]
+        for u, v in zip(matched, matched[1:]):
+            if u == v:
+                continue
+            seg = shortest_path(self._graph, u, v)
+            if seg is None:
+                raise MapMatchError(f"no path between matched vertices {u} and {v}")
+            route.extend(seg[1:])
+        return Trajectory(route)

@@ -1,0 +1,53 @@
+"""GPS observation model: noising and resampling of trajectories.
+
+Real GPS tracks are noisy coordinate sequences, not vertex paths; the paper
+recovers paths with HMM map matching (§2.1, §6.1).  To exercise that
+pipeline end-to-end we need the inverse operation: project a ground-truth
+path into noisy coordinate observations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.network.graph import RoadNetwork
+from repro.spatial.geometry import Point
+from repro.trajectory.model import Trajectory
+
+__all__ = ["gps_noise", "resample"]
+
+
+def gps_noise(
+    graph: RoadNetwork,
+    trajectory: Trajectory,
+    *,
+    sigma: float = 10.0,
+    seed: int = 0,
+) -> List[Point]:
+    """Gaussian-perturbed coordinates of the trajectory's vertices.
+
+    ``sigma`` is the standard deviation (same units as the coordinates) of
+    independent x/y noise — the standard GPS error model used by
+    Newson–Krumm map matching.
+    """
+    rng = random.Random(seed)
+    out: List[Point] = []
+    for v in trajectory.path:
+        x, y = graph.coord(v)
+        out.append((x + rng.gauss(0.0, sigma), y + rng.gauss(0.0, sigma)))
+    return out
+
+
+def resample(points: Sequence[Point], keep_every: int) -> List[Point]:
+    """Keep every ``keep_every``-th observation (plus the last one).
+
+    Simulates low-frequency sampling, one of the data issues (sampling
+    strategies) similarity queries are meant to tolerate (§1).
+    """
+    if keep_every < 1:
+        raise ValueError("keep_every must be >= 1")
+    out = list(points[::keep_every])
+    if points and (len(points) - 1) % keep_every != 0:
+        out.append(points[-1])
+    return out

@@ -1,0 +1,47 @@
+"""Path popularity counting."""
+
+import pytest
+
+from repro.apps.popularity import path_popularity
+from repro.core.engine import SubtrajectorySearch
+from repro.distance.costs import LevenshteinCost
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+
+
+@pytest.fixture()
+def dataset(line_graph):
+    ds = TrajectoryDataset(line_graph)
+    ds.add(Trajectory([0, 1, 2, 3], timestamps=[0, 1, 2, 3]))
+    ds.add(Trajectory([1, 2, 3, 4], timestamps=[0, 1, 2, 3]))
+    ds.add(Trajectory([0, 1, 2, 1, 2, 3], timestamps=[0, 1, 2, 3, 4, 5]))
+    ds.add(Trajectory([4, 3, 2], timestamps=[0, 1, 2]))
+    return ds
+
+
+class TestExactCounts:
+    def test_occurrences_vs_trajectories(self, dataset):
+        report = path_popularity(dataset, [1, 2])
+        # [1,2] occurs in t0 once, t1 once, t2 twice.
+        assert report.exact_occurrences == 4
+        assert report.exact_trajectories == 3
+        assert report.similar_trajectories is None
+
+    def test_unseen_path(self, dataset):
+        report = path_popularity(dataset, [2, 0])
+        assert report.exact_occurrences == 0
+
+
+class TestSimilarCounts:
+    def test_similarity_counts_at_least_exact(self, dataset):
+        engine = SubtrajectorySearch(dataset, LevenshteinCost())
+        report = path_popularity(dataset, [1, 2, 3], engine=engine, tau_ratio=0.5)
+        assert report.similar_trajectories is not None
+        assert report.similar_trajectories >= report.exact_trajectories
+
+    def test_similarity_finds_variants(self, dataset):
+        engine = SubtrajectorySearch(dataset, LevenshteinCost())
+        # [1,2,4] never occurs exactly but is 1 edit from [1,2,3].
+        report = path_popularity(dataset, [1, 2, 4], engine=engine, tau_ratio=0.5)
+        assert report.exact_occurrences == 0
+        assert report.similar_trajectories >= 1

@@ -1,0 +1,119 @@
+"""Route suggestion and naturalness (§6.2.2)."""
+
+import pytest
+
+from repro.apps.route_suggestion import (
+    distances_to_target,
+    route_naturalness,
+    suggest_routes,
+)
+from repro.core.engine import SubtrajectorySearch
+from repro.distance.costs import LevenshteinCost
+from repro.network.graph import RoadNetwork
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+
+
+@pytest.fixture()
+def detour_graph():
+    """0 -> 1 -> 2 (direct) and 0 -> 3 -> 2 (detour away from target)."""
+    g = RoadNetwork()
+    g.add_vertex((0, 0))  # 0
+    g.add_vertex((1, 0))  # 1
+    g.add_vertex((2, 0))  # 2 (target)
+    g.add_vertex((0, 5))  # 3 (far detour)
+    for a, b in [(0, 1), (1, 2), (0, 3), (3, 2), (1, 0), (2, 1), (3, 0), (2, 3)]:
+        g.add_edge(a, b)
+    return g
+
+
+class TestDistancesToTarget:
+    def test_matches_forward_dijkstra_on_reverse(self, small_graph):
+        from repro.network.shortest_path import bidirectional_dijkstra
+
+        target = 7
+        dist = distances_to_target(small_graph, target)
+        for u in (0, 5, 20, 40):
+            assert dist[u] == pytest.approx(
+                bidirectional_dijkstra(small_graph, u, target)
+            )
+
+    def test_target_distance_zero(self, small_graph):
+        assert distances_to_target(small_graph, 3)[3] == 0.0
+
+
+class TestNaturalness:
+    def test_direct_route_is_fully_natural(self, detour_graph):
+        assert route_naturalness(detour_graph, [0, 1, 2]) == 1.0
+
+    def test_detour_route_less_natural(self, detour_graph):
+        direct = route_naturalness(detour_graph, [0, 1, 2])
+        detour = route_naturalness(detour_graph, [0, 3, 2])
+        assert detour < direct
+
+    def test_single_vertex_route(self, detour_graph):
+        assert route_naturalness(detour_graph, [2]) == 1.0
+
+    def test_precomputed_distances_agree(self, detour_graph):
+        dist = distances_to_target(detour_graph, 2)
+        assert route_naturalness(detour_graph, [0, 1, 2]) == route_naturalness(
+            detour_graph, [0, 1, 2], dist_to_dest=dist
+        )
+
+    def test_shortest_paths_are_natural(self, small_graph):
+        """Every hop of a shortest path gets strictly closer, so the
+        naturalness of shortest paths is exactly 1."""
+        from repro.network.shortest_path import shortest_path
+
+        for (u, v) in [(0, 60), (5, 40), (12, 55)]:
+            path = shortest_path(small_graph, u, v)
+            if path and len(path) > 1:
+                assert route_naturalness(small_graph, path) == 1.0
+
+    def test_backtracking_route_scores_low(self, line_graph):
+        # 0 -> 1 -> 2 -> 1 -> 2 -> 3: two of the five hops move away/repeat.
+        n = route_naturalness(line_graph, [0, 1, 2, 1, 2, 3])
+        assert n == pytest.approx(3 / 5)
+
+
+class TestSuggestRoutes:
+    @pytest.fixture()
+    def corridor_dataset(self, detour_graph):
+        ds = TrajectoryDataset(detour_graph)
+        ds.add(Trajectory([0, 1, 2], timestamps=[0, 1, 2]))  # direct
+        ds.add(Trajectory([0, 3, 2], timestamps=[0, 1, 2]))  # detour
+        ds.add(Trajectory([0, 1, 2], timestamps=[5, 6, 7]))  # duplicate route
+        ds.add(Trajectory([1, 2, 3], timestamps=[0, 1, 2]))  # wrong endpoints
+        return ds
+
+    def test_endpoint_filtering_and_dedup(self, corridor_dataset, detour_graph):
+        engine = SubtrajectorySearch(corridor_dataset, LevenshteinCost())
+        routes = suggest_routes(
+            engine, corridor_dataset, [0, 1, 2], tau=2.0
+        )
+        paths = [p for p, _ in routes]
+        assert (0, 1, 2) in paths
+        assert (0, 3, 2) in paths
+        assert len(paths) == len(set(paths))  # deduplicated
+        for p in paths:
+            assert p[0] == 0 and p[-1] == 2
+
+    def test_sorted_by_distance(self, corridor_dataset):
+        engine = SubtrajectorySearch(corridor_dataset, LevenshteinCost())
+        routes = suggest_routes(engine, corridor_dataset, [0, 1, 2], tau=2.0)
+        dists = [m.distance for _, m in routes]
+        assert dists == sorted(dists)
+        assert dists[0] == 0.0  # the exact route itself
+
+    def test_requires_vertex_representation(self, detour_graph):
+        ds = TrajectoryDataset(detour_graph, "edge")
+        ds.add(Trajectory([0, 1, 2]))
+        engine = SubtrajectorySearch(ds, LevenshteinCost("edge"))
+        with pytest.raises(ValueError):
+            suggest_routes(engine, ds, [0, 1], tau=1.0)
+
+    def test_wider_threshold_finds_more(self, corridor_dataset):
+        engine = SubtrajectorySearch(corridor_dataset, LevenshteinCost())
+        narrow = suggest_routes(engine, corridor_dataset, [0, 1, 2], tau=1.0)
+        wide = suggest_routes(engine, corridor_dataset, [0, 1, 2], tau=2.5)
+        assert len(narrow) <= len(wide)

@@ -1,0 +1,191 @@
+"""Travel-time estimation: retrieval, LOOCV math, top-k modes."""
+
+import math
+
+import pytest
+
+from repro.apps._common import (
+    best_match_per_trajectory,
+    find_exact_occurrences,
+    match_travel_time,
+)
+from repro.apps.travel_time import TravelTimeEstimator, _loo_mse, relative_mse
+from repro.core.engine import SubtrajectorySearch
+from repro.core.results import Match
+from repro.exceptions import QueryError
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+
+
+@pytest.fixture()
+def straight_dataset(line_graph):
+    """Five trajectories traveling the same corridor with known times."""
+    ds = TrajectoryDataset(line_graph)
+    for k, speed in enumerate([10.0, 11.0, 12.0, 9.0, 10.5]):
+        ts = [speed * i for i in range(5)]
+        ds.add(Trajectory([0, 1, 2, 3, 4], timestamps=ts))
+    return ds
+
+
+class TestCommonHelpers:
+    def test_find_exact_occurrences_scan(self, straight_dataset):
+        hits = find_exact_occurrences(straight_dataset, [1, 2, 3])
+        assert hits == [(tid, 1, 3) for tid in range(5)]
+
+    def test_find_exact_occurrences_with_index(self, straight_dataset):
+        from repro.core.invindex import InvertedIndex
+
+        index = InvertedIndex(straight_dataset)
+        assert find_exact_occurrences(straight_dataset, [1, 2, 3], index) == [
+            (tid, 1, 3) for tid in range(5)
+        ]
+
+    def test_find_exact_no_hits(self, straight_dataset):
+        assert find_exact_occurrences(straight_dataset, [4, 3]) == []
+
+    def test_best_match_per_trajectory_prefers_distance_then_length(self):
+        ms = [
+            Match(0, 0, 5, 2.0),
+            Match(0, 1, 3, 1.0),
+            Match(0, 2, 6, 1.0),  # same distance, longer
+            Match(1, 0, 1, 3.0),
+        ]
+        best = best_match_per_trajectory(ms)
+        assert best[0] == Match(0, 1, 3, 1.0)
+        assert best[1] == Match(1, 0, 1, 3.0)
+
+    def test_match_travel_time_vertex_and_edge(self, line_graph):
+        vds = TrajectoryDataset(line_graph, "vertex")
+        vds.add(Trajectory([0, 1, 2], timestamps=[0.0, 4.0, 9.0]))
+        assert match_travel_time(vds, 0, 0, 2) == 9.0
+        eds = TrajectoryDataset(line_graph, "edge")
+        eds.add(Trajectory([0, 1, 2], timestamps=[0.0, 4.0, 9.0]))
+        # Edge symbol 0 spans vertices 0..1, edge symbol 1 spans 1..2.
+        assert match_travel_time(eds, 0, 0, 0) == 4.0
+        assert match_travel_time(eds, 0, 0, 1) == 9.0
+
+
+class TestLooMse:
+    def test_removes_one_instance(self):
+        truths = [10.0, 12.0]
+        # For 10: pool minus 10 -> avg 12, err 4; for 12: avg 10, err 4.
+        assert _loo_mse(truths, truths) == pytest.approx(4.0)
+
+    def test_pool_without_truth_keeps_everything(self):
+        assert _loo_mse([10.0], [20.0, 30.0]) == pytest.approx((10.0 - 25.0) ** 2)
+
+    def test_undefined_cases(self):
+        assert _loo_mse([], [1.0]) is None
+        assert _loo_mse([1.0], []) is None
+        assert _loo_mse([5.0], [5.0]) is None  # removing leaves empty pool
+
+
+class TestEstimator:
+    def test_engine_xor_function(self, straight_dataset, lev_cost):
+        engine = SubtrajectorySearch(straight_dataset, lev_cost)
+        with pytest.raises(QueryError):
+            TravelTimeEstimator(straight_dataset)
+        with pytest.raises(QueryError):
+            TravelTimeEstimator(straight_dataset, engine=engine, function="dtw")
+        with pytest.raises(QueryError):
+            TravelTimeEstimator(straight_dataset, function="nope")
+
+    def test_ground_truths(self, straight_dataset, lev_cost):
+        engine = SubtrajectorySearch(straight_dataset, lev_cost)
+        est = TravelTimeEstimator(straight_dataset, engine=engine)
+        truths = est.ground_truths([1, 2, 3])
+        # Travel time vertex 1 -> 3 is 2 * speed.
+        assert sorted(truths) == pytest.approx([18.0, 20.0, 21.0, 22.0, 24.0])
+
+    def test_estimate_on_exact_corridor(self, straight_dataset, lev_cost):
+        engine = SubtrajectorySearch(straight_dataset, lev_cost)
+        est = TravelTimeEstimator(straight_dataset, engine=engine)
+        value = est.estimate([1, 2, 3], tau_ratio=0.3)
+        assert value == pytest.approx(sum([20, 22, 24, 18, 21]) / 5)
+
+    def test_estimate_nan_when_nothing_qualifies(self, straight_dataset, lev_cost):
+        engine = SubtrajectorySearch(straight_dataset, lev_cost)
+        est = TravelTimeEstimator(straight_dataset, engine=engine)
+        assert math.isnan(est.estimate([5, 5, 5], tau_ratio=0.3))
+
+    def test_similar_times_one_per_trajectory(self, straight_dataset, lev_cost):
+        engine = SubtrajectorySearch(straight_dataset, lev_cost)
+        est = TravelTimeEstimator(straight_dataset, engine=engine)
+        times = est.similar_times([1, 2, 3], tau_ratio=0.3)
+        assert len(times) == 5
+
+
+class TestNonWEDEstimators:
+    def test_dtw_retrieves_corridor(self, straight_dataset):
+        est = TravelTimeEstimator(straight_dataset, function="dtw")
+        times = est.similar_times([1, 2, 3], tau_ratio=0.1)
+        assert len(times) == 5  # exact corridor: DTW cost 0
+
+    def test_lcss_retrieves_corridor(self, straight_dataset):
+        est = TravelTimeEstimator(straight_dataset, function="lcss")
+        assert len(est.similar_times([1, 2, 3], tau_ratio=0.1)) == 5
+
+    def test_lors_requires_edge_representation(self, straight_dataset):
+        est = TravelTimeEstimator(straight_dataset, function="lors")
+        with pytest.raises(QueryError):
+            est.similar_times([1, 2], tau_ratio=0.1)
+
+    def test_lors_and_lcrs_on_edges(self, line_graph):
+        ds = TrajectoryDataset(line_graph, "edge")
+        for speed in (10.0, 12.0):
+            ds.add(Trajectory([0, 1, 2, 3], timestamps=[0, speed, 2 * speed, 3 * speed]))
+        e01 = line_graph.edge_id(1, 2)
+        for kind in ("lors", "lcrs"):
+            est = TravelTimeEstimator(ds, function=kind)
+            times = est.similar_times([e01], tau_ratio=0.2)
+            assert len(times) == 2
+
+
+class TestTopK:
+    def test_whole_matching_overestimates(self, line_graph, lev_cost):
+        """Whole trajectories are longer than the query span, so whole-match
+        times exceed subtrajectory times (the Table 3 effect)."""
+        ds = TrajectoryDataset(line_graph)
+        for speed in (10.0, 11.0, 12.0):
+            ds.add(Trajectory([0, 1, 2, 3, 4, 5], timestamps=[speed * i for i in range(6)]))
+        engine = SubtrajectorySearch(ds, lev_cost)
+        est = TravelTimeEstimator(ds, engine=engine)
+        sub = est.topk_times([1, 2, 3], 3, mode="subtrajectory")
+        whole = est.topk_times([1, 2, 3], 3, mode="whole")
+        assert sum(whole) > sum(sub)
+
+    def test_requires_engine(self, straight_dataset):
+        est = TravelTimeEstimator(straight_dataset, function="dtw")
+        with pytest.raises(QueryError):
+            est.topk_times([1, 2], 3, mode="whole")
+
+
+class TestRelativeMse:
+    def test_similarity_helps_on_noisy_corridor(self, line_graph, lev_cost):
+        """With a noisy corridor and a slight detour variant, similarity
+        search sees more samples and gets a lower LOO error."""
+        import random
+
+        rng = random.Random(1)
+        g = line_graph
+        ds = TrajectoryDataset(g)
+        # Two exact travelers with noisy times.
+        for _ in range(2):
+            t0 = 10.0 + rng.uniform(-1, 1)
+            ds.add(Trajectory([0, 1, 2, 3], timestamps=[0.0, t0, 2 * t0, 3 * t0]))
+        # Many near-identical travelers on the same corridor but one vertex
+        # longer (similar under tau, not exact).
+        for _ in range(10):
+            t0 = 10.0 + rng.uniform(-0.2, 0.2)
+            ds.add(
+                Trajectory([0, 1, 2, 3, 4], timestamps=[0.0, t0, 2 * t0, 3 * t0, 4 * t0])
+            )
+        engine = SubtrajectorySearch(ds, lev_cost)
+        est = TravelTimeEstimator(ds, engine=engine)
+        rmse = relative_mse(est, [[0, 1, 2, 3]], tau_ratio=0.3)
+        assert not math.isnan(rmse)
+
+    def test_nan_when_no_scorable_queries(self, straight_dataset, lev_cost):
+        engine = SubtrajectorySearch(straight_dataset, lev_cost)
+        est = TravelTimeEstimator(straight_dataset, engine=engine)
+        assert math.isnan(relative_mse(est, [[5, 5]], tau_ratio=0.1))

@@ -1,0 +1,90 @@
+"""Corridor workload builder (effectiveness-experiment substrate)."""
+
+import pytest
+
+from repro.apps._common import find_exact_occurrences
+from repro.bench.corridors import build_corridor_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_corridor_workload(
+        num_corridors=4,
+        exact_travelers=3,
+        variant_travelers=8,
+        background_trips=20,
+        corridor_length=(10, 14),
+        seed=5,
+    )
+
+
+class TestStructure:
+    def test_counts(self, workload):
+        assert len(workload.corridors) == 4
+        assert len(workload.dataset) == 4 * (3 + 8) + 20
+
+    def test_corridor_lengths(self, workload):
+        for c in workload.corridors:
+            assert 10 <= len(c) <= 14
+
+    def test_corridors_are_paths(self, workload):
+        for c in workload.corridors:
+            assert workload.graph.is_path(c)
+
+    def test_trips_are_paths_with_timestamps(self, workload):
+        for t in workload.dataset:
+            assert workload.graph.is_path(list(t.path))
+            assert t.timestamps is not None
+
+    def test_exact_travelers_contain_corridor(self, workload):
+        for c in workload.corridors:
+            hits = find_exact_occurrences(workload.dataset, c)
+            assert len(hits) >= 3  # at least the exact travelers
+
+    def test_variants_share_endpoints(self, workload):
+        """Variant travelers pass through the corridor's endpoints."""
+        for c in workload.corridors:
+            u, v = c[0], c[-1]
+            through_both = sum(
+                1
+                for t in workload.dataset
+                if u in t.path and v in t.path
+            )
+            assert through_both >= 3 + 8  # exact + variant travelers
+
+    def test_deterministic(self):
+        a = build_corridor_workload(num_corridors=2, background_trips=5, seed=9)
+        b = build_corridor_workload(num_corridors=2, background_trips=5, seed=9)
+        assert a.corridors == b.corridors
+        assert [t.path for t in a.dataset] == [t.path for t in b.dataset]
+
+    def test_edge_representation(self):
+        w = build_corridor_workload(
+            num_corridors=2, background_trips=5, seed=9, representation="edge"
+        )
+        assert w.dataset.representation == "edge"
+
+    def test_impossible_corridors_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            build_corridor_workload(
+                graph=small_graph, corridor_length=(500, 600), seed=1
+            )
+
+
+class TestSparseSimilarStructure:
+    def test_similarity_search_finds_more_than_exact(self, workload):
+        """The workload's purpose: similar >> exact matches per corridor."""
+        from repro.core.engine import SubtrajectorySearch
+        from repro.distance.costs import LevenshteinCost
+        from repro.apps._common import best_match_per_trajectory
+
+        engine = SubtrajectorySearch(workload.dataset, LevenshteinCost())
+        found_extra = 0
+        for c in workload.corridors:
+            exact = {tid for tid, _, _ in find_exact_occurrences(workload.dataset, c)}
+            matches = engine.query(c, tau_ratio=0.25).matches
+            similar = set(best_match_per_trajectory(matches))
+            assert exact <= similar
+            if len(similar) > len(exact):
+                found_extra += 1
+        assert found_extra >= 2  # most corridors gain similar travelers

@@ -1,0 +1,63 @@
+"""Markdown report generation from recorded experiment results."""
+
+import json
+
+import pytest
+
+from repro.bench.report import load_results, render_markdown
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "fig06_beijing_EDR.json").write_text(
+        json.dumps(
+            {
+                "experiment": "fig06_beijing_EDR",
+                "expectation": "OSF-BT fastest",
+                "scale": 0.25,
+                "tau_ratios": [0.1, 0.2],
+                "seconds": {"OSF-BT": [0.001, 0.002], "Plain-SW": [0.04, 0.05]},
+            }
+        )
+    )
+    (tmp_path / "table2_datasets.json").write_text(
+        json.dumps(
+            {
+                "experiment": "table2_datasets",
+                "expectation": "orderings preserved",
+                "measured": {"beijing": {"num_trajectories": 500}},
+            }
+        )
+    )
+    return tmp_path
+
+
+class TestLoadResults:
+    def test_paper_order(self, results_dir):
+        records = load_results(results_dir)
+        names = [r["experiment"] for r in records]
+        assert names == ["table2_datasets", "fig06_beijing_EDR"]
+
+    def test_corrupt_record_rejected(self, results_dir):
+        (results_dir / "bad.json").write_text("{nope")
+        with pytest.raises(ValueError):
+            load_results(results_dir)
+
+
+class TestRenderMarkdown:
+    def test_contains_experiments_and_series(self, results_dir):
+        md = render_markdown(results_dir)
+        assert "## fig06_beijing_EDR" in md
+        assert "OSF-BT" in md
+        assert "*Expected (paper):* OSF-BT fastest" in md
+        assert "*Dataset scale:* 0.25" in md
+
+    def test_runs_on_real_results(self):
+        from pathlib import Path
+
+        real = Path(__file__).resolve().parents[1] / "results"
+        if not real.is_dir() or not list(real.glob("*.json")):
+            pytest.skip("no recorded results yet")
+        md = render_markdown(real)
+        assert "Recorded experiment results" in md
+        assert md.count("##") >= 5

@@ -1,0 +1,116 @@
+"""Bench support: dataset profiles, workloads, harness."""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.datasets import DATASET_PROFILES, build_dataset
+from repro.bench.harness import ResultRecorder, SeriesTable, format_seconds
+from repro.bench.workloads import sample_queries, sample_sparse_queries
+
+
+class TestProfiles:
+    def test_all_profiles_build(self):
+        for name in DATASET_PROFILES:
+            graph, ds = build_dataset(name, scale=0.02)
+            assert len(ds) >= 1
+            assert graph.num_vertices > 0
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            build_dataset("atlantis")
+
+    def test_memoization(self):
+        a = build_dataset("tiny")
+        b = build_dataset("tiny")
+        assert a is b
+
+    def test_scale_changes_count(self):
+        _, full = build_dataset("tiny", scale=1.0)
+        _, half = build_dataset("tiny", scale=0.5)
+        assert len(half) == max(1, int(len(full) * 0.5))
+
+    def test_relative_shape_preserved(self):
+        """porto > beijing > singapore in count; singapore longest trips."""
+        p = DATASET_PROFILES
+        assert p["porto"].num_trajectories > p["beijing"].num_trajectories
+        assert p["beijing"].num_trajectories > p["singapore"].num_trajectories
+        assert p["sanfran"].num_trajectories > p["porto"].num_trajectories
+        assert p["singapore"].min_length > p["beijing"].min_length
+
+    def test_edge_representation_supported(self):
+        _, ds = build_dataset("tiny", representation="edge")
+        assert ds.representation == "edge"
+
+    def test_timestamps_present(self):
+        _, ds = build_dataset("tiny")
+        assert ds[0].timestamps is not None
+
+
+class TestWorkloads:
+    def test_sample_queries_length(self):
+        _, ds = build_dataset("tiny")
+        queries = sample_queries(ds, 5, 6, seed=1)
+        assert len(queries) == 5
+        assert all(len(q) == 6 for q in queries)
+
+    def test_queries_are_substrings(self):
+        _, ds = build_dataset("tiny")
+        for q in sample_queries(ds, 5, 6, seed=2):
+            found = False
+            for tid in range(len(ds)):
+                s = list(ds.symbols(tid))
+                for i in range(len(s) - len(q) + 1):
+                    if s[i : i + len(q)] == q:
+                        found = True
+            assert found
+
+    def test_deterministic(self):
+        _, ds = build_dataset("tiny")
+        assert sample_queries(ds, 4, 5, seed=3) == sample_queries(ds, 4, 5, seed=3)
+
+    def test_too_long_rejected(self):
+        _, ds = build_dataset("tiny")
+        with pytest.raises(ValueError):
+            sample_queries(ds, 1, 10_000)
+
+    def test_sparse_queries_have_bounded_exact_matches(self):
+        from repro.apps._common import find_exact_occurrences
+
+        _, ds = build_dataset("tiny")
+        queries = sample_sparse_queries(ds, 3, 5, min_exact=2, max_exact=10, seed=4)
+        for q in queries:
+            hits = find_exact_occurrences(ds, q)
+            assert 2 <= len(hits) <= 10
+
+
+class TestHarness:
+    def test_series_table_renders(self):
+        t = SeriesTable("method", ["0.1", "0.2"], title="demo")
+        t.add_row("OSF-BT", [0.01, 0.002], formatter=format_seconds)
+        out = t.render()
+        assert "OSF-BT" in out and "10.0ms" in out and "demo" in out
+
+    def test_row_length_checked(self):
+        t = SeriesTable("m", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row("x", [1, 2])
+
+    def test_raw_values_kept(self):
+        t = SeriesTable("m", ["a", "b"])
+        t.add_row("x", [1, 2])
+        assert t.raw["x"] == [1, 2]
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(2e-6).endswith("us")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(2.5).endswith("s")
+
+    def test_recorder_writes_json(self, tmp_path):
+        rec = ResultRecorder(root=tmp_path)
+        path = rec.record("exp1", {"series": [1, 2]}, expectation="goes up")
+        data = json.loads(path.read_text())
+        assert data["experiment"] == "exp1"
+        assert data["expectation"] == "goes up"
+        assert data["series"] == [1, 2]

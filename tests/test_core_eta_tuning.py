@@ -1,0 +1,88 @@
+"""Per-query eta tuning (§3.1 future-work feature)."""
+
+import pytest
+
+from repro.core.engine import SubtrajectorySearch
+from repro.core.eta_tuning import tune_eta
+from repro.core.invindex import InvertedIndex
+from repro.distance.costs import ERPCost
+from repro.exceptions import QueryError
+from tests.conftest import sample_query
+
+
+@pytest.fixture()
+def setup(small_graph, vertex_dataset, rng):
+    index = InvertedIndex(vertex_dataset)
+    query = sample_query(vertex_dataset, rng, 8)
+    factory = lambda eta: ERPCost(small_graph, eta=eta)  # noqa: E731
+    base = factory(1.0)
+    tau = 0.15 * sum(base.filter_cost(q) + base.ins(q) for q in query) / 2
+    return index, query, factory, tau
+
+
+class TestTuneEta:
+    def test_returns_feasible_eta(self, setup, small_graph):
+        index, query, factory, tau = setup
+        eta, trace = tune_eta(factory, query, tau, index)
+        assert eta > 0
+        assert any(c.feasible for c in trace)
+        winning = [c for c in trace if c.eta == eta][0]
+        assert winning.feasible
+
+    def test_guarantee_point_is_feasible(self, setup):
+        """eta = tau/|Q| guarantees a tau-subsequence (§3.1)."""
+        index, query, factory, tau = setup
+        eta, trace = tune_eta(
+            factory, query, tau, index, grid=[tau / len(query)]
+        )
+        assert eta == tau / len(query)
+
+    def test_prediction_matches_engine_candidates(
+        self, setup, small_graph, vertex_dataset
+    ):
+        """The MinCand objective is exactly the engine's candidate count."""
+        index, query, factory, tau = setup
+        eta, trace = tune_eta(factory, query, tau, index)
+        predicted = [c.predicted_candidates for c in trace if c.eta == eta][0]
+        engine = SubtrajectorySearch(vertex_dataset, factory(eta))
+        assert len(engine.candidates(query, tau=tau)) == predicted
+
+    def test_winner_minimizes_prediction(self, setup):
+        index, query, factory, tau = setup
+        eta, trace = tune_eta(factory, query, tau, index)
+        feasible = [c for c in trace if c.feasible]
+        best = min(c.predicted_candidates for c in feasible)
+        assert [c for c in trace if c.eta == eta][0].predicted_candidates == best
+
+    def test_all_infeasible_raises(self, setup):
+        index, query, factory, tau = setup
+        # Absurdly small etas make c(q) tiny: no tau-subsequence.
+        with pytest.raises(QueryError):
+            tune_eta(factory, query, tau * 1e6, index, grid=[1e-12])
+
+    def test_validates_inputs(self, setup):
+        index, query, factory, tau = setup
+        with pytest.raises(QueryError):
+            tune_eta(factory, [], tau, index)
+        with pytest.raises(QueryError):
+            tune_eta(factory, query, 0.0, index)
+
+    def test_tuned_engine_stays_exact(self, setup, small_graph, vertex_dataset):
+        """Tuning changes performance, never correctness."""
+        from repro.distance.smith_waterman import all_matches
+
+        index, query, factory, tau = setup
+        eta, _ = tune_eta(factory, query, tau, index)
+        costs = factory(eta)
+        engine = SubtrajectorySearch(vertex_dataset, costs)
+        got = {
+            (m.trajectory_id, m.start, m.end)
+            for m in engine.query(query, tau=tau).matches
+        }
+        want = set()
+        for tid in range(len(vertex_dataset)):
+            for s, t, _ in all_matches(
+                vertex_dataset.symbols(tid), query, costs, tau
+            ):
+                want.add((tid, s, t))
+        assert got == want

@@ -1,0 +1,107 @@
+"""Numpy StepDP backend: exact equivalence with the Python DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SubtrajectorySearch
+from repro.core.verification import step_dp_numpy
+from repro.distance.costs import LevenshteinCost
+from repro.distance.wed import wed_step
+from repro.exceptions import QueryError
+from tests.conftest import sample_query
+
+lev = LevenshteinCost()
+
+floats = st.floats(min_value=0.0, max_value=50.0)
+
+
+class TestStepDPNumpy:
+    @given(
+        prev=st.lists(floats, min_size=1, max_size=12),
+        sub_seed=st.lists(floats, min_size=12, max_size=12),
+        ins_seed=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=12, max_size=12),
+        dele=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_sequential_recurrence(self, prev, sub_seed, ins_seed, dele):
+        n = len(prev) - 1
+        sub_row = sub_seed[:n]
+        ins_row = ins_seed[:n]
+        # Sequential reference.
+        want = [prev[0] + dele]
+        for j in range(1, n + 1):
+            want.append(
+                min(
+                    prev[j - 1] + sub_row[j - 1],
+                    prev[j] + dele,
+                    want[j - 1] + ins_row[j - 1],
+                )
+            )
+        ins_prefix = np.concatenate([[0.0], np.cumsum(ins_row)])
+        got = step_dp_numpy(
+            np.asarray(sub_row), dele, ins_prefix, np.asarray(prev, dtype=np.float64)
+        )
+        assert np.allclose(got, want)
+
+    def test_empty_query_part(self):
+        got = step_dp_numpy(np.asarray([]), 2.0, np.asarray([0.0]), np.asarray([5.0]))
+        assert got.tolist() == [7.0]
+
+    def test_matches_wed_step(self):
+        query = [1, 2, 3, 4]
+        prev = [0.0, 1.0, 2.0, 3.0, 4.0]
+        want = wed_step(lev, query, 2, prev)
+        ins_prefix = np.arange(5, dtype=np.float64)
+        got = step_dp_numpy(
+            np.asarray(lev.sub_row(2, query)), 1.0, ins_prefix, np.asarray(prev)
+        )
+        assert np.allclose(got, want)
+
+
+class TestEngineBackendEquivalence:
+    def test_unknown_backend_rejected(self, vertex_dataset, edr_cost):
+        with pytest.raises(QueryError):
+            SubtrajectorySearch(vertex_dataset, edr_cost, dp_backend="fortran")
+
+    @pytest.mark.parametrize("model_name", ["lev_cost", "edr_cost", "erp_cost", "surs_cost"])
+    def test_same_results_as_python_backend(
+        self, model_name, request, vertex_dataset, edge_dataset, rng
+    ):
+        costs = request.getfixturevalue(model_name)
+        ds = edge_dataset if costs.representation == "edge" else vertex_dataset
+        py = SubtrajectorySearch(ds, costs, dp_backend="python")
+        np_engine = SubtrajectorySearch(ds, costs, dp_backend="numpy")
+        for _ in range(3):
+            query = sample_query(ds, rng, 6)
+            a = py.query(query, tau_ratio=0.25)
+            b = np_engine.query(query, tau_ratio=0.25)
+            keys = lambda r: [(m.trajectory_id, m.start, m.end) for m in r.matches]  # noqa: E731
+            assert keys(a) == keys(b)
+            for ma, mb in zip(a.matches, b.matches):
+                assert ma.distance == pytest.approx(mb.distance)
+
+    def test_counters_identical_across_backends(self, vertex_dataset, edr_cost, rng):
+        query = sample_query(vertex_dataset, rng, 6)
+        py = SubtrajectorySearch(vertex_dataset, edr_cost, dp_backend="python")
+        npb = SubtrajectorySearch(vertex_dataset, edr_cost, dp_backend="numpy")
+        a = py.query(query, tau_ratio=0.2).verification
+        b = npb.query(query, tau_ratio=0.2).verification
+        assert a.visited_columns == b.visited_columns
+        assert a.computed_columns == b.computed_columns
+
+    def test_network_models_numpy_backend(
+        self, vertex_dataset, netedr_cost, neterp_cost, rng
+    ):
+        """Network-distance cost models (cached-oracle sub_row) work under
+        the vectorized backend too."""
+        for costs in (netedr_cost, neterp_cost):
+            py = SubtrajectorySearch(vertex_dataset, costs, dp_backend="python")
+            npb = SubtrajectorySearch(vertex_dataset, costs, dp_backend="numpy")
+            query = sample_query(vertex_dataset, rng, 5)
+            a = py.query(query, tau_ratio=0.2)
+            b = npb.query(query, tau_ratio=0.2)
+            assert [(m.trajectory_id, m.start, m.end) for m in a.matches] == [
+                (m.trajectory_id, m.start, m.end) for m in b.matches
+            ]

@@ -1,0 +1,111 @@
+"""Subsequence filtering: query profiles and the Theorem 1 guarantee."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filtering import query_profile, tau_from_ratio
+from repro.core.invindex import InvertedIndex
+from repro.distance.costs import LevenshteinCost
+from repro.distance.wed import wed
+from repro.exceptions import QueryError
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+
+lev = LevenshteinCost()
+
+
+class TestQueryProfile:
+    def test_empty_query_rejected(self, edr_cost):
+        with pytest.raises(QueryError):
+            query_profile([], edr_cost)
+
+    def test_positions_and_symbols(self, edr_cost):
+        prof = query_profile([3, 7, 3], edr_cost)
+        assert [e.position for e in prof] == [0, 1, 2]
+        assert [e.symbol for e in prof] == [3, 7, 3]
+
+    def test_repeated_symbols_share_profile(self, edr_cost):
+        prof = query_profile([3, 7, 3], edr_cost)
+        assert prof[0].neighborhood == prof[2].neighborhood
+        assert prof[0].cost == prof[2].cost
+
+    def test_neighborhood_contains_symbol(self, edr_cost):
+        for e in query_profile([0, 5, 9], edr_cost):
+            assert e.symbol in e.neighborhood
+
+    def test_counts_from_index(self, vertex_dataset, edr_cost):
+        index = InvertedIndex(vertex_dataset)
+        q = list(vertex_dataset.symbols(0))[:5]
+        prof = query_profile(q, edr_cost, index)
+        for e in prof:
+            want = sum(index.frequency(b) for b in e.neighborhood)
+            assert e.candidate_count == want
+            assert e.candidate_count >= index.frequency(e.symbol) > 0
+
+    def test_counts_zero_without_index(self, edr_cost):
+        prof = query_profile([1, 2], edr_cost)
+        assert all(e.candidate_count == 0 for e in prof)
+
+
+class TestTauFromRatio:
+    def test_levenshtein_linear_in_length(self):
+        # c(q) = 1 for Lev, so tau = ratio * |Q|.
+        assert tau_from_ratio([1, 2, 3, 4], lev, 0.5) == 2.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(QueryError):
+            tau_from_ratio([1], lev, -0.1)
+        with pytest.raises(QueryError):
+            tau_from_ratio([1], lev, 1.1)
+
+    def test_zero_ratio(self):
+        assert tau_from_ratio([1, 2], lev, 0.0) == 0.0
+
+
+class TestTheorem1:
+    """If P' shares no symbol with B(Q'), and c(Q') >= tau, then
+    wed(P', Q) >= tau — verified by exhaustive search on random instances.
+    """
+
+    @given(
+        data=st.lists(st.integers(0, 5), min_size=1, max_size=8),
+        query=st.lists(st.integers(0, 5), min_size=1, max_size=5),
+        tau=st.floats(min_value=0.5, max_value=4.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_levenshtein_filter_is_safe(self, data, query, tau):
+        prof = query_profile(query, lev)
+        # Any subsequence reaching tau must be safe; use a greedy prefix.
+        chosen = []
+        total = 0.0
+        for e in prof:
+            chosen.append(e)
+            total += e.cost
+            if total >= tau:
+                break
+        if total < tau:
+            return  # no tau-subsequence: filter not applicable
+        neighborhood = set()
+        for e in chosen:
+            neighborhood.update(e.neighborhood)
+        if any(sym in neighborhood for sym in data):
+            return  # P' shares a symbol: filter does not prune
+        # The filter would prune `data`; Theorem 1 says no substring matches.
+        for s in range(len(data)):
+            for t in range(s, len(data)):
+                assert wed(data[s : t + 1], query, lev) >= tau
+
+
+class TestTheorem1WithNeighborhoods:
+    def test_edr_neighbor_occurrence_not_pruned(self, small_graph):
+        """A trajectory whose vertex is *near* (within epsilon of) a query
+        vertex must survive filtering even without sharing exact symbols."""
+        from repro.distance.costs import EDRCost
+
+        edr = EDRCost(small_graph, epsilon=150.0)
+        q = 9
+        near = [v for v in edr.neighbors(q) if v != q]
+        assert near, "test graph must have a neighbor within epsilon"
+        prof = query_profile([q], edr)
+        assert near[0] in prof[0].neighborhood

@@ -1,0 +1,90 @@
+"""Inverted index: postings correctness, updates, temporal ordering."""
+
+import pytest
+
+from repro.core.invindex import InvertedIndex
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+
+
+@pytest.fixture()
+def tiny_dataset(line_graph):
+    ds = TrajectoryDataset(line_graph)
+    ds.add(Trajectory([0, 1, 2], timestamps=[10.0, 11.0, 12.0]))
+    ds.add(Trajectory([1, 2, 3], timestamps=[5.0, 6.0, 7.0]))
+    ds.add(Trajectory([2, 1, 0], timestamps=[20.0, 21.0, 22.0]))
+    return ds
+
+
+class TestPostings:
+    def test_positions_recorded(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        assert set(index.postings(1)) == {(0, 1), (1, 0), (2, 1)}
+        assert set(index.postings(0)) == {(0, 0), (2, 2)}
+
+    def test_missing_symbol_empty(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        assert index.postings(99) == ()
+        assert index.frequency(99) == 0
+
+    def test_frequency_counts_occurrences(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        assert index.frequency(2) == 3
+
+    def test_full_dataset_coverage(self, vertex_dataset):
+        index = InvertedIndex(vertex_dataset)
+        assert index.num_postings == vertex_dataset.total_symbols()
+        # Every symbol of every trajectory must be findable.
+        for tid in range(len(vertex_dataset)):
+            for pos, sym in enumerate(vertex_dataset.symbols(tid)):
+                assert (tid, pos) in set(index.postings(sym))
+
+    def test_edge_representation(self, edge_dataset):
+        index = InvertedIndex(edge_dataset)
+        assert index.num_postings == edge_dataset.total_symbols()
+
+    def test_memory_estimate_positive(self, tiny_dataset):
+        assert InvertedIndex(tiny_dataset).memory_bytes() > 0
+
+    def test_build_time_recorded(self, tiny_dataset):
+        assert InvertedIndex(tiny_dataset).build_seconds >= 0.0
+
+
+class TestAppend:
+    def test_append_trajectory(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1]))
+        index = InvertedIndex(ds)
+        tid = ds.add(Trajectory([1, 2]))
+        index.append_trajectory(tid)
+        assert set(index.postings(1)) == {(0, 1), (1, 0)}
+
+    def test_append_rejected_on_sorted_index(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset, sort_by_departure=True)
+        with pytest.raises(ValueError):
+            index.append_trajectory(0)
+
+
+class TestDepartureSorted:
+    def test_postings_sorted_by_departure(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset, sort_by_departure=True)
+        plist = index.postings(1)
+        departures = [tiny_dataset[tid].start_time for tid, _ in plist]
+        assert departures == sorted(departures)
+
+    def test_binary_search_bound(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset, sort_by_departure=True)
+        # Trajectory departures touching symbol 1: 5.0 (id 1), 10.0 (id 0),
+        # 20.0 (id 2).
+        assert {tid for tid, _ in index.postings_departing_before(1, 15.0)} == {0, 1}
+        assert {tid for tid, _ in index.postings_departing_before(1, 4.0)} == set()
+        assert len(index.postings_departing_before(1, 100.0)) == 3
+
+    def test_unsorted_index_rejects_temporal_lookup(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        with pytest.raises(ValueError):
+            index.postings_departing_before(1, 10.0)
+
+    def test_missing_symbol(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset, sort_by_departure=True)
+        assert index.postings_departing_before(99, 10.0) == ()

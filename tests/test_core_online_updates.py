@@ -1,0 +1,55 @@
+"""Online index updates: engine.add_trajectory (§4.1)."""
+
+import pytest
+
+from repro.core.engine import SubtrajectorySearch
+from repro.distance.costs import LevenshteinCost
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+
+
+@pytest.fixture()
+def engine(line_graph):
+    ds = TrajectoryDataset(line_graph)
+    ds.add(Trajectory([0, 1, 2], timestamps=[0, 1, 2]))
+    return SubtrajectorySearch(ds, LevenshteinCost())
+
+
+class TestOnlineUpdates:
+    def test_new_trajectory_becomes_searchable(self, engine):
+        before = engine.query([3, 4, 5], tau=1.0)
+        assert before.matches == []
+        tid = engine.add_trajectory(Trajectory([3, 4, 5], timestamps=[0, 1, 2]))
+        after = engine.query([3, 4, 5], tau=1.0)
+        assert [(m.trajectory_id, m.start, m.end) for m in after.matches] == [
+            (tid, 0, 2)
+        ]
+
+    def test_matches_rebuilt_engine(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1, 2], timestamps=[0, 1, 2]))
+        incremental = SubtrajectorySearch(ds, LevenshteinCost())
+        new = [
+            Trajectory([1, 2, 3], timestamps=[5, 6, 7]),
+            Trajectory([2, 3, 4, 5], timestamps=[1, 2, 3, 4]),
+        ]
+        for t in new:
+            incremental.add_trajectory(t)
+        rebuilt = SubtrajectorySearch(ds, LevenshteinCost())
+        for query in ([1, 2], [2, 3, 4], [0, 5]):
+            a = incremental.query(query, tau=1.5)
+            b = rebuilt.query(query, tau=1.5)
+            assert a.matches == b.matches
+
+    def test_validate_flag(self, engine):
+        with pytest.raises(Exception):
+            engine.add_trajectory(Trajectory([0, 5]), validate=True)
+
+    def test_sorted_index_rejects_updates(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1], timestamps=[0, 1]))
+        engine = SubtrajectorySearch(
+            ds, LevenshteinCost(), sort_by_departure=True
+        )
+        with pytest.raises(ValueError):
+            engine.add_trajectory(Trajectory([1, 2], timestamps=[0, 1]))

@@ -1,0 +1,96 @@
+"""Partitioned engine: sharded search equals single-node search."""
+
+import pytest
+
+from repro.core.engine import SubtrajectorySearch
+from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.core.temporal import TimeInterval
+from repro.exceptions import QueryError
+from repro.trajectory.dataset import TrajectoryDataset
+from tests.conftest import sample_query
+
+
+def keys(result):
+    return [(m.trajectory_id, m.start, m.end) for m in result.matches]
+
+
+class TestConstruction:
+    def test_invalid_shard_count(self, vertex_dataset, edr_cost):
+        with pytest.raises(QueryError):
+            PartitionedSubtrajectorySearch(vertex_dataset, edr_cost, num_shards=0)
+
+    def test_empty_dataset_rejected(self, small_graph, edr_cost):
+        with pytest.raises(QueryError):
+            PartitionedSubtrajectorySearch(
+                TrajectoryDataset(small_graph), edr_cost
+            )
+
+    def test_shards_capped_by_dataset_size(self, small_graph, edr_cost, trips):
+        ds = TrajectoryDataset(small_graph)
+        ds.add(trips[0])
+        ds.add(trips[1])
+        p = PartitionedSubtrajectorySearch(ds, edr_cost, num_shards=16)
+        assert p.num_shards == 2
+
+
+class TestExactness:
+    @pytest.mark.parametrize("num_shards", [1, 2, 5])
+    def test_matches_single_node(self, vertex_dataset, edr_cost, rng, num_shards):
+        single = SubtrajectorySearch(vertex_dataset, edr_cost)
+        sharded = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=num_shards
+        )
+        for _ in range(3):
+            query = sample_query(vertex_dataset, rng, 6)
+            a = single.query(query, tau_ratio=0.25)
+            b = sharded.query(query, tau_ratio=0.25)
+            assert keys(a) == keys(b)
+            assert a.tau == b.tau
+
+    def test_distances_preserved(self, vertex_dataset, edr_cost, rng):
+        single = SubtrajectorySearch(vertex_dataset, edr_cost)
+        sharded = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=3
+        )
+        query = sample_query(vertex_dataset, rng, 6)
+        a = single.query(query, tau_ratio=0.25)
+        b = sharded.query(query, tau_ratio=0.25)
+        for ma, mb in zip(a.matches, b.matches):
+            assert ma.distance == pytest.approx(mb.distance)
+
+    def test_temporal_constraints_pass_through(self, vertex_dataset, edr_cost, rng):
+        times = sorted(
+            vertex_dataset[t].start_time for t in range(len(vertex_dataset))
+        )
+        interval = TimeInterval(times[0], times[len(times) // 2])
+        single = SubtrajectorySearch(vertex_dataset, edr_cost)
+        sharded = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=4
+        )
+        query = sample_query(vertex_dataset, rng, 6)
+        a = single.query(query, tau_ratio=0.25, time_interval=interval)
+        b = sharded.query(query, tau_ratio=0.25, time_interval=interval)
+        assert keys(a) == keys(b)
+
+    def test_engine_options_forwarded(self, vertex_dataset, edr_cost, rng):
+        sharded = PartitionedSubtrajectorySearch(
+            vertex_dataset,
+            edr_cost,
+            num_shards=3,
+            verification="sw",
+            selector="prefix",
+        )
+        single = SubtrajectorySearch(vertex_dataset, edr_cost)
+        query = sample_query(vertex_dataset, rng, 6)
+        assert keys(sharded.query(query, tau_ratio=0.25)) == keys(
+            single.query(query, tau_ratio=0.25)
+        )
+
+    def test_stats_aggregate_over_shards(self, vertex_dataset, edr_cost, rng):
+        sharded = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=3
+        )
+        query = sample_query(vertex_dataset, rng, 6)
+        result = sharded.query(query, tau_ratio=0.25)
+        assert result.num_candidates >= 0
+        assert result.verification.sw_columns > 0

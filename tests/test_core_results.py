@@ -1,0 +1,49 @@
+"""Match and MatchSet semantics."""
+
+from repro.core.results import Match, MatchSet
+
+
+class TestMatch:
+    def test_length(self):
+        assert Match(0, 2, 5, 1.0).length == 4
+        assert Match(0, 3, 3, 0.0).length == 1
+
+    def test_ordering(self):
+        a = Match(0, 1, 2, 9.0)
+        b = Match(1, 0, 0, 0.0)
+        assert a < b  # ordered by trajectory id first
+
+
+class TestMatchSet:
+    def test_deduplicates(self):
+        ms = MatchSet()
+        ms.add(1, 2, 3, 5.0)
+        ms.add(1, 2, 3, 5.0)
+        assert len(ms) == 1
+
+    def test_keeps_minimum_distance(self):
+        ms = MatchSet()
+        ms.add(1, 2, 3, 5.0)
+        ms.add(1, 2, 3, 2.0)
+        ms.add(1, 2, 3, 7.0)
+        assert ms.to_list()[0].distance == 2.0
+
+    def test_contains(self):
+        ms = MatchSet()
+        ms.add(1, 2, 3, 5.0)
+        assert (1, 2, 3) in ms
+        assert (1, 2, 4) not in ms
+
+    def test_sorted_output(self):
+        ms = MatchSet()
+        ms.add(2, 0, 1, 1.0)
+        ms.add(0, 5, 6, 1.0)
+        ms.add(0, 1, 2, 1.0)
+        keys = [(m.trajectory_id, m.start, m.end) for m in ms.to_list()]
+        assert keys == sorted(keys)
+        assert ms.keys() == keys
+
+    def test_iteration(self):
+        ms = MatchSet()
+        ms.add(0, 0, 0, 0.0)
+        assert [m.trajectory_id for m in ms] == [0]

@@ -1,0 +1,127 @@
+"""Temporal constraints: TF pruning == postprocessing (§4.3)."""
+
+import pytest
+
+from repro.core.engine import SubtrajectorySearch
+from repro.core.results import Match
+from repro.core.temporal import TimeInterval, filter_candidates, match_satisfies
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+from tests.conftest import sample_query
+
+
+class TestTimeInterval:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimeInterval(5.0, 4.0)
+
+    def test_overlaps(self):
+        a = TimeInterval(0, 10)
+        assert a.overlaps(TimeInterval(5, 15))
+        assert a.overlaps(TimeInterval(10, 20))  # touching counts
+        assert not a.overlaps(TimeInterval(11, 20))
+
+    def test_contains(self):
+        a = TimeInterval(0, 10)
+        assert a.contains(TimeInterval(2, 8))
+        assert a.contains(TimeInterval(0, 10))
+        assert not a.contains(TimeInterval(-1, 5))
+
+
+class TestMatchSatisfies:
+    @pytest.fixture()
+    def dataset(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1, 2, 3], timestamps=[0.0, 10.0, 20.0, 30.0]))
+        return ds
+
+    def test_overlap_mode(self, dataset):
+        m = Match(0, 1, 2, 0.0)  # spans [10, 20]
+        assert match_satisfies(dataset, m, TimeInterval(15, 40), "overlap")
+        assert not match_satisfies(dataset, m, TimeInterval(21, 40), "overlap")
+
+    def test_within_mode(self, dataset):
+        m = Match(0, 1, 2, 0.0)
+        assert match_satisfies(dataset, m, TimeInterval(5, 25), "within")
+        assert not match_satisfies(dataset, m, TimeInterval(15, 40), "within")
+
+    def test_edge_representation_spans_extra_vertex(self, line_graph):
+        ds = TrajectoryDataset(line_graph, "edge")
+        ds.add(Trajectory([0, 1, 2, 3], timestamps=[0.0, 10.0, 20.0, 30.0]))
+        m = Match(0, 1, 1, 0.0)  # edge 1->2 spans vertices 1..2 => [10, 20]
+        assert match_satisfies(ds, m, TimeInterval(19, 40), "overlap")
+        assert not match_satisfies(ds, m, TimeInterval(21, 40), "overlap")
+
+
+class TestFilterCandidates:
+    def test_prunes_disjoint_trajectories(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1], timestamps=[0.0, 5.0]))
+        ds.add(Trajectory([1, 2], timestamps=[100.0, 110.0]))
+        cands = [(0, 0, 0), (0, 1, 0), (1, 0, 0)]
+        kept = filter_candidates(ds, cands, TimeInterval(0, 50))
+        assert kept == [(0, 0, 0), (0, 1, 0)]
+
+    def test_keeps_overlapping(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1], timestamps=[40.0, 60.0]))
+        kept = filter_candidates(ds, [(0, 0, 0)], TimeInterval(0, 50))
+        assert kept == [(0, 0, 0)]
+
+
+class TestEngineTemporal:
+    def _interval_for(self, dataset, fraction):
+        times = [dataset[t].start_time for t in range(len(dataset))]
+        times.sort()
+        hi = times[max(0, int(len(times) * fraction) - 1)]
+        return TimeInterval(min(times), hi)
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.5])
+    @pytest.mark.parametrize("mode", ["overlap", "within"])
+    def test_tf_equals_postprocessing(
+        self, vertex_dataset, edr_cost, rng, fraction, mode
+    ):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        interval = self._interval_for(vertex_dataset, fraction)
+        for _ in range(3):
+            query = sample_query(vertex_dataset, rng, 6)
+            with_tf = engine.query(
+                query,
+                tau_ratio=0.25,
+                time_interval=interval,
+                temporal_filter=True,
+                temporal_mode=mode,
+            )
+            without_tf = engine.query(
+                query,
+                tau_ratio=0.25,
+                time_interval=interval,
+                temporal_filter=False,
+                temporal_mode=mode,
+            )
+            assert with_tf.matches == without_tf.matches
+            assert with_tf.num_candidates <= without_tf.num_candidates
+
+    def test_temporal_results_are_subset(self, vertex_dataset, edr_cost, rng):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        interval = self._interval_for(vertex_dataset, 0.3)
+        query = sample_query(vertex_dataset, rng, 6)
+        constrained = engine.query(query, tau_ratio=0.25, time_interval=interval)
+        unconstrained = engine.query(query, tau_ratio=0.25)
+        keys = lambda r: {(m.trajectory_id, m.start, m.end) for m in r.matches}  # noqa: E731
+        assert keys(constrained) <= keys(unconstrained)
+        for m in constrained.matches:
+            assert match_satisfies(vertex_dataset, m, interval, "overlap")
+
+    def test_sorted_index_engine_same_results(self, vertex_dataset, edr_cost, rng):
+        plain = SubtrajectorySearch(vertex_dataset, edr_cost)
+        sorted_engine = SubtrajectorySearch(
+            vertex_dataset, edr_cost, sort_by_departure=True
+        )
+        interval = self._interval_for(vertex_dataset, 0.4)
+        for _ in range(3):
+            query = sample_query(vertex_dataset, rng, 6)
+            a = plain.query(query, tau_ratio=0.25, time_interval=interval)
+            b = sorted_engine.query(query, tau_ratio=0.25, time_interval=interval)
+            assert a.matches == b.matches
+            assert b.num_candidates <= a.num_candidates

@@ -1,0 +1,70 @@
+"""Top-k subtrajectory search: exactness via threshold doubling."""
+
+import pytest
+
+from repro.core.engine import SubtrajectorySearch
+from repro.core.topk import topk_search
+from repro.distance.smith_waterman import best_match
+from repro.exceptions import QueryError
+from tests.conftest import sample_query
+
+
+def brute_topk(dataset, query, costs, k):
+    scored = []
+    for tid in range(len(dataset)):
+        s, t, d = best_match(dataset.symbols(tid), query, costs)
+        if t >= s:
+            scored.append((d, tid))
+    scored.sort()
+    return scored[:k]
+
+
+class TestTopK:
+    def test_invalid_parameters(self, vertex_dataset, edr_cost):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        with pytest.raises(QueryError):
+            topk_search(engine, [1, 2], 0)
+        with pytest.raises(QueryError):
+            topk_search(engine, [1, 2], 3, growth=1.0)
+
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_distances_match_brute_force(self, vertex_dataset, edr_cost, rng, k):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        for _ in range(2):
+            query = sample_query(vertex_dataset, rng, 6)
+            got = topk_search(engine, query, k)
+            want = brute_topk(vertex_dataset, query, edr_cost, k)
+            assert len(got) == len(want)
+            for m, (d, _) in zip(got, want):
+                assert m.distance == pytest.approx(d)
+
+    def test_results_sorted_and_unique_trajectories(
+        self, vertex_dataset, edr_cost, rng
+    ):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        query = sample_query(vertex_dataset, rng, 6)
+        got = topk_search(engine, query, 8)
+        dists = [m.distance for m in got]
+        assert dists == sorted(dists)
+        ids = [m.trajectory_id for m in got]
+        assert len(ids) == len(set(ids))
+
+    def test_k_larger_than_dataset(self, vertex_dataset, edr_cost, rng):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        query = sample_query(vertex_dataset, rng, 5)
+        got = topk_search(engine, query, 10_000)
+        assert len(got) <= len(vertex_dataset)
+
+    def test_exact_occurrence_ranks_first(self, vertex_dataset, edr_cost, rng):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        query = sample_query(vertex_dataset, rng, 6)
+        got = topk_search(engine, query, 1)
+        assert got[0].distance == 0.0  # the trajectory the query came from
+
+    def test_surs_edge_representation(self, edge_dataset, surs_cost, rng):
+        engine = SubtrajectorySearch(edge_dataset, surs_cost)
+        query = sample_query(edge_dataset, rng, 5)
+        got = topk_search(engine, query, 5)
+        want = brute_topk(edge_dataset, query, surs_cost, 5)
+        for m, (d, _) in zip(got, want):
+            assert m.distance == pytest.approx(d)

@@ -1,0 +1,37 @@
+"""Verification trie data structure."""
+
+from repro.core.trie import TrieNode, VerificationTrie
+
+
+class TestTrieNode:
+    def test_column_min_cached(self):
+        node = TrieNode([3.0, 1.0, 2.0])
+        assert node.column_min == 1.0
+
+    def test_find_and_create_child(self):
+        node = TrieNode([0.0])
+        assert node.find_child(5) is None
+        child = node.create_child(5, [1.0])
+        assert node.find_child(5) is child
+        assert child.column == [1.0]
+
+    def test_children_independent(self):
+        node = TrieNode([0.0])
+        a = node.create_child(1, [1.0])
+        b = node.create_child(2, [2.0])
+        assert node.find_child(1) is a
+        assert node.find_child(2) is b
+
+
+class TestVerificationTrie:
+    def test_root_column(self):
+        trie = VerificationTrie([0.0, 1.0, 2.0])
+        assert trie.root.column == [0.0, 1.0, 2.0]
+
+    def test_node_count(self):
+        trie = VerificationTrie([0.0])
+        assert trie.node_count() == 1
+        a = trie.root.create_child(1, [1.0])
+        a.create_child(2, [2.0])
+        trie.root.create_child(3, [3.0])
+        assert trie.node_count() == 4

@@ -1,0 +1,167 @@
+"""Verification (Algorithms 3-6): correctness, caching, early termination."""
+
+import pytest
+
+from repro.core.results import MatchSet
+from repro.core.verification import Verifier
+from repro.distance.costs import LevenshteinCost
+from repro.distance.smith_waterman import all_matches
+from repro.distance.wed import wed
+
+lev = LevenshteinCost()
+
+
+def make_verifier(data_strings, query, tau, **kwargs):
+    return Verifier(lambda tid: data_strings[tid], query, lev, tau, **kwargs)
+
+
+def candidates_for(data_strings, query):
+    """All (id, j, iq) anchors with exact symbol hits (Lev has B(q)={q})."""
+    out = []
+    for tid, data in enumerate(data_strings):
+        for j, sym in enumerate(data):
+            for iq, q in enumerate(query):
+                if sym == q:
+                    out.append((tid, j, iq))
+    return out
+
+
+def oracle(data_strings, query, tau):
+    want = set()
+    for tid, data in enumerate(data_strings):
+        for s, t, _ in all_matches(data, query, lev, tau):
+            want.add((tid, s, t))
+    return want
+
+
+class TestVerifyCandidate:
+    def test_single_exact_match(self):
+        data = [[9, 1, 2, 3, 9]]
+        query = [1, 2, 3]
+        v = make_verifier(data, query, 1.0)
+        ms = MatchSet()
+        v.verify_all(candidates_for(data, query), ms)
+        assert {(m.trajectory_id, m.start, m.end) for m in ms} == {(0, 1, 3)}
+        m = ms.to_list()[0]
+        assert m.distance == 0.0
+
+    def test_distances_converge_to_exact_wed(self):
+        data = [[1, 2, 4, 3]]
+        query = [1, 2, 3]
+        tau = 2.0
+        v = make_verifier(data, query, tau)
+        ms = MatchSet()
+        v.verify_all(candidates_for(data, query), ms)
+        for m in ms:
+            assert m.distance == wed(data[0][m.start : m.end + 1], query, lev)
+
+    def test_anchor_over_budget_skipped(self):
+        # sub(q, b) >= tau: the candidate cannot produce matches.
+        data = [[5]]
+        v = make_verifier(data, [5], 0.5)
+        ms = MatchSet()
+        v.verify_candidate((0, 0, 0), ms)
+        assert len(ms) == 1  # sub(5,5)=0 < 0.5: exact single-symbol match
+
+    def test_all_matching_spans_found(self):
+        data = [[1, 1, 1]]
+        query = [1]
+        v = make_verifier(data, query, 2.0)
+        ms = MatchSet()
+        v.verify_all(candidates_for(data, query), ms)
+        assert oracle(data, query, 2.0) == {
+            (m.trajectory_id, m.start, m.end) for m in ms
+        }
+
+
+class TestEquivalences:
+    """Trie caching and early termination must not change results."""
+
+    @pytest.fixture()
+    def workload(self, vertex_dataset, rng):
+        data = [list(vertex_dataset.symbols(t)) for t in range(len(vertex_dataset))]
+        queries = []
+        for _ in range(4):
+            base = data[rng.randrange(len(data))]
+            if len(base) < 7:
+                continue
+            s = rng.randrange(len(base) - 6)
+            queries.append(base[s : s + 6])
+        return data, queries
+
+    @pytest.mark.parametrize("tau", [1.0, 2.0, 3.0])
+    def test_matches_oracle(self, workload, tau):
+        data, queries = workload
+        for query in queries:
+            v = make_verifier(data, query, tau)
+            ms = MatchSet()
+            v.verify_all(candidates_for(data, query), ms)
+            got = {(m.trajectory_id, m.start, m.end) for m in ms}
+            assert got == oracle(data, query, tau)
+
+    def test_trie_off_same_results(self, workload):
+        data, queries = workload
+        for query in queries:
+            a, b = MatchSet(), MatchSet()
+            cands = candidates_for(data, query)
+            make_verifier(data, query, 2.0, use_trie=True).verify_all(cands, a)
+            make_verifier(data, query, 2.0, use_trie=False).verify_all(cands, b)
+            assert a.keys() == b.keys()
+
+    def test_early_termination_off_same_results(self, workload):
+        data, queries = workload
+        for query in queries:
+            a, b = MatchSet(), MatchSet()
+            cands = candidates_for(data, query)
+            make_verifier(data, query, 2.0, early_termination=True).verify_all(cands, a)
+            make_verifier(data, query, 2.0, early_termination=False).verify_all(cands, b)
+            assert a.keys() == b.keys()
+
+
+class TestCounters:
+    def test_trie_reduces_computed_columns(self):
+        # Two trajectories sharing a long prefix around the anchor.
+        shared = [1, 2, 3, 4, 5, 6]
+        data = [shared + [7], shared + [8]]
+        query = [2, 3, 4]
+        cands = candidates_for(data, query)
+        with_trie = make_verifier(data, query, 1.0, use_trie=True)
+        without = make_verifier(data, query, 1.0, use_trie=False)
+        a, b = MatchSet(), MatchSet()
+        with_trie.verify_all(cands, a)
+        without.verify_all(cands, b)
+        assert with_trie.stats.computed_columns < without.stats.computed_columns
+        assert with_trie.stats.visited_columns == without.stats.visited_columns
+        assert a.keys() == b.keys()
+
+    def test_early_termination_reduces_visits(self):
+        data = [[1] + [9] * 30]
+        query = [1, 2]
+        cands = [(0, 0, 0)]
+        pruned = make_verifier(data, query, 1.5, early_termination=True)
+        full = make_verifier(data, query, 1.5, early_termination=False)
+        a, b = MatchSet(), MatchSet()
+        pruned.verify_all(cands, a)
+        full.verify_all(cands, b)
+        assert pruned.stats.visited_columns < full.stats.visited_columns
+        assert a.keys() == b.keys()
+
+    def test_rates_within_bounds(self, vertex_dataset, rng):
+        data = [list(vertex_dataset.symbols(t)) for t in range(len(vertex_dataset))]
+        base = max(data, key=len)
+        query = base[:6]
+        v = make_verifier(data, query, 2.0)
+        ms = MatchSet()
+        v.verify_all(candidates_for(data, query), ms)
+        s = v.stats
+        assert 0.0 <= s.unpruned_position_rate <= 1.0
+        assert 0.0 <= s.cache_miss_rate <= 1.0
+        assert s.total_unpruned_rate <= s.unpruned_position_rate + 1e-9
+
+    def test_trie_node_count_grows(self):
+        data = [[1, 2, 3]]
+        query = [2]
+        v = make_verifier(data, query, 2.0)
+        ms = MatchSet()
+        v.verify_all(candidates_for(data, query), ms)
+        assert v.trie_node_count() >= 2

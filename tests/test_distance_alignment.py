@@ -1,0 +1,59 @@
+"""Alignment backtrace: script cost equals the DP value, ops are coherent."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.alignment import align, script_cost
+from repro.distance.costs import LevenshteinCost
+from repro.distance.wed import wed
+
+lev = LevenshteinCost()
+
+symbols = st.integers(min_value=0, max_value=4)
+strings = st.lists(symbols, min_size=0, max_size=10)
+
+
+class TestAlign:
+    @given(strings, strings)
+    @settings(max_examples=100, deadline=None)
+    def test_total_cost_equals_wed(self, a, b):
+        ops, total = align(a, b, lev)
+        assert total == wed(a, b, lev)
+        assert script_cost(ops) == pytest.approx(total)
+
+    @given(strings, strings)
+    @settings(max_examples=100, deadline=None)
+    def test_ops_reconstruct_both_strings(self, a, b):
+        ops, _ = align(a, b, lev)
+        data_side = [op.data_symbol for op in ops if op.data_symbol is not None]
+        query_side = [op.query_symbol for op in ops if op.query_symbol is not None]
+        assert data_side == list(a)
+        assert query_side == list(b)
+
+    def test_identical_strings_all_matches(self):
+        ops, total = align([1, 2, 3], [1, 2, 3], lev)
+        assert total == 0
+        assert all(op.kind == "match" for op in ops)
+
+    def test_pure_insertion(self):
+        ops, total = align([], [1, 2], lev)
+        assert total == 2
+        assert [op.kind for op in ops] == ["ins", "ins"]
+
+    def test_pure_deletion(self):
+        ops, total = align([1, 2], [], lev)
+        assert total == 2
+        assert [op.kind for op in ops] == ["del", "del"]
+
+    def test_substitution_labeled(self):
+        ops, total = align([1], [2], lev)
+        assert total == 1
+        assert len(ops) == 1 and ops[0].kind == "sub"
+
+    def test_surs_alignment_example(self, surs_cost, small_graph):
+        """Example 1: gaps carry the unshared edges."""
+        a, b, c, d, e, f, g = range(7)
+        ops, _ = align([b, e, f, g], [a, b, c, d, g], surs_cost)
+        matched = [(op.data_symbol, op.query_symbol) for op in ops if op.kind == "match"]
+        assert (b, b) in matched and (g, g) in matched

@@ -1,0 +1,68 @@
+"""Discrete Frechet distance (related-work function, §7)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.nonwed import discrete_frechet, dtw
+
+strings = st.lists(st.integers(0, 5), min_size=1, max_size=9)
+
+
+def abs_dist(a: int, b: int) -> float:
+    return float(abs(a - b))
+
+
+def brute_frechet(a, b, dist):
+    """Reference via recursion over couplings."""
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def rec(i, j):
+        d = dist(a[i], b[j])
+        if i == 0 and j == 0:
+            return d
+        if i == 0:
+            return max(rec(0, j - 1), d)
+        if j == 0:
+            return max(rec(i - 1, 0), d)
+        return max(min(rec(i - 1, j), rec(i, j - 1), rec(i - 1, j - 1)), d)
+
+    return rec(len(a) - 1, len(b) - 1)
+
+
+class TestDiscreteFrechet:
+    def test_identical(self):
+        assert discrete_frechet([1, 2, 3], [1, 2, 3], abs_dist) == 0.0
+
+    def test_constant_offset(self):
+        assert discrete_frechet([0, 1, 2], [3, 4, 5], abs_dist) == 3.0
+
+    def test_empty(self):
+        assert math.isinf(discrete_frechet([], [1], abs_dist))
+
+    @given(strings, strings)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference(self, a, b):
+        got = discrete_frechet(a, b, abs_dist)
+        assert got == pytest.approx(brute_frechet(tuple(a), tuple(b), abs_dist))
+
+    @given(strings, strings)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert discrete_frechet(a, b, abs_dist) == pytest.approx(
+            discrete_frechet(b, a, abs_dist)
+        )
+
+    @given(strings, strings)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_dtw_average(self, a, b):
+        """Frechet (max) <= DTW (sum); and Frechet >= max pairwise min."""
+        assert discrete_frechet(a, b, abs_dist) <= dtw(a, b, abs_dist) + 1e-9
+
+    @given(strings)
+    @settings(max_examples=40, deadline=None)
+    def test_self_distance_zero(self, a):
+        assert discrete_frechet(a, a, abs_dist) == 0.0

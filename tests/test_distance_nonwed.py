@@ -1,0 +1,161 @@
+"""Non-WED similarity functions and the Appendix F identities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.costs import SURSCost
+from repro.distance.nonwed import (
+    dtw,
+    lcrs,
+    lcss,
+    lcss_best_match,
+    lors,
+    lors_best_match,
+    subsequence_dtw_best,
+)
+from repro.distance.wed import wed
+
+symbols = st.integers(min_value=0, max_value=4)
+strings = st.lists(symbols, min_size=1, max_size=10)
+
+
+def abs_dist(a: int, b: int) -> float:
+    return float(abs(a - b))
+
+
+def brute_dtw(a, b, dist):
+    """Reference DTW by full recursion."""
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def rec(i, j):
+        if i == 0 and j == 0:
+            return 0.0
+        if i == 0 or j == 0:
+            return math.inf
+        return dist(a[i - 1], b[j - 1]) + min(rec(i - 1, j - 1), rec(i - 1, j), rec(i, j - 1))
+
+    return rec(len(a), len(b))
+
+
+class TestDTW:
+    def test_identical(self):
+        assert dtw([1, 2, 3], [1, 2, 3], abs_dist) == 0.0
+
+    def test_stretching_is_free(self):
+        assert dtw([1, 1, 1, 2], [1, 2], abs_dist) == 0.0
+
+    @given(strings, strings)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference(self, a, b):
+        assert dtw(a, b, abs_dist) == pytest.approx(
+            brute_dtw(tuple(a), tuple(b), abs_dist)
+        )
+
+    @given(strings, strings)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, a, b):
+        assert dtw(a, b, abs_dist) == pytest.approx(dtw(b, a, abs_dist))
+
+
+class TestSubsequenceDTW:
+    def test_finds_embedded_query(self):
+        s, t, v = subsequence_dtw_best([9, 9, 1, 2, 3, 9], [1, 2, 3], abs_dist)
+        assert (s, t) == (2, 4)
+        assert v == 0.0
+
+    @given(strings, strings)
+    @settings(max_examples=60, deadline=None)
+    def test_value_is_min_over_substrings(self, data, query):
+        _, _, got = subsequence_dtw_best(data, query, abs_dist)
+        want = min(
+            brute_dtw(tuple(data[s : t + 1]), tuple(query), abs_dist)
+            for s in range(len(data))
+            for t in range(s, len(data))
+        )
+        assert got == pytest.approx(want)
+
+    @given(strings, strings)
+    @settings(max_examples=60, deadline=None)
+    def test_span_achieves_value(self, data, query):
+        s, t, v = subsequence_dtw_best(data, query, abs_dist)
+        assert s <= t
+        assert brute_dtw(tuple(data[s : t + 1]), tuple(query), abs_dist) == pytest.approx(v)
+
+
+class TestLCSS:
+    def test_classic(self):
+        assert lcss([1, 2, 3, 4], [2, 4], lambda a, b: a == b) == 2
+
+    def test_no_common(self):
+        assert lcss([1, 1], [2, 2], lambda a, b: a == b) == 0
+
+    @given(strings, strings)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_lengths(self, a, b):
+        v = lcss(a, b, lambda x, y: x == y)
+        assert 0 <= v <= min(len(a), len(b))
+
+    def test_best_match_span(self):
+        s, t, v = lcss_best_match([9, 1, 2, 9, 3], [1, 2, 3], lambda a, b: a == b)
+        assert v == 3
+        assert (s, t) == (1, 4)
+
+
+class TestLORSAndLCRS:
+    def test_lors_weighted(self):
+        weights = {0: 5.0, 1: 1.0, 2: 3.0}
+        v = lors([0, 1, 2], [0, 2], weights.get)
+        assert v == 8.0
+
+    def test_lors_respects_order(self):
+        weights = {0: 5.0, 1: 1.0}
+        # Reversed order: only one of the two can be taken.
+        assert lors([0, 1], [1, 0], weights.get) == 5.0
+
+    def test_lcrs_range(self):
+        weights = {0: 2.0, 1: 2.0}
+        assert lcrs([0, 1], [0, 1], weights.get) == 1.0
+        assert lcrs([0], [1], weights.get) == 0.0
+
+    def test_lors_best_match_span(self):
+        weights = {k: 1.0 for k in range(10)}
+        s, t, v = lors_best_match([7, 0, 8, 1, 7], [0, 1], weights.get)
+        assert v == 2.0
+        assert (s, t) == (1, 3)
+
+    def test_no_match_sentinel(self):
+        s, t, v = lors_best_match([1], [2], lambda e: 1.0)
+        assert (s, t, v) == (0, -1, 0.0)
+
+
+class TestAppendixFIdentities:
+    """SURS(x,y) = w(x)+w(y) - 2*LORS(x,y), LCRS = LORS/(w(x)+w(y)-LORS)."""
+
+    @given(
+        x=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),
+        y=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_surs_lors_identity(self, x, y, small_graph):
+        weights = [e.weight for e in small_graph.edges]
+        surs = SURSCost(small_graph)
+        w_total = sum(weights[e] for e in x) + sum(weights[e] for e in y)
+        got = wed(x, y, surs)
+        assert got == pytest.approx(w_total - 2 * lors(x, y, lambda e: weights[e]))
+
+    @given(
+        x=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),
+        y=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lcrs_from_lors(self, x, y, small_graph):
+        weights = [e.weight for e in small_graph.edges]
+        weight_fn = lambda e: weights[e]  # noqa: E731
+        shared = lors(x, y, weight_fn)
+        total = sum(weight_fn(e) for e in x) + sum(weight_fn(e) for e in y)
+        want = shared / (total - shared) if total > shared else 1.0
+        assert lcrs(x, y, weight_fn) == pytest.approx(want)

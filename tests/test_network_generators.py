@@ -1,0 +1,105 @@
+"""Synthetic network generators: structure and determinism."""
+
+import pytest
+
+from repro.network.generators import grid_city, radial_ring_city, random_city
+from repro.network.shortest_path import dijkstra
+
+
+def weakly_connected(graph) -> bool:
+    """BFS over the undirected view reaches every vertex."""
+    und = graph.undirected()
+    seen = {0}
+    stack = [0]
+    while stack:
+        u = stack.pop()
+        for v in und.successors(u):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == graph.num_vertices
+
+
+class TestGridCity:
+    def test_size(self):
+        g = grid_city(5, 6, seed=1)
+        assert g.num_vertices == 30
+        assert g.num_edges > 0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            grid_city(1, 5)
+
+    def test_deterministic(self):
+        a = grid_city(6, 6, seed=9)
+        b = grid_city(6, 6, seed=9)
+        assert a.num_edges == b.num_edges
+        assert [e.weight for e in a.edges] == [e.weight for e in b.edges]
+
+    def test_seed_changes_output(self):
+        a = grid_city(6, 6, seed=1)
+        b = grid_city(6, 6, seed=2)
+        assert [a.coord(i) for i in range(5)] != [b.coord(i) for i in range(5)]
+
+    def test_weakly_connected(self):
+        assert weakly_connected(grid_city(8, 8, seed=3))
+
+    def test_sparse_out_degree(self):
+        g = grid_city(10, 10, seed=4)
+        avg_out = sum(g.out_degree(v) for v in range(g.num_vertices)) / g.num_vertices
+        assert 1.0 < avg_out < 5.0  # road-network sparsity (§5.2)
+
+    def test_positive_weights(self):
+        g = grid_city(6, 6, seed=5)
+        assert all(e.weight > 0 for e in g.edges)
+
+    def test_strongly_connected_enough_for_routing(self):
+        g = grid_city(8, 8, seed=6)
+        dist, _ = dijkstra(g, 0)
+        reachable = sum(1 for d in dist if d < float("inf"))
+        assert reachable > g.num_vertices * 0.9
+
+
+class TestRadialRingCity:
+    def test_size(self):
+        g = radial_ring_city(3, 8, seed=1)
+        assert g.num_vertices == 1 + 3 * 8
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            radial_ring_city(0, 8)
+        with pytest.raises(ValueError):
+            radial_ring_city(2, 2)
+
+    def test_weakly_connected(self):
+        assert weakly_connected(radial_ring_city(4, 10, seed=2))
+
+    def test_center_reaches_outer_ring(self):
+        g = radial_ring_city(3, 6, seed=3)
+        dist, _ = dijkstra(g, 0)
+        assert max(d for d in dist if d < float("inf")) > 0
+        assert all(d < float("inf") for d in dist)
+
+
+class TestRandomCity:
+    def test_size(self):
+        g = random_city(100, seed=1)
+        assert g.num_vertices == 100
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_city(1)
+
+    def test_weakly_connected(self):
+        assert weakly_connected(random_city(150, seed=2))
+
+    def test_deterministic(self):
+        a = random_city(80, seed=7)
+        b = random_city(80, seed=7)
+        assert a.num_edges == b.num_edges
+
+    def test_coordinates_within_extent(self):
+        g = random_city(60, extent=1000.0, seed=3)
+        for v in range(g.num_vertices):
+            x, y = g.coord(v)
+            assert 0 <= x <= 1000 and 0 <= y <= 1000

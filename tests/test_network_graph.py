@@ -1,0 +1,149 @@
+"""Road network graph container tests."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.graph import RoadNetwork
+
+
+@pytest.fixture()
+def triangle():
+    g = RoadNetwork()
+    a = g.add_vertex((0, 0))
+    b = g.add_vertex((3, 0))
+    c = g.add_vertex((0, 4))
+    g.add_edge(a, b)  # weight 3 (Euclidean)
+    g.add_edge(b, c)  # weight 5
+    g.add_edge(c, a)  # weight 4
+    return g
+
+
+class TestConstruction:
+    def test_vertex_ids_dense(self):
+        g = RoadNetwork()
+        assert [g.add_vertex((i, 0)) for i in range(3)] == [0, 1, 2]
+
+    def test_default_weight_is_euclidean(self, triangle):
+        assert triangle.edge(0).weight == pytest.approx(3.0)
+        assert triangle.edge(1).weight == pytest.approx(5.0)
+
+    def test_explicit_weight(self):
+        g = RoadNetwork()
+        g.add_vertex((0, 0))
+        g.add_vertex((1, 0))
+        eid = g.add_edge(0, 1, 42.0)
+        assert g.edge(eid).weight == 42.0
+
+    def test_self_loop_rejected(self):
+        g = RoadNetwork()
+        g.add_vertex((0, 0))
+        with pytest.raises(GraphError):
+            g.add_edge(0, 0)
+
+    def test_duplicate_edge_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_edge(0, 1)
+
+    def test_negative_weight_rejected(self):
+        g = RoadNetwork()
+        g.add_vertex((0, 0))
+        g.add_vertex((1, 0))
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_unknown_vertex_rejected(self):
+        g = RoadNetwork()
+        g.add_vertex((0, 0))
+        with pytest.raises(GraphError):
+            g.add_edge(0, 5)
+
+
+class TestAccessors:
+    def test_counts(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+
+    def test_coord(self, triangle):
+        assert triangle.coord(2) == (0.0, 4.0)
+        with pytest.raises(GraphError):
+            triangle.coord(9)
+
+    def test_edge_id_lookup(self, triangle):
+        assert triangle.edge_id(0, 1) == 0
+        with pytest.raises(GraphError):
+            triangle.edge_id(1, 0)
+
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+
+    def test_successors_predecessors(self, triangle):
+        assert triangle.successors(0) == [1]
+        assert triangle.predecessors(0) == [2]
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 1
+        assert triangle.degree(0) == 2
+
+    def test_out_in_edges(self, triangle):
+        assert [e.target for e in triangle.out_edges(1)] == [2]
+        assert [e.source for e in triangle.in_edges(1)] == [0]
+
+
+class TestPathHelpers:
+    def test_is_path(self, triangle):
+        assert triangle.is_path([0, 1, 2, 0])
+        assert not triangle.is_path([0, 2])
+
+    def test_path_edge_round_trip(self, triangle):
+        path = [0, 1, 2, 0]
+        edges = triangle.path_to_edges(path)
+        assert triangle.edges_to_path(edges) == path
+
+    def test_edges_to_path_disconnected_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.edges_to_path([0, 2])  # edge 2 starts at c, not b
+
+    def test_edges_to_path_empty(self, triangle):
+        assert triangle.edges_to_path([]) == []
+
+    def test_path_length(self, triangle):
+        assert triangle.path_length([0, 1, 2]) == pytest.approx(8.0)
+        assert triangle.path_length([0]) == 0.0
+
+
+class TestUndirectedView:
+    def test_adds_reverse_edges(self, triangle):
+        u = triangle.undirected()
+        assert u.num_vertices == 3
+        assert u.num_edges == 6
+        assert u.has_edge(1, 0) and u.has_edge(0, 1)
+
+    def test_preserves_existing_reverse_weight(self):
+        g = RoadNetwork()
+        g.add_vertex((0, 0))
+        g.add_vertex((1, 0))
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(1, 0, 9.0)
+        u = g.undirected()
+        assert u.edge(u.edge_id(0, 1)).weight == 2.0
+        assert u.edge(u.edge_id(1, 0)).weight == 9.0
+
+    def test_reverse_twin_copies_forward_weight(self, triangle):
+        u = triangle.undirected()
+        assert u.edge(u.edge_id(1, 0)).weight == pytest.approx(3.0)
+
+
+class TestMedianEdgeWeight:
+    def test_median(self):
+        g = RoadNetwork()
+        for i in range(4):
+            g.add_vertex((i, 0))
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 5.0)
+        g.add_edge(2, 3, 9.0)
+        assert g.median_edge_weight() == 5.0
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            RoadNetwork().median_edge_weight()

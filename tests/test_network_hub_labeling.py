@@ -1,0 +1,104 @@
+"""Hub labeling: exactness against Dijkstra on assorted graphs."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.generators import grid_city, radial_ring_city, random_city
+from repro.network.graph import RoadNetwork
+from repro.network.hub_labeling import HubLabeling
+from repro.network.shortest_path import dijkstra
+
+
+def check_exact(graph, samples=40, seed=0):
+    hl = HubLabeling(graph)
+    rng = random.Random(seed)
+    for _ in range(samples):
+        u = rng.randrange(graph.num_vertices)
+        dist, _ = dijkstra(graph, u)
+        v = rng.randrange(graph.num_vertices)
+        got = hl.query(u, v)
+        if math.isinf(dist[v]):
+            assert math.isinf(got)
+        else:
+            assert got == pytest.approx(dist[v])
+
+
+class TestExactness:
+    def test_grid(self):
+        check_exact(grid_city(7, 7, seed=1), seed=1)
+
+    def test_irregular(self):
+        check_exact(random_city(90, seed=2), seed=2)
+
+    def test_radial(self):
+        check_exact(radial_ring_city(3, 9, seed=3), seed=3)
+
+    def test_one_way_heavy_directed_graph(self):
+        check_exact(grid_city(6, 6, one_way_prob=0.5, seed=4), seed=4)
+
+    def test_disconnected_components(self):
+        g = RoadNetwork()
+        for i in range(4):
+            g.add_vertex((i, 0))
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        hl = HubLabeling(g)
+        assert hl.query(0, 1) == 1.0
+        assert math.isinf(hl.query(0, 3))
+
+    def test_self_distance_zero(self):
+        g = grid_city(4, 4, seed=5)
+        hl = HubLabeling(g)
+        for v in range(g.num_vertices):
+            assert hl.query(v, v) == 0.0
+
+
+@st.composite
+def random_weighted_digraph(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    g = RoadNetwork()
+    for i in range(n):
+        g.add_vertex((float(i), 0.0))
+    n_edges = draw(st.integers(min_value=1, max_value=min(40, n * (n - 1))))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    for a, b in pairs:
+        if a != b and not g.has_edge(a, b):
+            w = draw(st.floats(min_value=0.1, max_value=50.0))
+            g.add_edge(a, b, w)
+    return g
+
+
+class TestPropertyBased:
+    @given(random_weighted_digraph())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dijkstra_everywhere(self, graph):
+        hl = HubLabeling(graph)
+        for u in range(graph.num_vertices):
+            dist, _ = dijkstra(graph, u)
+            for v in range(graph.num_vertices):
+                got = hl.query(u, v)
+                if math.isinf(dist[v]):
+                    assert math.isinf(got)
+                else:
+                    assert got == pytest.approx(dist[v])
+
+
+class TestLabelSize:
+    def test_labels_smaller_than_all_pairs(self):
+        g = grid_city(8, 8, seed=6)
+        hl = HubLabeling(g)
+        n = g.num_vertices
+        assert 0 < hl.label_count < n * n

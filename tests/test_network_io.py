@@ -1,0 +1,62 @@
+"""Network serialization round trips."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.generators import grid_city
+from repro.network.io import load_network, save_network
+
+
+class TestRoundTrip:
+    def test_round_trip(self, tmp_path):
+        g = grid_city(6, 6, seed=3)
+        path = tmp_path / "net.txt"
+        save_network(g, path)
+        g2 = load_network(path)
+        assert g2.num_vertices == g.num_vertices
+        assert g2.num_edges == g.num_edges
+        for v in range(g.num_vertices):
+            assert g2.coord(v) == g.coord(v)
+        for e, e2 in zip(g.edges, g2.edges):
+            assert (e.source, e.target) == (e2.source, e2.target)
+            assert e.weight == e2.weight
+
+    def test_weights_exact_after_round_trip(self, tmp_path):
+        # repr() round-trips floats exactly; verify a non-representable value.
+        g = grid_city(3, 3, seed=1)
+        path = tmp_path / "net.txt"
+        save_network(g, path)
+        g2 = load_network(path)
+        assert [e.weight for e in g.edges] == [e.weight for e in g2.edges]
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text('{"magic": "nope"}\n')
+        with pytest.raises(GraphError):
+            load_network(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("not json\n")
+        with pytest.raises(GraphError):
+            load_network(path)
+
+    def test_truncated(self, tmp_path):
+        g = grid_city(3, 3, seed=1)
+        path = tmp_path / "net.txt"
+        save_network(g, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(GraphError):
+            load_network(path)
+
+    def test_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text(
+            '{"magic": "repro-network-v1", "num_vertices": 0, "num_edges": 0}\n'
+            "x 1 2\n"
+        )
+        with pytest.raises(GraphError):
+            load_network(path)

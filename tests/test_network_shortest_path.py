@@ -1,0 +1,141 @@
+"""Shortest-path algorithms validated against networkx."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.network.generators import grid_city, random_city
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import (
+    bidirectional_dijkstra,
+    bounded_dijkstra,
+    dijkstra,
+    shortest_path,
+)
+
+
+def to_networkx(graph: RoadNetwork) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for e in graph.edges:
+        g.add_edge(e.source, e.target, weight=e.weight)
+    return g
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(9, 9, seed=17)
+
+
+@pytest.fixture(scope="module")
+def nx_city(city):
+    return to_networkx(city)
+
+
+class TestDijkstra:
+    def test_matches_networkx(self, city, nx_city):
+        for source in (0, 13, 40):
+            dist, _ = dijkstra(city, source)
+            want = nx.single_source_dijkstra_path_length(nx_city, source)
+            for v in range(city.num_vertices):
+                if v in want:
+                    assert dist[v] == pytest.approx(want[v])
+                else:
+                    assert math.isinf(dist[v])
+
+    def test_parents_form_shortest_paths(self, city):
+        dist, parent = dijkstra(city, 0)
+        for v in range(city.num_vertices):
+            if parent[v] >= 0:
+                w = city.edge(city.edge_id(parent[v], v)).weight
+                assert dist[v] == pytest.approx(dist[parent[v]] + w)
+
+    def test_source_distance_zero(self, city):
+        dist, parent = dijkstra(city, 5)
+        assert dist[5] == 0.0
+        assert parent[5] == -1
+
+
+class TestBoundedDijkstra:
+    def test_negative_radius_rejected(self, city):
+        with pytest.raises(ValueError):
+            bounded_dijkstra(city, 0, -1.0)
+
+    def test_subset_of_full_dijkstra(self, city):
+        full, _ = dijkstra(city, 10)
+        radius = 250.0
+        near = bounded_dijkstra(city, 10, radius)
+        want = {v: d for v, d in enumerate(full) if d <= radius}
+        assert near == pytest.approx(want)
+
+    def test_zero_radius(self, city):
+        assert bounded_dijkstra(city, 3, 0.0) == {3: 0.0}
+
+    def test_monotone_in_radius(self, city):
+        small = bounded_dijkstra(city, 7, 100.0)
+        large = bounded_dijkstra(city, 7, 400.0)
+        assert set(small) <= set(large)
+
+
+class TestBidirectional:
+    def test_matches_networkx(self, city, nx_city):
+        rng = random.Random(3)
+        for _ in range(30):
+            u = rng.randrange(city.num_vertices)
+            v = rng.randrange(city.num_vertices)
+            got = bidirectional_dijkstra(city, u, v)
+            try:
+                want = nx.dijkstra_path_length(nx_city, u, v)
+            except nx.NetworkXNoPath:
+                want = math.inf
+            assert got == pytest.approx(want)
+
+    def test_same_vertex(self, city):
+        assert bidirectional_dijkstra(city, 4, 4) == 0.0
+
+    def test_disconnected(self):
+        g = RoadNetwork()
+        g.add_vertex((0, 0))
+        g.add_vertex((1, 0))
+        assert math.isinf(bidirectional_dijkstra(g, 0, 1))
+
+    def test_irregular_city(self):
+        city = random_city(120, seed=8)
+        nxg = to_networkx(city)
+        rng = random.Random(4)
+        for _ in range(20):
+            u, v = rng.randrange(120), rng.randrange(120)
+            got = bidirectional_dijkstra(city, u, v)
+            try:
+                want = nx.dijkstra_path_length(nxg, u, v)
+            except nx.NetworkXNoPath:
+                want = math.inf
+            assert got == pytest.approx(want)
+
+
+class TestShortestPath:
+    def test_path_is_valid_and_optimal(self, city, nx_city):
+        rng = random.Random(5)
+        for _ in range(15):
+            u, v = rng.randrange(city.num_vertices), rng.randrange(city.num_vertices)
+            path = shortest_path(city, u, v)
+            try:
+                want = nx.dijkstra_path_length(nx_city, u, v)
+            except nx.NetworkXNoPath:
+                assert path is None
+                continue
+            assert path is not None
+            assert path[0] == u and path[-1] == v
+            assert city.is_path(path)
+            assert city.path_length(path) == pytest.approx(want)
+
+    def test_trivial_path(self, city):
+        assert shortest_path(city, 2, 2) == [2]
+
+    def test_disconnected_returns_none(self):
+        g = RoadNetwork()
+        g.add_vertex((0, 0))
+        g.add_vertex((1, 0))
+        assert shortest_path(g, 0, 1) is None

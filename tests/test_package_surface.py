@@ -1,0 +1,62 @@
+"""Public API surface: exports exist, exceptions form one hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestExceptions:
+    def test_single_hierarchy(self):
+        for name in (
+            "GraphError",
+            "TrajectoryError",
+            "CostModelError",
+            "QueryError",
+            "IndexError_",
+            "MapMatchError",
+        ):
+            exc = getattr(exceptions, name)
+            assert issubclass(exc, exceptions.ReproError)
+
+    def test_catchable_as_repro_error(self, line_graph):
+        from repro.network.graph import RoadNetwork
+
+        g = RoadNetwork()
+        g.add_vertex((0, 0))
+        with pytest.raises(exceptions.ReproError):
+            g.add_edge(0, 7)
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.distance",
+            "repro.network",
+            "repro.spatial",
+            "repro.trajectory",
+            "repro.apps",
+            "repro.baselines",
+            "repro.bench",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_py_typed_marker(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()

@@ -1,0 +1,166 @@
+"""Property tests for the paper's formal statements.
+
+Each class targets one lemma/theorem/proposition with randomized
+instances, complementing the targeted unit tests elsewhere.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.filtering import query_profile
+from repro.core.mincand import mincand_greedy
+from repro.distance.costs import CostModel, LevenshteinCost
+from repro.distance.smith_waterman import all_matches
+from repro.distance.wed import wed
+
+symbols = st.integers(min_value=0, max_value=5)
+strings = st.lists(symbols, min_size=1, max_size=8)
+
+
+class WeightedToyCost(CostModel):
+    """A small weighted cost model over symbols 0..5 with eta > 0.
+
+    sub(a, b) = |a - b| * 0.7, ins = del = 1.5, B(q) = {b : sub <= 0.7}
+    (i.e. immediate neighbors).  Exercises the non-unit-cost code paths in
+    property tests without a road network.
+    """
+
+    representation = "vertex"
+    name = "toy"
+
+    ETA = 0.7
+
+    def sub(self, a: int, b: int) -> float:
+        return 0.0 if a == b else abs(a - b) * 0.7
+
+    def ins(self, a: int) -> float:
+        return 1.5
+
+    def neighbors(self, q):
+        return [b for b in range(6) if self.sub(q, b) <= self.ETA]
+
+    def filter_cost(self, q: int) -> float:
+        candidates = [self.ins(q)]
+        candidates += [
+            self.sub(q, b) for b in range(6) if b not in self.neighbors(q)
+        ]
+        return min(candidates)
+
+
+toy = WeightedToyCost()
+lev = LevenshteinCost()
+
+
+class TestTheorem1Weighted:
+    """Subsequence filtering is safe for non-unit costs and eta > 0."""
+
+    @given(data=strings, query=strings, ratio=st.floats(0.1, 0.9))
+    @settings(max_examples=200, deadline=None)
+    def test_filter_never_prunes_a_match(self, data, query, ratio):
+        profile = query_profile(query, toy)
+        tau = ratio * sum(e.cost for e in profile)
+        assume(tau > 0)
+        chosen = mincand_greedy(
+            [e for e in profile],
+            tau,
+        )
+        neighborhood = set()
+        for e in chosen:
+            neighborhood.update(e.neighborhood)
+        pruned = not any(s in neighborhood for s in data)
+        if pruned:
+            # Theorem 1: no substring of data can be within tau of query.
+            for s in range(len(data)):
+                for t in range(s, len(data)):
+                    assert wed(data[s : t + 1], query, toy) >= tau - 1e-9
+
+
+class TestLemma1:
+    """Every match has an anchor candidate — drawn from the chosen
+    tau-subsequence's neighborhoods — whose decomposition is exact.
+
+    Lemma 1 presupposes that a tau-subsequence exists (``c(Q) >= tau``);
+    below that the engine must (and does) fall back to scanning, so such
+    instances are excluded here.
+    """
+
+    @given(data=strings, query=strings, tau=st.floats(0.5, 4.0))
+    @settings(max_examples=150, deadline=None)
+    def test_anchor_decomposition_exists(self, data, query, tau):
+        profile = query_profile(query, lev)
+        assume(sum(e.cost for e in profile) >= tau)
+        chosen = mincand_greedy(profile, tau)
+        # Candidates exactly as Algorithm 2 collects them.
+        candidates = [
+            (j, e.position)
+            for j, sym in enumerate(data)
+            for e in chosen
+            if sym in e.neighborhood
+        ]
+        for s, t, d in all_matches(data, query, lev, tau):
+            found = False
+            for j, iq in candidates:
+                if not s <= j <= t:
+                    continue
+                left = wed(data[s:j], query[:iq], lev)
+                anchor = lev.sub(data[j], query[iq])
+                right = wed(data[j + 1 : t + 1], query[iq + 1 :], lev)
+                if math.isclose(left + anchor + right, d, abs_tol=1e-9):
+                    found = True
+                    break
+            assert found, (s, t, d)
+
+
+class TestEquation11:
+    """The prefix-row minimum is a monotone lower bound (early
+    termination soundness)."""
+
+    @given(data=strings, query=strings)
+    @settings(max_examples=100, deadline=None)
+    def test_row_minimum_monotone(self, data, query):
+        from repro.distance.wed import wed_row_init, wed_step
+
+        row = wed_row_init(lev, query)
+        prev_min = min(row)
+        for p in data:
+            row = wed_step(lev, query, p, row)
+            cur_min = min(row)
+            assert cur_min >= prev_min - 1e-12
+            prev_min = cur_min
+
+    @given(data=strings, query=strings)
+    @settings(max_examples=100, deadline=None)
+    def test_row_minimum_bounds_extensions(self, data, query):
+        from repro.distance.wed import wed_row_init, wed_step
+
+        row = wed_row_init(lev, query)
+        for k, p in enumerate(data):
+            row = wed_step(lev, query, p, row)
+            lb = min(row)
+            # Any longer prefix has WED >= lb.
+            for t in range(k + 1, len(data)):
+                assert wed(data[: t + 1], query, lev) >= lb - 1e-12
+            break  # one prefix point suffices per example
+
+
+class TestStrictThreshold:
+    """Definition 2 uses wed < tau, never <=."""
+
+    @given(data=strings, query=strings)
+    @settings(max_examples=100, deadline=None)
+    def test_boundary_excluded(self, data, query):
+        d = wed(data, query, lev)
+        assume(d > 0)
+        hits = all_matches(data, query, lev, d)
+        assert all(dist < d for _, _, dist in hits)
+
+
+class TestExample2:
+    def test_paper_example_2(self):
+        """P=ABCDE, Q=BFD, Lev, tau=2: P[1..3] matches with wed 1."""
+        A, B, C, D, E, F = range(6)
+        hits = all_matches([A, B, C, D, E], [B, F, D], lev, 2.0)
+        assert any((s, t) == (1, 3) and d == 1.0 for s, t, d in hits)

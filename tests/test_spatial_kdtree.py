@@ -1,0 +1,130 @@
+"""kd-tree correctness against brute force, including hypothesis sweeps."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import euclidean
+from repro.spatial.kdtree import KDTree
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+point_lists = st.lists(st.tuples(coords, coords), min_size=1, max_size=120)
+
+
+def brute_range(points, center, radius):
+    return sorted(
+        i for i, p in enumerate(points) if euclidean(p, center) <= radius
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KDTree([])
+
+    def test_len(self):
+        assert len(KDTree([(0, 0), (1, 1)])) == 2
+
+    def test_duplicate_points_allowed(self):
+        tree = KDTree([(1, 1)] * 5)
+        assert sorted(tree.range_search((1, 1), 0.0)) == [0, 1, 2, 3, 4]
+
+
+class TestRangeSearch:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            KDTree([(0, 0)]).range_search((0, 0), -1.0)
+
+    def test_simple(self):
+        tree = KDTree([(0, 0), (1, 0), (5, 5)])
+        assert sorted(tree.range_search((0, 0), 1.5)) == [0, 1]
+
+    def test_zero_radius_boundary(self):
+        tree = KDTree([(0, 0), (3, 4)])
+        assert tree.range_search((3, 4), 0.0) == [1]
+
+    @given(point_lists, st.tuples(coords, coords), st.floats(min_value=0, max_value=2e4))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, points, center, radius):
+        tree = KDTree(points)
+        assert sorted(tree.range_search(center, radius)) == brute_range(
+            points, center, radius
+        )
+
+
+class TestNearest:
+    def test_single(self):
+        idx, dist = KDTree([(2, 2)]).nearest((0, 0))
+        assert idx == 0
+        assert dist == pytest.approx(math.hypot(2, 2))
+
+    @given(point_lists, st.tuples(coords, coords))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, points, target):
+        tree = KDTree(points)
+        _, dist = tree.nearest(target)
+        best = min(euclidean(p, target) for p in points)
+        assert dist == pytest.approx(best, rel=1e-9, abs=1e-9)
+
+
+class TestKNearest:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            KDTree([(0, 0)]).k_nearest((0, 0), 0)
+
+    def test_returns_sorted_distances(self):
+        rng = random.Random(5)
+        pts = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(200)]
+        tree = KDTree(pts)
+        result = tree.k_nearest((50, 50), 10)
+        dists = [d for _, d in result]
+        assert dists == sorted(dists)
+        assert len(result) == 10
+
+    def test_k_larger_than_tree(self):
+        tree = KDTree([(0, 0), (1, 1)])
+        assert len(tree.k_nearest((0, 0), 10)) == 2
+
+    @given(point_lists, st.tuples(coords, coords), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, points, target, k):
+        tree = KDTree(points)
+        got = [d for _, d in tree.k_nearest(target, k)]
+        want = sorted(euclidean(p, target) for p in points)[:k]
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert g == pytest.approx(w, rel=1e-9, abs=1e-9)
+
+
+class TestNearestOutside:
+    def test_basic(self):
+        tree = KDTree([(0, 0), (1, 0), (10, 0)])
+        hit = tree.nearest_outside((0, 0), 2.0)
+        assert hit is not None
+        idx, dist = hit
+        assert idx == 2
+        assert dist == pytest.approx(10.0)
+
+    def test_none_when_all_inside(self):
+        tree = KDTree([(0, 0), (1, 0)])
+        assert tree.nearest_outside((0, 0), 100.0) is None
+
+    def test_predicate_restricts(self):
+        tree = KDTree([(0, 0), (5, 0), (6, 0)])
+        hit = tree.nearest_outside((0, 0), 1.0, predicate=lambda i: i != 1)
+        assert hit is not None and hit[0] == 2
+
+    @given(point_lists, st.tuples(coords, coords), st.floats(min_value=0, max_value=1e4))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, points, target, radius):
+        tree = KDTree(points)
+        hit = tree.nearest_outside(target, radius)
+        outside = [euclidean(p, target) for p in points if euclidean(p, target) > radius]
+        if not outside:
+            assert hit is None
+        else:
+            assert hit is not None
+            assert hit[1] == pytest.approx(min(outside), rel=1e-9, abs=1e-9)

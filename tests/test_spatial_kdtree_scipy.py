@@ -1,0 +1,67 @@
+"""Differential tests: our kd-tree vs scipy.spatial.cKDTree."""
+
+import random
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.spatial.kdtree import KDTree
+
+
+@pytest.fixture(scope="module")
+def point_cloud():
+    rng = random.Random(71)
+    return [(rng.uniform(-500, 500), rng.uniform(-500, 500)) for _ in range(800)]
+
+
+@pytest.fixture(scope="module")
+def trees(point_cloud):
+    return KDTree(point_cloud), cKDTree(np.asarray(point_cloud))
+
+
+class TestAgainstScipy:
+    def test_range_search(self, trees, point_cloud):
+        ours, scipys = trees
+        rng = random.Random(3)
+        for _ in range(50):
+            center = (rng.uniform(-600, 600), rng.uniform(-600, 600))
+            radius = rng.uniform(0, 300)
+            got = sorted(ours.range_search(center, radius))
+            want = sorted(scipys.query_ball_point(center, radius))
+            assert got == want
+
+    def test_nearest(self, trees):
+        ours, scipys = trees
+        rng = random.Random(4)
+        for _ in range(50):
+            target = (rng.uniform(-600, 600), rng.uniform(-600, 600))
+            _, got_d = ours.nearest(target)
+            want_d, _ = scipys.query(target)
+            assert got_d == pytest.approx(want_d)
+
+    def test_k_nearest(self, trees):
+        ours, scipys = trees
+        rng = random.Random(5)
+        for _ in range(30):
+            target = (rng.uniform(-600, 600), rng.uniform(-600, 600))
+            k = rng.randint(1, 12)
+            got = [d for _, d in ours.k_nearest(target, k)]
+            want, _ = scipys.query(target, k=k)
+            want = np.atleast_1d(want)
+            assert got == pytest.approx(list(want))
+
+    def test_nearest_outside_vs_scipy(self, trees, point_cloud):
+        ours, scipys = trees
+        rng = random.Random(6)
+        for _ in range(30):
+            target = (rng.uniform(-500, 500), rng.uniform(-500, 500))
+            radius = rng.uniform(0, 200)
+            hit = ours.nearest_outside(target, radius)
+            dists, _ = scipys.query(target, k=len(point_cloud))
+            outside = [d for d in np.atleast_1d(dists) if d > radius]
+            if not outside:
+                assert hit is None
+            else:
+                assert hit is not None
+                assert hit[1] == pytest.approx(min(outside))

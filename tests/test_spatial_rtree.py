@@ -1,0 +1,90 @@
+"""R-tree correctness against brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import BoundingBox, euclidean
+from repro.spatial.rtree import RTree
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+def make_point_entries(points):
+    return [(i, BoundingBox(x, y, x, y)) for i, (x, y) in enumerate(points)]
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RTree([])
+
+    def test_len(self):
+        entries = make_point_entries([(0, 0), (1, 1), (2, 2)])
+        assert len(RTree(entries)) == 3
+
+    def test_large_bulk_load(self):
+        rng = random.Random(1)
+        pts = [(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(1000)]
+        tree = RTree(make_point_entries(pts))
+        assert len(tree) == 1000
+
+
+class TestBoxSearch:
+    def test_simple(self):
+        entries = [
+            (7, BoundingBox(0, 0, 1, 1)),
+            (8, BoundingBox(5, 5, 6, 6)),
+        ]
+        tree = RTree(entries)
+        assert tree.search(BoundingBox(0.5, 0.5, 2, 2)) == [7]
+        assert sorted(tree.search(BoundingBox(-1, -1, 10, 10))) == [7, 8]
+        assert tree.search(BoundingBox(3, 3, 4, 4)) == []
+
+    @given(
+        st.lists(st.tuples(coords, coords), min_size=1, max_size=100),
+        st.tuples(coords, coords, coords, coords),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force(self, points, q):
+        x0, y0, dx, dy = q
+        query = BoundingBox(x0, y0, x0 + abs(dx), y0 + abs(dy))
+        tree = RTree(make_point_entries(points))
+        got = sorted(tree.search(query))
+        want = sorted(i for i, (x, y) in enumerate(points) if query.contains((x, y)))
+        assert got == want
+
+
+class TestRangeSearch:
+    def test_negative_radius_rejected(self):
+        tree = RTree(make_point_entries([(0, 0)]))
+        with pytest.raises(ValueError):
+            tree.range_search((0, 0), -0.1)
+
+    @given(
+        st.lists(st.tuples(coords, coords), min_size=1, max_size=100),
+        st.tuples(coords, coords),
+        st.floats(min_value=0, max_value=2e4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force(self, points, center, radius):
+        tree = RTree(make_point_entries(points))
+        got = sorted(tree.range_search(center, radius))
+        want = sorted(
+            i for i, p in enumerate(points) if euclidean(p, center) <= radius
+        )
+        assert got == want
+
+    def test_agrees_with_kdtree(self):
+        from repro.spatial.kdtree import KDTree
+
+        rng = random.Random(3)
+        pts = [(rng.uniform(0, 500), rng.uniform(0, 500)) for _ in range(300)]
+        rt = RTree(make_point_entries(pts))
+        kt = KDTree(pts)
+        for _ in range(20):
+            c = (rng.uniform(0, 500), rng.uniform(0, 500))
+            r = rng.uniform(0, 200)
+            assert sorted(rt.range_search(c, r)) == sorted(kt.range_search(c, r))

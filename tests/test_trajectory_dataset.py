@@ -1,0 +1,117 @@
+"""TrajectoryDataset container behaviour."""
+
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+
+
+class TestBasics:
+    def test_add_returns_dense_ids(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        assert ds.add(Trajectory([0, 1])) == 0
+        assert ds.add(Trajectory([1, 2])) == 1
+        assert len(ds) == 2
+
+    def test_unknown_representation_rejected(self, line_graph):
+        with pytest.raises(ValueError):
+            TrajectoryDataset(line_graph, "banana")
+
+    def test_validate_flag(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        with pytest.raises(TrajectoryError):
+            ds.add(Trajectory([0, 3]), validate=True)
+        ds.add(Trajectory([0, 3]))  # unvalidated add is permitted
+
+    def test_iteration_and_getitem(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        t = Trajectory([0, 1, 2])
+        ds.add(t)
+        assert ds[0] == t
+        assert list(ds) == [t]
+
+
+class TestSymbols:
+    def test_vertex_symbols(self, line_graph):
+        ds = TrajectoryDataset(line_graph, "vertex")
+        ds.add(Trajectory([0, 1, 2]))
+        assert list(ds.symbols(0)) == [0, 1, 2]
+
+    def test_edge_symbols(self, line_graph):
+        ds = TrajectoryDataset(line_graph, "edge")
+        ds.add(Trajectory([0, 1, 2]))
+        expected = line_graph.path_to_edges([0, 1, 2])
+        assert list(ds.symbols(0)) == expected
+
+    def test_edge_symbols_cached(self, line_graph):
+        ds = TrajectoryDataset(line_graph, "edge")
+        ds.add(Trajectory([0, 1, 2]))
+        assert ds.symbols(0) is ds.symbols(0)
+
+    def test_edge_repr_needs_two_vertices(self, line_graph):
+        ds = TrajectoryDataset(line_graph, "edge")
+        with pytest.raises(TrajectoryError):
+            ds.add(Trajectory([0]))
+
+    def test_alphabet_size(self, line_graph):
+        vds = TrajectoryDataset(line_graph, "vertex")
+        eds = TrajectoryDataset(line_graph, "edge")
+        assert vds.alphabet_size() == line_graph.num_vertices
+        assert eds.alphabet_size() == line_graph.num_edges
+
+
+class TestStatistics:
+    def test_average_length(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1]))
+        ds.add(Trajectory([0, 1, 2, 3]))
+        assert ds.average_length() == 3.0
+        assert ds.total_symbols() == 6
+
+    def test_empty_average(self, line_graph):
+        assert TrajectoryDataset(line_graph).average_length() == 0.0
+
+    def test_statistics_shape(self, vertex_dataset):
+        stats = vertex_dataset.statistics()
+        assert set(stats) == {
+            "num_trajectories",
+            "avg_length",
+            "num_vertices",
+            "num_edges",
+        }
+        assert stats["num_trajectories"] == len(vertex_dataset)
+
+
+class TestPersistence:
+    def test_round_trip(self, line_graph, tmp_path):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1, 2], timestamps=[0.0, 1.5, 3.0]))
+        ds.add(Trajectory([3, 4]))
+        path = tmp_path / "ds.jsonl"
+        ds.save(path)
+        ds2 = TrajectoryDataset.load(line_graph, path)
+        assert len(ds2) == 2
+        assert ds2[0].path == (0, 1, 2)
+        assert ds2[0].timestamps == (0.0, 1.5, 3.0)
+        assert ds2[1].timestamps is None
+
+    def test_round_trip_edge_representation(self, line_graph, tmp_path):
+        ds = TrajectoryDataset(line_graph, "edge")
+        ds.add(Trajectory([0, 1, 2]))
+        path = tmp_path / "ds.jsonl"
+        ds.save(path)
+        ds2 = TrajectoryDataset.load(line_graph, path)
+        assert ds2.representation == "edge"
+        assert list(ds2.symbols(0)) == list(ds.symbols(0))
+
+    def test_truncated_rejected(self, line_graph, tmp_path):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1]))
+        ds.add(Trajectory([1, 2]))
+        path = tmp_path / "ds.jsonl"
+        ds.save(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(TrajectoryError):
+            TrajectoryDataset.load(line_graph, path)

@@ -1,0 +1,78 @@
+"""Trip generator: path validity, timestamps, determinism, shape knobs."""
+
+import pytest
+
+from repro.exceptions import TrajectoryError
+from repro.network.generators import grid_city
+from repro.network.graph import RoadNetwork
+from repro.trajectory.generator import TripGenerator
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(8, 8, seed=21)
+
+
+class TestTrips:
+    def test_paths_are_valid_walks(self, city):
+        gen = TripGenerator(city, seed=1)
+        for trip in gen.generate(20, min_length=5, max_length=40):
+            assert city.is_path(list(trip.path))
+
+    def test_length_bounds(self, city):
+        gen = TripGenerator(city, seed=2)
+        for trip in gen.generate(20, min_length=6, max_length=15):
+            assert 6 <= len(trip) <= 15
+
+    def test_timestamps_strictly_increasing(self, city):
+        gen = TripGenerator(city, seed=3)
+        for trip in gen.generate(10, min_length=5, max_length=30):
+            ts = trip.timestamps
+            assert ts is not None
+            assert all(b > a for a, b in zip(ts, ts[1:]))
+
+    def test_deterministic(self, city):
+        a = TripGenerator(city, seed=9).generate(5, min_length=5, max_length=20)
+        b = TripGenerator(city, seed=9).generate(5, min_length=5, max_length=20)
+        assert [t.path for t in a] == [t.path for t in b]
+        assert [t.timestamps for t in a] == [t.timestamps for t in b]
+
+    def test_departures_within_horizon(self, city):
+        gen = TripGenerator(city, seed=4)
+        trips = gen.generate(10, min_length=5, max_length=20, time_horizon=1000.0)
+        assert all(t.start_time < 1000.0 for t in trips)
+
+    def test_explicit_departure(self, city):
+        gen = TripGenerator(city, seed=5)
+        trip = gen.generate_trip(min_length=5, max_length=20, depart=123.0)
+        assert trip.start_time == 123.0
+
+    def test_hub_bias_concentrates_traffic(self, city):
+        """Hub endpoints make some vertices much more frequent than uniform."""
+        gen = TripGenerator(city, seed=6, hub_fraction=0.03, hub_bias=0.9)
+        counts = {}
+        for t in gen.generate(60, min_length=5, max_length=30):
+            for v in t.path:
+                counts[v] = counts.get(v, 0) + 1
+        top = max(counts.values())
+        avg = sum(counts.values()) / len(counts)
+        assert top > 3 * avg
+
+    def test_too_small_graph_rejected(self):
+        g = RoadNetwork()
+        g.add_vertex((0, 0))
+        with pytest.raises(TrajectoryError):
+            TripGenerator(g)
+
+    def test_impossible_length_raises(self, city):
+        gen = TripGenerator(city, seed=7)
+        with pytest.raises(TrajectoryError):
+            gen.generate_trip(min_length=10_000, max_length=20_000)
+
+    def test_travel_time_scales_with_speed(self, city):
+        slow = TripGenerator(city, seed=8, speed=5.0, time_noise=0.0)
+        fast = TripGenerator(city, seed=8, speed=50.0, time_noise=0.0)
+        a = slow.generate_trip(min_length=8, max_length=20, depart=0.0)
+        b = fast.generate_trip(min_length=8, max_length=20, depart=0.0)
+        assert a.path == b.path  # same seed, same route
+        assert a.duration == pytest.approx(10 * b.duration)

@@ -1,0 +1,98 @@
+"""HMM map matching: recovery of ground-truth paths from noised tracks."""
+
+import pytest
+
+from repro.exceptions import MapMatchError
+from repro.network.generators import grid_city
+from repro.trajectory.generator import TripGenerator
+from repro.trajectory.mapmatch import HMMMapMatcher
+from repro.trajectory.noise import gps_noise, resample
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(7, 7, spacing=100.0, seed=31)
+
+
+@pytest.fixture(scope="module")
+def matcher(city):
+    return HMMMapMatcher(city, sigma=10.0, beta=50.0, candidate_radius=55.0)
+
+
+def jaccard(a, b):
+    sa, sb = set(a), set(b)
+    return len(sa & sb) / len(sa | sb)
+
+
+class TestMatching:
+    def test_noise_free_track_recovers_exactly(self, city, matcher):
+        gen = TripGenerator(city, seed=1, detour_prob=0.0)
+        trip = gen.generate_trip(min_length=8, max_length=20)
+        observations = [city.coord(v) for v in trip.path]
+        matched = matcher.match(observations)
+        assert matched.path == trip.path
+
+    def test_low_noise_track_mostly_recovered(self, city, matcher):
+        gen = TripGenerator(city, seed=2, detour_prob=0.0)
+        for trip_seed in range(3):
+            trip = gen.generate_trip(min_length=10, max_length=25)
+            obs = gps_noise(city, trip, sigma=8.0, seed=trip_seed)
+            matched = matcher.match(obs)
+            assert jaccard(matched.path, trip.path) > 0.7
+
+    def test_resampled_track_still_connected(self, city, matcher):
+        gen = TripGenerator(city, seed=3, detour_prob=0.0)
+        trip = gen.generate_trip(min_length=9, max_length=24)
+        obs = resample(gps_noise(city, trip, sigma=5.0, seed=9), keep_every=3)
+        matched = matcher.match(obs)
+        assert city.is_path(list(matched.path))
+        assert jaccard(matched.path, trip.path) > 0.5
+
+    def test_matched_output_is_valid_path(self, city, matcher):
+        gen = TripGenerator(city, seed=4)
+        for i in range(3):
+            trip = gen.generate_trip(min_length=8, max_length=18)
+            obs = gps_noise(city, trip, sigma=12.0, seed=i)
+            matched = matcher.match(obs)
+            assert city.is_path(list(matched.path))
+
+    def test_empty_observations_rejected(self, matcher):
+        with pytest.raises(MapMatchError):
+            matcher.match([])
+
+    def test_single_observation(self, city, matcher):
+        matched = matcher.match([city.coord(10)])
+        assert len(matched) == 1
+        assert matched.path[0] == 10
+
+    def test_far_observation_snaps_to_nearest(self, city, matcher):
+        # Observation far from every vertex: candidate fallback kicks in.
+        matched = matcher.match([(1e6, 1e6)])
+        assert len(matched.path) == 1
+
+
+class TestNoiseHelpers:
+    def test_gps_noise_deterministic(self, city):
+        gen = TripGenerator(city, seed=5)
+        trip = gen.generate_trip(min_length=5, max_length=10)
+        assert gps_noise(city, trip, seed=3) == gps_noise(city, trip, seed=3)
+
+    def test_gps_noise_zero_sigma(self, city):
+        gen = TripGenerator(city, seed=6)
+        trip = gen.generate_trip(min_length=5, max_length=10)
+        obs = gps_noise(city, trip, sigma=0.0, seed=1)
+        assert obs == [city.coord(v) for v in trip.path]
+
+    def test_resample_keeps_last(self):
+        pts = [(float(i), 0.0) for i in range(10)]
+        out = resample(pts, 4)
+        assert out[0] == (0.0, 0.0)
+        assert out[-1] == (9.0, 0.0)
+
+    def test_resample_every_one_is_identity(self):
+        pts = [(float(i), 0.0) for i in range(5)]
+        assert resample(pts, 1) == pts
+
+    def test_resample_validates(self):
+        with pytest.raises(ValueError):
+            resample([(0.0, 0.0)], 0)
