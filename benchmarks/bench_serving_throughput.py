@@ -1,0 +1,128 @@
+"""Serving throughput — QPS vs. client concurrency through the service.
+
+Not a paper figure: the paper measures single-query latency; this
+benchmark measures the serving subsystem built on top of it
+(`repro.service`).  A Zipf-skewed request stream (popular routes repeat,
+as in real traffic) is replayed against:
+
+- *direct*: one client calling the engine serially (the pre-service
+  deployment model) — the baseline;
+- *service*: N concurrent clients in front of :class:`QueryService`
+  (thread-pool shard fan-out + LRU result cache + request coalescing).
+
+Expectation: service QPS grows with concurrency and clears 2x the serial
+baseline by concurrency 8, with a substantial cache hit rate on the
+skewed mix; answers stay element-for-element identical to the engine's.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from _helpers import load_workload
+
+from repro.bench.harness import SeriesTable
+from repro.bench.workloads import sample_zipf_queries
+from repro.core.engine import SubtrajectorySearch
+from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.service import QueryService
+
+CONCURRENCY = [1, 2, 4, 8]
+TAU_RATIO = 0.3
+NUM_REQUESTS = 60
+NUM_DISTINCT = 10
+QUERY_LENGTH = 15
+NUM_SHARDS = 4
+
+
+def _match_keys(result):
+    return [(m.trajectory_id, m.start, m.end) for m in result.matches]
+
+
+def _replay_concurrent(service, requests, concurrency):
+    """Wall-clock seconds to drain ``requests`` with ``concurrency``
+    client threads hammering the service."""
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as clients:
+        futures = [
+            clients.submit(service.query, q, tau_ratio=TAU_RATIO) for q in requests
+        ]
+        responses = [f.result() for f in futures]
+    return time.perf_counter() - t0, responses
+
+
+def test_serving_throughput(benchmark, recorder, bench_scale):
+    graph, dataset, costs, _ = load_workload("small", "EDR", scale=bench_scale)
+    requests = sample_zipf_queries(
+        dataset, NUM_REQUESTS, QUERY_LENGTH, distinct=NUM_DISTINCT, seed=99
+    )
+
+    # Baseline: the pre-service deployment — one client, direct engine,
+    # no cache, no concurrency.
+    direct = SubtrajectorySearch(dataset, costs)
+    t0 = time.perf_counter()
+    expected = {}
+    for q in requests:
+        expected[tuple(q)] = _match_keys(direct.query(q, tau_ratio=TAU_RATIO))
+    serial_seconds = time.perf_counter() - t0
+    serial_qps = NUM_REQUESTS / serial_seconds
+
+    engine = PartitionedSubtrajectorySearch(dataset, costs, num_shards=NUM_SHARDS)
+    qps = []
+    hit_rates = []
+    coalesce_rates = []
+    for concurrency in CONCURRENCY:
+        service = QueryService(engine, max_workers=8, cache_size=256)
+        seconds, responses = _replay_concurrent(service, requests, concurrency)
+        # Serving correctness: every answer (cache hits and coalesced
+        # duplicates included) must equal the direct engine's.
+        for q, response in zip(requests, responses):
+            assert _match_keys(response.result) == expected[tuple(q)]
+        snap = service.stats()
+        qps.append(NUM_REQUESTS / seconds)
+        hit_rates.append(snap["cache_hit_rate"])
+        coalesce_rates.append(snap["coalesce_rate"])
+        service.close()
+
+    table = SeriesTable(
+        "series",
+        [f"c={c}" for c in CONCURRENCY],
+        title=(
+            "Serving throughput (small / EDR): QPS vs client concurrency "
+            f"(serial direct baseline: {serial_qps:.1f} QPS)"
+        ),
+    )
+    table.add_row("service QPS", qps, formatter=lambda v: f"{v:.1f}")
+    table.add_row("vs baseline", [q / serial_qps for q in qps],
+                  formatter=lambda v: f"{v:.2f}x")
+    table.add_row("cache hit rate", hit_rates, formatter=lambda v: f"{v:.0%}")
+    table.add_row("coalesce rate", coalesce_rates, formatter=lambda v: f"{v:.0%}")
+    table.print()
+
+    # Acceptance: >= 2x serial QPS at concurrency 8, nonzero hit rate on
+    # the zipf mix.
+    assert qps[-1] >= 2.0 * serial_qps
+    assert hit_rates[-1] > 0.0
+
+    recorder.record(
+        "serving_throughput",
+        {
+            "concurrency": CONCURRENCY,
+            "qps": qps,
+            "serial_qps": serial_qps,
+            "speedup": [q / serial_qps for q in qps],
+            "cache_hit_rate": hit_rates,
+            "coalesce_rate": coalesce_rates,
+            "requests": NUM_REQUESTS,
+            "distinct": NUM_DISTINCT,
+            "shards": NUM_SHARDS,
+            "scale": bench_scale,
+        },
+        expectation="service QPS >= 2x serial direct baseline at c=8; "
+        "nonzero cache hit rate on the zipf-skewed mix",
+    )
+
+    # Steady-state single-request latency through the warmed service.
+    service = QueryService(engine, max_workers=8, cache_size=256)
+    service.query(requests[0], tau_ratio=TAU_RATIO)
+    benchmark(lambda: service.query(requests[0], tau_ratio=TAU_RATIO))
+    service.close()

@@ -42,6 +42,7 @@ from repro.distance.smith_waterman import all_matches, best_match
 from repro.distance.wed import wed
 from repro.network.generators import grid_city, radial_ring_city, random_city
 from repro.network.graph import RoadNetwork
+from repro.service import QueryService, ServiceResponse, ServiceServer
 from repro.trajectory.dataset import TrajectoryDataset
 from repro.trajectory.generator import TripGenerator
 from repro.trajectory.model import Trajectory
@@ -58,8 +59,11 @@ __all__ = [
     "NetERPCost",
     "PartitionedSubtrajectorySearch",
     "QueryResult",
+    "QueryService",
     "RoadNetwork",
     "SURSCost",
+    "ServiceResponse",
+    "ServiceServer",
     "SubtrajectorySearch",
     "TimeInterval",
     "Trajectory",

@@ -13,7 +13,11 @@ from repro.bench.corridors import CorridorWorkload, build_corridor_workload
 from repro.bench.datasets import DATASET_PROFILES, build_dataset
 from repro.bench.harness import ResultRecorder, SeriesTable
 from repro.bench.report import load_results, render_markdown
-from repro.bench.workloads import sample_queries, sample_sparse_queries
+from repro.bench.workloads import (
+    sample_queries,
+    sample_sparse_queries,
+    sample_zipf_queries,
+)
 
 __all__ = [
     "DATASET_PROFILES",
@@ -26,4 +30,5 @@ __all__ = [
     "render_markdown",
     "sample_queries",
     "sample_sparse_queries",
+    "sample_zipf_queries",
 ]

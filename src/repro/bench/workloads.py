@@ -14,7 +14,7 @@ from typing import List
 from repro.apps._common import find_exact_occurrences
 from repro.trajectory.dataset import TrajectoryDataset
 
-__all__ = ["sample_queries", "sample_sparse_queries"]
+__all__ = ["sample_queries", "sample_sparse_queries", "sample_zipf_queries"]
 
 
 def sample_queries(
@@ -39,6 +39,31 @@ def sample_queries(
         s = rng.randrange(0, len(symbols) - length + 1)
         out.append(list(symbols[s : s + length]))
     return out
+
+
+def sample_zipf_queries(
+    dataset: TrajectoryDataset,
+    count: int,
+    length: int,
+    *,
+    distinct: int = 16,
+    exponent: float = 1.2,
+    seed: int = 0,
+) -> List[List[int]]:
+    """A serving-style request stream: ``count`` requests drawn from
+    ``distinct`` base queries with Zipf-skewed popularity (rank ``r`` has
+    weight ``1 / r**exponent``).
+
+    Real query traffic is heavily skewed toward popular routes; this is
+    the mix the serving layer's result cache and request coalescing are
+    designed for, so the throughput benchmark uses it as its workload.
+    """
+    if distinct < 1:
+        raise ValueError("distinct must be >= 1")
+    base = sample_queries(dataset, distinct, length, seed=seed)
+    rng = random.Random(seed + 0x5EED)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(base))]
+    return [list(q) for q in rng.choices(base, weights=weights, k=count)]
 
 
 def sample_sparse_queries(

@@ -6,7 +6,9 @@ Gives downstream users a no-code path through the full workflow:
 - ``generate-trips`` — synthesize a trajectory dataset on a network;
 - ``stats`` — Table-2-style statistics of a dataset;
 - ``query`` — run one subtrajectory similarity query;
-- ``travel-time`` — estimate the travel time of a path.
+- ``travel-time`` — estimate the travel time of a path;
+- ``serve`` — run the JSON-over-HTTP query service (``--self-test``
+  starts it on a synthetic workload, issues one HTTP query, and exits).
 """
 
 from __future__ import annotations
@@ -180,6 +182,94 @@ def _cmd_travel_time(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.partitioned import PartitionedSubtrajectorySearch
+    from repro.service import QueryService, ServiceServer
+
+    if args.network is not None:
+        # --self-test with real files smoke-tests the actual deployment.
+        if args.trips is None:
+            raise SystemExit("--trips is required with --network")
+        graph, dataset = _load(args, args.representation)
+    elif args.self_test:
+        graph = grid_city(8, 8, seed=3)
+        dataset = TrajectoryDataset(graph, args.representation)
+        gen = TripGenerator(graph, seed=4)
+        dataset.extend(gen.generate(40, min_length=6, max_length=25))
+    else:
+        raise SystemExit("--network/--trips are required (or pass --self-test)")
+    costs = _build_cost_model(args, graph)
+    if costs.representation != dataset.representation:
+        raise SystemExit(
+            f"{args.function} needs --representation {costs.representation}"
+        )
+    if args.shards > 1:
+        engine = PartitionedSubtrajectorySearch(
+            dataset, costs, num_shards=args.shards
+        )
+    else:
+        engine = SubtrajectorySearch(dataset, costs)
+    service = QueryService(
+        engine,
+        max_workers=args.workers,
+        max_pending=args.max_pending,
+        default_deadline=args.deadline,
+        cache_size=args.cache_size,
+        batching=not args.no_batching,
+    )
+    port = 0 if args.self_test else args.port
+    server = ServiceServer(service, host=args.host, port=port)
+    if args.self_test:
+        return _serve_self_test(server, service, dataset)
+    print(f"serving {len(dataset)} trajectories on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _serve_self_test(server, service, dataset) -> int:
+    """Start the server, answer one HTTP query, verify it against the
+    engine, and exit (the CI smoke path)."""
+    import urllib.request
+
+    server.start()
+    try:
+        path = list(dataset.symbols(0))[:6]
+        body = json.dumps({"path": path, "tau_ratio": 0.3}).encode("utf-8")
+        request = urllib.request.Request(
+            server.url + "/query",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            answer = json.loads(response.read().decode("utf-8"))
+        direct = service.engine.query(path, tau_ratio=0.3)
+        if answer["total_matches"] != len(direct.matches):
+            print(
+                f"self-test FAILED: HTTP reported {answer['total_matches']} "
+                f"matches, engine found {len(direct.matches)}"
+            )
+            return 1
+        print(
+            json.dumps(
+                {
+                    "self_test": "ok",
+                    "url": server.url,
+                    "total_matches": answer["total_matches"],
+                    "seconds": answer["seconds"],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    finally:
+        server.shutdown()
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -241,6 +331,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tau-ratio", type=float, default=0.1)
     _add_cost_options(p)
     p.set_defaults(func=_cmd_travel_time)
+
+    p = sub.add_parser("serve", help="run the JSON-over-HTTP query service")
+    p.add_argument("--network", default=None)
+    p.add_argument("--trips", default=None)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--shards", type=int, default=1, help="engine shards (>1 fans out)")
+    p.add_argument("--workers", type=int, default=4, help="executor thread-pool size")
+    p.add_argument("--max-pending", type=int, default=64, help="admission limit")
+    p.add_argument(
+        "--deadline", type=float, default=None, help="default per-query deadline (s)"
+    )
+    p.add_argument("--cache-size", type=int, default=1024, help="LRU entries (0 = off)")
+    p.add_argument(
+        "--no-batching", action="store_true", help="disable request coalescing"
+    )
+    p.add_argument(
+        "--self-test",
+        action="store_true",
+        help="serve a synthetic workload, answer one HTTP query, and exit",
+    )
+    _add_cost_options(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "report", help="render recorded benchmark results as markdown"

@@ -19,6 +19,7 @@ harness reads everything from one object.
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Literal, Optional, Sequence
@@ -43,7 +44,12 @@ from repro.distance.smith_waterman import all_matches
 from repro.exceptions import QueryError
 from repro.trajectory.dataset import TrajectoryDataset
 
-__all__ = ["QueryResult", "SubtrajectorySearch"]
+__all__ = [
+    "QueryResult",
+    "SubtrajectorySearch",
+    "cost_model_id",
+    "query_signature",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -79,6 +85,68 @@ class QueryResult:
 
     def __len__(self) -> int:
         return len(self.matches)
+
+
+def cost_model_id(costs) -> str:
+    """A stable, human-readable identifier for a cost-model configuration.
+
+    Combines the class name with every public *scalar* attribute (epsilon,
+    eta, g_del, representation, ...).  Non-scalar state — the underlying
+    graph, a custom ERP reference point — is NOT captured, so two models
+    differing only in such state collide; a cache keyed on this id must
+    therefore be scoped to one engine/cost-model instance (which is how
+    :class:`repro.service.QueryService` uses it).  Used as the cost-model
+    component of :func:`query_signature`.
+    """
+    params = [
+        f"{key}={value!r}"
+        for key, value in sorted(vars(costs).items())
+        if not key.startswith("_") and isinstance(value, (bool, int, float, str))
+    ]
+    return f"{type(costs).__name__}({', '.join(params)})"
+
+
+def query_signature(
+    query: Sequence[int],
+    costs,
+    *,
+    tau: Optional[float] = None,
+    tau_ratio: Optional[float] = None,
+    time_interval: Optional[TimeInterval] = None,
+    temporal_mode: TemporalMode = "overlap",
+) -> tuple:
+    """A hashable, normalized key identifying one query's *answer*.
+
+    Two invocations with the same signature against the same engine are
+    guaranteed the same result set on an unchanged dataset, which is what
+    the serving layer's result cache and request coalescing key on (the
+    cost-model component only covers scalar configuration — see
+    :func:`cost_model_id` — so signatures are comparable within one
+    engine/cost-model scope, not across arbitrary models).  The signature
+    covers the query
+    path, the cost-model configuration, the threshold parameterization
+    (``tau`` and ``tau_ratio`` are kept distinct — the ratio resolves
+    against the query, not the dataset) and the temporal constraint.  The
+    ``temporal_filter`` evaluation strategy (§4.3) is deliberately
+    excluded: TF vs no-TF changes timing, never answers.
+    """
+    if (tau is None) == (tau_ratio is None):
+        raise QueryError("exactly one of tau / tau_ratio must be given")
+    threshold = (
+        ("tau", float(tau)) if tau is not None else ("tau_ratio", float(tau_ratio))
+    )
+    constraint = (
+        None
+        if time_interval is None
+        else (float(time_interval.start), float(time_interval.end), str(temporal_mode))
+    )
+    return (
+        "q1",
+        tuple(int(s) for s in query),
+        cost_model_id(costs),
+        threshold,
+        constraint,
+    )
 
 
 class SubtrajectorySearch:
@@ -142,9 +210,20 @@ class SubtrajectorySearch:
         self._early_termination = early_termination
         self._fallback = fallback_to_scan
         self._dp_backend = dp_backend
+        self._update_lock = threading.Lock()
         self.index = InvertedIndex(dataset, sort_by_departure=sort_by_departure)
 
     # -- public API --------------------------------------------------------
+
+    @property
+    def costs(self):
+        """The cost model this engine searches under."""
+        return self._costs
+
+    @property
+    def dataset(self) -> TrajectoryDataset:
+        """The indexed trajectory dataset."""
+        return self._dataset
 
     def add_trajectory(self, trajectory, *, validate: bool = False) -> int:
         """Append one trajectory to the dataset and index it online (§4.1:
@@ -152,10 +231,30 @@ class SubtrajectorySearch:
 
         Returns the new trajectory id.  Not available on departure-sorted
         indexes, which are built once over a closed dataset.
+
+        Inserts are serialized against each other (safe from concurrent
+        server threads); concurrent *queries* see either the pre- or
+        post-insert postings — never a torn state — because postings are
+        replaced as immutable tuples.
         """
-        tid = self._dataset.add(trajectory, validate=validate)
-        self.index.append_trajectory(tid)
-        return tid
+        with self._update_lock:
+            if self.index.sorted_by_departure:
+                # Fail before the dataset commits: the index would reject
+                # the append afterwards, stranding an orphan trajectory.
+                raise ValueError("cannot append to a departure-sorted index")
+            edges = None
+            if self._dataset.representation == "edge":
+                # Force the edge conversion *before* mutating anything: on a
+                # non-walk it raises here, where no rollback is needed,
+                # instead of inside index.append_trajectory after the
+                # dataset has already committed the trajectory.
+                edges = tuple(trajectory.edge_representation(self._dataset.graph))
+            tid = self._dataset.add(trajectory, validate=validate)
+            if edges is not None:
+                # Seed the lazy symbol cache so the conversion runs once.
+                self._dataset._edge_strings[tid] = edges
+            self.index.append_trajectory(tid)
+            return tid
 
     def query(
         self,

@@ -53,6 +53,11 @@ class InvertedIndex:
         }
         self.build_seconds = time.perf_counter() - t0
 
+    @property
+    def sorted_by_departure(self) -> bool:
+        """Whether postings are departure-ordered (closed to appends)."""
+        return self._sorted
+
     # -- incremental updates (§4.1: append a record) -----------------------
 
     def append_trajectory(self, tid: int) -> None:

@@ -8,15 +8,23 @@ inside one trajectory — so hash-partitioning trajectories over shards
 gives exact answers with no cross-shard coordination beyond a union.
 
 :class:`PartitionedSubtrajectorySearch` simulates such a deployment in a
-single process: one engine per shard, queries fan out to every shard
-(serially here; embarrassingly parallel in a real cluster), results are
-merged with ids mapped back to the global space.  Temporal constraints and
-all engine options pass straight through.
+single process: one engine per shard, queries fan out to every shard,
+results are merged with ids mapped back to the global space.  The fan-out
+runs serially by default and on a thread pool when ``max_workers`` is set;
+either way the merge is deterministic (shard order, then sorted by global
+``(id, start, end)``).  The per-shard work is also exposed as plain
+callables (:meth:`shard_query_callables` + :meth:`merge_shard_results`) so
+an external scheduler — :class:`repro.service.Executor` — can run the
+fan-out on its own pool and impose deadlines between shards.  Temporal
+constraints and all engine options pass straight through.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.engine import QueryResult, SubtrajectorySearch
 from repro.core.results import Match
@@ -34,6 +42,12 @@ class PartitionedSubtrajectorySearch:
     ``num_shards`` engines are built over disjoint trajectory subsets
     (round-robin assignment, which balances shard sizes).  All constructor
     keyword arguments are forwarded to every shard engine.
+
+    ``max_workers`` opts in to parallel fan-out: shard queries run on a
+    shared thread pool of that size (capped at the shard count).  The
+    default ``None`` keeps the historical serial behaviour.  Parallel and
+    serial fan-out produce identical results — the merge collects shard
+    results in shard order regardless of completion order.
     """
 
     def __init__(
@@ -42,12 +56,15 @@ class PartitionedSubtrajectorySearch:
         costs,
         *,
         num_shards: int = 4,
+        max_workers: Optional[int] = None,
         **engine_kwargs,
     ) -> None:
         if num_shards < 1:
             raise QueryError("num_shards must be >= 1")
         if len(dataset) == 0:
             raise QueryError("cannot shard an empty dataset")
+        if max_workers is not None and max_workers < 1:
+            raise QueryError("max_workers must be >= 1")
         num_shards = min(num_shards, len(dataset))
         self._global_ids: List[List[int]] = [[] for _ in range(num_shards)]
         shards = [
@@ -61,13 +78,63 @@ class PartitionedSubtrajectorySearch:
         self._engines = [
             SubtrajectorySearch(shard, costs, **engine_kwargs) for shard in shards
         ]
+        self._costs = costs
+        self._update_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if max_workers is not None and num_shards > 1:
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(max_workers, num_shards),
+                thread_name_prefix="repro-shard",
+            )
 
     @property
     def num_shards(self) -> int:
         """Number of shard engines actually built."""
         return len(self._engines)
 
-    def query(
+    @property
+    def costs(self):
+        """The cost model shared by every shard engine."""
+        return self._costs
+
+    def __len__(self) -> int:
+        return sum(len(ids) for ids in self._global_ids)
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pool (no-op for serial mode)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- online updates -----------------------------------------------------
+
+    def add_trajectory(self, trajectory, *, validate: bool = False) -> int:
+        """Append one trajectory, continuing the round-robin assignment
+        (global id ``g`` lives on shard ``g % num_shards``, exactly as at
+        construction).  Returns the new global trajectory id.
+
+        Serialized against concurrent inserts so global ids stay dense and
+        unique when called from server threads."""
+        with self._update_lock:
+            gid = len(self)
+            shard = gid % self.num_shards
+            # Reserve the global id *before* the shard engine can match the
+            # new trajectory: a concurrent query that sees the trajectory
+            # must find its id in the map (the reverse order would let the
+            # merge hit an unmapped shard-local id).  An id mapped early is
+            # harmless — no match can reference it until the engine insert
+            # lands.
+            self._global_ids[shard].append(gid)
+            try:
+                self._engines[shard].add_trajectory(trajectory, validate=validate)
+            except BaseException:
+                self._global_ids[shard].pop()
+                raise
+            return gid
+
+    # -- shard fan-out ------------------------------------------------------
+
+    def shard_query_callables(
         self,
         query: Sequence[int],
         *,
@@ -76,16 +143,16 @@ class PartitionedSubtrajectorySearch:
         time_interval: Optional[TimeInterval] = None,
         temporal_filter: bool = True,
         temporal_mode: TemporalMode = "overlap",
-    ) -> QueryResult:
-        """Fan out to every shard and merge (exact, same semantics as the
-        single-node engine)."""
-        matches: List[Match] = []
-        tau_used = 0.0
-        candidates = 0
-        mincand = lookup = verify = 0.0
-        stats = VerificationStats()
-        for engine, id_map in zip(self._engines, self._global_ids):
-            result = engine.query(
+    ) -> List[Callable[[], QueryResult]]:
+        """One zero-argument callable per shard, each returning that shard's
+        :class:`QueryResult` (shard-local trajectory ids).
+
+        The callables are independent and thread-safe to run concurrently;
+        pass their results *in shard order* to :meth:`merge_shard_results`.
+        """
+        return [
+            partial(
+                engine.query,
                 query,
                 tau=tau,
                 tau_ratio=tau_ratio,
@@ -93,6 +160,23 @@ class PartitionedSubtrajectorySearch:
                 temporal_filter=temporal_filter,
                 temporal_mode=temporal_mode,
             )
+            for engine in self._engines
+        ]
+
+    def merge_shard_results(self, results: Sequence[QueryResult]) -> QueryResult:
+        """Union shard results (given in shard order) into one global
+        :class:`QueryResult`: ids mapped back to the global space, matches
+        sorted by ``(id, start, end)``, timings and counters summed."""
+        if len(results) != len(self._engines):
+            raise QueryError(
+                f"expected {len(self._engines)} shard results, got {len(results)}"
+            )
+        matches: List[Match] = []
+        tau_used = 0.0
+        candidates = 0
+        mincand = lookup = verify = 0.0
+        stats = VerificationStats()
+        for result, id_map in zip(results, self._global_ids):
             tau_used = result.tau
             candidates += result.num_candidates
             mincand += result.mincand_seconds
@@ -119,3 +203,29 @@ class PartitionedSubtrajectorySearch:
             verify_seconds=verify,
             verification=stats,
         )
+
+    def query(
+        self,
+        query: Sequence[int],
+        *,
+        tau: Optional[float] = None,
+        tau_ratio: Optional[float] = None,
+        time_interval: Optional[TimeInterval] = None,
+        temporal_filter: bool = True,
+        temporal_mode: TemporalMode = "overlap",
+    ) -> QueryResult:
+        """Fan out to every shard and merge (exact, same semantics as the
+        single-node engine)."""
+        calls = self.shard_query_callables(
+            query,
+            tau=tau,
+            tau_ratio=tau_ratio,
+            time_interval=time_interval,
+            temporal_filter=temporal_filter,
+            temporal_mode=temporal_mode,
+        )
+        if self._pool is None:
+            results = [call() for call in calls]
+        else:
+            results = list(self._pool.map(lambda call: call(), calls))
+        return self.merge_shard_results(results)

@@ -37,3 +37,16 @@ class IndexError_(ReproError):
 
 class MapMatchError(ReproError):
     """Raised when HMM map matching cannot produce a path (broken HMM)."""
+
+
+class ServiceError(ReproError):
+    """Base class for query-serving failures (:mod:`repro.service`)."""
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a query misses its per-query deadline."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when admission control sheds a query (pending limit reached,
+    or the service is shutting down)."""

@@ -1,0 +1,42 @@
+"""Concurrent query serving over the exact search core.
+
+The first subsystem *above* the engine: where the core answers one query
+at a time in-process, :mod:`repro.service` turns it into a multi-client
+service —
+
+- :class:`Executor` — thread-pool execution with per-shard fan-out for
+  :class:`~repro.core.partitioned.PartitionedSubtrajectorySearch`,
+  per-query deadlines, and admission control;
+- :class:`ResultCache` — LRU over normalized query signatures, with
+  invalidation hooks wired to the online-update path;
+- :class:`Batcher` — single-flight coalescing of concurrent duplicate
+  requests;
+- :class:`Metrics` — QPS, latency percentiles, hit rates, per-stage
+  timing rollups;
+- :class:`QueryService` — the facade composing the above;
+- :class:`ServiceServer` — a stdlib JSON-over-HTTP frontend
+  (``python -m repro serve``).
+
+Every layer preserves exactness: cached, coalesced, and fanned-out
+answers are element-for-element identical to a direct
+:meth:`~repro.core.engine.SubtrajectorySearch.query` call.
+"""
+
+from repro.service.batching import Batcher
+from repro.service.cache import ResultCache
+from repro.service.executor import Executor
+from repro.service.http import ServiceServer, response_payload
+from repro.service.metrics import Metrics, percentile
+from repro.service.service import QueryService, ServiceResponse
+
+__all__ = [
+    "Batcher",
+    "Executor",
+    "Metrics",
+    "QueryService",
+    "ResultCache",
+    "ServiceResponse",
+    "ServiceServer",
+    "percentile",
+    "response_payload",
+]

@@ -1,0 +1,100 @@
+"""Request coalescing: one engine pass serves many identical waiters.
+
+Under concurrent load, popular queries arrive faster than they can be
+answered, so several clients are often waiting on the *same* signature at
+once.  :class:`Batcher` keys in-flight work by query signature: the first
+arrival (the *leader*) computes; every concurrent duplicate (a
+*follower*) blocks on the leader's completion and shares its result —
+the single-flight pattern.  Combined with the LRU cache this gives two
+layers of dedup: the cache collapses repeats *across* time, the batcher
+collapses repeats *within* one in-flight window (exactly the window where
+the cache still misses).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = ["Batcher"]
+
+
+class _Flight:
+    """One in-flight computation: completion event plus outcome slot."""
+
+    __slots__ = ("done", "value", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class Batcher:
+    """Coalesce concurrent duplicate computations by key.
+
+    :meth:`run` returns ``(value, coalesced)`` where ``coalesced`` is True
+    iff this caller rode along on another caller's computation.  A leader
+    failure propagates the *same* exception to every follower.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, _Flight] = {}
+        self.coalesced = 0
+
+    def in_flight(self) -> int:
+        """Number of distinct computations currently running."""
+        with self._lock:
+            return len(self._inflight)
+
+    def run(
+        self,
+        key: Hashable,
+        compute: Callable[[], Any],
+        *,
+        wait_timeout: Optional[float] = None,
+    ) -> Tuple[Any, bool]:
+        """Run ``compute`` once per concurrent burst of ``key``.
+
+        The leader executes ``compute`` on its own thread; followers block
+        until the leader finishes and share its value (or exception).  A
+        follower waits at most ``wait_timeout`` seconds (``None`` =
+        forever); on expiry it raises :class:`TimeoutError` — a follower's
+        own deadline must hold even when it joined a leader's flight late.
+        """
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                leader = True
+            else:
+                flight.followers += 1
+                self.coalesced += 1
+                leader = False
+
+        if not leader:
+            if not flight.done.wait(wait_timeout):
+                raise TimeoutError(
+                    "coalesced computation did not finish within "
+                    f"{wait_timeout} seconds"
+                )
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, True
+
+        try:
+            flight.value = compute()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            # Deregister *before* waking followers so a request arriving
+            # after completion starts a fresh flight (the cache will catch
+            # it anyway).
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+        return flight.value, False

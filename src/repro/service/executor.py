@@ -1,0 +1,186 @@
+"""Query execution on a thread pool, with deadlines and admission control.
+
+:class:`Executor` owns the worker pool for one service instance.  A
+:class:`~repro.core.partitioned.PartitionedSubtrajectorySearch` engine is
+fanned out *per shard* (via the per-shard callables the engine exposes),
+so one query's shards run concurrently and a slow shard only delays its
+own query; a plain :class:`~repro.core.engine.SubtrajectorySearch` runs
+as a single pool task.  Two protections keep the pool healthy under
+overload:
+
+- *admission control*: at most ``max_pending`` queries may be in flight;
+  beyond that, new arrivals are shed immediately with
+  :class:`~repro.exceptions.AdmissionError` (fail fast beats queueing
+  into timeout);
+- *deadlines*: a per-query budget (seconds) covers queueing *and*
+  execution; when it expires the caller gets
+  :class:`~repro.exceptions.DeadlineExceededError` and not-yet-started
+  shard tasks are cancelled.  Already-running tasks finish on the pool
+  (cooperative cancellation is future work) but nobody waits for them.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from time import monotonic
+from typing import List, Optional, Sequence
+
+from repro.core.engine import QueryResult, SubtrajectorySearch
+from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.core.temporal import TemporalMode, TimeInterval
+from repro.exceptions import AdmissionError, DeadlineExceededError
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """Run engine queries on a bounded thread pool.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`SubtrajectorySearch` or
+        :class:`PartitionedSubtrajectorySearch` (anything exposing
+        ``query``; shard fan-out additionally needs
+        ``shard_query_callables`` / ``merge_shard_results``).
+    max_workers:
+        Pool size.  For a partitioned engine, sizing this at or above the
+        shard count lets a single query use every shard concurrently.
+    max_pending:
+        Admission limit on concurrently in-flight *queries* (not shard
+        tasks).
+    default_deadline:
+        Per-query budget in seconds applied when the caller passes none
+        (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        max_workers: int = 4,
+        max_pending: int = 64,
+        default_deadline: Optional[float] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be positive")
+        self._engine = engine
+        self._fan_out = isinstance(engine, PartitionedSubtrajectorySearch)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._max_pending = max_pending
+        self._default_deadline = default_deadline
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._closed = False
+
+    @property
+    def engine(self):
+        """The wrapped search engine."""
+        return self._engine
+
+    @property
+    def default_deadline(self) -> Optional[float]:
+        """The per-query budget applied when a caller passes none."""
+        return self._default_deadline
+
+    @property
+    def pending(self) -> int:
+        """Queries currently admitted and not yet finished."""
+        with self._lock:
+            return self._pending
+
+    def close(self) -> None:
+        """Stop admitting queries and drain the pool."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- query path ---------------------------------------------------------
+
+    def query(
+        self,
+        query: Sequence[int],
+        *,
+        tau: Optional[float] = None,
+        tau_ratio: Optional[float] = None,
+        time_interval: Optional[TimeInterval] = None,
+        temporal_filter: bool = True,
+        temporal_mode: TemporalMode = "overlap",
+        deadline: Optional[float] = None,
+    ) -> QueryResult:
+        """Execute one query on the pool and return its merged result.
+
+        Raises :class:`AdmissionError` when shed and
+        :class:`DeadlineExceededError` when the budget (``deadline``
+        seconds from now, defaulting to ``default_deadline``) expires.
+        """
+        if deadline is not None and deadline <= 0:
+            # A malformed request, not a missed deadline: report it as
+            # such instead of polluting the deadline-miss metric.
+            raise ValueError("deadline must be positive")
+        self._admit()
+        try:
+            budget = deadline if deadline is not None else self._default_deadline
+            expires = None if budget is None else monotonic() + budget
+            kwargs = dict(
+                tau=tau,
+                tau_ratio=tau_ratio,
+                time_interval=time_interval,
+                temporal_filter=temporal_filter,
+                temporal_mode=temporal_mode,
+            )
+            if self._fan_out:
+                calls = self._engine.shard_query_callables(query, **kwargs)
+                futures = [self._pool.submit(call) for call in calls]
+                results = self._gather(futures, expires)
+                return self._engine.merge_shard_results(results)
+            future = self._pool.submit(self._engine.query, query, **kwargs)
+            return self._gather([future], expires)[0]
+        finally:
+            with self._lock:
+                self._pending -= 1
+
+    # -- internals ----------------------------------------------------------
+
+    def _admit(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise AdmissionError("service is shutting down")
+            if self._pending >= self._max_pending:
+                raise AdmissionError(
+                    f"too many in-flight queries (limit {self._max_pending})"
+                )
+            self._pending += 1
+
+    @staticmethod
+    def _gather(futures: List[Future], expires: Optional[float]) -> List[QueryResult]:
+        """Collect futures in submission order, honouring the deadline."""
+        results: List[QueryResult] = []
+        try:
+            for future in futures:
+                remaining = None if expires is None else expires - monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise _FutureTimeout()
+                results.append(future.result(timeout=remaining))
+        except (_FutureTimeout, TimeoutError):
+            for future in futures:
+                future.cancel()
+            raise DeadlineExceededError(
+                f"query missed its deadline ({len(results)}/{len(futures)} "
+                "shard results arrived in time)"
+            ) from None
+        return results

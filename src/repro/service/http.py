@@ -1,0 +1,264 @@
+"""Stdlib JSON-over-HTTP frontend for :class:`~repro.service.QueryService`.
+
+No web framework — ``http.server.ThreadingHTTPServer`` is enough for a
+reproduction-scale serving layer and keeps the dependency budget at zero.
+One handler thread per connection feeds the service, whose executor pool
+does the actual work (so slow queries don't serialize behind each other).
+
+API surface (all bodies JSON):
+
+- ``GET /healthz`` — liveness: ``{"status": "ok", ...}``;
+- ``GET /stats`` — the metrics snapshot of :meth:`QueryService.stats`;
+- ``POST /query`` — ``{"path": [symbols...], "tau": x | "tau_ratio": r,
+  "time_from": t0?, "time_to": t1?, "temporal_mode": "overlap"|"within"?,
+  "deadline": seconds?, "limit": n?}`` → matches plus serving provenance
+  (``cached`` / ``coalesced`` / timing);
+- ``POST /trajectories`` — ``{"path": [symbols...], "timestamps":
+  [...]?}`` → online insert; invalidates the result cache.  Paths are
+  validated as graph walks by default (``"validate": false`` opts out).
+
+Error mapping: malformed requests → 400, admission shed → 429, missed
+deadline → 504.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.temporal import TimeInterval
+from repro.exceptions import AdmissionError, DeadlineExceededError, ReproError
+from repro.service.service import QueryService, ServiceResponse
+from repro.trajectory.model import Trajectory
+
+__all__ = ["ServiceServer", "response_payload"]
+
+logger = logging.getLogger(__name__)
+
+_MAX_BODY = 16 * 1024 * 1024
+
+
+def response_payload(response: ServiceResponse, *, limit: Optional[int] = None) -> Dict[str, Any]:
+    """The JSON shape of one answered query (shared with the CLI)."""
+    result = response.result
+    matches = result.matches if limit is None else result.matches[:limit]
+    return {
+        "tau": result.tau,
+        "matches": [
+            {
+                "trajectory": m.trajectory_id,
+                "start": m.start,
+                "end": m.end,
+                "distance": m.distance,
+            }
+            for m in matches
+        ],
+        "total_matches": len(result.matches),
+        "candidates": result.num_candidates,
+        "cached": response.cached,
+        "coalesced": response.coalesced,
+        "seconds": response.seconds,
+        "engine_seconds": result.total_seconds,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the service stored on the server object."""
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # The request body may not have been (fully) drained on error
+            # paths; closing keeps the keep-alive stream from
+            # desynchronizing on leftover bytes.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("missing request body")
+        if length > _MAX_BODY:
+            raise ValueError("request body too large")
+        data = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        service: QueryService = self.server.service  # type: ignore[attr-defined]
+        if self.path == "/healthz":
+            engine = service.engine
+            count = len(engine.dataset) if hasattr(engine, "dataset") else len(engine)
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "trajectories": count,
+                    "shards": getattr(engine, "num_shards", 1),
+                },
+            )
+        elif self.path == "/stats":
+            self._send_json(200, service.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        service: QueryService = self.server.service  # type: ignore[attr-defined]
+        try:
+            if self.path == "/query":
+                self._handle_query(service)
+            elif self.path == "/trajectories":
+                self._handle_insert(service)
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except AdmissionError as exc:
+            self._send_json(429, {"error": str(exc)})
+        except DeadlineExceededError as exc:
+            self._send_json(504, {"error": str(exc)})
+        except (ValueError, TypeError, KeyError, ReproError) as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - keep-alive clients need a
+            # response body, not a dropped connection, on unexpected bugs.
+            logger.exception("unhandled error serving %s", self.path)
+            try:
+                self._send_json(500, {"error": f"internal error: {exc}"})
+            except Exception:  # headers may already be on the wire
+                self.close_connection = True
+
+    def _handle_query(self, service: QueryService) -> None:
+        body = self._read_body()
+        path = body.get("path")
+        if not isinstance(path, list) or not path:
+            raise ValueError("'path' must be a non-empty list of symbols")
+        tau = body.get("tau")
+        tau_ratio = body.get("tau_ratio")
+        interval, mode = self._interval_of(body)
+        limit = body.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise ValueError("'limit' must be a nonnegative integer")
+        response = service.query(
+            [int(s) for s in path],
+            tau=None if tau is None else float(tau),
+            tau_ratio=None if tau_ratio is None else float(tau_ratio),
+            time_interval=interval,
+            temporal_mode=mode,
+            deadline=(
+                None if body.get("deadline") is None else float(body["deadline"])
+            ),
+        )
+        self._send_json(200, response_payload(response, limit=limit))
+
+    def _handle_insert(self, service: QueryService) -> None:
+        body = self._read_body()
+        path = body.get("path")
+        if not isinstance(path, list) or not path:
+            raise ValueError("'path' must be a non-empty list of vertex ids")
+        timestamps = body.get("timestamps")
+        trajectory = Trajectory(
+            [int(s) for s in path],
+            timestamps=None if timestamps is None else [float(t) for t in timestamps],
+        )
+        # Untrusted write endpoint: reject non-walks unless the client
+        # explicitly opts out with {"validate": false}.
+        validate = body.get("validate")
+        tid = service.add_trajectory(
+            trajectory, validate=True if validate is None else bool(validate)
+        )
+        self._send_json(200, {"trajectory": tid, "invalidated_cache": True})
+
+    @staticmethod
+    def _interval_of(body: Dict[str, Any]) -> Tuple[Optional[TimeInterval], str]:
+        t0, t1 = body.get("time_from"), body.get("time_to")
+        if (t0 is None) != (t1 is None):
+            raise ValueError("'time_from' and 'time_to' must be given together")
+        mode = body.get("temporal_mode", "overlap")
+        if mode not in ("overlap", "within"):
+            raise ValueError("'temporal_mode' must be 'overlap' or 'within'")
+        if t0 is None:
+            return None, mode
+        return TimeInterval(float(t0), float(t1)), mode
+
+
+class ServiceServer:
+    """A threaded HTTP server bound to one :class:`QueryService`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`).
+    Use :meth:`start` for a background thread (tests, ``--self-test``) or
+    :meth:`serve_forever` to occupy the caller's thread (the CLI).
+    """
+
+    def __init__(
+        self, service: QueryService, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._service = service
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve on a daemon background thread; returns self."""
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop serving, close the socket, and drain the service pool.
+
+        Safe to call on a server that was never started —
+        ``BaseServer.shutdown`` would otherwise block forever waiting for
+        a ``serve_forever`` loop that never ran."""
+        if self._serving:
+            self._httpd.shutdown()
+            self._serving = False
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._service.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

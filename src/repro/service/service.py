@@ -1,0 +1,238 @@
+"""The serving facade: cache → coalesce → execute, with metrics throughout.
+
+:class:`QueryService` is the one object a frontend (HTTP handler, CLI,
+benchmark driver) talks to.  Per request it:
+
+1. normalizes the request into a query signature
+   (:func:`repro.core.engine.query_signature`);
+2. consults the LRU :class:`~repro.service.cache.ResultCache`;
+3. on a miss, coalesces with any identical in-flight request
+   (:class:`~repro.service.batching.Batcher`);
+4. as the flight leader, runs the query through the
+   :class:`~repro.service.executor.Executor` (thread-pool shard fan-out,
+   deadline, admission control) and caches the answer;
+5. records the outcome in :class:`~repro.service.metrics.Metrics`.
+
+Every layer is exact: a cached or coalesced answer is element-for-element
+the answer the engine would compute.  Online updates keep it that way —
+:meth:`QueryService.add_trajectory` clears the cache after mutating the
+engine, so no stale answer survives an insert (the invalidation hook
+deletes will reuse).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.engine import QueryResult, query_signature
+from repro.core.temporal import TemporalMode, TimeInterval
+from repro.exceptions import AdmissionError, DeadlineExceededError
+from repro.service.batching import Batcher
+from repro.service.cache import ResultCache
+from repro.service.executor import Executor
+from repro.service.metrics import Metrics
+
+__all__ = ["QueryService", "ServiceResponse"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceResponse:
+    """One answered request: the engine result plus serving provenance."""
+
+    result: QueryResult
+    signature: tuple
+    cached: bool
+    coalesced: bool
+    seconds: float
+
+
+class QueryService:
+    """Multi-client query serving over one search engine.
+
+    Parameters
+    ----------
+    engine:
+        :class:`~repro.core.engine.SubtrajectorySearch` or
+        :class:`~repro.core.partitioned.PartitionedSubtrajectorySearch`
+        (the latter gets parallel per-shard fan-out).
+    max_workers / max_pending / default_deadline:
+        Forwarded to the :class:`Executor`.
+    cache_size:
+        LRU capacity; ``0`` disables result caching.
+    batching:
+        Coalesce concurrent duplicate requests (single-flight).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        max_workers: int = 4,
+        max_pending: int = 64,
+        default_deadline: Optional[float] = None,
+        cache_size: int = 1024,
+        batching: bool = True,
+        metrics_window: int = 4096,
+    ) -> None:
+        self._engine = engine
+        self._costs = engine.costs
+        self.executor = Executor(
+            engine,
+            max_workers=max_workers,
+            max_pending=max_pending,
+            default_deadline=default_deadline,
+        )
+        self.cache = ResultCache(cache_size)
+        self.batcher = Batcher() if batching else None
+        self.metrics = Metrics(window=metrics_window)
+
+    @property
+    def engine(self):
+        """The wrapped search engine."""
+        return self._engine
+
+    def close(self) -> None:
+        """Drain the executor pool and stop admitting queries."""
+        self.executor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request path -------------------------------------------------------
+
+    def signature(
+        self,
+        query: Sequence[int],
+        *,
+        tau: Optional[float] = None,
+        tau_ratio: Optional[float] = None,
+        time_interval: Optional[TimeInterval] = None,
+        temporal_mode: TemporalMode = "overlap",
+    ) -> tuple:
+        """The cache/coalescing key this service uses for a request."""
+        return query_signature(
+            query,
+            self._costs,
+            tau=tau,
+            tau_ratio=tau_ratio,
+            time_interval=time_interval,
+            temporal_mode=temporal_mode,
+        )
+
+    def query(
+        self,
+        query: Sequence[int],
+        *,
+        tau: Optional[float] = None,
+        tau_ratio: Optional[float] = None,
+        time_interval: Optional[TimeInterval] = None,
+        temporal_mode: TemporalMode = "overlap",
+        deadline: Optional[float] = None,
+    ) -> ServiceResponse:
+        """Answer one request through cache, coalescing, and executor.
+
+        Semantics match the engine exactly; raises
+        :class:`~repro.exceptions.AdmissionError` /
+        :class:`~repro.exceptions.DeadlineExceededError` under overload.
+        """
+        sig = self.signature(
+            query,
+            tau=tau,
+            tau_ratio=tau_ratio,
+            time_interval=time_interval,
+            temporal_mode=temporal_mode,
+        )
+        t0 = time.perf_counter()
+        # Captured before the cache lookup: this generation also keys the
+        # coalescing flight, so a request arriving after an invalidation
+        # never joins a pre-invalidation flight (read-your-writes for the
+        # inserter) and a computed result is never re-cached across one.
+        generation = self.cache.generation
+        hit = self.cache.get(sig)
+        if hit is not None:
+            seconds = time.perf_counter() - t0
+            self.metrics.observe(seconds, cached=True, result=hit)
+            return ServiceResponse(hit, sig, True, False, seconds)
+
+        def compute() -> QueryResult:
+            result = self.executor.query(
+                query,
+                tau=tau,
+                tau_ratio=tau_ratio,
+                time_interval=time_interval,
+                temporal_mode=temporal_mode,
+                deadline=deadline,
+            )
+            # generation guard: if an online update invalidated the cache
+            # while this was computing, the result is stale — don't re-cache.
+            self.cache.put(sig, result, generation=generation)
+            return result
+
+        budget = (
+            deadline if deadline is not None else self.executor.default_deadline
+        )
+        try:
+            if self.batcher is not None:
+                # The flight key includes the deadline (a tightly-budgeted
+                # leader's DeadlineExceededError must not propagate to a
+                # follower that asked for more time) and the cache
+                # generation (a post-insert request must not share a
+                # pre-insert computation).  wait_timeout enforces the
+                # budget for followers that joined a leader's flight late.
+                result, coalesced = self.batcher.run(
+                    (sig, deadline, generation), compute, wait_timeout=budget
+                )
+            else:
+                result, coalesced = compute(), False
+        except AdmissionError:
+            self.metrics.observe_error("rejected")
+            raise
+        except DeadlineExceededError:
+            self.metrics.observe_error("deadline")
+            raise
+        except TimeoutError as exc:
+            self.metrics.observe_error("deadline")
+            raise DeadlineExceededError(str(exc)) from None
+        except Exception:
+            self.metrics.observe_error()
+            raise
+        seconds = time.perf_counter() - t0
+        self.metrics.observe(seconds, coalesced=coalesced, result=result)
+        return ServiceResponse(result, sig, False, coalesced, seconds)
+
+    # -- online updates -----------------------------------------------------
+
+    def add_trajectory(self, trajectory, *, validate: bool = False) -> int:
+        """Insert one trajectory online and invalidate every cached answer
+        (any of them could now be stale — new matches may exist).
+
+        Returns the new global trajectory id.
+        """
+        tid = self._engine.add_trajectory(trajectory, validate=validate)
+        self.metrics.observe_invalidation(self.cache.clear())
+        return tid
+
+    def invalidate(self) -> int:
+        """Explicit invalidation hook: drop every cached answer (for
+        callers that mutate the engine directly).  Returns entries
+        dropped."""
+        dropped = self.cache.clear()
+        self.metrics.observe_invalidation(dropped)
+        return dropped
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Metrics snapshot enriched with cache and engine facts."""
+        snap = self.metrics.snapshot()
+        snap["cache_size"] = len(self.cache)
+        snap["cache_capacity"] = self.cache.capacity
+        snap["pending"] = self.executor.pending
+        num_shards = getattr(self._engine, "num_shards", 1)
+        snap["num_shards"] = num_shards
+        return snap

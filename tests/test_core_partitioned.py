@@ -94,3 +94,141 @@ class TestExactness:
         result = sharded.query(query, tau_ratio=0.25)
         assert result.num_candidates >= 0
         assert result.verification.sw_columns > 0
+
+
+class TestParallelFanOut:
+    @pytest.mark.parametrize("max_workers", [1, 2, 8])
+    def test_parallel_matches_serial(self, vertex_dataset, edr_cost, rng, max_workers):
+        serial = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=4
+        )
+        parallel = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=4, max_workers=max_workers
+        )
+        try:
+            for _ in range(3):
+                query = sample_query(vertex_dataset, rng, 6)
+                a = serial.query(query, tau_ratio=0.25)
+                b = parallel.query(query, tau_ratio=0.25)
+                assert keys(a) == keys(b)
+                assert [m.distance for m in a.matches] == pytest.approx(
+                    [m.distance for m in b.matches]
+                )
+        finally:
+            parallel.close()
+
+    def test_invalid_max_workers(self, vertex_dataset, edr_cost):
+        with pytest.raises(QueryError):
+            PartitionedSubtrajectorySearch(
+                vertex_dataset, edr_cost, max_workers=0
+            )
+
+    def test_shard_callables_merge_equals_query(self, vertex_dataset, edr_cost, rng):
+        sharded = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=3
+        )
+        query = sample_query(vertex_dataset, rng, 6)
+        calls = sharded.shard_query_callables(query, tau_ratio=0.25)
+        assert len(calls) == sharded.num_shards
+        merged = sharded.merge_shard_results([call() for call in calls])
+        assert keys(merged) == keys(sharded.query(query, tau_ratio=0.25))
+
+    def test_merge_rejects_wrong_result_count(self, vertex_dataset, edr_cost, rng):
+        sharded = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=3
+        )
+        query = sample_query(vertex_dataset, rng, 6)
+        calls = sharded.shard_query_callables(query, tau_ratio=0.25)
+        with pytest.raises(QueryError):
+            sharded.merge_shard_results([calls[0]()])
+
+
+class TestOnlineUpdates:
+    def test_add_trajectory_matches_rebuilt(self, small_graph, edr_cost, trips):
+        ds = TrajectoryDataset(small_graph)
+        for t in trips[:10]:
+            ds.add(t)
+        sharded = PartitionedSubtrajectorySearch(ds, edr_cost, num_shards=3)
+        for t in trips[10:16]:
+            sharded.add_trajectory(t)
+        assert len(sharded) == 16
+
+        full = TrajectoryDataset(small_graph)
+        for t in trips[:16]:
+            full.add(t)
+        rebuilt = SubtrajectorySearch(full, edr_cost)
+        query = list(trips[12].path[:6])
+        assert keys(sharded.query(query, tau_ratio=0.25)) == keys(
+            rebuilt.query(query, tau_ratio=0.25)
+        )
+
+    def test_global_ids_stay_dense(self, small_graph, edr_cost, trips):
+        ds = TrajectoryDataset(small_graph)
+        ds.add(trips[0])
+        ds.add(trips[1])
+        sharded = PartitionedSubtrajectorySearch(ds, edr_cost, num_shards=2)
+        assert sharded.add_trajectory(trips[2]) == 2
+        assert sharded.add_trajectory(trips[3]) == 3
+        assert len(sharded) == 4
+
+    def test_failed_insert_rolls_back_id_reservation(
+        self, small_graph, edr_cost, trips
+    ):
+        from repro.trajectory.model import Trajectory
+
+        ds = TrajectoryDataset(small_graph)
+        ds.add(trips[0])
+        ds.add(trips[1])
+        sharded = PartitionedSubtrajectorySearch(ds, edr_cost, num_shards=2)
+        with pytest.raises(Exception):
+            sharded.add_trajectory(Trajectory([0, 0]), validate=True)
+        assert len(sharded) == 2
+        assert sharded.add_trajectory(trips[2]) == 2
+
+    def test_edge_rep_bad_insert_leaves_engine_consistent(
+        self, small_graph, surs_cost, trips
+    ):
+        from repro.trajectory.model import Trajectory
+
+        ds = TrajectoryDataset(small_graph, "edge")
+        ds.add(trips[0])
+        ds.add(trips[1])
+        sharded = PartitionedSubtrajectorySearch(ds, surs_cost, num_shards=2)
+        # A non-walk whose edge conversion fails must not leave an orphan
+        # in any shard dataset (id maps would misalign permanently).
+        with pytest.raises(Exception):
+            sharded.add_trajectory(Trajectory([0, 35, 1]))
+        assert len(sharded) == 2
+        gid = sharded.add_trajectory(trips[2])
+        assert gid == 2
+        query = list(ds.symbols(0))[:4]
+        result = sharded.query(query, tau_ratio=0.25)
+        assert all(m.trajectory_id < 3 for m in result.matches)
+
+    def test_sorted_index_insert_rejected_before_commit(
+        self, small_graph, edr_cost, trips
+    ):
+        ds = TrajectoryDataset(small_graph)
+        ds.add(trips[0])
+        ds.add(trips[1])
+        sharded = PartitionedSubtrajectorySearch(
+            ds, edr_cost, num_shards=2, sort_by_departure=True
+        )
+        with pytest.raises(ValueError):
+            sharded.add_trajectory(trips[2])
+        # No orphan: shard datasets and id maps stay aligned.
+        assert len(sharded) == 2
+        for engine, ids in zip(sharded._engines, sharded._global_ids):
+            assert len(engine.dataset) == len(ids)
+
+    def test_concurrent_inserts_get_unique_ids(self, small_graph, edr_cost, trips):
+        from concurrent.futures import ThreadPoolExecutor
+
+        ds = TrajectoryDataset(small_graph)
+        ds.add(trips[0])
+        ds.add(trips[1])
+        sharded = PartitionedSubtrajectorySearch(ds, edr_cost, num_shards=2)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            ids = list(pool.map(sharded.add_trajectory, trips[2:26]))
+        assert sorted(ids) == list(range(2, 26))
+        assert len(sharded) == 26

@@ -49,6 +49,7 @@ class TestTopLevelExports:
             "repro.apps",
             "repro.baselines",
             "repro.bench",
+            "repro.service",
         ],
     )
     def test_subpackage_all_resolves(self, module):

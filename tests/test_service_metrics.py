@@ -1,0 +1,103 @@
+"""Metrics registry: percentiles, counters, and snapshot shape."""
+
+import json
+
+import pytest
+
+from repro.core.engine import QueryResult
+from repro.core.verification import VerificationStats
+from repro.service import Metrics, percentile
+
+
+def result_with(matches=0, candidates=0, mincand=0.0, lookup=0.0, verify=0.0):
+    from repro.core.results import Match
+
+    return QueryResult(
+        matches=[Match(0, i, i, 0.0) for i in range(matches)],
+        tau=1.0,
+        subsequence=[],
+        num_candidates=candidates,
+        mincand_seconds=mincand,
+        lookup_seconds=lookup,
+        verify_seconds=verify,
+        verification=VerificationStats(),
+    )
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        metrics = Metrics()
+        metrics.observe(0.010, result=result_with(matches=3, candidates=5))
+        metrics.observe(0.020, cached=True, result=result_with(matches=3))
+        metrics.observe(0.030, coalesced=True, result=result_with(matches=3))
+        metrics.observe_error("rejected")
+        metrics.observe_error("deadline")
+        metrics.observe_invalidation(4)
+
+        snap = metrics.snapshot()
+        assert snap["queries"] == 3
+        assert snap["cache_hits"] == 1
+        assert snap["coalesced"] == 1
+        assert snap["computed_queries"] == 1
+        assert snap["errors"] == 2
+        assert snap["rejected"] == 1
+        assert snap["deadline_exceeded"] == 1
+        assert snap["invalidations"] == 4
+        assert snap["matches"] == 9
+        assert snap["cache_hit_rate"] == pytest.approx(1 / 3)
+        assert snap["qps"] > 0
+
+    def test_stage_rollups_exclude_cached_and_coalesced(self):
+        metrics = Metrics()
+        metrics.observe(
+            0.1, result=result_with(mincand=0.01, lookup=0.02, verify=0.03)
+        )
+        metrics.observe(
+            0.1,
+            cached=True,
+            result=result_with(mincand=0.01, lookup=0.02, verify=0.03),
+        )
+        snap = metrics.snapshot()
+        assert snap["stage_seconds"]["mincand"] == pytest.approx(0.01)
+        assert snap["stage_seconds"]["lookup"] == pytest.approx(0.02)
+        assert snap["stage_seconds"]["verify"] == pytest.approx(0.03)
+
+    def test_latency_percentiles_over_window(self):
+        metrics = Metrics(window=8)
+        for ms in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10):  # first two fall out
+            metrics.observe(ms / 1000.0)
+        snap = metrics.snapshot()
+        assert snap["latency_p50"] == pytest.approx(0.0065)
+        assert snap["latency_p99"] <= 0.010 + 1e-12
+        assert snap["latency_mean"] == pytest.approx(0.0065)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Metrics(window=0)
+
+    def test_snapshot_is_json_serializable(self):
+        metrics = Metrics()
+        metrics.observe(0.001, result=result_with(matches=1))
+        json.dumps(metrics.snapshot())
