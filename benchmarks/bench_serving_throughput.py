@@ -1,27 +1,35 @@
-"""Serving throughput — QPS vs. client concurrency through the service.
+"""Serving throughput — QPS vs. concurrency, and fan-out backend latency.
 
 Not a paper figure: the paper measures single-query latency; this
 benchmark measures the serving subsystem built on top of it
-(`repro.service`).  A Zipf-skewed request stream (popular routes repeat,
-as in real traffic) is replayed against:
+(`repro.service`).  Two experiments:
 
-- *direct*: one client calling the engine serially (the pre-service
-  deployment model) — the baseline;
-- *service*: N concurrent clients in front of :class:`QueryService`
-  (thread-pool shard fan-out + LRU result cache + request coalescing).
+1. *Throughput*: a Zipf-skewed request stream (popular routes repeat, as
+   in real traffic) replayed against the service at growing client
+   concurrency, vs. one client calling the engine serially (the
+   pre-service deployment model).  Expectation: service QPS clears 2x
+   the serial baseline by concurrency 8, with a substantial cache hit
+   rate on the skewed mix.
 
-Expectation: service QPS grows with concurrency and clears 2x the serial
-baseline by concurrency 8, with a substantial cache hit rate on the
-skewed mix; answers stay element-for-element identical to the engine's.
+2. *Backend latency*: single-query latency of the three shard fan-out
+   backends of `PartitionedSubtrajectorySearch` on a CPU-bound 4-shard
+   workload.  Pure-Python verification holds the GIL, so the threads
+   backend cannot beat serial by much; the processes backend (one worker
+   process per shard, ISSUE 2) should beat threads by >1.5x wherever 4
+   cores are actually available — the assertion is gated on CPU
+   affinity so single-core containers still record the numbers.
+
+Answers stay element-for-element identical across deployments.
 """
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 from _helpers import load_workload
 
 from repro.bench.harness import SeriesTable
-from repro.bench.workloads import sample_zipf_queries
+from repro.bench.workloads import sample_queries, sample_zipf_queries
 from repro.core.engine import SubtrajectorySearch
 from repro.core.partitioned import PartitionedSubtrajectorySearch
 from repro.service import QueryService
@@ -32,6 +40,15 @@ NUM_REQUESTS = 60
 NUM_DISTINCT = 10
 QUERY_LENGTH = 15
 NUM_SHARDS = 4
+
+#: backend-latency experiment: heavier queries so verification dominates
+#: the pipe/pickle overhead of the processes backend.
+BACKEND_QUERY_LENGTH = 30
+BACKEND_TAU_RATIO = 0.5
+BACKEND_NUM_QUERIES = 4
+BACKEND_REPEATS = 2
+#: processes must beat threads by this factor on a >=4-core machine.
+BACKEND_SPEEDUP_FLOOR = 1.5
 
 
 def _match_keys(result):
@@ -126,3 +143,111 @@ def test_serving_throughput(benchmark, recorder, bench_scale):
     service.query(requests[0], tau_ratio=TAU_RATIO)
     benchmark(lambda: service.query(requests[0], tau_ratio=TAU_RATIO))
     service.close()
+    engine.close()
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_backend_single_query_latency(recorder, bench_scale):
+    """Fan-out backends on a CPU-bound 4-shard workload (ISSUE 2).
+
+    Serial vs. threads shows the GIL ceiling; threads vs. processes shows
+    the cross-process shard workers actually using >1 core per query.
+    """
+    graph, dataset, costs, _ = load_workload("beijing", "EDR", scale=bench_scale)
+    queries = sample_queries(
+        dataset, BACKEND_NUM_QUERIES, BACKEND_QUERY_LENGTH, seed=1234
+    )
+
+    backends = {
+        "serial": {},
+        "threads": {"max_workers": NUM_SHARDS},
+        "processes": {},
+    }
+    latencies = {}
+    expected = None
+    for backend, kwargs in backends.items():
+        engine = PartitionedSubtrajectorySearch(
+            dataset, costs, num_shards=NUM_SHARDS, backend=backend, **kwargs
+        )
+        try:
+            # Warm-up pass doubles as the exactness check across backends.
+            answers = [
+                _match_keys(engine.query(q, tau_ratio=BACKEND_TAU_RATIO))
+                for q in queries
+            ]
+            if expected is None:
+                expected = answers
+            else:
+                assert answers == expected, f"{backend} backend changed answers"
+            t0 = time.perf_counter()
+            for _ in range(BACKEND_REPEATS):
+                for q in queries:
+                    engine.query(q, tau_ratio=BACKEND_TAU_RATIO)
+            elapsed = time.perf_counter() - t0
+            latencies[backend] = elapsed / (BACKEND_REPEATS * len(queries))
+        finally:
+            engine.close()
+
+    speedup = latencies["threads"] / latencies["processes"]
+    cores = _usable_cores()
+
+    table = SeriesTable(
+        "series",
+        list(backends),
+        title=(
+            f"Fan-out backend single-query latency (beijing / EDR, "
+            f"{NUM_SHARDS} shards, {cores} usable cores)"
+        ),
+    )
+    table.add_row(
+        "latency (ms)",
+        [latencies[b] * 1e3 for b in backends],
+        formatter=lambda v: f"{v:.1f}",
+    )
+    table.add_row(
+        "vs processes",
+        [latencies[b] / latencies["processes"] for b in backends],
+        formatter=lambda v: f"{v:.2f}x",
+    )
+    table.print()
+
+    recorder.record(
+        "serving_backend_latency",
+        {
+            "backends": list(backends),
+            "latency_seconds": [latencies[b] for b in backends],
+            "speedup_processes_vs_threads": speedup,
+            "usable_cores": cores,
+            "num_shards": NUM_SHARDS,
+            "query_length": BACKEND_QUERY_LENGTH,
+            "tau_ratio": BACKEND_TAU_RATIO,
+            "scale": bench_scale,
+            "speedup_floor": BACKEND_SPEEDUP_FLOOR,
+            "speedup_enforced": cores >= NUM_SHARDS,
+        },
+        expectation=(
+            f"processes > {BACKEND_SPEEDUP_FLOOR}x faster than threads per "
+            f"query on a {NUM_SHARDS}-shard CPU-bound workload when "
+            f">= {NUM_SHARDS} cores are available"
+        ),
+    )
+
+    # The whole point of cross-process sharding: more than one core per
+    # query.  Only enforceable where the OS actually grants the cores.
+    if cores >= NUM_SHARDS:
+        assert speedup > BACKEND_SPEEDUP_FLOOR, (
+            f"processes backend only {speedup:.2f}x faster than threads "
+            f"with {cores} cores"
+        )
+    else:
+        print(
+            f"[skip-assert] {cores} usable core(s) < {NUM_SHARDS}: recorded "
+            f"speedup {speedup:.2f}x without enforcing the "
+            f"{BACKEND_SPEEDUP_FLOOR}x floor"
+        )

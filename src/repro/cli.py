@@ -203,9 +203,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"{args.function} needs --representation {costs.representation}"
         )
-    if args.shards > 1:
+    if args.shards > 1 or args.backend == "processes":
+        # "threads" fans shards out on an engine-owned thread pool
+        # (GIL-bound verification); "processes" builds one long-lived
+        # worker process per shard so verification escapes the GIL —
+        # honored even for a single shard (the query still runs in an
+        # isolated worker process rather than being silently dropped).
         engine = PartitionedSubtrajectorySearch(
-            dataset, costs, num_shards=args.shards
+            dataset,
+            costs,
+            num_shards=args.shards,
+            backend=args.backend,
         )
     else:
         engine = SubtrajectorySearch(dataset, costs)
@@ -217,18 +225,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         batching=not args.no_batching,
     )
-    port = 0 if args.self_test else args.port
-    server = ServiceServer(service, host=args.host, port=port)
-    if args.self_test:
-        return _serve_self_test(server, service, dataset)
-    print(f"serving {len(dataset)} trajectories on {server.url}", flush=True)
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
+        port = 0 if args.self_test else args.port
+        server = ServiceServer(service, host=args.host, port=port)
+        if args.self_test:
+            return _serve_self_test(server, service, dataset)
+        print(
+            f"serving {len(dataset)} trajectories on {server.url} "
+            f"(backend={getattr(engine, 'backend', 'single')})",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+        return 0
     finally:
-        server.shutdown()
-    return 0
+        # The CLI owns the engine: terminate shard worker processes (and
+        # the fan-out thread pool) no matter how serving ended.  The
+        # workers-module atexit hook is the backstop, not the plan.
+        service.close(close_engine=True)
 
 
 def _serve_self_test(server, service, dataset) -> int:
@@ -259,6 +277,7 @@ def _serve_self_test(server, service, dataset) -> int:
                 {
                     "self_test": "ok",
                     "url": server.url,
+                    "backend": getattr(service.engine, "backend", "single"),
                     "total_matches": answer["total_matches"],
                     "seconds": answer["seconds"],
                 },
@@ -338,6 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
     p.add_argument("--shards", type=int, default=1, help="engine shards (>1 fans out)")
+    p.add_argument(
+        "--backend",
+        default="threads",
+        choices=["threads", "processes"],
+        help="shard fan-out backend: 'threads' runs shard queries on the "
+        "executor thread pool (GIL-bound verification); 'processes' runs "
+        "one worker process per shard (default: threads)",
+    )
     p.add_argument("--workers", type=int, default=4, help="executor thread-pool size")
     p.add_argument("--max-pending", type=int, default=64, help="admission limit")
     p.add_argument(

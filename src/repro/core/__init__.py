@@ -4,6 +4,7 @@ verification for subtrajectory similarity search under WED.
 Public entry point: :class:`~repro.core.engine.SubtrajectorySearch`.
 """
 
+from repro.core.cancellation import CancelToken
 from repro.core.engine import QueryResult, SubtrajectorySearch
 from repro.core.eta_tuning import tune_eta
 from repro.core.filtering import QueryElement, query_profile, tau_from_ratio
@@ -18,14 +19,17 @@ from repro.core.partitioned import PartitionedSubtrajectorySearch
 from repro.core.results import Match, MatchSet
 from repro.core.temporal import TimeInterval
 from repro.core.topk import topk_search
+from repro.core.workers import ShardWorkerPool
 
 __all__ = [
+    "CancelToken",
     "InvertedIndex",
     "Match",
     "MatchSet",
     "PartitionedSubtrajectorySearch",
     "QueryElement",
     "QueryResult",
+    "ShardWorkerPool",
     "SubtrajectorySearch",
     "TimeInterval",
     "mincand_all",

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Literal, Optional, Sequence
 
+from repro.core.cancellation import raise_if_cancelled
 from repro.core.filtering import QueryElement, query_profile, tau_from_ratio
 from repro.core.invindex import InvertedIndex
 from repro.core.mincand import (
@@ -233,9 +234,13 @@ class SubtrajectorySearch:
         indexes, which are built once over a closed dataset.
 
         Inserts are serialized against each other (safe from concurrent
-        server threads); concurrent *queries* see either the pre- or
-        post-insert postings — never a torn state — because postings are
-        replaced as immutable tuples.
+        server threads).  Concurrent *queries* are safe — postings lists
+        are replaced as immutable tuples, so every individual lookup sees
+        a consistent list — but publication is atomic per *symbol*, not
+        per trajectory: a query racing the insert may observe the new
+        trajectory's postings for only a prefix of its positions and miss
+        matches anchored on the rest until the insert completes
+        (per-trajectory atomic publication is a ROADMAP item).
         """
         with self._update_lock:
             if self.index.sorted_by_departure:
@@ -252,7 +257,7 @@ class SubtrajectorySearch:
             tid = self._dataset.add(trajectory, validate=validate)
             if edges is not None:
                 # Seed the lazy symbol cache so the conversion runs once.
-                self._dataset._edge_strings[tid] = edges
+                self._dataset.prime_edge_cache(tid, edges)
             self.index.append_trajectory(tid)
             return tid
 
@@ -265,17 +270,25 @@ class SubtrajectorySearch:
         time_interval: Optional[TimeInterval] = None,
         temporal_filter: bool = True,
         temporal_mode: TemporalMode = "overlap",
+        cancel=None,
     ) -> QueryResult:
         """All subtrajectories within WED ``tau`` of ``query``
         (Definition 3: strict inequality).
 
         Exactly one of ``tau`` / ``tau_ratio`` must be given; ``tau_ratio``
         uses the paper's parameterization ``tau = ratio * sum c(q)``.
+
+        ``cancel`` is an optional cooperative cancellation token (see
+        :mod:`repro.core.cancellation`): it is polled at stage boundaries
+        and inside the verification loops, and a tripped token raises
+        :class:`~repro.exceptions.QueryCancelledError` instead of wasting
+        CPU on an answer nobody is waiting for.
         """
         tau = self._resolve_tau(query, tau, tau_ratio)
         if tau <= 0:
             return QueryResult([], tau, [], 0, 0.0, 0.0, 0.0, VerificationStats())
         self._check_assumption(query, tau)
+        raise_if_cancelled(cancel, "query")
 
         # Stage 1: MinCand — choose the tau-subsequence.
         t0 = time.perf_counter()
@@ -285,12 +298,15 @@ class SubtrajectorySearch:
         except QueryError:
             if not self._fallback:
                 raise
-            return self._scan_fallback(query, tau, t0, time_interval, temporal_mode)
+            return self._scan_fallback(
+                query, tau, t0, time_interval, temporal_mode, cancel
+            )
         t1 = time.perf_counter()
 
         # Stage 2: index lookup — gather candidates.  Sorted-postings
         # pruning is part of the TF strategy (§4.3), so the no-TF ablation
         # must not benefit from it.
+        raise_if_cancelled(cancel, "query")
         candidates = self._collect_candidates(
             subsequence, time_interval if temporal_filter else None
         )
@@ -302,7 +318,7 @@ class SubtrajectorySearch:
         matches = MatchSet()
         stats = VerificationStats()
         if self._verification == "sw":
-            stats = self._verify_sw(candidates, query, tau, matches)
+            stats = self._verify_sw(candidates, query, tau, matches, cancel)
         else:
             verifier = Verifier(
                 self._dataset.symbols,
@@ -312,6 +328,7 @@ class SubtrajectorySearch:
                 use_trie=self._verification == "trie",
                 early_termination=self._early_termination,
                 dp_backend=self._dp_backend,
+                cancel=cancel,
             )
             verifier.verify_all(candidates, matches)
             stats = verifier.stats
@@ -418,6 +435,7 @@ class SubtrajectorySearch:
         query: Sequence[int],
         tau: float,
         matches: MatchSet,
+        cancel=None,
     ) -> VerificationStats:
         """OSF-SW: run the Smith–Waterman oracle once per candidate
         trajectory (finds the same matches, without locality or caching)."""
@@ -426,6 +444,7 @@ class SubtrajectorySearch:
         for tid, _, _ in candidates:
             if tid in seen:
                 continue
+            raise_if_cancelled(cancel, "verification")
             seen.add(tid)
             data = self._dataset.symbols(tid)
             stats.candidates += 1
@@ -444,12 +463,14 @@ class SubtrajectorySearch:
         t0: float,
         interval: Optional[TimeInterval],
         temporal_mode: TemporalMode,
+        cancel=None,
     ) -> QueryResult:
         """Exact full scan used when no tau-subsequence exists."""
         t1 = time.perf_counter()
         matches = MatchSet()
         stats = VerificationStats()
         for tid in range(len(self._dataset)):
+            raise_if_cancelled(cancel, "scan fallback")
             data = self._dataset.symbols(tid)
             stats.candidates += 1
             stats.sw_columns += len(data)

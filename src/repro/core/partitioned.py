@@ -7,16 +7,27 @@ search decomposes *perfectly by trajectory* — a match lives entirely
 inside one trajectory — so hash-partitioning trajectories over shards
 gives exact answers with no cross-shard coordination beyond a union.
 
-:class:`PartitionedSubtrajectorySearch` simulates such a deployment in a
-single process: one engine per shard, queries fan out to every shard,
-results are merged with ids mapped back to the global space.  The fan-out
-runs serially by default and on a thread pool when ``max_workers`` is set;
-either way the merge is deterministic (shard order, then sorted by global
-``(id, start, end)``).  The per-shard work is also exposed as plain
-callables (:meth:`shard_query_callables` + :meth:`merge_shard_results`) so
-an external scheduler — :class:`repro.service.Executor` — can run the
-fan-out on its own pool and impose deadlines between shards.  Temporal
-constraints and all engine options pass straight through.
+:class:`PartitionedSubtrajectorySearch` simulates such a deployment on a
+single machine with three interchangeable fan-out backends:
+
+- ``"serial"`` — shards queried one after another in the caller's thread
+  (the historical default; lowest overhead for tiny shards);
+- ``"threads"`` — shard queries run on a shared thread pool.  Overlaps
+  the non-GIL-bound parts only: pure-Python verification serializes on
+  the GIL, so this tops out near one core;
+- ``"processes"`` — each shard's engine lives in a long-lived worker
+  process (:class:`~repro.core.workers.ShardWorkerPool`), fed pickled
+  query descriptors over pipes.  CPU-bound verification then genuinely
+  parallelizes: a single query uses up to one core per shard.
+
+Whatever the backend, the merge is deterministic (shard order, then
+sorted by global ``(id, start, end)``) and answers are element-for-
+element identical to a single-node engine.  The per-shard work is also
+exposed as plain callables (:meth:`shard_query_callables` +
+:meth:`merge_shard_results`) so an external scheduler —
+:class:`repro.service.Executor` — can run the fan-out on its own pool
+and impose deadlines between shards.  Temporal constraints, cooperative
+cancellation tokens, and all engine options pass straight through.
 """
 
 from __future__ import annotations
@@ -24,16 +35,20 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.core.cancellation import raise_if_cancelled
 from repro.core.engine import QueryResult, SubtrajectorySearch
 from repro.core.results import Match
 from repro.core.temporal import TemporalMode, TimeInterval
 from repro.core.verification import VerificationStats
+from repro.core.workers import ShardWorkerPool
 from repro.exceptions import QueryError
 from repro.trajectory.dataset import TrajectoryDataset
 
 __all__ = ["PartitionedSubtrajectorySearch"]
+
+_BACKENDS = ("serial", "threads", "processes")
 
 
 class PartitionedSubtrajectorySearch:
@@ -43,11 +58,19 @@ class PartitionedSubtrajectorySearch:
     (round-robin assignment, which balances shard sizes).  All constructor
     keyword arguments are forwarded to every shard engine.
 
-    ``max_workers`` opts in to parallel fan-out: shard queries run on a
-    shared thread pool of that size (capped at the shard count).  The
-    default ``None`` keeps the historical serial behaviour.  Parallel and
-    serial fan-out produce identical results — the merge collects shard
-    results in shard order regardless of completion order.
+    ``backend`` selects the fan-out strategy (see the module docstring).
+    For backward compatibility it defaults to ``"threads"`` when
+    ``max_workers`` is given and ``"serial"`` otherwise; pass it
+    explicitly for ``"processes"``.  ``max_workers`` sizes the threads
+    backend's pool (capped at the shard count, default = shard count)
+    and is rejected on the other backends — the processes backend always
+    runs one worker per shard.  All backends produce identical results:
+    the merge collects shard results in shard order regardless of
+    completion order.
+
+    The processes backend holds OS resources (worker processes, pipes);
+    call :meth:`close` when done.  Unclosed engines are cleaned up at
+    interpreter exit, and the class works as a context manager.
     """
 
     def __init__(
@@ -57,6 +80,8 @@ class PartitionedSubtrajectorySearch:
         *,
         num_shards: int = 4,
         max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        start_method: Optional[str] = None,
         **engine_kwargs,
     ) -> None:
         if num_shards < 1:
@@ -65,32 +90,62 @@ class PartitionedSubtrajectorySearch:
             raise QueryError("cannot shard an empty dataset")
         if max_workers is not None and max_workers < 1:
             raise QueryError("max_workers must be >= 1")
+        if backend is None:
+            backend = "threads" if max_workers is not None else "serial"
+        if backend not in _BACKENDS:
+            raise QueryError(
+                f"unknown backend {backend!r} (expected one of {_BACKENDS})"
+            )
+        if backend != "threads" and max_workers is not None:
+            raise QueryError(
+                f"backend={backend!r} does not take max_workers (the thread "
+                "pool is the threads backend's; processes always runs one "
+                "worker per shard)"
+            )
         num_shards = min(num_shards, len(dataset))
+        self._backend = backend
         self._global_ids: List[List[int]] = [[] for _ in range(num_shards)]
-        shards = [
+        self._shards = [
             TrajectoryDataset(dataset.graph, dataset.representation)
             for _ in range(num_shards)
         ]
         for tid in range(len(dataset)):
             shard = tid % num_shards
-            shards[shard].add(dataset[tid])
+            self._shards[shard].add(dataset[tid])
             self._global_ids[shard].append(tid)
-        self._engines = [
-            SubtrajectorySearch(shard, costs, **engine_kwargs) for shard in shards
-        ]
         self._costs = costs
         self._update_lock = threading.Lock()
+        self._closed = False
+        self._engines: List[SubtrajectorySearch] = []
         self._pool: Optional[ThreadPoolExecutor] = None
-        if max_workers is not None and num_shards > 1:
-            self._pool = ThreadPoolExecutor(
-                max_workers=min(max_workers, num_shards),
-                thread_name_prefix="repro-shard",
+        self._workers: Optional[ShardWorkerPool] = None
+        if backend == "processes":
+            # Engines are built inside the workers — index memory and
+            # build time live there, once, not in the parent too.
+            self._workers = ShardWorkerPool(
+                self._shards, costs, engine_kwargs, start_method=start_method
             )
+        else:
+            self._engines = [
+                SubtrajectorySearch(shard, costs, **engine_kwargs)
+                for shard in self._shards
+            ]
+            if backend == "threads" and num_shards > 1:
+                workers = num_shards if max_workers is None else max_workers
+                self._pool = ThreadPoolExecutor(
+                    max_workers=min(workers, num_shards),
+                    thread_name_prefix="repro-shard",
+                )
 
     @property
     def num_shards(self) -> int:
-        """Number of shard engines actually built."""
-        return len(self._engines)
+        """Number of shards actually built."""
+        return len(self._global_ids)
+
+    @property
+    def backend(self) -> str:
+        """The fan-out backend: ``serial``, ``threads``, or ``processes``."""
+        return self._backend
 
     @property
     def costs(self):
@@ -101,10 +156,32 @@ class PartitionedSubtrajectorySearch:
         return sum(len(ids) for ids in self._global_ids)
 
     def close(self) -> None:
-        """Shut down the fan-out thread pool (no-op for serial mode)."""
+        """Release fan-out resources (thread pool / worker processes).
+
+        Idempotent, and safe on any backend.  Process workers still alive
+        at interpreter exit are terminated by an ``atexit`` hook, but an
+        explicit (or context-manager) close is the orderly path.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._workers is not None:
+            self._workers.close()
+
+    def _check_open(self) -> None:
+        # Uniform across backends: a closed engine fails loudly instead of
+        # silently degrading (threads would otherwise fall back to serial).
+        if self._closed:
+            raise QueryError("engine is closed")
+
+    def __enter__(self) -> "PartitionedSubtrajectorySearch":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- online updates -----------------------------------------------------
 
@@ -114,7 +191,12 @@ class PartitionedSubtrajectorySearch:
         construction).  Returns the new global trajectory id.
 
         Serialized against concurrent inserts so global ids stay dense and
-        unique when called from server threads."""
+        unique when called from server threads.  On the processes backend
+        the insert is *replicated* to the owning worker with the expected
+        shard-local id attached; the worker acknowledges synchronously
+        (read-your-writes) and raises
+        :class:`~repro.exceptions.WorkerError` if its replica disagrees."""
+        self._check_open()
         with self._update_lock:
             gid = len(self)
             shard = gid % self.num_shards
@@ -126,7 +208,19 @@ class PartitionedSubtrajectorySearch:
             # lands.
             self._global_ids[shard].append(gid)
             try:
-                self._engines[shard].add_trajectory(trajectory, validate=validate)
+                if self._workers is not None:
+                    local_id = len(self._shards[shard])
+                    self._workers.replicate_add(
+                        shard, local_id, trajectory, validate=validate
+                    )
+                    # The worker (the authoritative replica) committed and
+                    # agreed on the id; mirror into the parent's copy so a
+                    # later rebuild/export sees the same shard contents.
+                    self._shards[shard].add(trajectory)
+                else:
+                    self._engines[shard].add_trajectory(
+                        trajectory, validate=validate
+                    )
             except BaseException:
                 self._global_ids[shard].pop()
                 raise
@@ -143,23 +237,32 @@ class PartitionedSubtrajectorySearch:
         time_interval: Optional[TimeInterval] = None,
         temporal_filter: bool = True,
         temporal_mode: TemporalMode = "overlap",
+        cancel=None,
     ) -> List[Callable[[], QueryResult]]:
         """One zero-argument callable per shard, each returning that shard's
         :class:`QueryResult` (shard-local trajectory ids).
 
         The callables are independent and thread-safe to run concurrently;
         pass their results *in shard order* to :meth:`merge_shard_results`.
+        ``cancel`` (a cooperative cancellation token) is threaded into
+        every shard query — tripping it stops all shards' verification
+        loops within one iteration, on every backend.
         """
+        self._check_open()
+        kwargs = dict(
+            tau=tau,
+            tau_ratio=tau_ratio,
+            time_interval=time_interval,
+            temporal_filter=temporal_filter,
+            temporal_mode=temporal_mode,
+        )
+        if self._workers is not None:
+            return [
+                partial(self._workers.query_shard, shard, list(query), kwargs, cancel)
+                for shard in range(self.num_shards)
+            ]
         return [
-            partial(
-                engine.query,
-                query,
-                tau=tau,
-                tau_ratio=tau_ratio,
-                time_interval=time_interval,
-                temporal_filter=temporal_filter,
-                temporal_mode=temporal_mode,
-            )
+            partial(engine.query, query, cancel=cancel, **kwargs)
             for engine in self._engines
         ]
 
@@ -167,9 +270,9 @@ class PartitionedSubtrajectorySearch:
         """Union shard results (given in shard order) into one global
         :class:`QueryResult`: ids mapped back to the global space, matches
         sorted by ``(id, start, end)``, timings and counters summed."""
-        if len(results) != len(self._engines):
+        if len(results) != self.num_shards:
             raise QueryError(
-                f"expected {len(self._engines)} shard results, got {len(results)}"
+                f"expected {self.num_shards} shard results, got {len(results)}"
             )
         matches: List[Match] = []
         tau_used = 0.0
@@ -213,9 +316,25 @@ class PartitionedSubtrajectorySearch:
         time_interval: Optional[TimeInterval] = None,
         temporal_filter: bool = True,
         temporal_mode: TemporalMode = "overlap",
+        cancel=None,
     ) -> QueryResult:
         """Fan out to every shard and merge (exact, same semantics as the
-        single-node engine)."""
+        single-node engine).  ``cancel`` optionally carries a deadline /
+        cancellation token through to every shard's verification loop."""
+        self._check_open()
+        raise_if_cancelled(cancel, "query")
+        if self._workers is not None:
+            kwargs: Dict[str, Any] = dict(
+                tau=tau,
+                tau_ratio=tau_ratio,
+                time_interval=time_interval,
+                temporal_filter=temporal_filter,
+                temporal_mode=temporal_mode,
+            )
+            # Send to every worker before collecting any reply: all shard
+            # processes verify concurrently (no parent-side threads needed).
+            results = self._workers.query_all(list(query), kwargs, cancel)
+            return self.merge_shard_results(results)
         calls = self.shard_query_callables(
             query,
             tau=tau,
@@ -223,6 +342,7 @@ class PartitionedSubtrajectorySearch:
             time_interval=time_interval,
             temporal_filter=temporal_filter,
             temporal_mode=temporal_mode,
+            cancel=cancel,
         )
         if self._pool is None:
             results = [call() for call in calls]

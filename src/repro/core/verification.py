@@ -43,7 +43,7 @@ import numpy as np
 from repro.core.results import MatchSet
 from repro.core.trie import TrieNode, VerificationTrie
 from repro.distance.costs import CostModel
-from repro.exceptions import QueryError
+from repro.exceptions import QueryCancelledError, QueryError
 
 __all__ = ["Candidate", "VerificationStats", "Verifier", "step_dp_numpy"]
 
@@ -140,6 +140,12 @@ class Verifier:
     early_termination:
         Stop extending a direction once the column minimum reaches the
         budget (§5.1).  Disabling scans to the trajectory ends.
+    cancel:
+        Optional cooperative cancellation token (anything with a
+        ``cancelled() -> bool`` method, e.g.
+        :class:`~repro.core.cancellation.CancelToken`).  Polled once per
+        candidate in :meth:`verify_all`, so expired work stops within one
+        verification-loop iteration instead of running to completion.
     """
 
     def __init__(
@@ -152,6 +158,7 @@ class Verifier:
         use_trie: bool = True,
         early_termination: bool = True,
         dp_backend: str = "python",
+        cancel=None,
     ) -> None:
         if dp_backend not in ("python", "numpy"):
             raise QueryError(f"unknown dp_backend {dp_backend!r}")
@@ -161,6 +168,7 @@ class Verifier:
         self._tau = tau
         self._use_trie = use_trie
         self._early_termination = early_termination
+        self._cancel = cancel
         self._numpy = dp_backend == "numpy"
         # One context per (query position, direction); built lazily since
         # only tau-subsequence positions are anchors (2|Q'| tries, §5.2).
@@ -170,8 +178,20 @@ class Verifier:
     # -- Algorithm 3: drive all candidates ---------------------------------
 
     def verify_all(self, candidates: Sequence[Candidate], matches: MatchSet) -> None:
-        """Algorithm 3: verify every candidate into ``matches``."""
+        """Algorithm 3: verify every candidate into ``matches``.
+
+        Polls the cancellation token between candidates, so a cancelled or
+        deadline-expired query raises
+        :class:`~repro.exceptions.QueryCancelledError` within one loop
+        iteration instead of verifying the remaining candidates.
+        """
+        cancel = self._cancel
         for cand in candidates:
+            if cancel is not None and cancel.cancelled():
+                raise QueryCancelledError(
+                    f"verification cancelled after {self.stats.candidates} of "
+                    f"{len(candidates)} candidates"
+                )
             self.verify_candidate(cand, matches)
 
     # -- Algorithm 4 --------------------------------------------------------

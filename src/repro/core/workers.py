@@ -1,0 +1,467 @@
+"""Cross-process shard workers: CPU-bound verification past the GIL.
+
+The thread-pool fan-out of :class:`~repro.core.partitioned.
+PartitionedSubtrajectorySearch` parallelizes I/O-ish work but not the
+Smith–Waterman-style verification that dominates query cost (§6) — pure-
+Python DP holds the GIL, so N shard threads share one core.  This module
+moves each shard's engine into a long-lived **worker process**:
+
+- workers are spawned once, at index build: each receives its shard's
+  :class:`~repro.trajectory.dataset.TrajectoryDataset` + cost model +
+  engine options and builds its :class:`~repro.core.engine.
+  SubtrajectorySearch` locally, so the (expensive) index construction and
+  the (large) index memory live only in the worker;
+- queries travel as small pickled descriptors over a per-worker
+  :func:`multiprocessing.Pipe`; results come back as pickled
+  :class:`~repro.core.engine.QueryResult` objects (the merge-irrelevant
+  ``subsequence`` field is stripped to keep replies small);
+- deadlines survive the process boundary: the parent sends the *remaining*
+  budget with each query and the worker rebuilds a local token from it, so
+  clock-skew between processes cannot extend a deadline; the parent can
+  additionally trip a per-worker shared cancellation flag
+  (:class:`multiprocessing.Value`) that the worker's token polls between
+  verification-loop iterations — abandoning a query stops shard CPU work
+  within one iteration;
+- online inserts replicate through a **versioned** ``add`` message: the
+  parent sends the shard-local id it expects the insert to receive, and
+  the worker acknowledges only if its replica agrees — any divergence
+  (a lost or reordered update) surfaces as :class:`~repro.exceptions.
+  WorkerError` instead of silently wrong answers, which is what the
+  serving layer's cache-generation guarantees rest on;
+- lifecycle is leak-proof: workers are daemon processes, pools shut down
+  idempotently, and a module-level ``atexit`` hook terminates every pool
+  still alive at interpreter exit (so ``repro serve --self-test`` cannot
+  strand children).
+
+Protocol (one request in flight per worker, enforced by a parent-side
+lock; every request gets exactly one reply, keeping the pipe in sync even
+when the caller stops waiting):
+
+    ("query", req_id, symbols, kwargs, remaining_seconds | None)
+    ("add",   req_id, expected_local_id, trajectory, validate)
+    ("stop",  req_id)
+    reply: (req_id, "ok", payload) | (req_id, "error", exception)
+
+plus a readiness handshake: the worker's first message (req 0) reports
+whether its engine built, so constructor errors (bad engine options,
+mismatched representation) raise in the parent at pool construction with
+their real cause — exactly as the in-process backends do.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import threading
+import weakref
+from time import monotonic
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import WorkerError
+
+__all__ = ["ShardWorkerPool", "default_start_method"]
+
+#: parent-side poll slice while waiting on a worker reply; bounds how fast
+#: a tripped token propagates to the worker's shared flag.
+_POLL_SECONDS = 0.02
+#: grace given to a worker to exit after a "stop" before SIGTERM.
+_STOP_TIMEOUT = 5.0
+
+
+def default_start_method() -> str:
+    """The multiprocessing start method used when none is requested.
+
+    ``REPRO_MP_START`` overrides; otherwise ``fork`` where available
+    (instant worker start, no re-import or re-pickle of the shard data)
+    — but only while the parent is single-threaded.  Forking a threaded
+    parent (e.g. rebuilding an engine while an HTTP server is live) can
+    deadlock the child on locks held mid-fork by other threads, so such
+    parents get ``spawn``, which always works: the worker entry point and
+    every shipped object are picklable.
+    """
+    env = os.environ.get("REPRO_MP_START")
+    if env:
+        return env
+    if "fork" in mp.get_all_start_methods() and threading.active_count() == 1:
+        return "fork"
+    return "spawn"
+
+
+class _WorkerCancelToken:
+    """Worker-side cancellation token for one request.
+
+    Duck-types :class:`~repro.core.cancellation.CancelToken`: combines the
+    deadline the parent shipped (as a *remaining* budget, re-anchored on
+    the worker's own monotonic clock) with the pool's shared cancellation
+    flag.  The flag holds a request-id watermark — every request id at or
+    below it is cancelled — so one plain 64-bit store cancels the in-flight
+    request without locks.
+    """
+
+    __slots__ = ("_req_id", "_flag", "_expires")
+
+    def __init__(self, req_id: int, flag, remaining: Optional[float]) -> None:
+        self._req_id = req_id
+        self._flag = flag
+        self._expires = None if remaining is None else monotonic() + remaining
+
+    def cancelled(self) -> bool:
+        if self._expires is not None and monotonic() >= self._expires:
+            return True
+        return self._flag.value >= self._req_id
+
+
+def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None:
+    """Worker process entry point: build the shard engine, serve the pipe.
+
+    Top-level (not a closure) so ``spawn`` contexts can pickle it.  Every
+    received request is answered exactly once; failures — including
+    cancellations — travel back as pickled exceptions.
+    """
+    # Imported here, not at module top, so the worker builds its engine
+    # against whatever is on *its* path under spawn (and to keep this
+    # module importable without pulling the whole engine in first).
+    from repro.core.engine import SubtrajectorySearch
+
+    # Readiness handshake (req 0): a failed engine build must raise in the
+    # parent's constructor with its real cause, not as an opaque dead
+    # worker at first query.
+    try:
+        engine = SubtrajectorySearch(dataset, costs, **engine_kwargs)
+    except BaseException as exc:  # noqa: BLE001 — ship the failure to the parent
+        try:
+            conn.send((0, "error", exc))
+        except Exception:
+            conn.send((0, "error", WorkerError(f"engine build failed: {exc!r}")))
+        conn.close()
+        return
+    conn.send((0, "ok", None))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break  # parent gone (or interactive interrupt): nothing to reply to
+        kind, req_id = msg[0], msg[1]
+        try:
+            if kind == "stop":
+                conn.send((req_id, "ok", None))
+                break
+            if kind == "query":
+                symbols, kwargs, remaining = msg[2], msg[3], msg[4]
+                token = _WorkerCancelToken(req_id, flag, remaining)
+                result = engine.query(symbols, cancel=token, **kwargs)
+                # The merge ignores the tau-subsequence; stripping it keeps
+                # reply pickles small (neighborhoods can be large).
+                result.subsequence = []
+                conn.send((req_id, "ok", result))
+            elif kind == "add":
+                expected, trajectory, validate = msg[2], msg[3], msg[4]
+                tid = engine.add_trajectory(trajectory, validate=validate)
+                if tid != expected:
+                    raise WorkerError(
+                        f"shard {shard_index} replica diverged: insert got local "
+                        f"id {tid}, parent expected {expected}"
+                    )
+                conn.send((req_id, "ok", tid))
+            else:
+                raise WorkerError(f"unknown message kind {kind!r}")
+        except BaseException as exc:  # noqa: BLE001 — ship failures to the parent
+            try:
+                conn.send((req_id, "error", exc))
+            except Exception:
+                # Unpicklable exception: degrade to a description so the
+                # parent still gets its one reply.
+                conn.send((req_id, "error", WorkerError(f"worker error: {exc!r}")))
+    conn.close()
+
+
+class _ShardWorker:
+    """Parent-side proxy for one worker process.
+
+    Serializes request/response round-trips with a lock (the worker is
+    single-threaded, so pipelining would only queue in the pipe) and
+    monitors process liveness while waiting, so a crashed worker surfaces
+    as :class:`WorkerError` instead of a hang.
+    """
+
+    def __init__(self, ctx, index: int, dataset, costs, engine_kwargs: Dict[str, Any]) -> None:
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        # Raw (lockless) value is enough: single writer semantics per
+        # request, and a stale read only delays cancellation by one poll.
+        self._flag = ctx.Value("q", 0, lock=False)
+        self._process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._flag, index, dataset, costs, dict(engine_kwargs)),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._lock = threading.Lock()
+        self._req = 0
+        # Block until the worker reports its engine built (req 0); engine
+        # construction errors re-raise here with their original type.
+        self._receive(0, None)
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    @property
+    def daemon(self) -> bool:
+        return self._process.daemon
+
+    # -- request/response ---------------------------------------------------
+
+    def call(self, kind: str, payload: Tuple, token=None):
+        """One round-trip: send ``(kind, ...payload)``, await the reply."""
+        req_id = self.begin(kind, payload)
+        return self.finish(req_id, token)
+
+    def begin(self, kind: str, payload: Tuple) -> int:
+        """Send a request and return its id *without* waiting.
+
+        Acquires this worker's lock; the caller MUST pair every successful
+        ``begin`` with exactly one ``finish`` (which releases it).
+        """
+        self._lock.acquire()
+        try:
+            self._req += 1
+            req_id = self._req
+            self._conn.send((kind, req_id, *payload))
+            return req_id
+        except BaseException as exc:
+            self._lock.release()
+            if isinstance(exc, (OSError, ValueError)):
+                raise WorkerError(
+                    f"shard {self.index} worker unreachable: {exc}"
+                ) from exc
+            raise
+
+    def finish(self, req_id: int, token=None):
+        """Await the reply to ``req_id``, polling ``token`` while waiting.
+
+        When the token trips, the worker's shared flag is raised so the
+        worker abandons the request within one verification-loop iteration
+        — and still sends its (error) reply, keeping the pipe in sync.
+        """
+        try:
+            return self._receive(req_id, token)
+        finally:
+            self._lock.release()
+
+    def signal_cancel(self, req_id: int) -> None:
+        """Cancel ``req_id`` (and everything before it) on the worker."""
+        self._flag.value = max(self._flag.value, req_id)
+
+    def _receive(self, req_id: int, token):
+        signalled = token is None
+        while True:
+            try:
+                ready = self._conn.poll(_POLL_SECONDS)
+                reply = self._conn.recv() if ready else None
+            except (EOFError, OSError) as exc:
+                raise WorkerError(
+                    f"shard {self.index} worker died mid-request"
+                ) from exc
+            if reply is not None:
+                rid, status, payload = reply
+                if rid != req_id:
+                    raise WorkerError(
+                        f"shard {self.index} pipe desynchronized: got reply for "
+                        f"request {rid}, expected {req_id}"
+                    )
+                if status == "ok":
+                    return payload
+                raise payload
+            if not signalled and token.cancelled():
+                self.signal_cancel(req_id)
+                signalled = True
+            if not self._process.is_alive() and not self._conn.poll(0):
+                raise WorkerError(
+                    f"shard {self.index} worker process exited "
+                    f"(exitcode {self._process.exitcode})"
+                )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def stop(self, timeout: float = _STOP_TIMEOUT) -> None:
+        """Stop the worker: polite "stop" first, SIGTERM if it lingers."""
+        self.signal_cancel(self._req)  # unblock any abandoned in-flight work
+        if self._process.is_alive():
+            try:
+                self.call("stop", ())
+            except WorkerError:
+                pass  # already dead or pipe broken — join/terminate below
+            self._process.join(timeout)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+# Pools still open at interpreter exit get closed here.  Workers are
+# daemonic as a second line of defense, but an orderly close lets them
+# exit their loop instead of being killed mid-pickle.
+_LIVE_POOLS: "weakref.WeakSet[ShardWorkerPool]" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
+
+
+def _shutdown_live_pools() -> None:
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass  # exit-time cleanup must never raise
+
+
+class ShardWorkerPool:
+    """One worker process per shard, queried over pipes.
+
+    Parameters
+    ----------
+    shard_datasets:
+        One :class:`~repro.trajectory.dataset.TrajectoryDataset` per
+        shard; each worker builds its engine from its dataset.
+    costs / engine_kwargs:
+        Forwarded to every worker's ``SubtrajectorySearch``.
+    start_method:
+        ``multiprocessing`` start method (default:
+        :func:`default_start_method`).
+    """
+
+    def __init__(
+        self,
+        shard_datasets: Sequence,
+        costs,
+        engine_kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        start_method: Optional[str] = None,
+    ) -> None:
+        ctx = mp.get_context(start_method or default_start_method())
+        self._closed = False
+        self._workers: List[_ShardWorker] = []
+        try:
+            for index, dataset in enumerate(shard_datasets):
+                self._workers.append(
+                    _ShardWorker(ctx, index, dataset, costs, engine_kwargs or {})
+                )
+        except BaseException:
+            self.close()
+            raise
+        global _ATEXIT_REGISTERED
+        _LIVE_POOLS.add(self)
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_shutdown_live_pools)
+            _ATEXIT_REGISTERED = True
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def workers_alive(self) -> List[bool]:
+        """Liveness of each worker process (diagnostics/tests)."""
+        return [w.alive for w in self._workers]
+
+    # -- queries ------------------------------------------------------------
+
+    def query_shard(self, shard: int, query: Sequence[int], kwargs: Dict[str, Any],
+                    cancel=None):
+        """Run one query on one shard worker (blocking round-trip)."""
+        self._check_open()
+        payload = (list(query), kwargs, _remaining_of(cancel))
+        return self._workers[shard].call("query", payload, cancel)
+
+    def query_all(self, query: Sequence[int], kwargs: Dict[str, Any], cancel=None) -> List:
+        """Fan one query out to every worker; results in shard order.
+
+        Requests are *all sent before any reply is awaited* — that is what
+        buys more than one core: every worker verifies concurrently while
+        the parent merely waits.  On the first failure the remaining
+        workers are cancelled (not abandoned), so no reply is ever left in
+        a pipe.
+        """
+        self._check_open()
+        pending: List[Tuple[_ShardWorker, int]] = []
+        try:
+            for worker in self._workers:
+                payload = (list(query), kwargs, _remaining_of(cancel))
+                pending.append((worker, worker.begin("query", payload)))
+        except BaseException:
+            for worker, rid in pending:
+                worker.signal_cancel(rid)
+                try:
+                    worker.finish(rid, cancel)
+                except Exception:
+                    pass
+            raise
+        results: List = []
+        first_error: Optional[BaseException] = None
+        for pos, (worker, rid) in enumerate(pending):
+            try:
+                results.append(worker.finish(rid, cancel))
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+                    # Tell the shards we have not collected yet to stop
+                    # working — their (error) replies are still drained.
+                    for later, later_rid in pending[pos + 1:]:
+                        later.signal_cancel(later_rid)
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # -- replication --------------------------------------------------------
+
+    def replicate_add(self, shard: int, expected_local_id: int, trajectory,
+                      *, validate: bool = False) -> int:
+        """Apply one online insert on a shard worker, versioned.
+
+        ``expected_local_id`` is the shard-local id the parent's replica
+        assigns; the worker acknowledges only if its own insert agrees,
+        so parent and worker cannot silently diverge.  Synchronous — when
+        this returns, queries on that worker see the new trajectory
+        (read-your-writes for the inserter).
+        """
+        self._check_open()
+        return self._workers[shard].call(
+            "add", (expected_local_id, trajectory, bool(validate))
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker (idempotent; also runs via ``atexit``)."""
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_POOLS.discard(self)
+        for worker in self._workers:
+            worker.stop()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WorkerError("worker pool is closed")
+
+
+def _remaining_of(cancel) -> Optional[float]:
+    """The budget to ship with a request: seconds left on the token's
+    deadline at send time (clamped at 0 so an expired token still yields
+    an immediately-expired worker token), or ``None``."""
+    if cancel is None:
+        return None
+    remaining = getattr(cancel, "remaining", None)
+    if remaining is None:
+        return None
+    value = remaining()
+    return None if value is None else max(0.0, value)

@@ -50,3 +50,15 @@ class DeadlineExceededError(ServiceError):
 class AdmissionError(ServiceError):
     """Raised when admission control sheds a query (pending limit reached,
     or the service is shutting down)."""
+
+
+class QueryCancelledError(ServiceError):
+    """Raised inside a query when its cooperative cancellation token fires
+    (deadline expired or the caller abandoned the query).  Execution layers
+    normally translate it into :class:`DeadlineExceededError` before it
+    reaches a client."""
+
+
+class WorkerError(ServiceError):
+    """Raised when a shard worker process fails: it died mid-request, its
+    pipe desynchronized, or a replicated update diverged from the parent."""

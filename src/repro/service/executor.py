@@ -1,22 +1,30 @@
 """Query execution on a thread pool, with deadlines and admission control.
 
 :class:`Executor` owns the worker pool for one service instance.  A
-:class:`~repro.core.partitioned.PartitionedSubtrajectorySearch` engine is
-fanned out *per shard* (via the per-shard callables the engine exposes),
-so one query's shards run concurrently and a slow shard only delays its
-own query; a plain :class:`~repro.core.engine.SubtrajectorySearch` runs
-as a single pool task.  Two protections keep the pool healthy under
-overload:
+:class:`~repro.core.partitioned.PartitionedSubtrajectorySearch` engine on
+the ``serial`` backend is fanned out *per shard* (via the per-shard
+callables the engine exposes), so one query's shards run concurrently
+and a slow shard only delays its own query.  Engines that parallelize
+internally — the ``threads`` backend (its own shard thread pool) and the
+``processes`` backend (one worker process per shard) — run as a single
+pool task: the pool thread coordinates while the engine's own machinery
+burns the CPU.  A plain :class:`~repro.core.engine.SubtrajectorySearch`
+runs as a single pool task too.  Two protections keep the pool healthy
+under overload:
 
 - *admission control*: at most ``max_pending`` queries may be in flight;
   beyond that, new arrivals are shed immediately with
   :class:`~repro.exceptions.AdmissionError` (fail fast beats queueing
   into timeout);
 - *deadlines*: a per-query budget (seconds) covers queueing *and*
-  execution; when it expires the caller gets
-  :class:`~repro.exceptions.DeadlineExceededError` and not-yet-started
-  shard tasks are cancelled.  Already-running tasks finish on the pool
-  (cooperative cancellation is future work) but nobody waits for them.
+  execution, carried by a :class:`~repro.core.cancellation.CancelToken`
+  that is threaded into every shard's verification loop.  When the budget
+  expires the caller gets
+  :class:`~repro.exceptions.DeadlineExceededError`, not-yet-started shard
+  tasks are cancelled, and — via the token — already-running tasks stop
+  cooperatively within one verification-loop iteration instead of
+  running to completion (this works across the process boundary as well:
+  workers rebuild the deadline locally and poll a shared flag).
 """
 
 from __future__ import annotations
@@ -27,10 +35,15 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from time import monotonic
 from typing import List, Optional, Sequence
 
-from repro.core.engine import QueryResult, SubtrajectorySearch
+from repro.core.cancellation import CancelToken
+from repro.core.engine import QueryResult
 from repro.core.partitioned import PartitionedSubtrajectorySearch
 from repro.core.temporal import TemporalMode, TimeInterval
-from repro.exceptions import AdmissionError, DeadlineExceededError
+from repro.exceptions import (
+    AdmissionError,
+    DeadlineExceededError,
+    QueryCancelledError,
+)
 
 __all__ = ["Executor"]
 
@@ -46,8 +59,10 @@ class Executor:
         ``query``; shard fan-out additionally needs
         ``shard_query_callables`` / ``merge_shard_results``).
     max_workers:
-        Pool size.  For a partitioned engine, sizing this at or above the
-        shard count lets a single query use every shard concurrently.
+        Pool size.  For a serial-backend partitioned engine, sizing this
+        at or above the shard count lets a single query use every shard
+        concurrently; threads/processes-backend engines need only one
+        pool thread per in-flight query.
     max_pending:
         Admission limit on concurrently in-flight *queries* (not shard
         tasks).
@@ -71,7 +86,14 @@ class Executor:
         if default_deadline is not None and default_deadline <= 0:
             raise ValueError("default_deadline must be positive")
         self._engine = engine
-        self._fan_out = isinstance(engine, PartitionedSubtrajectorySearch)
+        # Per-shard fan-out on THIS pool only for engines with no fan-out
+        # machinery of their own (the serial backend).  The threads and
+        # processes backends parallelize inside engine.query(), so the
+        # whole query is one pool task there.
+        self._fan_out = (
+            isinstance(engine, PartitionedSubtrajectorySearch)
+            and engine.backend == "serial"
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
@@ -97,11 +119,21 @@ class Executor:
         with self._lock:
             return self._pending
 
-    def close(self) -> None:
-        """Stop admitting queries and drain the pool."""
+    def close(self, *, close_engine: bool = False) -> None:
+        """Stop admitting queries and drain the pool (idempotent).
+
+        ``close_engine=True`` additionally closes the wrapped engine —
+        for partitioned engines that terminates the shard worker
+        processes / thread pool.  Off by default because the engine is
+        caller-owned and may outlive this executor (e.g. one engine
+        served by successive executors in benchmarks)."""
         with self._lock:
+            already = self._closed
             self._closed = True
-        self._pool.shutdown(wait=True)
+        if not already:
+            self._pool.shutdown(wait=True)
+        if close_engine and hasattr(self._engine, "close"):
+            self._engine.close()
 
     def __enter__(self) -> "Executor":
         return self
@@ -135,7 +167,7 @@ class Executor:
         self._admit()
         try:
             budget = deadline if deadline is not None else self._default_deadline
-            expires = None if budget is None else monotonic() + budget
+            token = CancelToken(budget)
             kwargs = dict(
                 tau=tau,
                 tau_ratio=tau_ratio,
@@ -143,13 +175,24 @@ class Executor:
                 temporal_filter=temporal_filter,
                 temporal_mode=temporal_mode,
             )
-            if self._fan_out:
-                calls = self._engine.shard_query_callables(query, **kwargs)
-                futures = [self._pool.submit(call) for call in calls]
-                results = self._gather(futures, expires)
-                return self._engine.merge_shard_results(results)
-            future = self._pool.submit(self._engine.query, query, **kwargs)
-            return self._gather([future], expires)[0]
+            try:
+                if self._fan_out:
+                    calls = self._engine.shard_query_callables(
+                        query, cancel=token, **kwargs
+                    )
+                    futures = [self._pool.submit(call) for call in calls]
+                    results = self._gather(futures, token)
+                    return self._engine.merge_shard_results(results)
+                future = self._pool.submit(
+                    self._engine.query, query, cancel=token, **kwargs
+                )
+                return self._gather([future], token)[0]
+            except RuntimeError as exc:
+                # Admitted concurrently with close(): the pool refuses new
+                # futures.  Report it as the shed it is, not a 500.
+                if "shutdown" in str(exc):
+                    raise AdmissionError("service is shutting down") from None
+                raise
         finally:
             with self._lock:
                 self._pending -= 1
@@ -167,8 +210,16 @@ class Executor:
             self._pending += 1
 
     @staticmethod
-    def _gather(futures: List[Future], expires: Optional[float]) -> List[QueryResult]:
-        """Collect futures in submission order, honouring the deadline."""
+    def _gather(futures: List[Future], token: CancelToken) -> List[QueryResult]:
+        """Collect futures in submission order, honouring the deadline.
+
+        On expiry the shared token is tripped first — running shard tasks
+        observe it inside their verification loops and stop within one
+        iteration — then unstarted futures are cancelled and the caller
+        gets :class:`DeadlineExceededError`.  A shard that noticed its own
+        deadline first (raising :class:`QueryCancelledError`) is folded
+        into the same outcome."""
+        expires = token.expires
         results: List[QueryResult] = []
         try:
             for future in futures:
@@ -176,11 +227,20 @@ class Executor:
                 if remaining is not None and remaining <= 0:
                     raise _FutureTimeout()
                 results.append(future.result(timeout=remaining))
-        except (_FutureTimeout, TimeoutError):
+        except (_FutureTimeout, TimeoutError, QueryCancelledError):
+            token.cancel()  # stop in-flight shard work cooperatively
             for future in futures:
                 future.cancel()
             raise DeadlineExceededError(
                 f"query missed its deadline ({len(results)}/{len(futures)} "
                 "shard results arrived in time)"
             ) from None
+        except BaseException:
+            # Any other shard failure dooms the whole query: stop the
+            # siblings too instead of letting them verify to completion on
+            # pool threads whose admission slot is already released.
+            token.cancel()
+            for future in futures:
+                future.cancel()
+            raise
         return results

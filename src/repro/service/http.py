@@ -30,7 +30,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.temporal import TimeInterval
-from repro.exceptions import AdmissionError, DeadlineExceededError, ReproError
+from repro.exceptions import (
+    AdmissionError,
+    DeadlineExceededError,
+    QueryCancelledError,
+    ReproError,
+    WorkerError,
+)
 from repro.service.service import QueryService, ServiceResponse
 from repro.trajectory.model import Trajectory
 
@@ -113,6 +119,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "status": "ok",
                     "trajectories": count,
                     "shards": getattr(engine, "num_shards", 1),
+                    "backend": getattr(engine, "backend", "single"),
                 },
             )
         elif self.path == "/stats":
@@ -131,8 +138,15 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except AdmissionError as exc:
             self._send_json(429, {"error": str(exc)})
-        except DeadlineExceededError as exc:
+        except (DeadlineExceededError, QueryCancelledError) as exc:
+            # A cancellation that escapes the executor untranslated is
+            # still "the server gave up on the budget" to a client.
             self._send_json(504, {"error": str(exc)})
+        except WorkerError as exc:
+            # A dead/diverged shard worker is a server failure, not a bad
+            # request: 5xx so clients retry and monitoring pages someone.
+            logger.error("shard worker failure serving %s: %s", self.path, exc)
+            self._send_json(500, {"error": str(exc)})
         except (ValueError, TypeError, KeyError, ReproError) as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - keep-alive clients need a

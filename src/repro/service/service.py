@@ -93,9 +93,13 @@ class QueryService:
         """The wrapped search engine."""
         return self._engine
 
-    def close(self) -> None:
-        """Drain the executor pool and stop admitting queries."""
-        self.executor.close()
+    def close(self, *, close_engine: bool = False) -> None:
+        """Drain the executor pool and stop admitting queries (idempotent).
+
+        ``close_engine=True`` also closes the engine itself — required to
+        terminate shard worker processes when serving a
+        ``backend="processes"`` engine this service owns."""
+        self.executor.close(close_engine=close_engine)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -235,4 +239,5 @@ class QueryService:
         snap["pending"] = self.executor.pending
         num_shards = getattr(self._engine, "num_shards", 1)
         snap["num_shards"] = num_shards
+        snap["backend"] = getattr(self._engine, "backend", "single")
         return snap

@@ -90,6 +90,16 @@ class TrajectoryDataset:
             self._edge_strings[tid] = cached
         return cached
 
+    def prime_edge_cache(self, tid: int, edges: Sequence[int]) -> None:
+        """Seed the lazy edge-symbol cache for ``tid``.
+
+        For callers (the engine's online insert) that already forced the
+        edge conversion — e.g. to fail *before* committing the trajectory
+        — so :meth:`symbols` never converts twice."""
+        if self._repr != "edge":
+            raise TrajectoryError("edge cache exists only for edge representation")
+        self._edge_strings[tid] = tuple(edges)
+
     def alphabet_size(self) -> int:
         """|Sigma|: number of vertices or edges depending on representation."""
         if self._repr == "vertex":

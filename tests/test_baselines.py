@@ -12,12 +12,10 @@ from repro.baselines import (
     torch_engine,
 )
 from repro.core.engine import SubtrajectorySearch
-from repro.distance.costs import ERPCost, LevenshteinCost, SURSCost
 from repro.distance.smith_waterman import all_matches
 from repro.distance.wed import wed
 from repro.exceptions import IndexError_, QueryError
 from repro.trajectory.dataset import TrajectoryDataset
-from repro.trajectory.model import Trajectory
 from tests.conftest import sample_query
 
 

@@ -1,7 +1,6 @@
 """Bench support: dataset profiles, workloads, harness."""
 
 import json
-import math
 
 import pytest
 

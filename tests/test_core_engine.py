@@ -7,7 +7,7 @@ exactly the Definition 3 result set.
 import pytest
 
 from repro.core.engine import SubtrajectorySearch
-from repro.distance.costs import ERPCost, LevenshteinCost
+from repro.distance.costs import ERPCost
 from repro.distance.smith_waterman import all_matches
 from repro.exceptions import QueryError
 from repro.trajectory.dataset import TrajectoryDataset

@@ -9,8 +9,6 @@ from repro.core.invindex import InvertedIndex
 from repro.distance.costs import LevenshteinCost
 from repro.distance.wed import wed
 from repro.exceptions import QueryError
-from repro.trajectory.dataset import TrajectoryDataset
-from repro.trajectory.model import Trajectory
 
 lev = LevenshteinCost()
 

@@ -143,6 +143,57 @@ class TestParallelFanOut:
             sharded.merge_shard_results([calls[0]()])
 
 
+class TestBackends:
+    """The backend knob: identical answers, differing only in who runs
+    the shard fan-out (caller / thread pool / worker processes)."""
+
+    @pytest.mark.parametrize(
+        "backend,kwargs",
+        [
+            ("serial", {}),
+            ("threads", {}),
+            ("threads", {"max_workers": 2}),
+            ("processes", {}),
+        ],
+    )
+    def test_every_backend_matches_single_node(
+        self, vertex_dataset, edr_cost, rng, backend, kwargs
+    ):
+        single = SubtrajectorySearch(vertex_dataset, edr_cost)
+        with PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=3, backend=backend, **kwargs
+        ) as sharded:
+            assert sharded.backend == backend
+            query = sample_query(vertex_dataset, rng, 6)
+            a = single.query(query, tau_ratio=0.25)
+            b = sharded.query(query, tau_ratio=0.25)
+            assert keys(a) == keys(b)
+            assert [m.distance for m in a.matches] == pytest.approx(
+                [m.distance for m in b.matches]
+            )
+
+    def test_close_idempotent_on_every_backend(self, vertex_dataset, edr_cost):
+        for backend in ("serial", "threads", "processes"):
+            engine = PartitionedSubtrajectorySearch(
+                vertex_dataset, edr_cost, num_shards=2, backend=backend
+            )
+            engine.close()
+            engine.close()
+
+    def test_closed_engine_fails_loudly_on_every_backend(
+        self, vertex_dataset, edr_cost, rng
+    ):
+        # No backend may silently degrade (e.g. threads falling back to a
+        # serial scan) after close: use-after-close is a caller bug.
+        for backend in ("serial", "threads", "processes"):
+            engine = PartitionedSubtrajectorySearch(
+                vertex_dataset, edr_cost, num_shards=2, backend=backend
+            )
+            engine.close()
+            with pytest.raises(QueryError):
+                engine.query(sample_query(vertex_dataset, rng, 6), tau_ratio=0.25)
+
+
 class TestOnlineUpdates:
     def test_add_trajectory_matches_rebuilt(self, small_graph, edr_cost, trips):
         ds = TrajectoryDataset(small_graph)

@@ -1,0 +1,219 @@
+"""Process-backed shard workers: exactness, replication, lifecycle."""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.core import workers as workers_module
+from repro.core.engine import SubtrajectorySearch
+from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.core.temporal import TimeInterval
+from repro.core.workers import default_start_method
+from repro.exceptions import QueryError, ServiceError, WorkerError
+from repro.trajectory.dataset import TrajectoryDataset
+from tests.conftest import sample_query
+
+
+def keys(result):
+    return [(m.trajectory_id, m.start, m.end) for m in result.matches]
+
+
+@pytest.fixture(scope="module")
+def process_engine(vertex_dataset, edr_cost):
+    engine = PartitionedSubtrajectorySearch(
+        vertex_dataset, edr_cost, num_shards=2, backend="processes"
+    )
+    yield engine
+    engine.close()
+
+
+class TestConfiguration:
+    def test_unknown_backend_rejected(self, vertex_dataset, edr_cost):
+        with pytest.raises(QueryError):
+            PartitionedSubtrajectorySearch(
+                vertex_dataset, edr_cost, backend="fibers"
+            )
+
+    @pytest.mark.parametrize("backend", ["serial", "processes"])
+    def test_only_threads_backend_takes_max_workers(
+        self, vertex_dataset, edr_cost, backend
+    ):
+        with pytest.raises(QueryError):
+            PartitionedSubtrajectorySearch(
+                vertex_dataset, edr_cost, backend=backend, max_workers=2
+            )
+
+    def test_backend_defaults_preserve_old_semantics(self, vertex_dataset, edr_cost):
+        serial = PartitionedSubtrajectorySearch(vertex_dataset, edr_cost)
+        threaded = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, max_workers=2
+        )
+        try:
+            assert serial.backend == "serial"
+            assert threaded.backend == "threads"
+        finally:
+            serial.close()
+            threaded.close()
+
+    def test_default_start_method_is_valid(self):
+        assert default_start_method() in mp.get_all_start_methods()
+
+    def test_worker_engine_build_error_raises_at_construction(
+        self, vertex_dataset, edr_cost
+    ):
+        # Readiness handshake: bad engine options fail in the constructor
+        # with their real cause, exactly like the in-process backends.
+        with pytest.raises(QueryError, match="dp_backend"):
+            PartitionedSubtrajectorySearch(
+                vertex_dataset,
+                edr_cost,
+                num_shards=2,
+                backend="processes",
+                dp_backend="typo",
+            )
+
+
+class TestExactness:
+    def test_matches_single_node(self, process_engine, vertex_dataset, edr_cost, rng):
+        single = SubtrajectorySearch(vertex_dataset, edr_cost)
+        assert process_engine.backend == "processes"
+        for _ in range(3):
+            query = sample_query(vertex_dataset, rng, 6)
+            a = single.query(query, tau_ratio=0.25)
+            b = process_engine.query(query, tau_ratio=0.25)
+            assert keys(a) == keys(b)
+            assert [m.distance for m in a.matches] == pytest.approx(
+                [m.distance for m in b.matches]
+            )
+            assert a.tau == b.tau
+
+    def test_temporal_constraints_cross_the_pipe(
+        self, process_engine, vertex_dataset, edr_cost, rng
+    ):
+        times = sorted(
+            vertex_dataset[t].start_time for t in range(len(vertex_dataset))
+        )
+        interval = TimeInterval(times[0], times[len(times) // 2])
+        single = SubtrajectorySearch(vertex_dataset, edr_cost)
+        query = sample_query(vertex_dataset, rng, 6)
+        a = single.query(query, tau_ratio=0.25, time_interval=interval)
+        b = process_engine.query(query, tau_ratio=0.25, time_interval=interval)
+        assert keys(a) == keys(b)
+
+    def test_shard_callables_merge_equals_query(
+        self, process_engine, vertex_dataset, rng
+    ):
+        query = sample_query(vertex_dataset, rng, 6)
+        calls = process_engine.shard_query_callables(query, tau_ratio=0.25)
+        assert len(calls) == process_engine.num_shards
+        merged = process_engine.merge_shard_results([call() for call in calls])
+        assert keys(merged) == keys(process_engine.query(query, tau_ratio=0.25))
+
+    def test_stats_aggregate_over_worker_shards(
+        self, process_engine, vertex_dataset, rng
+    ):
+        query = sample_query(vertex_dataset, rng, 6)
+        result = process_engine.query(query, tau_ratio=0.25)
+        assert result.verification.sw_columns > 0
+
+    def test_spawn_start_method_ships_pickled_shards(
+        self, vertex_dataset, edr_cost, rng
+    ):
+        # spawn exercises the full pickling path (fork merely inherits).
+        engine = PartitionedSubtrajectorySearch(
+            vertex_dataset,
+            edr_cost,
+            num_shards=2,
+            backend="processes",
+            start_method="spawn",
+        )
+        try:
+            single = SubtrajectorySearch(vertex_dataset, edr_cost)
+            query = sample_query(vertex_dataset, rng, 6)
+            assert keys(engine.query(query, tau_ratio=0.25)) == keys(
+                single.query(query, tau_ratio=0.25)
+            )
+        finally:
+            engine.close()
+
+
+class TestReplication:
+    def test_add_trajectory_matches_rebuilt(self, small_graph, edr_cost, trips):
+        ds = TrajectoryDataset(small_graph)
+        for t in trips[:10]:
+            ds.add(t)
+        with PartitionedSubtrajectorySearch(
+            ds, edr_cost, num_shards=2, backend="processes"
+        ) as sharded:
+            for t in trips[10:16]:
+                sharded.add_trajectory(t)
+            assert len(sharded) == 16
+
+            full = TrajectoryDataset(small_graph)
+            for t in trips[:16]:
+                full.add(t)
+            rebuilt = SubtrajectorySearch(full, edr_cost)
+            query = list(trips[12].path[:6])
+            assert keys(sharded.query(query, tau_ratio=0.25)) == keys(
+                rebuilt.query(query, tau_ratio=0.25)
+            )
+
+    def test_failed_insert_rolls_back_reservation(self, small_graph, edr_cost, trips):
+        from repro.trajectory.model import Trajectory
+
+        ds = TrajectoryDataset(small_graph)
+        ds.add(trips[0])
+        ds.add(trips[1])
+        with PartitionedSubtrajectorySearch(
+            ds, edr_cost, num_shards=2, backend="processes"
+        ) as sharded:
+            # The worker's engine rejects the non-walk; the parent must
+            # roll back the reserved global id and stay usable.
+            with pytest.raises(Exception):
+                sharded.add_trajectory(Trajectory([0, 0]), validate=True)
+            assert len(sharded) == 2
+            assert sharded.add_trajectory(trips[2]) == 2
+            assert len(sharded) == 3
+
+
+class TestLifecycle:
+    def test_workers_are_daemon_processes(self, process_engine):
+        pool = process_engine._workers
+        assert pool is not None
+        assert all(w.daemon for w in pool._workers)
+        assert all(pool.workers_alive())
+
+    def test_pool_registered_for_atexit_cleanup(self, process_engine):
+        assert process_engine._workers in workers_module._LIVE_POOLS
+
+    def test_close_is_idempotent_and_query_after_close_raises(
+        self, vertex_dataset, edr_cost, rng
+    ):
+        engine = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=2, backend="processes"
+        )
+        pool = engine._workers
+        engine.close()
+        engine.close()  # second close is a no-op, not an error
+        assert pool.closed
+        assert not any(pool.workers_alive())
+        assert pool not in workers_module._LIVE_POOLS
+        with pytest.raises(QueryError):
+            engine.query(sample_query(vertex_dataset, rng, 6), tau_ratio=0.25)
+        # The pool itself reports closure as a worker failure.
+        with pytest.raises(ServiceError):
+            pool.query_all([0], {})
+
+    def test_crashed_worker_surfaces_as_worker_error(
+        self, vertex_dataset, edr_cost, rng
+    ):
+        engine = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=2, backend="processes"
+        )
+        try:
+            engine._workers._workers[0]._process.terminate()
+            engine._workers._workers[0]._process.join(5)
+            with pytest.raises(WorkerError):
+                engine.query(sample_query(vertex_dataset, rng, 6), tau_ratio=0.25)
+        finally:
+            engine.close()  # close after a crash must still succeed

@@ -11,7 +11,6 @@ from repro.distance.costs import (
     LevenshteinCost,
     NetEDRCost,
     NetERPCost,
-    SURSCost,
     validate_cost_model,
 )
 from repro.exceptions import CostModelError

@@ -1,6 +1,5 @@
 """Smith–Waterman: best substring and the all-matches oracle."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.distance.costs import LevenshteinCost, SURSCost
+from repro.distance.costs import LevenshteinCost
 from repro.distance.wed import wed, wed_row_init, wed_step, wed_within
 
 lev = LevenshteinCost()

@@ -8,7 +8,6 @@ DP backends.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -51,7 +50,9 @@ def random_workload(draw):
         graph = random_city(draw(st.integers(25, 60)), seed=seed)
     gen = TripGenerator(graph, seed=seed + 1)
     trips = gen.generate(draw(st.integers(5, 15)), min_length=4, max_length=20)
-    qlen = draw(st.integers(2, 6))
+    # Clamp to the longest generated trip: min_length only bounds trips at
+    # 4, so an unclamped draw of 5-6 can leave no eligible base trajectory.
+    qlen = min(draw(st.integers(2, 6)), max(len(t) for t in trips))
     base = rng.choice([t for t in trips if len(t) >= qlen])
     s = rng.randrange(0, len(base) - qlen + 1)
     query = list(base.path[s : s + qlen])

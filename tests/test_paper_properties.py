@@ -6,7 +6,6 @@ instances, complementing the targeted unit tests elsewhere.
 
 import math
 
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,191 @@
+"""Cooperative cancellation: deadline-expired work stops burning CPU.
+
+The contract under test (ISSUE 2): when a query's deadline expires, shard
+tasks observe the cancellation token *inside* the verification loop and
+return early — within one verification-loop iteration — instead of
+running to completion after `Executor._gather` has abandoned them.
+"""
+
+import time
+
+import pytest
+
+from repro.core.cancellation import CancelToken
+from repro.core.engine import SubtrajectorySearch
+from repro.core.filtering import tau_from_ratio
+from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.core.results import MatchSet
+from repro.core.verification import Verifier
+from repro.core.workers import default_start_method
+from repro.exceptions import DeadlineExceededError, QueryCancelledError
+from repro.service import Executor
+from tests.conftest import sample_query
+
+
+class CountdownToken:
+    """Duck-typed token that trips after a fixed number of polls."""
+
+    def __init__(self, polls_before_trip: int) -> None:
+        self.polls_left = polls_before_trip
+
+    def cancelled(self) -> bool:
+        self.polls_left -= 1
+        return self.polls_left < 0
+
+
+class TestCancelToken:
+    def test_manual_cancel(self):
+        token = CancelToken()
+        assert not token.cancelled()
+        token.cancel()
+        assert token.cancelled()
+
+    def test_deadline_expiry(self):
+        token = CancelToken(0.01)
+        time.sleep(0.02)
+        assert token.cancelled()
+        assert token.remaining() < 0
+
+    def test_no_deadline_never_expires(self):
+        token = CancelToken()
+        assert token.expires is None
+        assert token.remaining() is None
+        assert not token.cancelled()
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            CancelToken(0.0)
+
+
+class TestVerifierObservesToken:
+    def test_stops_within_one_candidate(self, vertex_dataset, edr_cost, rng):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        query = sample_query(vertex_dataset, rng, 6)
+        tau = tau_from_ratio(query, edr_cost, 0.3)
+        candidates = engine.candidates(query, tau=tau)
+        assert len(candidates) >= 2, "fixture must yield several candidates"
+
+        # Token trips on the poll before the second candidate: exactly one
+        # candidate may be verified, then the loop must raise.
+        verifier = Verifier(
+            vertex_dataset.symbols, query, edr_cost, tau, cancel=CountdownToken(1)
+        )
+        with pytest.raises(QueryCancelledError):
+            verifier.verify_all(candidates, MatchSet())
+        assert verifier.stats.candidates == 1
+
+    def test_already_cancelled_token_verifies_nothing(
+        self, vertex_dataset, edr_cost, rng
+    ):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        query = sample_query(vertex_dataset, rng, 6)
+        tau = tau_from_ratio(query, edr_cost, 0.3)
+        candidates = engine.candidates(query, tau=tau)
+        token = CancelToken()
+        token.cancel()
+        verifier = Verifier(vertex_dataset.symbols, query, edr_cost, tau, cancel=token)
+        with pytest.raises(QueryCancelledError):
+            verifier.verify_all(candidates, MatchSet())
+        assert verifier.stats.candidates == 0
+
+    def test_engine_query_with_tripped_token_raises(
+        self, vertex_dataset, edr_cost, rng
+    ):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(QueryCancelledError):
+            engine.query(
+                sample_query(vertex_dataset, rng, 6), tau_ratio=0.25, cancel=token
+            )
+
+
+def _slow_verifier(monkeypatch, counter, delay=0.02):
+    """Make every candidate verification take ``delay`` seconds, counting
+    candidates actually verified — the slow-verifier fixture of ISSUE 2."""
+    original = Verifier.verify_candidate
+
+    def slow(self, candidate, matches):
+        counter["verified"] += 1
+        time.sleep(delay)
+        return original(self, candidate, matches)
+
+    monkeypatch.setattr(Verifier, "verify_candidate", slow)
+
+
+class TestExecutorDeadlineStopsShardWork:
+    def test_expired_shards_observe_token_and_return_early(
+        self, vertex_dataset, edr_cost, rng, monkeypatch
+    ):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        total = 0
+        for _ in range(10):  # sample until the query is CPU-heavy enough
+            query = sample_query(vertex_dataset, rng, 8)
+            tau = tau_from_ratio(query, edr_cost, 0.6)
+            total = len(engine.candidates(query, tau=tau))
+            if total >= 12:
+                break
+        assert total >= 12, "need a CPU-heavy query for the deadline to bite"
+
+        counter = {"verified": 0}
+        _slow_verifier(monkeypatch, counter)
+        sharded = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=2
+        )
+        with Executor(sharded, max_workers=2) as executor:
+            with pytest.raises(DeadlineExceededError):
+                executor.query(query, tau=tau, deadline=0.05)
+            # Abandoned shard tasks must wind down via the token, not run
+            # all `total` candidates to completion: closing the executor
+            # waits for the pool, so everything still running has ended.
+        assert counter["verified"] < total, (
+            f"shard tasks verified all {total} candidates — the deadline "
+            "token was never observed"
+        )
+        # ~0.05s budget at 0.02s/candidate across 2 shards admits a
+        # handful of candidates before the token trips; anything close to
+        # `total` means the loop ignored cancellation.
+        assert counter["verified"] <= total // 2
+        sharded.close()
+
+    @pytest.mark.skipif(
+        default_start_method() != "fork",
+        reason="patched slow verifier reaches workers only via fork",
+    )
+    def test_processes_backend_deadline_does_not_desync_pipes(
+        self, vertex_dataset, edr_cost, rng, monkeypatch
+    ):
+        counter = {"verified": 0}
+        _slow_verifier(monkeypatch, counter, delay=0.01)
+        # Construct AFTER patching: forked workers inherit the slow verifier.
+        engine = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=2, backend="processes"
+        )
+        single = SubtrajectorySearch(vertex_dataset, edr_cost)
+        query = sample_query(vertex_dataset, rng, 6)
+        try:
+            with Executor(engine, max_workers=2) as executor:
+                with pytest.raises(DeadlineExceededError):
+                    executor.query(query, tau_ratio=0.4, deadline=0.05)
+                # The abandoned request still got its (error) reply, so the
+                # next query on the same pipes must answer correctly.
+                result = executor.query(query, tau_ratio=0.25)
+                expected = single.query(query, tau_ratio=0.25)
+                assert [(m.trajectory_id, m.start, m.end) for m in result.matches] == [
+                    (m.trajectory_id, m.start, m.end) for m in expected.matches
+                ]
+        finally:
+            engine.close()
+
+    def test_deadline_without_slow_work_still_succeeds(
+        self, vertex_dataset, edr_cost, rng
+    ):
+        sharded = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=2
+        )
+        with Executor(sharded, max_workers=2) as executor:
+            result = executor.query(
+                sample_query(vertex_dataset, rng, 6), tau_ratio=0.25, deadline=30.0
+            )
+            assert result.tau > 0
+        sharded.close()

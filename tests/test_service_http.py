@@ -205,6 +205,22 @@ class TestCliSelfTest:
         ) == 0
         out = json.loads(capsys.readouterr().out)
         assert out["self_test"] == "ok"
+        assert out["backend"] == "threads"  # the serve default
+
+    def test_serve_self_test_process_backend(self, capsys):
+        # End-to-end over HTTP with one worker process per shard; the
+        # command must exit cleanly with no leaked children (the engine is
+        # closed in the serve command's finally).
+        assert main(
+            ["serve", "--self-test", "--shards", "2", "--backend", "processes",
+             "--function", "lev"]
+        ) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["self_test"] == "ok"
+        assert out["backend"] == "processes"
+        import multiprocessing as mp
+
+        assert not [p for p in mp.active_children() if "repro-shard" in p.name]
 
     def test_serve_self_test_with_real_files(self, tmp_path, capsys):
         net = tmp_path / "net.txt"
