@@ -20,7 +20,10 @@ VARIANTS = [
     ("trie, no ET", dict(verification="trie", early_termination=False)),
     ("local, no ET", dict(verification="local", early_termination=False)),
     ("SW oracle", dict(verification="sw")),
-    ("BT numpy DP", dict(verification="trie", dp_backend="numpy")),
+    # The unlabeled variants above run the array-native default
+    # (dp_backend="numpy"); this row isolates the DP-backend ingredient
+    # (see bench_verification_hotpath.py for the dedicated comparison).
+    ("BT python DP", dict(verification="trie", dp_backend="python")),
 ]
 TAU_RATIOS = [0.1, 0.2, 0.3]
 

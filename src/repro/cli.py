@@ -81,6 +81,17 @@ def _add_cost_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--g-del", type=float, default=2000.0, help="NetERP del cost")
 
 
+def _add_dp_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dp-backend",
+        default="numpy",
+        choices=["numpy", "python"],
+        help="verification DP backend: 'numpy' runs the array-native "
+        "column kernel, 'python' the pure-Python loop kept for ablation "
+        "(default: numpy; identical results)",
+    )
+
+
 def _cmd_generate_network(args: argparse.Namespace) -> int:
     if args.style == "grid":
         graph = grid_city(args.rows, args.cols, seed=args.seed)
@@ -129,7 +140,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"{args.function} needs --representation {costs.representation}"
         )
-    engine = SubtrajectorySearch(dataset, costs)
+    engine = SubtrajectorySearch(dataset, costs, dp_backend=args.dp_backend)
     query = _parse_symbols(args.query)
     interval = None
     if args.time_from is not None or args.time_to is not None:
@@ -214,9 +225,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             costs,
             num_shards=args.shards,
             backend=args.backend,
+            dp_backend=args.dp_backend,
         )
     else:
-        engine = SubtrajectorySearch(dataset, costs)
+        engine = SubtrajectorySearch(dataset, costs, dp_backend=args.dp_backend)
     service = QueryService(
         engine,
         max_workers=args.workers,
@@ -232,7 +244,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return _serve_self_test(server, service, dataset)
         print(
             f"serving {len(dataset)} trajectories on {server.url} "
-            f"(backend={getattr(engine, 'backend', 'single')})",
+            f"(backend={getattr(engine, 'backend', 'single')}, "
+            f"dp_backend={args.dp_backend})",
             flush=True,
         )
         try:
@@ -341,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-to", type=float, default=None)
     p.add_argument("--limit", type=int, default=20, help="max matches printed")
     _add_cost_options(p)
+    _add_dp_backend_option(p)
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("travel-time", help="estimate travel time of a path")
@@ -380,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve a synthetic workload, answer one HTTP query, and exit",
     )
     _add_cost_options(p)
+    _add_dp_backend_option(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

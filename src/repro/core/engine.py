@@ -179,6 +179,11 @@ class SubtrajectorySearch:
         When no tau-subsequence exists (``c(Q) < tau``, possible for
         continuous costs with tiny eta — §3.1), scan the whole dataset
         instead of raising.
+    dp_backend:
+        Verification DP backend: ``"numpy"`` (default) runs the
+        array-native column kernel over precomputed substitution/insertion
+        arrays; ``"python"`` is the pure-Python per-cell loop, kept for
+        ablation.  Both return identical results.
     """
 
     def __init__(
@@ -191,7 +196,7 @@ class SubtrajectorySearch:
         early_termination: bool = True,
         sort_by_departure: bool = False,
         fallback_to_scan: bool = True,
-        dp_backend: str = "python",
+        dp_backend: str = "numpy",
     ) -> None:
         if costs.representation != dataset.representation:
             raise QueryError(
@@ -225,6 +230,11 @@ class SubtrajectorySearch:
     def dataset(self) -> TrajectoryDataset:
         """The indexed trajectory dataset."""
         return self._dataset
+
+    @property
+    def dp_backend(self) -> str:
+        """The verification DP backend: ``"numpy"`` or ``"python"``."""
+        return self._dp_backend
 
     def add_trajectory(self, trajectory, *, validate: bool = False) -> int:
         """Append one trajectory to the dataset and index it online (§4.1:
@@ -320,6 +330,21 @@ class SubtrajectorySearch:
         if self._verification == "sw":
             stats = self._verify_sw(candidates, query, tau, matches, cancel)
         else:
+            anchors = None
+            if self._dp_backend == "numpy" and candidates:
+                # Every candidate's anchor symbol lies in the chosen
+                # subsequence's neighborhoods; precompute rows densely for
+                # the ones that actually occur in the data (nonempty
+                # postings) — the rest, or an empty candidate set, would
+                # be pure wasted startup work (the matrix also fills
+                # lazily, so skipping here only defers, never recomputes).
+                index = self.index
+                anchors = [
+                    b
+                    for element in subsequence
+                    for b in element.neighborhood
+                    if index.frequency(b)
+                ]
             verifier = Verifier(
                 self._dataset.symbols,
                 query,
@@ -328,6 +353,8 @@ class SubtrajectorySearch:
                 use_trie=self._verification == "trie",
                 early_termination=self._early_termination,
                 dp_backend=self._dp_backend,
+                symbols_array_of=self._dataset.symbols_array,
+                anchors=anchors,
                 cancel=cancel,
             )
             verifier.verify_all(candidates, matches)

@@ -58,6 +58,12 @@ class PartitionedSubtrajectorySearch:
     (round-robin assignment, which balances shard sizes).  All constructor
     keyword arguments are forwarded to every shard engine.
 
+    Engine keyword arguments — including ``dp_backend``, whose
+    array-native ``"numpy"`` default every shard engine inherits — are
+    forwarded verbatim to each shard's
+    :class:`~repro.core.engine.SubtrajectorySearch` (in-process or inside
+    its worker process).
+
     ``backend`` selects the fan-out strategy (see the module docstring).
     For backward compatibility it defaults to ``"threads"`` when
     ``max_workers`` is given and ``"serial"`` otherwise; pass it
@@ -104,6 +110,7 @@ class PartitionedSubtrajectorySearch:
             )
         num_shards = min(num_shards, len(dataset))
         self._backend = backend
+        self._dp_backend = str(engine_kwargs.get("dp_backend", "numpy"))
         self._global_ids: List[List[int]] = [[] for _ in range(num_shards)]
         self._shards = [
             TrajectoryDataset(dataset.graph, dataset.representation)
@@ -151,6 +158,11 @@ class PartitionedSubtrajectorySearch:
     def costs(self):
         """The cost model shared by every shard engine."""
         return self._costs
+
+    @property
+    def dp_backend(self) -> str:
+        """The verification DP backend every shard engine runs."""
+        return self._dp_backend
 
     def __len__(self) -> int:
         return sum(len(ids) for ids in self._global_ids)
@@ -291,6 +303,7 @@ class PartitionedSubtrajectorySearch:
             stats.visited_columns += s.visited_columns
             stats.computed_columns += s.computed_columns
             stats.emitted += s.emitted
+            stats.duplicate_candidates += s.duplicate_candidates
             matches.extend(
                 Match(id_map[m.trajectory_id], m.start, m.end, m.distance)
                 for m in result.matches

@@ -20,17 +20,32 @@ __all__ = ["TrieNode", "VerificationTrie"]
 class TrieNode:
     """One cached DP column.
 
-    ``column`` is ``A(x)`` of Algorithm 5 (length ``|Q^d| + 1``);
+    ``column`` is ``A(x)`` of Algorithm 5 (length ``|Q^d| + 1``) — a Python
+    list (pure-Python DP) or an ``np.ndarray`` (array-native DP);
     ``column_min`` caches ``min(column)``, the early-termination lower bound
-    ``LB`` of Eq. 11.
+    ``LB`` of Eq. 11, and ``column_last`` caches ``column[-1]`` (the E value
+    read once per visit).  Callers that already know them (the vectorized
+    StepDP extracts both in batched C passes) pass them in to skip the
+    Python scans; both are plain floats so hot-loop comparisons and emitted
+    distances never carry numpy scalars.
     """
 
-    __slots__ = ("children", "column", "column_min")
+    __slots__ = ("children", "column", "column_min", "column_last")
 
-    def __init__(self, column: Sequence[float]) -> None:
+    def __init__(
+        self,
+        column: Sequence[float],
+        column_min: Optional[float] = None,
+        column_last: Optional[float] = None,
+    ) -> None:
         self.children: Dict[int, "TrieNode"] = {}
         self.column: Sequence[float] = column
-        self.column_min: float = min(column)
+        self.column_min: float = (
+            float(min(column)) if column_min is None else column_min
+        )
+        self.column_last: float = (
+            float(column[-1]) if column_last is None else column_last
+        )
 
     def find_child(self, symbol: int) -> Optional["TrieNode"]:
         """The cached child for ``symbol``, or None (a cache miss)."""

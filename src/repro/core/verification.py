@@ -28,6 +28,32 @@ Three optimizations, individually switchable for ablation:
   across candidates sharing data prefixes (§5.2);
 - the anchor tightens the budget to ``tau' = tau - sub(Q[iq], P[j])``.
 
+Two DP backends compute the columns, both evaluating the repo-wide
+prefix-min insert chain (see :mod:`repro.distance.wed`) so their floats
+are bit-identical:
+
+- ``dp_backend="numpy"`` (the default) is *array-native end to end* with
+  **anchor-grouped batch verification**: candidates are deduped, grouped
+  by anchor position ``iq``, and each group's candidates walk the shared
+  direction trie *run-to-miss* — every round's distinct cache misses
+  become one batched :func:`step_dp_batch` call over an ``(L, |Q^d| +
+  1)`` matrix, so numpy launch overhead amortizes across the whole group
+  instead of being paid per column.  Substitution rows come from a
+  per-query :class:`~repro.distance.costs.SubstitutionMatrix` as cached
+  ndarray slices (forward parts and reversed backward parts are zero-copy
+  views of one full-query row), trajectory strings are memoized
+  ``np.int32`` arrays sliced into directional views and materialized into
+  the walker chunk by chunk, and trie columns are ndarrays carrying their
+  minimum and last value out of the kernel as plain floats;
+- ``dp_backend="python"`` is the historical pure-Python per-cell loop,
+  kept as the ablation baseline
+  (``benchmarks/bench_verification_hotpath.py`` tracks the gap).
+
+Batching preserves the sequential semantics exactly: which columns get
+computed, every column's floats, each candidate's early-termination point,
+and the UPR/CMR counters are all order-independent, so the two backends —
+and the batched vs. single-candidate numpy paths — agree bit for bit.
+
 The :class:`VerificationStats` counters implement the §6.4 metrics: UPR
 (columns surviving early termination vs. a full Smith–Waterman pass) and
 CMR (columns actually computed vs. columns visited).
@@ -42,10 +68,16 @@ import numpy as np
 
 from repro.core.results import MatchSet
 from repro.core.trie import TrieNode, VerificationTrie
-from repro.distance.costs import CostModel
+from repro.distance.costs import CostModel, SubstitutionMatrix
 from repro.exceptions import QueryCancelledError, QueryError
 
-__all__ = ["Candidate", "VerificationStats", "Verifier", "step_dp_numpy"]
+__all__ = [
+    "Candidate",
+    "VerificationStats",
+    "Verifier",
+    "step_dp_batch",
+    "step_dp_numpy",
+]
 
 
 def step_dp_numpy(
@@ -54,19 +86,57 @@ def step_dp_numpy(
     ins_prefix: np.ndarray,
     prev: np.ndarray,
 ) -> np.ndarray:
-    """Vectorized StepDP (Algorithm 6) without the sequential insert chain.
+    """Vectorized StepDP (Algorithm 6) in the prefix-min convention.
 
-    The classic recurrence ``B[j] = min(C[j], B[j-1] + ins[j])`` unrolls to
-    ``B[j] = min over i <= j of (C[i] + ins_prefix[j] - ins_prefix[i])``
-    where ``C[j] = min(prev[j-1] + sub[j-1], prev[j] + del)`` (``C[0] =
-    prev[0] + del``), which numpy evaluates with one ``minimum.accumulate``
-    pass — exact, no approximation.
+    ``C[j] = min(prev[j-1] + sub[j-1], prev[j] + del)`` (``C[0] = prev[0] +
+    del``) vectorizes directly; the insert chain is evaluated as ``B[j] =
+    min(C[j], P[j] + min over i < j of (C[i] - P[i]))`` with one
+    ``minimum.accumulate`` pass — the exact evaluation order every DP step
+    in this repo uses (see :mod:`repro.distance.wed`), so the result is
+    *bit-identical* to the pure-Python backend, not merely close: the
+    strict ``< tau`` match semantics see the same floats everywhere.
+
+    ``sub_row`` and ``prev`` may be non-contiguous views; the inputs are
+    never mutated and the returned column is a fresh array (it is cached
+    in the trie).
     """
     c = prev + delete_cost
     np.minimum(c[1:], prev[:-1] + sub_row, out=c[1:])
-    return ins_prefix + np.minimum.accumulate(c - ins_prefix)
+    d = c - ins_prefix
+    np.minimum.accumulate(d, out=d)
+    np.minimum(c[1:], ins_prefix[1:] + d[:-1], out=c[1:])
+    return c
+
+
+def step_dp_batch(
+    sub_rows: np.ndarray,
+    delete_costs: np.ndarray,
+    ins_prefix: np.ndarray,
+    prev_columns: np.ndarray,
+) -> np.ndarray:
+    """:func:`step_dp_numpy` over ``L`` independent columns at once.
+
+    ``prev_columns`` is ``(L, n+1)``, ``sub_rows`` ``(L, n)``,
+    ``delete_costs`` ``(L,)``; returns the ``(L, n+1)`` next columns.  Each
+    row runs the identical operation sequence as the single-column kernel,
+    so batching changes throughput, never values.  This is what makes
+    anchor-grouped verification fast: one launch sequence per trie level
+    instead of per column.
+    """
+    c = prev_columns + delete_costs[:, None]
+    np.minimum(c[:, 1:], prev_columns[:, :-1] + sub_rows, out=c[:, 1:])
+    d = c - ins_prefix
+    np.minimum.accumulate(d, axis=1, out=d)
+    np.minimum(c[:, 1:], ins_prefix[1:] + d[:, :-1], out=c[:, 1:])
+    return c
+
 
 Candidate = Tuple[int, int, int]  # (trajectory id, position j, query position iq)
+
+#: symbols materialized per tolist() chunk by the batched walker — small
+#: enough that an immediately-terminated candidate on a long trajectory
+#: wastes almost nothing, large enough to amortize the slice machinery.
+_SYMBOL_CHUNK = 64
 
 
 @dataclass(slots=True)
@@ -82,6 +152,8 @@ class VerificationStats:
     computed_columns: int = 0
     #: matches emitted (pre-deduplication)
     emitted: int = 0
+    #: exact (id, j, iq) repeats dropped by ``verify_all`` before verification
+    duplicate_candidates: int = 0
 
     @property
     def unpruned_position_rate(self) -> float:
@@ -105,23 +177,70 @@ class VerificationStats:
 
 class _DirectionContext:
     """Precomputed per-direction query data shared by all candidates with
-    the same anchor position ``iq``."""
+    the same anchor position ``iq``.
 
-    __slots__ = ("query_part", "ins_row", "ins_prefix", "trie")
+    ``ins_prefix`` is the cumulative insertion-cost prefix of the query
+    part — the trie's root column and the ``P`` of the prefix-min DP
+    convention (an ndarray on the numpy backend, a list on the python
+    one, summed left-to-right either way so both hold the same floats).
+    ``row_slice`` maps a *full-query* substitution row to this direction's
+    part: ``slice(iq+1, None)`` forward, ``slice(iq-1, None, -1)`` backward
+    (the reversed prefix) — both zero-copy ndarray views, so one cached row
+    per symbol serves every anchor position and both directions.
+    """
+
+    __slots__ = ("query_part", "ins_prefix", "row_slice", "row_cache", "trie")
 
     def __init__(
-        self, query_part: Sequence[int], costs: CostModel, numpy_backend: bool
+        self,
+        query: Sequence[int],
+        iq: int,
+        direction: str,
+        costs: CostModel,
+        *,
+        numpy_backend: bool,
+        ins_vec: Optional[np.ndarray] = None,
     ) -> None:
-        self.query_part = tuple(query_part)
-        self.ins_row = [costs.ins(q) for q in self.query_part]
-        root_column: Sequence[float] = [0.0]
-        for c in self.ins_row:
-            root_column.append(root_column[-1] + c)  # type: ignore[attr-defined]
-        self.ins_prefix: Optional[np.ndarray] = None
+        if direction == "b":
+            # Backward part: both strings reversed (WED is invariant under
+            # simultaneous reversal because costs are position-independent).
+            self.query_part: Tuple[int, ...] = tuple(reversed(query[:iq]))
+            self.row_slice = slice(iq - 1, None, -1) if iq > 0 else slice(0, 0)
+        else:
+            self.query_part = tuple(query[iq + 1 :])
+            self.row_slice = slice(iq + 1, None)
+        #: symbol -> (contiguous substitution-row slice, deletion cost) for
+        #: this direction (backward slices are negative-stride views;
+        #: copying them once here makes every later batch-matrix fill a
+        #: plain memcpy, and pairing the deletion cost makes the batch
+        #: assembly a single dict hit per miss).
+        self.row_cache: Dict[int, Tuple[np.ndarray, float]] = {}
         if numpy_backend:
-            self.ins_prefix = np.asarray(root_column, dtype=np.float64)
-            root_column = self.ins_prefix
-        self.trie = VerificationTrie(root_column)
+            ins_part = ins_vec[self.row_slice]
+            prefix = np.empty(len(self.query_part) + 1, dtype=np.float64)
+            prefix[0] = 0.0
+            np.cumsum(ins_part, out=prefix[1:])
+            self.ins_prefix: Sequence[float] = prefix
+        else:
+            prefix_list: List[float] = [0.0]
+            for q in self.query_part:
+                prefix_list.append(prefix_list[-1] + costs.ins(q))
+            self.ins_prefix = prefix_list
+        # The root column wed(eps, part prefix) IS the insertion prefix.
+        self.trie = VerificationTrie(self.ins_prefix)
+
+    def costs_for(
+        self, symbol: int, matrix: SubstitutionMatrix
+    ) -> Tuple[np.ndarray, float]:
+        """This direction's cached (substitution-row slice, delete cost)."""
+        pair = self.row_cache.get(symbol)
+        if pair is None:
+            pair = (
+                np.ascontiguousarray(matrix.row(symbol)[self.row_slice]),
+                matrix.delete(symbol),
+            )
+            self.row_cache[symbol] = pair
+        return pair
 
 
 class Verifier:
@@ -140,11 +259,26 @@ class Verifier:
     early_termination:
         Stop extending a direction once the column minimum reaches the
         budget (§5.1).  Disabling scans to the trajectory ends.
+    dp_backend:
+        ``"numpy"`` (default) — anchor-grouped batch verification over the
+        array-native column kernels; ``"python"`` — the pure-Python
+        per-cell loop, kept for ablation.  Results are bit-identical.
+    symbols_array_of:
+        Callable mapping a trajectory id to its ``np.int32`` symbol array
+        (the dataset's ``symbols_array``).  Used by the numpy backend only;
+        when omitted, arrays are converted from ``symbols_of`` and memoized
+        per verifier.
+    anchors:
+        Symbols that can appear at candidate anchor positions (the union of
+        the tau-subsequence's substitution neighborhoods).  Their
+        substitution rows are precomputed densely in the per-query
+        :class:`~repro.distance.costs.SubstitutionMatrix`.
     cancel:
         Optional cooperative cancellation token (anything with a
         ``cancelled() -> bool`` method, e.g.
         :class:`~repro.core.cancellation.CancelToken`).  Polled once per
-        candidate in :meth:`verify_all`, so expired work stops within one
+        candidate (python backend) or per group/trie level (numpy
+        backend) in :meth:`verify_all`, so expired work stops within one
         verification-loop iteration instead of running to completion.
     """
 
@@ -157,7 +291,9 @@ class Verifier:
         *,
         use_trie: bool = True,
         early_termination: bool = True,
-        dp_backend: str = "python",
+        dp_backend: str = "numpy",
+        symbols_array_of=None,
+        anchors: Optional[Sequence[int]] = None,
         cancel=None,
     ) -> None:
         if dp_backend not in ("python", "numpy"):
@@ -170,23 +306,82 @@ class Verifier:
         self._early_termination = early_termination
         self._cancel = cancel
         self._numpy = dp_backend == "numpy"
+        self._matrix: Optional[SubstitutionMatrix] = None
+        self._ins_vec: Optional[np.ndarray] = None
+        if self._numpy:
+            self._matrix = costs.sub_matrix(self._query, anchors=anchors)
+            self._ins_vec = costs.ins_vector(self._query)
+            if symbols_array_of is None:
+                symbols_array_of = self._converting_array_accessor()
+        self._symbols_array_of = symbols_array_of
         # One context per (query position, direction); built lazily since
         # only tau-subsequence positions are anchors (2|Q'| tries, §5.2).
         self._contexts: Dict[Tuple[int, str], _DirectionContext] = {}
         self.stats = VerificationStats()
+
+    def _converting_array_accessor(self):
+        """Fallback ``symbols_array_of``: convert + memoize per verifier."""
+        cache: Dict[int, np.ndarray] = {}
+        symbols_of = self._symbols_of
+
+        def accessor(tid: int) -> np.ndarray:
+            arr = cache.get(tid)
+            if arr is None:
+                arr = np.asarray(symbols_of(tid), dtype=np.int32)
+                cache[tid] = arr
+            return arr
+
+        return accessor
 
     # -- Algorithm 3: drive all candidates ---------------------------------
 
     def verify_all(self, candidates: Sequence[Candidate], matches: MatchSet) -> None:
         """Algorithm 3: verify every candidate into ``matches``.
 
-        Polls the cancellation token between candidates, so a cancelled or
-        deadline-expired query raises
+        Exact ``(id, j, iq)`` repeats (possible when repeated query symbols
+        or an external caller supply overlapping candidate sets) are
+        verified once and counted in ``stats.duplicate_candidates``; the
+        survivors are ordered by anchor position ``iq``, then trajectory,
+        so consecutive candidates share direction contexts, trie roots, and
+        symbol arrays — and, on the numpy backend, each ``iq`` group is
+        verified as one level-synchronous batch over the shared tries.
+        Neither transformation changes the result set or the column
+        counters — trie cache contents and per-candidate visit counts are
+        order-independent.
+
+        Polls the cancellation token between candidates (python backend)
+        or between anchor groups and trie levels (numpy backend), so a
+        cancelled or deadline-expired query raises
         :class:`~repro.exceptions.QueryCancelledError` within one loop
         iteration instead of verifying the remaining candidates.
         """
-        cancel = self._cancel
+        seen = set()
+        unique: List[Candidate] = []
         for cand in candidates:
+            if cand in seen:
+                self.stats.duplicate_candidates += 1
+            else:
+                seen.add(cand)
+                unique.append(cand)
+        unique.sort(key=lambda c: (c[2], c[0], c[1]))
+        cancel = self._cancel
+        if self._numpy:
+            total = len(unique)
+            start = 0
+            while start < total:
+                if cancel is not None and cancel.cancelled():
+                    raise QueryCancelledError(
+                        f"verification cancelled after {self.stats.candidates} "
+                        f"of {len(candidates)} candidates"
+                    )
+                iq = unique[start][2]
+                end = start
+                while end < total and unique[end][2] == iq:
+                    end += 1
+                self._verify_group(iq, unique[start:end], matches)
+                start = end
+            return
+        for cand in unique:
             if cancel is not None and cancel.cancelled():
                 raise QueryCancelledError(
                     f"verification cancelled after {self.stats.candidates} of "
@@ -197,48 +392,316 @@ class Verifier:
     # -- Algorithm 4 --------------------------------------------------------
 
     def verify_candidate(self, candidate: Candidate, matches: MatchSet) -> None:
-        """Emit every match of Definition 3 anchored at this candidate."""
+        """Emit every match of Definition 3 anchored at this candidate.
+
+        Single-candidate entry point (the batched group path in
+        :meth:`verify_all` produces identical results and counters)."""
         tid, j, iq = candidate
-        data = self._symbols_of(tid)
         self.stats.candidates += 1
-        self.stats.sw_columns += len(data)
-        anchor_cost = self._costs.sub(self._query[iq], data[j])
-        budget = self._tau - anchor_cost
-        if budget <= 0:
-            return
-        backward = self._context(iq, "b")
-        forward = self._context(iq, "f")
-        # Backward part: both strings reversed (WED is invariant under
-        # simultaneous reversal because costs are position-independent).
-        eb = self._all_prefix_wed(
-            _Reversed(data, j), backward, budget
-        )
-        ef = self._all_prefix_wed(
-            _Suffix(data, j + 1), forward, budget
-        )
-        # Combine: match P[j-kb .. j+kf] for every pair under budget.
+        if self._numpy:
+            data = self._symbols_array_of(tid)
+            self.stats.sw_columns += len(data)
+            # The anchor cost is the iq-th entry of the symbol's cached
+            # full-query substitution row (sub is symmetric — §2.2.1).
+            anchor_cost = float(self._matrix.row(data.item(j))[iq])
+            budget = self._tau - anchor_cost
+            if budget <= 0:
+                return
+            backward = self._context(iq, "b")
+            forward = self._context(iq, "f")
+            eb = self._all_prefix_wed_array(data[:j][::-1], backward, budget)
+            ef = self._all_prefix_wed_array(data[j + 1 :], forward, budget)
+        else:
+            data = self._symbols_of(tid)
+            self.stats.sw_columns += len(data)
+            anchor_cost = self._costs.sub(self._query[iq], data[j])
+            budget = self._tau - anchor_cost
+            if budget <= 0:
+                return
+            backward = self._context(iq, "b")
+            forward = self._context(iq, "f")
+            eb = self._all_prefix_wed(_Reversed(data, j), backward, budget)
+            ef = self._all_prefix_wed(_Suffix(data, j + 1), forward, budget)
+        self._combine(tid, j, anchor_cost, budget, eb, ef, matches)
+
+    def _combine(
+        self,
+        tid: int,
+        j: int,
+        anchor_cost: float,
+        budget: float,
+        eb: List[float],
+        ef: List[float],
+        matches: MatchSet,
+    ) -> None:
+        """Combine: match P[j-kb .. j+kf] for every pair under budget."""
+        emitted = 0
+        add = matches.add
         for kb, cost_b in enumerate(eb):
             remaining = budget - cost_b
             if remaining <= 0:
                 continue
+            base = anchor_cost + cost_b
+            start = j - kb
             for kf, cost_f in enumerate(ef):
                 if cost_f < remaining:
-                    matches.add(tid, j - kb, j + kf, anchor_cost + cost_b + cost_f)
-                    self.stats.emitted += 1
+                    add(tid, start, j + kf, base + cost_f)
+                    emitted += 1
+        self.stats.emitted += emitted
+
+    # -- anchor-grouped batch verification (numpy backend) ------------------
+
+    def _verify_group(
+        self, iq: int, group: Sequence[Candidate], matches: MatchSet
+    ) -> None:
+        """Verify all candidates sharing anchor position ``iq`` as one
+        level-synchronous batch over the shared direction tries."""
+        stats = self.stats
+        matrix = self._matrix
+        tau = self._tau
+        items: List[Tuple[int, int, float, float]] = []
+        views_b: List[np.ndarray] = []
+        views_f: List[np.ndarray] = []
+        budgets: List[float] = []
+        for tid, j, _ in group:
+            data = self._symbols_array_of(tid)
+            stats.candidates += 1
+            stats.sw_columns += len(data)
+            anchor_cost = float(matrix.row(data.item(j))[iq])
+            budget = tau - anchor_cost
+            if budget <= 0:
+                continue
+            items.append((tid, j, anchor_cost, budget))
+            views_b.append(data[:j][::-1])
+            views_f.append(data[j + 1 :])
+            budgets.append(budget)
+        if not items:
+            return
+        backward = self._context(iq, "b")
+        forward = self._context(iq, "f")
+        ebs = self._batched_all_prefix_wed(views_b, budgets, backward)
+        efs = self._batched_all_prefix_wed(views_f, budgets, forward)
+        for (tid, j, anchor_cost, budget), eb, ef in zip(items, ebs, efs):
+            self._combine(tid, j, anchor_cost, budget, eb, ef, matches)
+
+    def _batched_all_prefix_wed(
+        self,
+        views: List[np.ndarray],
+        budgets: List[float],
+        ctx: _DirectionContext,
+    ) -> List[List[float]]:
+        """AllPrefixWED for many candidates over one shared trie, walked
+        run-to-miss.
+
+        Each round, every runnable state advances through consecutive trie
+        *hits* in a tight local-variable loop (as cheap as the sequential
+        walk), parking at its first cache miss; the round's distinct
+        ``(node, symbol)`` misses are then computed in one
+        :func:`step_dp_batch` call and their new trie nodes shared by every
+        parked state.  A trie node's identity is its symbol path, so
+        shared-prefix states converge on the same objects regardless of
+        schedule: which columns get computed, each state's visit count,
+        and every float are identical to walking the candidates one at a
+        time — batching only amortizes the numpy launch overhead.
+        """
+        root = ctx.trie.root
+        outs: List[List[float]] = [[root.column_last] for _ in views]
+        early = self._early_termination
+        use_trie = self._use_trie
+        matrix = self._matrix
+        prefix = ctx.ins_prefix
+        width = len(ctx.query_part) + 1
+        cancel = self._cancel
+        # One walk state per candidate still extending:
+        # [node, symbol list, out list, budget, k, len(view), view array].
+        # Symbols are materialized into plain int lists *chunk by chunk*
+        # (C-speed tolist of the zero-copy view, indexed per visit by the
+        # tight loop) so an early-terminated candidate on a very long
+        # trajectory never pays for symbols it will not reach.
+        runnable: List[list] = []
+        root_min = root.column_min
+        for view, budget, out in zip(views, budgets, outs):
+            if early and root_min >= budget:
+                continue
+            n = len(view)
+            if n:
+                runnable.append(
+                    [root, view[:_SYMBOL_CHUNK].tolist(), out, budget, 0, n, view]
+                )
+        visited = computed = 0
+        # Parked misses.  With the trie on, the parent's ``children`` dict
+        # doubles as the rendezvous: a miss leaves the pending batch index
+        # as an *int* placeholder, so later states reaching the same
+        # (node, symbol) join its waiters with the one dict lookup they
+        # were doing anyway.  Placeholders are replaced by the real
+        # TrieNode when the batch resolves, and stripped if the batch
+        # fails (see below); cancellation polls only between rounds, when
+        # none are outstanding — so the tries never leak them.  Without
+        # the trie every state is its own miss (no sharing), matching the
+        # sequential local-verification mode column for column.
+        pend_nodes: List[TrieNode] = []
+        pend_syms: List[int] = []
+        pend_waiters: List[List[list]] = []
+        costs_cache_get = ctx.row_cache.get
+        while runnable or pend_nodes:
+            if cancel is not None and cancel.cancelled():
+                self.stats.visited_columns += visited
+                self.stats.computed_columns += computed
+                raise QueryCancelledError(
+                    f"verification cancelled after {self.stats.candidates} "
+                    "candidates (mid-batch)"
+                )
+            for st in runnable:
+                node, view, out, budget, k, n = st[:6]
+                append = out.append
+                filled = len(view)
+                if use_trie:
+                    while True:
+                        if k == filled:
+                            view.extend(st[6][filled : 2 * filled + 16].tolist())
+                            filled = len(view)
+                        symbol = view[k]
+                        visited += 1
+                        child = node.children.get(symbol)
+                        if child is None:
+                            st[0] = node
+                            st[4] = k
+                            node.children[symbol] = len(pend_nodes)
+                            pend_nodes.append(node)
+                            pend_syms.append(symbol)
+                            pend_waiters.append([st])
+                            break
+                        if type(child) is int:
+                            st[0] = node
+                            st[4] = k
+                            pend_waiters[child].append(st)
+                            break
+                        append(child.column_last)
+                        k += 1
+                        if (early and child.column_min >= budget) or k == n:
+                            break
+                        node = child
+                else:
+                    # Every visit recomputes its column: park immediately.
+                    if k == filled:
+                        view.extend(st[6][filled : 2 * filled + 16].tolist())
+                    symbol = view[k]
+                    visited += 1
+                    st[0] = node
+                    st[4] = k
+                    pend_nodes.append(node)
+                    pend_syms.append(symbol)
+                    pend_waiters.append([st])
+            runnable = []
+            if pend_nodes:
+                batch = len(pend_nodes)
+                try:
+                    parents = np.empty((batch, width), dtype=np.float64)
+                    subs = np.empty((batch, width - 1), dtype=np.float64)
+                    dels_list: List[float] = []
+                    for i in range(batch):
+                        parents[i] = pend_nodes[i].column
+                        symbol = pend_syms[i]
+                        pair = costs_cache_get(symbol)
+                        if pair is None:
+                            pair = ctx.costs_for(symbol, matrix)
+                        subs[i] = pair[0]
+                        dels_list.append(pair[1])
+                    dels = np.asarray(dels_list, dtype=np.float64)
+                    columns = step_dp_batch(subs, dels, prefix, parents)
+                    mins = columns.min(axis=1).tolist()
+                    lasts = columns[:, -1].tolist()
+                    computed += batch
+                    for i in range(batch):
+                        child = TrieNode(columns[i], mins[i], lasts[i])
+                        if use_trie:
+                            pend_nodes[i].children[pend_syms[i]] = child
+                        cmin = mins[i]
+                        last = lasts[i]
+                        for st in pend_waiters[i]:
+                            st[2].append(last)
+                            k = st[4] + 1
+                            if (early and cmin >= st[3]) or k == st[5]:
+                                continue
+                            st[0] = child
+                            st[4] = k
+                            runnable.append(st)
+                except BaseException:
+                    # A failing batch (e.g. a cost model raising mid-row)
+                    # must not strand int placeholders in the shared tries:
+                    # strip any still unresolved so the verifier stays
+                    # usable after the caller handles the error.
+                    if use_trie:
+                        for node_, symbol_ in zip(pend_nodes, pend_syms):
+                            if type(node_.children.get(symbol_)) is int:
+                                del node_.children[symbol_]
+                    raise
+                pend_nodes = []
+                pend_syms = []
+                pend_waiters = []
+        self.stats.visited_columns += visited
+        self.stats.computed_columns += computed
+        return outs
 
     def _context(self, iq: int, direction: str) -> _DirectionContext:
         key = (iq, direction)
         ctx = self._contexts.get(key)
         if ctx is None:
-            if direction == "b":
-                part = tuple(reversed(self._query[:iq]))
-            else:
-                part = self._query[iq + 1 :]
-            ctx = _DirectionContext(part, self._costs, self._numpy)
+            ctx = _DirectionContext(
+                self._query,
+                iq,
+                direction,
+                self._costs,
+                numpy_backend=self._numpy,
+                ins_vec=self._ins_vec,
+            )
             self._contexts[key] = ctx
         return ctx
 
     # -- Algorithm 5: AllPrefixWED ------------------------------------------
+
+    def _all_prefix_wed_array(
+        self,
+        data_part: np.ndarray,
+        ctx: _DirectionContext,
+        budget: float,
+    ) -> List[float]:
+        """Array-native AllPrefixWED over a zero-copy trajectory view
+        (single-candidate path; the batched walker produces identical
+        columns and counters)."""
+        node: TrieNode = ctx.trie.root
+        out: List[float] = [node.column_last]
+        early = self._early_termination
+        if early and node.column_min >= budget:
+            return out
+        matrix = self._matrix
+        prefix = ctx.ins_prefix
+        use_trie = self._use_trie
+        item = data_part.item
+        visited = computed = 0
+        for k in range(len(data_part)):
+            symbol = item(k)
+            visited += 1
+            child = node.children.get(symbol) if use_trie else None
+            if child is None:
+                sub_row, delete_cost = ctx.costs_for(symbol, matrix)
+                column = step_dp_numpy(
+                    sub_row,
+                    delete_cost,
+                    prefix,
+                    node.column,
+                )
+                computed += 1
+                child = TrieNode(column, column.min().item(), column.item(-1))
+                if use_trie:
+                    node.children[symbol] = child
+            node = child
+            out.append(node.column_last)
+            if early and node.column_min >= budget:
+                break
+        self.stats.visited_columns += visited
+        self.stats.computed_columns += computed
+        return out
 
     def _all_prefix_wed(
         self,
@@ -254,35 +717,24 @@ class Verifier:
         """
         node: TrieNode = ctx.trie.root
         query_part = ctx.query_part
-        out: List[float] = [node.column[-1]]
+        out: List[float] = [node.column_last]
         if self._early_termination and node.column_min >= budget:
             return out
-        costs = self._costs
-        ins_row = ctx.ins_row
+        ins_prefix = ctx.ins_prefix
         nq = len(query_part)
         for k in range(len(data_part)):
             symbol = data_part[k]
             self.stats.visited_columns += 1
             child = node.find_child(symbol) if self._use_trie else None
             if child is None:
-                if self._numpy:
-                    column: Sequence[float] = step_dp_numpy(
-                        np.asarray(costs.sub_row(symbol, query_part)),
-                        costs.delete(symbol),
-                        ctx.ins_prefix,  # type: ignore[arg-type]
-                        node.column,  # type: ignore[arg-type]
-                    )
-                else:
-                    column = self._step_dp(
-                        symbol, query_part, ins_row, node.column, nq
-                    )
+                column = self._step_dp(symbol, query_part, ins_prefix, node.column, nq)
                 self.stats.computed_columns += 1
                 if self._use_trie:
                     child = node.create_child(symbol, column)
                 else:
                     child = TrieNode(column)
             node = child
-            out.append(node.column[-1])
+            out.append(node.column_last)
             if self._early_termination and node.column_min >= budget:
                 break
         return out
@@ -293,23 +745,29 @@ class Verifier:
         self,
         symbol: int,
         query_part: Sequence[int],
-        ins_row: Sequence[float],
+        ins_prefix: Sequence[float],
         prev: Sequence[float],
         nq: int,
     ) -> List[float]:
+        # Prefix-min insert chain — the same evaluation order as
+        # step_dp_numpy / step_dp_batch, cell for cell (see
+        # repro.distance.wed), so the backends return identical floats.
         costs = self._costs
         sub_row = costs.sub_row(symbol, query_part)
         dele = costs.delete(symbol)
-        column = [prev[0] + dele]
+        first = prev[0] + dele
+        column = [first]
+        m = first - ins_prefix[0]
         for j in range(nq):
-            best = prev[j] + sub_row[j]
+            c = prev[j] + sub_row[j]
             via_del = prev[j + 1] + dele
-            if via_del < best:
-                best = via_del
-            via_ins = column[j] + ins_row[j]
-            if via_ins < best:
-                best = via_ins
-            column.append(best)
+            if via_del < c:
+                c = via_del
+            chain = ins_prefix[j + 1] + m
+            column.append(c if c <= chain else chain)
+            d = c - ins_prefix[j + 1]
+            if d < m:
+                m = d
         return column
 
     def trie_node_count(self) -> int:

@@ -9,8 +9,10 @@ moves each shard's engine into a long-lived **worker process**:
 - workers are spawned once, at index build: each receives its shard's
   :class:`~repro.trajectory.dataset.TrajectoryDataset` + cost model +
   engine options and builds its :class:`~repro.core.engine.
-  SubtrajectorySearch` locally, so the (expensive) index construction and
-  the (large) index memory live only in the worker;
+  SubtrajectorySearch` locally (inheriting the engine's defaults,
+  including the array-native ``dp_backend="numpy"`` verification path),
+  so the (expensive) index construction and the (large) index memory live
+  only in the worker;
 - queries travel as small pickled descriptors over a per-worker
   :func:`multiprocessing.Pipe`; results come back as pickled
   :class:`~repro.core.engine.QueryResult` objects (the merge-irrelevant

@@ -28,11 +28,13 @@ import math
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import CostModelError
 from repro.network.graph import RoadNetwork
 from repro.network.hub_labeling import HubLabeling
 from repro.network.shortest_path import bidirectional_dijkstra, bounded_dijkstra
-from repro.spatial.geometry import Point, centroid, euclidean
+from repro.spatial.geometry import Point, centroid, euclidean, padded_radius
 from repro.spatial.kdtree import KDTree
 
 __all__ = [
@@ -43,8 +45,81 @@ __all__ = [
     "NetEDRCost",
     "NetERPCost",
     "SURSCost",
+    "SubstitutionMatrix",
     "validate_cost_model",
 ]
+
+
+class SubstitutionMatrix:
+    """Per-query substitution costs served as ``np.ndarray`` rows.
+
+    ``row(b)[i] == sub(b, query[i])`` for the fixed query this table was
+    built for.  The verifier's DP consumes one row per visited data symbol
+    (Algorithm 6), so rows are computed once per distinct symbol — via the
+    model's vectorized :meth:`CostModel.sub_row_array` — and then served as
+    cached arrays whose *slices* (forward / reversed-backward query parts)
+    are zero-copy views.
+
+    ``anchors`` optionally names symbols whose rows are precomputed into
+    one dense matrix up front — the engine passes the union of the chosen
+    tau-subsequence's substitution neighborhoods, i.e. every symbol that
+    can appear at a candidate's anchor position.  All other symbols (the
+    alphabet may be unbounded) fall back to a per-symbol dict cache filled
+    on first touch.
+
+    ``delete(b)`` memoizes the deletion cost alongside, since it is needed
+    once per DP column as well.
+    """
+
+    __slots__ = ("_costs", "_query", "_rows", "_deletes", "_dense", "dense_rows")
+
+    def __init__(
+        self,
+        costs: "CostModel",
+        query: Sequence[int],
+        *,
+        anchors: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._costs = costs
+        self._query = tuple(query)
+        self._rows: Dict[int, np.ndarray] = {}
+        self._deletes: Dict[int, float] = {}
+        self._dense: Optional[np.ndarray] = None
+        #: number of rows precomputed densely from ``anchors``
+        self.dense_rows = 0
+        if anchors:
+            uniq = list(dict.fromkeys(int(b) for b in anchors))
+            dense = np.empty((len(uniq), len(self._query)), dtype=np.float64)
+            for i, b in enumerate(uniq):
+                dense[i] = costs.sub_row_array(b, self._query)
+                self._rows[b] = dense[i]
+            self._dense = dense
+            self.dense_rows = len(uniq)
+
+    @property
+    def query(self) -> Tuple[int, ...]:
+        """The query string the rows are computed against."""
+        return self._query
+
+    def row(self, symbol: int) -> np.ndarray:
+        """``[sub(symbol, q) for q in query]`` as a cached float64 array."""
+        r = self._rows.get(symbol)
+        if r is None:
+            r = self._costs.sub_row_array(symbol, self._query)
+            self._rows[symbol] = r
+        return r
+
+    def delete(self, symbol: int) -> float:
+        """Memoized deletion cost ``del(symbol)``."""
+        d = self._deletes.get(symbol)
+        if d is None:
+            d = float(self._costs.delete(symbol))
+            self._deletes[symbol] = d
+        return d
+
+    def cached_rows(self) -> int:
+        """Distinct symbols with a materialized row (dense part included)."""
+        return len(self._rows)
 
 
 class CostModel(ABC):
@@ -73,9 +148,39 @@ class CostModel(ABC):
     def sub_row(self, p: int, seq: Sequence[int]) -> List[float]:
         """``[sub(p, s) for s in seq]`` — override for vectorized models.
 
-        This is the hot path of verification (one call per DP column)."""
+        This is the hot path of the pure-Python DP (one call per column)."""
         s = self.sub
         return [s(p, q) for q in seq]
+
+    # -- array-native hooks (the dp_backend="numpy" hot path) ---------------
+
+    def sub_row_array(self, p: int, seq: Sequence[int]) -> np.ndarray:
+        """:meth:`sub_row` as a float64 array — override for models whose
+        row can be computed without a per-element Python loop.
+
+        The array-native verifier calls this once per distinct symbol per
+        query (rows are cached in a :class:`SubstitutionMatrix`), so even
+        the default loop-and-wrap implementation is off the per-column
+        hot path."""
+        return np.asarray(self.sub_row(p, seq), dtype=np.float64)
+
+    def ins_vector(self, seq: Sequence[int]) -> np.ndarray:
+        """``[ins(q) for q in seq]`` as a float64 array (once per query).
+
+        Deliberately *not* vectorized in subclasses: it runs once per
+        query, and looping :meth:`ins` keeps the values bit-identical to
+        the pure-Python DP's."""
+        return np.fromiter((self.ins(q) for q in seq), dtype=np.float64, count=len(seq))
+
+    def sub_matrix(
+        self, query: Sequence[int], *, anchors: Optional[Sequence[int]] = None
+    ) -> SubstitutionMatrix:
+        """A per-query :class:`SubstitutionMatrix` over this model.
+
+        ``anchors`` (e.g. the union of the query's substitution
+        neighborhoods) selects symbols whose rows are precomputed densely;
+        everything else is cached on first touch."""
+        return SubstitutionMatrix(self, query, anchors=anchors)
 
     # -- filtering hooks (§3.1) -------------------------------------------
 
@@ -113,6 +218,9 @@ class LevenshteinCost(CostModel):
     def sub_row(self, p: int, seq: Sequence[int]) -> List[float]:
         return [0.0 if p == q else 1.0 for q in seq]
 
+    def sub_row_array(self, p: int, seq: Sequence[int]) -> np.ndarray:
+        return (np.asarray(seq, dtype=np.int64) != p).astype(np.float64)
+
     def filter_cost(self, q: int) -> float:
         return 1.0
 
@@ -129,10 +237,15 @@ class _CoordinateModel(CostModel):
         self.representation = "vertex"
         self._graph = graph
         self._coords = list(graph.coords)
+        self._coords_arr = np.asarray(self._coords, dtype=np.float64)
         self._tree = KDTree(self._coords)
 
     def _distance(self, a: int, b: int) -> float:
         return euclidean(self._coords[a], self._coords[b])
+
+    def _seq_coords(self, seq: Sequence[int]) -> np.ndarray:
+        """Coordinates of ``seq`` as an (n, 2) array."""
+        return self._coords_arr[np.asarray(seq, dtype=np.intp)]
 
 
 class EDRCost(_CoordinateModel):
@@ -152,7 +265,13 @@ class EDRCost(_CoordinateModel):
         self.epsilon = epsilon
 
     def sub(self, a: int, b: int) -> float:
-        return 0.0 if self._distance(a, b) <= self.epsilon else 1.0
+        # Same squared-distance comparison as the row forms below, so the
+        # anchor cost and the DP rows agree on boundary cases regardless of
+        # which backend computes which.
+        (ax, ay), (bx, by) = self._coords[a], self._coords[b]
+        dx = ax - bx
+        dy = ay - by
+        return 0.0 if dx * dx + dy * dy <= self.epsilon * self.epsilon else 1.0
 
     def ins(self, a: int) -> float:
         return 1.0
@@ -169,8 +288,30 @@ class EDRCost(_CoordinateModel):
             out.append(0.0 if dx * dx + dy * dy <= eps2 else 1.0)
         return out
 
+    def sub_row_array(self, p: int, seq: Sequence[int]) -> np.ndarray:
+        # Same squared-distance comparison as sub_row, so both DP backends
+        # see bit-identical rows.
+        qc = self._seq_coords(seq)
+        px, py = self._coords[p]
+        d2 = (qc[:, 0] - px) ** 2 + (qc[:, 1] - py) ** 2
+        return (d2 > self.epsilon * self.epsilon).astype(np.float64)
+
     def neighbors(self, q: int) -> List[int]:
-        return self._tree.range_search(self._coords[q], self.epsilon)
+        # B(q) must be exactly {b : sub(q, b) == 0} or the subsequence
+        # filter loses soundness at the epsilon boundary; the kd-tree's
+        # hypot-based search is padded a few ulps and then filtered with
+        # the DP's own squared-distance predicate.
+        cx, cy = self._coords[q]
+        eps = self.epsilon
+        eps2 = eps * eps
+        coords = self._coords
+        out = []
+        for b in self._tree.range_search((cx, cy), padded_radius(eps)):
+            dx = cx - coords[b][0]
+            dy = cy - coords[b][1]
+            if dx * dx + dy * dy <= eps2:
+                out.append(b)
+        return out
 
     def filter_cost(self, q: int) -> float:
         return 1.0
@@ -216,6 +357,11 @@ class ERPCost(_CoordinateModel):
         px, py = self._coords[p]
         coords = self._coords
         return [math.hypot(px - coords[q][0], py - coords[q][1]) for q in seq]
+
+    # No vectorized sub_row_array override: np.hypot (libm) and
+    # math.hypot (correctly rounded) can differ by an ulp, which would
+    # break the bit-identical-backends invariant; the default wraps the
+    # math.hypot row, computed once per symbol per query anyway.
 
     def neighbors(self, q: int) -> List[int]:
         return self._tree.range_search(self._coords[q], self.eta)
@@ -369,6 +515,7 @@ class SURSCost(CostModel):
     def __init__(self, graph: RoadNetwork) -> None:
         self.representation = "edge"
         self._weights = [e.weight for e in graph.edges]
+        self._weights_arr = np.asarray(self._weights, dtype=np.float64)
 
     def sub(self, a: int, b: int) -> float:
         return 0.0 if a == b else self._weights[a] + self._weights[b]
@@ -380,6 +527,12 @@ class SURSCost(CostModel):
         w = self._weights
         wp = w[p]
         return [0.0 if p == q else wp + w[q] for q in seq]
+
+    def sub_row_array(self, p: int, seq: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(seq, dtype=np.intp)
+        row = self._weights_arr[idx] + self._weights[p]
+        row[idx == p] = 0.0
+        return row
 
     def filter_cost(self, q: int) -> float:
         return self._weights[q]

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.distance.costs import CostModel
-from repro.distance.wed import wed_row_init, wed_step
+from repro.distance.wed import wed_row_init, wed_step_min
 
 __all__ = ["Match", "all_matches", "best_match"]
 
@@ -30,14 +30,18 @@ def best_match(data: Sequence[int], query: Sequence[int], costs: CostModel) -> M
     """The substring of ``data`` with minimum WED to ``query``.
 
     Returns ``(s, t, value)``; when the optimum aligns the whole query to
-    insertions the match is empty and ``s == t + 1``.
+    insertions the match is empty and ``s == t + 1``.  The insert chain is
+    evaluated in the repo-wide prefix-min convention (see
+    :mod:`repro.distance.wed`), with the chain's origin carrying its match
+    start through the scan.
     """
     nq = len(query)
-    ins_row = [costs.ins(q) for q in query]
-    # Column for the empty data prefix: D[i] = wed(eps, Q_{1:i}), start = 0.
-    col = [0.0]
-    for c in ins_row:
-        col.append(col[-1] + c)
+    # Column for the empty data prefix: D[i] = wed(eps, Q_{1:i}), start = 0
+    # — this is also the insertion prefix P of the evaluation convention.
+    prefix = [0.0]
+    for q in query:
+        prefix.append(prefix[-1] + costs.ins(q))
+    col = list(prefix)
     starts = [0] * (nq + 1)
     best_val = col[nq]
     best_s, best_t = 0, -1
@@ -47,19 +51,28 @@ def best_match(data: Sequence[int], query: Sequence[int], costs: CostModel) -> M
         new_col = [0.0] * (nq + 1)
         new_starts = [0] * (nq + 1)
         new_starts[0] = j + 1  # empty match starting after position j
+        # Insert-chain state: m = min over settled cells of (C[i] - P[i]),
+        # m_start = the match start of the cell achieving it.
+        m = 0.0  # new_col[0] - prefix[0]
+        m_start = j + 1
         for i in range(1, nq + 1):
             a = col[i - 1] + sub_row[i - 1]  # substitute
             b = col[i] + dele  # delete data symbol
-            c = new_col[i - 1] + ins_row[i - 1]  # insert query symbol
-            if a <= b and a <= c:
-                new_col[i] = a
-                new_starts[i] = starts[i - 1]
-            elif b <= c:
-                new_col[i] = b
-                new_starts[i] = starts[i]
+            if a <= b:
+                c_val, c_start = a, starts[i - 1]
             else:
-                new_col[i] = c
-                new_starts[i] = new_starts[i - 1]
+                c_val, c_start = b, starts[i]
+            chain = prefix[i] + m  # insert query symbols from the origin
+            if c_val <= chain:
+                new_col[i] = c_val
+                new_starts[i] = c_start
+            else:
+                new_col[i] = chain
+                new_starts[i] = m_start
+            d = c_val - prefix[i]
+            if d < m:
+                m = d
+                m_start = c_start
         col, starts = new_col, new_starts
         if col[nq] < best_val:
             best_val = col[nq]
@@ -77,7 +90,9 @@ def all_matches(
 
     One thresholded DP per start position; the inner loop stops as soon as
     the row minimum (a monotone lower bound for every longer substring,
-    Eq. 11) reaches ``tau``.  Worst case ``O(|P|^2 * |Q|)`` — this is the
+    Eq. 11) reaches ``tau``.  The minimum comes out of the DP step itself
+    (:func:`~repro.distance.wed.wed_step_min`) rather than a separate
+    O(|Q|) scan per step.  Worst case ``O(|P|^2 * |Q|)`` — this is the
     reference oracle, not the fast path.
     """
     if tau <= 0:
@@ -85,15 +100,16 @@ def all_matches(
     out: List[Match] = []
     n = len(data)
     init = wed_row_init(costs, query)
-    ins_row = [costs.ins(q) for q in query]
     if min(init) >= tau:
         return []
     for s in range(n):
         row = init
         for t in range(s, n):
-            row = wed_step(costs, query, data[t], row, ins_row=ins_row)
+            row, row_min = wed_step_min(
+                costs, query, data[t], row, ins_prefix=init
+            )
             if row[-1] < tau:
                 out.append((s, t, row[-1]))
-            if min(row) >= tau:
+            if row_min >= tau:
                 break
     return out

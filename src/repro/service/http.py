@@ -120,6 +120,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "trajectories": count,
                     "shards": getattr(engine, "num_shards", 1),
                     "backend": getattr(engine, "backend", "single"),
+                    "dp_backend": getattr(engine, "dp_backend", "numpy"),
                 },
             )
         elif self.path == "/stats":

@@ -27,6 +27,19 @@ def squared_euclidean(a: Sequence[float], b: Sequence[float]) -> float:
     return dx * dx + dy * dy
 
 
+def padded_radius(radius: float) -> float:
+    """``radius`` widened by a few ulps, for conservative range pruning.
+
+    Membership in a range search is decided by the *rounded* Euclidean
+    distance (``euclidean`` / ``math.hypot``), which can report exactly
+    ``radius`` for a point whose true distance lies a hair outside any
+    exact-arithmetic bound.  Every spatial-index prune (and any caller
+    re-filtering a padded search with its own predicate — e.g.
+    ``EDRCost.neighbors``) must therefore use this shared pad; tuning it
+    in one place keeps their soundness arguments in sync."""
+    return radius + 1e-9 * (radius + 1.0)
+
+
 def centroid(points: Iterable[Sequence[float]]) -> Point:
     """Barycenter of a non-empty collection of points.
 

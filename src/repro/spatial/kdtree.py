@@ -17,7 +17,7 @@ import heapq
 import math
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.spatial.geometry import Point, euclidean
+from repro.spatial.geometry import Point, euclidean, padded_radius
 
 __all__ = ["KDTree"]
 
@@ -101,19 +101,23 @@ class KDTree:
             raise ValueError("radius must be nonnegative")
         out: List[int] = []
         pts = self._points
-        r2 = radius * radius
         stack = [self._root]
         cx, cy = center[0], center[1]
+        # Prune conservatively: membership is decided by the *rounded*
+        # hypot below, which can report exactly ``radius`` for a point a
+        # few ulps outside the exact bound.
+        prune = padded_radius(radius)
         while stack:
             node = stack.pop()
-            if node.min_distance(center) > radius:
+            if node.min_distance(center) > prune:
                 continue
             if node.indices is not None:
                 for i in node.indices:
                     x, y = pts[i]
-                    dx = x - cx
-                    dy = y - cy
-                    if dx * dx + dy * dy <= r2:
+                    # hypot, not the squared form: squaring underflows for
+                    # denormal offsets (d > 0 would pass a radius-0 search)
+                    # and must match the euclidean() contract bit-for-bit.
+                    if math.hypot(x - cx, y - cy) <= radius:
                         out.append(i)
             else:
                 stack.append(node.left)  # type: ignore[arg-type]

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import List, Sequence, Tuple
 
-from repro.spatial.geometry import BoundingBox
+from repro.spatial.geometry import BoundingBox, padded_radius
 
 __all__ = ["RTree"]
 
@@ -116,21 +116,28 @@ class RTree:
         """
         if radius < 0:
             raise ValueError("radius must be nonnegative")
+        # Pad the pruning box by a few ulps: membership is decided by the
+        # *rounded* hypot below, which can report exactly ``radius`` for a
+        # point whose true distance is a hair outside the exact box.
+        pad = padded_radius(radius)
         query = BoundingBox(
-            center[0] - radius, center[1] - radius, center[0] + radius, center[1] + radius
+            center[0] - pad, center[1] - pad, center[0] + pad, center[1] + pad
         )
         out: List[int] = []
         stack: List[_RNode] = [self._root]
-        r2 = radius * radius
         while stack:
             node = stack.pop()
             if not node.box.intersects(query):
                 continue
             if node.is_leaf:
                 for eid, box in node.entries:
-                    dx = box.xmin - center[0]
-                    dy = box.ymin - center[1]
-                    if dx * dx + dy * dy <= r2:
+                    # hypot, not the squared form: squaring underflows for
+                    # denormal offsets (d > 0 would pass a radius-0 search)
+                    # and must match the euclidean() contract bit-for-bit.
+                    if (
+                        math.hypot(box.xmin - center[0], box.ymin - center[1])
+                        <= radius
+                    ):
                         out.append(eid)
             else:
                 stack.extend(node.children)

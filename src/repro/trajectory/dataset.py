@@ -12,6 +12,8 @@ import json
 from pathlib import Path
 from typing import Iterator, List, Literal, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.exceptions import TrajectoryError
 from repro.network.graph import RoadNetwork
 from repro.trajectory.model import Trajectory
@@ -41,6 +43,7 @@ class TrajectoryDataset:
         self._repr: Representation = representation
         self._trajectories: List[Trajectory] = []
         self._edge_strings: List[Optional[Tuple[int, ...]]] = []
+        self._symbol_arrays: List[Optional[np.ndarray]] = []
 
     # -- population -----------------------------------------------------------
 
@@ -52,6 +55,7 @@ class TrajectoryDataset:
             raise TrajectoryError("edge representation requires paths of length >= 2")
         self._trajectories.append(trajectory)
         self._edge_strings.append(None)
+        self._symbol_arrays.append(None)
         return len(self._trajectories) - 1
 
     def extend(self, trajectories: Sequence[Trajectory], *, validate: bool = False) -> None:
@@ -89,6 +93,19 @@ class TrajectoryDataset:
             cached = tuple(self._trajectories[tid].edge_representation(self._graph))
             self._edge_strings[tid] = cached
         return cached
+
+    def symbols_array(self, tid: int) -> np.ndarray:
+        """:meth:`symbols` as a memoized ``np.int32`` array.
+
+        The array-native verification path slices these into zero-copy
+        forward/backward views per candidate, so the conversion happens
+        once per trajectory per dataset rather than once per candidate.
+        Callers must treat the array as read-only."""
+        arr = self._symbol_arrays[tid]
+        if arr is None:
+            arr = np.asarray(self.symbols(tid), dtype=np.int32)
+            self._symbol_arrays[tid] = arr
+        return arr
 
     def prime_edge_cache(self, tid: int, edges: Sequence[int]) -> None:
         """Seed the lazy edge-symbol cache for ``tid``.

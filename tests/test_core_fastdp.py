@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import SubtrajectorySearch
-from repro.core.verification import step_dp_numpy
+from repro.core.verification import step_dp_batch, step_dp_numpy
 from repro.distance.costs import LevenshteinCost
 from repro.distance.wed import wed_step
 from repro.exceptions import QueryError
@@ -18,6 +18,26 @@ floats = st.floats(min_value=0.0, max_value=50.0)
 
 
 class TestStepDPNumpy:
+    @staticmethod
+    def _reference(prev, sub_row, ins_prefix, dele):
+        """The repo-wide prefix-min evaluation (see repro.distance.wed),
+        spelled out cell by cell."""
+        n = len(prev) - 1
+        first = prev[0] + dele
+        want = [first]
+        m = first - ins_prefix[0]
+        for j in range(n):
+            c = prev[j] + sub_row[j]
+            via_del = prev[j + 1] + dele
+            if via_del < c:
+                c = via_del
+            chain = ins_prefix[j + 1] + m
+            want.append(c if c <= chain else chain)
+            d = c - ins_prefix[j + 1]
+            if d < m:
+                m = d
+        return want
+
     @given(
         prev=st.lists(floats, min_size=1, max_size=12),
         sub_seed=st.lists(floats, min_size=12, max_size=12),
@@ -25,25 +45,56 @@ class TestStepDPNumpy:
         dele=st.floats(min_value=0.0, max_value=10.0),
     )
     @settings(max_examples=150, deadline=None)
-    def test_matches_sequential_recurrence(self, prev, sub_seed, ins_seed, dele):
+    def test_matches_python_convention(self, prev, sub_seed, ins_seed, dele):
         n = len(prev) - 1
         sub_row = sub_seed[:n]
-        ins_row = ins_seed[:n]
-        # Sequential reference.
-        want = [prev[0] + dele]
+        ins_prefix = [0.0]
+        for c in ins_seed[:n]:
+            ins_prefix.append(ins_prefix[-1] + c)
+        want = self._reference(prev, sub_row, ins_prefix, dele)
+        got = step_dp_numpy(
+            np.asarray(sub_row),
+            dele,
+            np.asarray(ins_prefix),
+            np.asarray(prev, dtype=np.float64),
+        )
+        # Bit-identical, not merely close: the strict < tau match semantics
+        # must see the same numbers on both backends (see step_dp_numpy).
+        assert got.tolist() == want
+        # Equals the textbook recurrence wherever the arithmetic is exact;
+        # in general within rounding of it.
+        textbook = [prev[0] + dele]
         for j in range(1, n + 1):
-            want.append(
+            textbook.append(
                 min(
                     prev[j - 1] + sub_row[j - 1],
                     prev[j] + dele,
-                    want[j - 1] + ins_row[j - 1],
+                    textbook[j - 1] + (ins_prefix[j] - ins_prefix[j - 1]),
                 )
             )
-        ins_prefix = np.concatenate([[0.0], np.cumsum(ins_row)])
-        got = step_dp_numpy(
-            np.asarray(sub_row), dele, ins_prefix, np.asarray(prev, dtype=np.float64)
-        )
-        assert np.allclose(got, want)
+        assert np.allclose(got, textbook)
+
+    @given(
+        prev_seed=st.lists(floats, min_size=8, max_size=24),
+        sub_seed=st.lists(floats, min_size=24, max_size=24),
+        ins_seed=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=6, max_size=6),
+        dele_seed=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=4, max_size=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_batch_rows_match_single_kernel(
+        self, prev_seed, sub_seed, ins_seed, dele_seed
+    ):
+        """step_dp_batch row i == step_dp_numpy on row i, bit for bit."""
+        n = len(ins_seed)
+        rows = len(dele_seed)
+        prev = np.asarray((prev_seed * 4)[: rows * (n + 1)]).reshape(rows, n + 1)
+        subs = np.asarray((sub_seed * 2)[: rows * n]).reshape(rows, n)
+        ins_prefix = np.concatenate([[0.0], np.asarray(ins_seed)]).cumsum()
+        dels = np.asarray(dele_seed)
+        batched = step_dp_batch(subs, dels, ins_prefix, prev)
+        for i in range(rows):
+            single = step_dp_numpy(subs[i], dels[i], ins_prefix, prev[i])
+            assert batched[i].tolist() == single.tolist()
 
     def test_empty_query_part(self):
         got = step_dp_numpy(np.asarray([]), 2.0, np.asarray([0.0]), np.asarray([5.0]))
@@ -53,11 +104,23 @@ class TestStepDPNumpy:
         query = [1, 2, 3, 4]
         prev = [0.0, 1.0, 2.0, 3.0, 4.0]
         want = wed_step(lev, query, 2, prev)
-        ins_prefix = np.arange(5, dtype=np.float64)
         got = step_dp_numpy(
-            np.asarray(lev.sub_row(2, query)), 1.0, ins_prefix, np.asarray(prev)
+            np.asarray(lev.sub_row(2, query)),
+            1.0,
+            np.arange(5, dtype=np.float64),
+            np.asarray(prev),
         )
-        assert np.allclose(got, want)
+        assert got.tolist() == want
+
+    def test_exact_at_threshold_nonrepresentable_costs(self):
+        """The regression that motivated the shared prefix-min convention:
+        with non-representable costs (0.3/0.9), a naively regrouped kernel
+        returned 0.29999999999999993 for a cell whose substitution branch
+        is exactly 0.3, flipping the strict < tau comparison against the
+        pure-Python backend."""
+        prev = np.asarray([0.0, 0.9])
+        got = step_dp_numpy(np.asarray([0.3]), 0.9, np.asarray([0.0, 0.9]), prev)
+        assert got.tolist() == [0.9, 0.3]
 
 
 class TestEngineBackendEquivalence:

@@ -165,3 +165,53 @@ class TestCounters:
         ms = MatchSet()
         v.verify_all(candidates_for(data, query), ms)
         assert v.trie_node_count() >= 2
+
+
+class TestDedupeAndGrouping:
+    """verify_all dedupes exact (id, j, iq) repeats and reorders by anchor
+    position — neither may change results or the column counters."""
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_exact_duplicates_verified_once(self, backend):
+        data = [[9, 1, 2, 3, 9]]
+        query = [1, 2, 3]
+        cands = candidates_for(data, query)
+        v = make_verifier(data, query, 2.0, dp_backend=backend)
+        ms = MatchSet()
+        v.verify_all(cands + cands + [cands[0]], ms)
+        assert v.stats.duplicate_candidates == len(cands) + 1
+        assert v.stats.candidates == len(cands)
+        # Results identical to the duplicate-free run.
+        clean = make_verifier(data, query, 2.0, dp_backend=backend)
+        ref = MatchSet()
+        clean.verify_all(cands, ref)
+        assert ms.keys() == ref.keys()
+        assert clean.stats.duplicate_candidates == 0
+        assert v.stats.visited_columns == clean.stats.visited_columns
+        assert v.stats.computed_columns == clean.stats.computed_columns
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_order_independent(self, backend, rng):
+        data = [[1, 2, 3, 4, 5], [5, 4, 3, 2, 1], [2, 3, 2, 3, 2]]
+        query = [2, 3, 4]
+        cands = candidates_for(data, query)
+        shuffled = list(cands)
+        rng.shuffle(shuffled)
+        a = make_verifier(data, query, 2.5, dp_backend=backend)
+        b = make_verifier(data, query, 2.5, dp_backend=backend)
+        ms_a, ms_b = MatchSet(), MatchSet()
+        a.verify_all(cands, ms_a)
+        b.verify_all(shuffled, ms_b)
+        assert ms_a.keys() == ms_b.keys()
+        assert a.stats == b.stats
+
+    def test_shared_anchor_row_cached_across_iq(self):
+        """Distinct iqs sharing (tid, j) reuse the cached substitution row
+        for the anchor symbol — one row materialization, not one per iq."""
+        data = [[7, 7, 7, 7]]
+        query = [7, 8, 7]  # repeated query symbol: (tid, j) shared by iq 0 and 2
+        v = make_verifier(data, query, 2.0, dp_backend="numpy")
+        ms = MatchSet()
+        v.verify_all(candidates_for(data, query), ms)
+        # Only symbols 7 (anchor + data) ever need a row.
+        assert v._matrix.cached_rows() == 1

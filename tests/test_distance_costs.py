@@ -249,3 +249,62 @@ class TestValidateCostModel:
 
         with pytest.raises(CostModelError):
             validate_cost_model(Broken(), [0, 1])
+
+
+class TestArrayNativeHooks:
+    """sub_row_array / ins_vector / SubstitutionMatrix — the vectorized
+    interface consumed by the array-native verification backend."""
+
+    @pytest.mark.parametrize(
+        "model_name", ["lev_cost", "edr_cost", "erp_cost", "netedr_cost"]
+    )
+    def test_sub_row_array_matches_sub_row(self, model_name, request):
+        import numpy as np
+
+        costs = request.getfixturevalue(model_name)
+        seq = [0, 3, 7, 3, 12]
+        for p in (0, 5, 9):
+            arr = costs.sub_row_array(p, seq)
+            assert arr.dtype == np.float64
+            assert arr.tolist() == pytest.approx(costs.sub_row(p, seq))
+
+    def test_surs_sub_row_array(self, surs_cost):
+        seq = [0, 2, 5, 2]
+        assert surs_cost.sub_row_array(2, seq).tolist() == pytest.approx(
+            surs_cost.sub_row(2, seq)
+        )
+
+    def test_ins_vector_matches_ins(self, erp_cost):
+        seq = [1, 4, 9]
+        assert erp_cost.ins_vector(seq).tolist() == [erp_cost.ins(q) for q in seq]
+
+    def test_substitution_matrix_rows(self, edr_cost):
+        query = (0, 5, 9, 5)
+        matrix = edr_cost.sub_matrix(query)
+        assert matrix.query == query
+        assert matrix.cached_rows() == 0
+        row = matrix.row(3)
+        assert row.tolist() == edr_cost.sub_row(3, query)
+        assert matrix.row(3) is row  # cached
+        assert matrix.cached_rows() == 1
+        assert matrix.delete(3) == edr_cost.delete(3)
+
+    def test_substitution_matrix_dense_anchors(self, edr_cost):
+        query = (0, 5, 9)
+        matrix = edr_cost.sub_matrix(query, anchors=[5, 9, 5])
+        assert matrix.dense_rows == 2  # deduped
+        assert matrix.cached_rows() == 2
+        for b in (5, 9):
+            assert matrix.row(b).tolist() == edr_cost.sub_row(b, query)
+        # Non-anchor symbols still resolve through the dict fallback.
+        assert matrix.row(1).tolist() == edr_cost.sub_row(1, query)
+        assert matrix.cached_rows() == 3
+
+    def test_matrix_row_slices_are_views(self, lev_cost):
+        matrix = lev_cost.sub_matrix((1, 2, 3, 2))
+        row = matrix.row(2)
+        forward = row[2:]
+        backward = row[:2][::-1]
+        assert forward.base is not None and backward.base is not None
+        assert forward.tolist() == [1.0, 0.0]
+        assert backward.tolist() == [0.0, 1.0]

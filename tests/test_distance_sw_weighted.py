@@ -86,6 +86,21 @@ class TestWeightedVerification:
         verifier.verify_all(candidates, ms)
         got = {(m.start, m.end) for m in ms}
         want = set(brute_all(data, query, tau))
+        # Razor's-edge exclusion: with non-representable costs (0.3/0.9) a
+        # subtrajectory whose true WED *equals* tau sits on the strict-<
+        # boundary, where the verifier's bidirectional sum (left + anchor +
+        # right) and the oracle's monolithic DP legitimately round one ulp
+        # apart.  Membership there is floating-point-implementation-defined;
+        # the dyadic-cost property tests (test_paper_properties) pin exact
+        # behavior where every sum is representable.
+        boundary = {
+            (s, t)
+            for s in range(len(data))
+            for t in range(s, len(data))
+            if abs(wed(data[s : t + 1], query, ramp) - tau) < 1e-9
+        }
+        got -= boundary
+        want -= boundary
         # The anchor set only covers matches sharing a neighborhood symbol;
         # by Theorem 1 that is all of them whenever c(Q') >= tau for the
         # full query (Torch uses every position).

@@ -131,3 +131,24 @@ class TestWedWithin:
     def test_early_exit_does_not_lose_matches(self):
         assert wed_within([1, 2, 3], [1, 2, 3], lev, 0.5) == 0.0
         assert math.isinf(wed_within([1, 2, 3], [4, 5, 6], lev, 2.0))
+
+
+class TestWedStepMin:
+    """wed_step_min returns the row plus its minimum in one pass."""
+
+    @given(strings, strings)
+    @settings(max_examples=100, deadline=None)
+    def test_min_matches_scan(self, data, query):
+        from repro.distance.wed import wed_step_min
+
+        row = wed_row_init(lev, query)
+        for p in data:
+            row, row_min = wed_step_min(lev, query, p, row)
+            assert row_min == min(row)
+
+    def test_wed_step_delegates(self):
+        from repro.distance.wed import wed_step_min
+
+        query = [1, 2, 3]
+        row = wed_row_init(lev, query)
+        assert wed_step(lev, query, 2, row) == wed_step_min(lev, query, 2, row)[0]

@@ -11,6 +11,8 @@ from hypothesis import strategies as st
 
 from repro.core.filtering import query_profile
 from repro.core.mincand import mincand_greedy
+from repro.core.results import MatchSet
+from repro.core.verification import Verifier
 from repro.distance.costs import CostModel, LevenshteinCost
 from repro.distance.smith_waterman import all_matches
 from repro.distance.wed import wed
@@ -163,3 +165,137 @@ class TestExample2:
         A, B, C, D, E, F = range(6)
         hits = all_matches([A, B, C, D, E], [B, F, D], lev, 2.0)
         assert any((s, t) == (1, 3) and d == 1.0 for s, t, d in hits)
+
+
+class _TableCost(CostModel):
+    """A cost model from an explicit random table over symbols 0..5.
+
+    Used to fuzz the DP backends with arbitrary (symmetric, zero-diagonal)
+    float costs — the substitution values need not be exactly
+    representable, which is precisely what distinguishes a bit-identical
+    kernel from a merely close one.
+    """
+
+    representation = "vertex"
+    name = "table"
+
+    def __init__(self, sub_table, ins_costs, eta):
+        self._sub = sub_table
+        self._ins = ins_costs
+        self._eta = eta
+
+    def sub(self, a: int, b: int) -> float:
+        return self._sub[a][b]
+
+    def ins(self, a: int) -> float:
+        return self._ins[a]
+
+    def neighbors(self, q):
+        return [b for b in range(6) if self._sub[q][b] <= self._eta]
+
+    def filter_cost(self, q: int) -> float:
+        outside = [
+            self._sub[q][b] for b in range(6) if self._sub[q][b] > self._eta
+        ]
+        return min([self._ins[q]] + outside)
+
+
+def _table_costs(unit: float):
+    """Strategy for a random valid WED cost model with costs that are
+    multiples of ``unit`` (symmetric, sub(a,a)=0, ins=del).
+
+    ``unit=0.25`` is dyadic — every DP sum is exact in float64, so the
+    bidirectional decomposition equals the monolithic oracle DP bit for
+    bit.  ``unit=0.3`` is *not* representable — sums round differently
+    depending on association, which is exactly what distinguishes a
+    bit-identical kernel from a merely close one.
+    """
+    value = st.integers(min_value=1, max_value=40).map(lambda k: k * unit)
+
+    @st.composite
+    def build(draw):
+        sub = [[0.0] * 6 for _ in range(6)]
+        for a in range(6):
+            for b in range(a + 1, 6):
+                v = draw(value)
+                sub[a][b] = sub[b][a] = v
+        ins = [draw(value) for _ in range(6)]
+        eta = draw(st.sampled_from([0.0, unit, 2 * unit, 4 * unit]))
+        return _TableCost(sub, ins, eta)
+
+    return build()
+
+
+def _verify_both_backends(costs, data, query, tau):
+    """Run the full candidate set through both DP backends; returns
+    ``{backend: ({match key: distance}, VerificationStats)}``."""
+    datasets = [list(data)]
+    candidates = [
+        (0, j, iq)
+        for j, sym in enumerate(data)
+        for iq, q in enumerate(query)
+        if costs.sub(q, sym) <= costs._eta
+    ]
+    out = {}
+    for backend in ("python", "numpy"):
+        verifier = Verifier(
+            lambda tid: datasets[tid], query, costs, tau, dp_backend=backend
+        )
+        ms = MatchSet()
+        verifier.verify_all(candidates, ms)
+        out[backend] = (
+            {(m.trajectory_id, m.start, m.end): m.distance for m in ms},
+            verifier.stats,
+        )
+    return out
+
+
+class TestBackendBitParity:
+    """The python and numpy (array-native) DP backends are interchangeable:
+    identical match sets with *bit-identical* distances and identical
+    UPR/CMR counters on random cost models, queries, and taus.
+
+    This is stronger than approximate equality: Definition 3 compares
+    ``wed < tau`` strictly, so a one-ulp kernel divergence at the boundary
+    would change answers (the relaxation form of ``step_dp_numpy`` exists
+    precisely to rule that out).
+    """
+
+    @given(
+        costs=_table_costs(0.3),
+        data=strings,
+        query=strings,
+        tau_steps=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_backends_bit_identical_nonrepresentable_costs(
+        self, costs, data, query, tau_steps
+    ):
+        tau = tau_steps * 0.3
+        results = _verify_both_backends(costs, data, query, tau)
+        # Same keys, same float distances (==, not approx), same counters.
+        assert results["python"][0] == results["numpy"][0]
+        assert results["python"][1] == results["numpy"][1]
+
+    @given(
+        costs=_table_costs(0.25),
+        data=strings,
+        query=strings,
+        tau_steps=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_backends_equal_sw_oracle_exact_costs(
+        self, costs, data, query, tau_steps
+    ):
+        tau = tau_steps * 0.25
+        # The Lemma 1 contract: candidates must come from a valid
+        # tau-subsequence; all positions qualify iff c(Q) >= tau.
+        assume(sum(costs.filter_cost(q) for q in query) >= tau)
+        results = _verify_both_backends(costs, data, query, tau)
+        oracle = {
+            (0, s, t): d for s, t, d in all_matches(data, query, costs, tau)
+        }
+        # Dyadic costs make every sum exact, so both backends must equal
+        # the oracle's keys AND distances with plain float equality.
+        assert results["python"][0] == oracle
+        assert results["numpy"][0] == oracle

@@ -66,13 +66,46 @@ class TestVerifierObservesToken:
         assert len(candidates) >= 2, "fixture must yield several candidates"
 
         # Token trips on the poll before the second candidate: exactly one
-        # candidate may be verified, then the loop must raise.
+        # candidate may be verified, then the loop must raise.  (python
+        # backend — its verification loop is per candidate.)
         verifier = Verifier(
-            vertex_dataset.symbols, query, edr_cost, tau, cancel=CountdownToken(1)
+            vertex_dataset.symbols,
+            query,
+            edr_cost,
+            tau,
+            dp_backend="python",
+            cancel=CountdownToken(1),
         )
         with pytest.raises(QueryCancelledError):
             verifier.verify_all(candidates, MatchSet())
         assert verifier.stats.candidates == 1
+
+    def test_batched_backend_stops_within_one_group(
+        self, vertex_dataset, edr_cost, rng
+    ):
+        """The numpy backend verifies candidates in anchor groups; a token
+        tripping after one poll stops before the first group's trie walk —
+        at most that group's candidates are started, none are extended."""
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        query = sample_query(vertex_dataset, rng, 6)
+        tau = tau_from_ratio(query, edr_cost, 0.3)
+        candidates = engine.candidates(query, tau=tau)
+        assert len(candidates) >= 2, "fixture must yield several candidates"
+
+        verifier = Verifier(
+            vertex_dataset.symbols,
+            query,
+            edr_cost,
+            tau,
+            dp_backend="numpy",
+            cancel=CountdownToken(1),
+        )
+        with pytest.raises(QueryCancelledError):
+            verifier.verify_all(candidates, MatchSet())
+        first_group = {c[2] for c in candidates}
+        assert verifier.stats.candidates < len(candidates) or len(first_group) == 1
+        # The trip fired before any DP column was computed for group two.
+        assert verifier.stats.visited_columns == 0
 
     def test_already_cancelled_token_verifies_nothing(
         self, vertex_dataset, edr_cost, rng
@@ -102,7 +135,12 @@ class TestVerifierObservesToken:
 
 def _slow_verifier(monkeypatch, counter, delay=0.02):
     """Make every candidate verification take ``delay`` seconds, counting
-    candidates actually verified — the slow-verifier fixture of ISSUE 2."""
+    candidates actually verified — the slow-verifier fixture of ISSUE 2.
+
+    The seam is ``verify_candidate``, the python backend's per-candidate
+    work unit, so engines under this fixture run ``dp_backend="python"``
+    (the numpy backend batches whole anchor groups and polls the token per
+    trie level instead — deadline plumbing is identical either way)."""
     original = Verifier.verify_candidate
 
     def slow(self, candidate, matches):
@@ -130,7 +168,7 @@ class TestExecutorDeadlineStopsShardWork:
         counter = {"verified": 0}
         _slow_verifier(monkeypatch, counter)
         sharded = PartitionedSubtrajectorySearch(
-            vertex_dataset, edr_cost, num_shards=2
+            vertex_dataset, edr_cost, num_shards=2, dp_backend="python"
         )
         with Executor(sharded, max_workers=2) as executor:
             with pytest.raises(DeadlineExceededError):
@@ -159,7 +197,11 @@ class TestExecutorDeadlineStopsShardWork:
         _slow_verifier(monkeypatch, counter, delay=0.01)
         # Construct AFTER patching: forked workers inherit the slow verifier.
         engine = PartitionedSubtrajectorySearch(
-            vertex_dataset, edr_cost, num_shards=2, backend="processes"
+            vertex_dataset,
+            edr_cost,
+            num_shards=2,
+            backend="processes",
+            dp_backend="python",
         )
         single = SubtrajectorySearch(vertex_dataset, edr_cost)
         query = sample_query(vertex_dataset, rng, 6)

@@ -115,3 +115,39 @@ class TestPersistence:
         path.write_text("\n".join(lines[:-1]) + "\n")
         with pytest.raises(TrajectoryError):
             TrajectoryDataset.load(line_graph, path)
+
+
+class TestSymbolsArray:
+    def test_matches_symbols_and_dtype(self, line_graph):
+        import numpy as np
+
+        ds = TrajectoryDataset(line_graph, "vertex")
+        ds.add(Trajectory([0, 1, 2]))
+        arr = ds.symbols_array(0)
+        assert arr.dtype == np.int32
+        assert arr.tolist() == list(ds.symbols(0))
+
+    def test_memoized(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1, 2]))
+        assert ds.symbols_array(0) is ds.symbols_array(0)
+
+    def test_edge_representation(self, line_graph):
+        ds = TrajectoryDataset(line_graph, "edge")
+        ds.add(Trajectory([0, 1, 2]))
+        assert ds.symbols_array(0).tolist() == list(ds.symbols(0))
+
+    def test_online_add_extends_cache(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1]))
+        ds.symbols_array(0)
+        tid = ds.add(Trajectory([1, 2, 3]))
+        assert ds.symbols_array(tid).tolist() == [1, 2, 3]
+
+    def test_zero_copy_views(self, line_graph):
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1, 2, 3]))
+        arr = ds.symbols_array(0)
+        back = arr[:2][::-1]
+        assert back.base is not None  # a view, not a copy
+        assert back.tolist() == [1, 0]
