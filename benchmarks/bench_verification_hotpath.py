@@ -4,16 +4,21 @@ Not a paper figure: the paper's §5 speedups (local verification,
 bidirectional tries) are algorithmic; this benchmark tracks the
 constant-factor layer underneath them — the per-column DP kernel that
 every shard burns its CPU in.  It measures candidate-verification
-throughput (visited/computed DP columns per second) and single-query
-latency for ``dp_backend="python"`` (the historical default, kept for
-ablation) against ``dp_backend="numpy"`` (the array-native default:
-anchor-grouped batch verification over ``step_dp_batch``, per-query
-substitution matrices served as cached contiguous row slices, int32
-symbol arrays sliced into zero-copy directional views), across dataset
-scales on the paper-style workload: the long-trajectory ``singapore``
-profile with |Q| = 50 (the paper defaults to |Q|=60 and sweeps up to
-100+ in Fig. 7), under a network-aware cost model (NetEDR — §2.2.3, the
-paper's headline setting) and the coordinate-based EDR.
+throughput (visited/computed DP columns per second), single-query
+latency, and (since the PR 4 arena rework) *allocator pressure*:
+garbage-collector activity and ndarray materializations per query, the
+~25%-of-runtime overhead the arena-backed trie columns exist to remove.
+
+Backends compared: ``dp_backend="python"`` (the historical pure-Python
+loop, kept for ablation) against ``dp_backend="numpy"`` (anchor-grouped
+batch verification whose ``step_dp_batch`` calls write straight into
+per-level arena rows, substitution rows served from the engine's
+LRU-cached ``SubstitutionMatrix``), across dataset scales on the
+paper-style workload: the long-trajectory ``singapore`` profile with
+|Q| = 50 under NetEDR (§2.2.3, the paper's headline setting) and the
+coordinate-based EDR — plus a short-query |Q| = 10 regime, the one
+setting where the python loop can still win and the reason
+``dp_backend="auto"`` exists (each cell records what auto would pick).
 
 The record lands in ``results/BENCH_verification.json`` — the repo's
 committed perf baseline (a copy lives at the repo root) — and the inline
@@ -22,29 +27,34 @@ assertions are the CI regression gate:
 - both backends must return *identical* matches (keys and distances —
   the kernels are bit-identical by construction, see
   ``repro.distance.wed``);
-- on the network-aware workload the numpy backend must be >=
+- on the network-aware |Q|=50 workload the numpy backend must be >=
   ``SPEEDUP_FLOOR``x faster at verification than the python backend even
   on the CI smoke workload (``REPRO_BENCH_SCALE=0.25``), guarding
-  against silently de-vectorizing the kernel.  The committed full-scale
-  baseline shows >= 3x.
-
-(Short queries over cheap cost models — e.g. EDR with |Q| <= 15 — are
-the one regime where the python loop can still win; the EDR cells track
-that boundary honestly rather than hiding it.)
+  against silently de-vectorizing the kernel;
+- on the same cells the arena layout must keep ndarray materializations
+  at least ``ALLOC_REDUCTION_FLOOR``x below the pre-arena
+  one-ndarray-per-computed-column behaviour (``alloc_reduction`` =
+  would-be allocations / actual allocations), guarding against silently
+  re-introducing per-column churn.
 """
 
+import gc
 import time
+import tracemalloc
 
 from _helpers import load_workload
 
 from repro.bench.harness import SeriesTable, format_seconds
 from repro.core.engine import SubtrajectorySearch
+from repro.core.verification import choose_dp_backend
 
 #: (profile, similarity function, query length); the first entry is the
-#: headline (floor-gated) workload.
+#: headline (floor-gated) workload, the |Q|=10 entry is the short-query
+#: regime that motivates dp_backend="auto".
 WORKLOADS = [
     ("singapore", "NetEDR", 50),
     ("singapore", "EDR", 50),
+    ("singapore", "EDR", 10),
 ]
 #: relative dataset sizes, multiplied by REPRO_BENCH_SCALE
 REL_SCALES = [0.5, 1.0]
@@ -53,8 +63,20 @@ TAU_RATIO = 0.4
 REPEATS = 3
 BACKENDS = ("python", "numpy")
 #: CI gate: numpy must beat python by at least this factor on the
-#: network-aware workload's verification stage, at every scale.
+#: network-aware |Q|=50 workload's verification stage, at every scale.
 SPEEDUP_FLOOR = 1.5
+#: CI gate: the arena must materialize >= this many times fewer ndarrays
+#: per query than the pre-arena per-column layout on the same cells.
+ALLOC_REDUCTION_FLOOR = 5.0
+
+
+def _gc_totals():
+    """(collections, objects collected) summed over all generations."""
+    stats = gc.get_stats()
+    return (
+        sum(s["collections"] for s in stats),
+        sum(s["collected"] for s in stats),
+    )
 
 
 def _run_backend(dataset, costs, queries, backend):
@@ -63,14 +85,17 @@ def _run_backend(dataset, costs, queries, backend):
     Per-query times are the *minimum* over ``REPEATS`` runs — the
     standard noise-resistant aggregate for a committed baseline (the
     machine's background load can only slow a run down, never speed it
-    up), applied identically to both backends.
+    up), applied identically to both backends.  GC activity is measured
+    as the delta over the whole timed loop (normalized per query run);
+    tracemalloc peak and ndarray counts come from separate, untimed
+    passes so the instrumentation never pollutes the timings.
     """
     engine = SubtrajectorySearch(dataset, costs, dp_backend=backend)
     answers = []
-    visited = computed = candidates = 0
+    visited = computed = candidates = allocations = 0
     # Warm-up pass collects the answers for the exactness gate (and warms
-    # the cost model's distance caches so both backends measure steady
-    # state).
+    # the cost model's distance caches plus the engine's substitution-
+    # matrix LRU, so both backends measure steady serving state).
     for q in queries:
         result = engine.query(q, tau_ratio=TAU_RATIO)
         answers.append(
@@ -79,8 +104,13 @@ def _run_backend(dataset, costs, queries, backend):
         visited += result.verification.visited_columns
         computed += result.verification.computed_columns
         candidates += result.verification.candidates
+    # Steady-state allocation accounting (post-warm-up: the LRU serves
+    # the SubstitutionMatrix, as it would under repeated traffic).
+    for q in queries:
+        allocations += engine.query(q, tau_ratio=TAU_RATIO).dp_array_allocations
     best_verify = [float("inf")] * len(queries)
     best_query = [float("inf")] * len(queries)
+    gc_before = _gc_totals()
     for _ in range(REPEATS):
         for i, q in enumerate(queries):
             t0 = time.perf_counter()
@@ -88,6 +118,14 @@ def _run_backend(dataset, costs, queries, backend):
             elapsed = time.perf_counter() - t0
             best_verify[i] = min(best_verify[i], result.verify_seconds)
             best_query[i] = min(best_query[i], elapsed)
+    gc_after = _gc_totals()
+    timed_runs = REPEATS * len(queries)
+    # Peak heap of one steady-state query (untimed: tracemalloc hooks
+    # every allocation and would skew the latency numbers).
+    tracemalloc.start()
+    engine.query(queries[0], tau_ratio=TAU_RATIO)
+    peak_bytes = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
     verify_seconds = sum(best_verify)
     n = len(queries)
     return answers, {
@@ -98,6 +136,11 @@ def _run_backend(dataset, costs, queries, backend):
             computed / verify_seconds if verify_seconds else 0.0
         ),
         "candidates_per_query": candidates / n,
+        "computed_columns_per_query": computed / n,
+        "dp_array_allocs_per_query": allocations / n,
+        "gc_collections_per_query": (gc_after[0] - gc_before[0]) / timed_runs,
+        "gc_collected_per_query": (gc_after[1] - gc_before[1]) / timed_runs,
+        "tracemalloc_peak_mb": peak_bytes / 1e6,
     }
 
 
@@ -128,12 +171,15 @@ def test_verification_hotpath(recorder, bench_scale):
                         f"{backend} backend changed answers on "
                         f"{profile}/{function}"
                     )
+            numpy_allocs = measured["numpy"]["dp_array_allocs_per_query"]
+            computed_per_query = measured["numpy"]["computed_columns_per_query"]
             cell = {
                 "profile": profile,
                 "function": function,
                 "query_length": query_length,
                 "scale": scale,
                 "trajectories": len(dataset),
+                "auto_backend": choose_dp_backend(query_length, costs),
                 "verify_speedup": (
                     measured["python"]["verify_seconds_per_query"]
                     / measured["numpy"]["verify_seconds_per_query"]
@@ -141,6 +187,15 @@ def test_verification_hotpath(recorder, bench_scale):
                 "query_speedup": (
                     measured["python"]["query_seconds_per_query"]
                     / measured["numpy"]["query_seconds_per_query"]
+                ),
+                # Pre-arena, the numpy backend materialized >= 1 ndarray per
+                # computed column on top of the same per-round temporaries;
+                # the arena's ratio of that cost to its own is the
+                # allocation-reduction gate.
+                "alloc_reduction": (
+                    (computed_per_query + numpy_allocs) / numpy_allocs
+                    if numpy_allocs
+                    else float("inf")
                 ),
                 **{backend: measured[backend] for backend in BACKENDS},
             }
@@ -153,10 +208,14 @@ def test_verification_hotpath(recorder, bench_scale):
 
     table = SeriesTable(
         "series",
-        [f"{c['function']}@{c['scale']:g} (|T|={c['trajectories']})" for c in cells],
+        [
+            f"{c['function']}@{c['scale']:g}/|Q|={c['query_length']} "
+            f"(|T|={c['trajectories']})"
+            for c in cells
+        ],
         title=(
-            f"Verification hot path (singapore, |Q|={WORKLOADS[0][2]}, "
-            f"tau_ratio={TAU_RATIO}): python vs array-native DP"
+            f"Verification hot path (singapore, tau_ratio={TAU_RATIO}): "
+            "python vs array-native (arena) DP"
         ),
     )
     for backend in BACKENDS:
@@ -180,6 +239,21 @@ def test_verification_hotpath(recorder, bench_scale):
         [c["query_speedup"] for c in cells],
         formatter=lambda v: f"{v:.2f}x",
     )
+    table.add_row(
+        "ndarray alloc reduction",
+        [c["alloc_reduction"] for c in cells],
+        formatter=lambda v: f"{v:.1f}x",
+    )
+    table.add_row(
+        "numpy GC collections/query",
+        [c["numpy"]["gc_collections_per_query"] for c in cells],
+        formatter=lambda v: f"{v:.2f}",
+    )
+    table.add_row(
+        "auto picks",
+        [1.0 if c["auto_backend"] == "numpy" else 0.0 for c in cells],
+        formatter=lambda v: "numpy" if v else "python",
+    )
     table.print()
 
     recorder.record(
@@ -191,22 +265,28 @@ def test_verification_hotpath(recorder, bench_scale):
             "headline_scale": headline["scale"],
             "headline_verify_speedup": headline["verify_speedup"],
             "headline_query_speedup": headline["query_speedup"],
+            "headline_alloc_reduction": headline["alloc_reduction"],
             "speedup_floor": SPEEDUP_FLOOR,
+            "alloc_reduction_floor": ALLOC_REDUCTION_FLOOR,
             "tau_ratio": TAU_RATIO,
             "num_queries": NUM_QUERIES,
             "repeats": REPEATS,
             "bench_scale": bench_scale,
         },
         expectation=(
-            "array-native numpy backend >= 3x python verification speedup on "
-            "the network-aware (NetEDR) workload (headline cell); >= "
-            f"{SPEEDUP_FLOOR}x enforced on every NetEDR cell (CI smoke "
-            "included); answers bit-identical across backends everywhere"
+            "array-native arena backend >= 4x python verification speedup on "
+            "the network-aware (NetEDR) |Q|=50 workload (headline cell); >= "
+            f"{SPEEDUP_FLOOR}x and >= {ALLOC_REDUCTION_FLOOR}x fewer ndarray "
+            "materializations than the per-column layout enforced on every "
+            "NetEDR cell (CI smoke included); answers bit-identical across "
+            "backends everywhere; |Q|=10 EDR documents the short-query "
+            "regime dp_backend='auto' routes to python"
         ),
     )
 
-    # The CI gate: de-vectorizing the kernel (or re-introducing per-column
-    # Python work on the numpy path) fails the build.
+    # The CI gates: de-vectorizing the kernel, re-introducing per-column
+    # Python work, or re-introducing per-column ndarray churn on the
+    # numpy path fails the build.
     for cell in cells:
         if cell["function"] != WORKLOADS[0][1]:
             continue
@@ -215,4 +295,10 @@ def test_verification_hotpath(recorder, bench_scale):
             f"than python at verification on {cell['profile']}/"
             f"{cell['function']} scale {cell['scale']:g} "
             f"(floor {SPEEDUP_FLOOR}x)"
+        )
+        assert cell["alloc_reduction"] >= ALLOC_REDUCTION_FLOOR, (
+            f"arena columns only cut ndarray materializations "
+            f"{cell['alloc_reduction']:.1f}x vs the per-column layout on "
+            f"{cell['profile']}/{cell['function']} scale {cell['scale']:g} "
+            f"(floor {ALLOC_REDUCTION_FLOOR}x)"
         )

@@ -19,7 +19,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.apps.travel_time import TravelTimeEstimator
-from repro.core.engine import SubtrajectorySearch
+from repro.core.engine import DEFAULT_SUBSTITUTION_CACHE, SubtrajectorySearch
 from repro.core.temporal import TimeInterval
 from repro.distance.costs import (
     CostModel,
@@ -84,11 +84,21 @@ def _add_cost_options(parser: argparse.ArgumentParser) -> None:
 def _add_dp_backend_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dp-backend",
-        default="numpy",
-        choices=["numpy", "python"],
-        help="verification DP backend: 'numpy' runs the array-native "
-        "column kernel, 'python' the pure-Python loop kept for ablation "
-        "(default: numpy; identical results)",
+        default="auto",
+        choices=["auto", "numpy", "python"],
+        help="verification DP backend: 'auto' picks per query (pure-Python "
+        "for short queries over vectorizable cost models, array-native "
+        "numpy everywhere else), 'numpy'/'python' force one backend "
+        "(default: auto; identical results either way)",
+    )
+    parser.add_argument(
+        "--substitution-cache-size",
+        type=int,
+        default=DEFAULT_SUBSTITUTION_CACHE,
+        help="engine-level LRU of per-query substitution matrices; "
+        "repeated queries skip substitution-row computation on a hit "
+        f"(0 disables; default: {DEFAULT_SUBSTITUTION_CACHE} entries "
+        "per engine/shard)",
     )
 
 
@@ -140,7 +150,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"{args.function} needs --representation {costs.representation}"
         )
-    engine = SubtrajectorySearch(dataset, costs, dp_backend=args.dp_backend)
+    engine = SubtrajectorySearch(
+        dataset,
+        costs,
+        dp_backend=args.dp_backend,
+        substitution_cache_size=args.substitution_cache_size,
+    )
     query = _parse_symbols(args.query)
     interval = None
     if args.time_from is not None or args.time_to is not None:
@@ -226,9 +241,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             backend=args.backend,
             dp_backend=args.dp_backend,
+            substitution_cache_size=args.substitution_cache_size,
         )
     else:
-        engine = SubtrajectorySearch(dataset, costs, dp_backend=args.dp_backend)
+        engine = SubtrajectorySearch(
+            dataset,
+            costs,
+            dp_backend=args.dp_backend,
+            substitution_cache_size=args.substitution_cache_size,
+        )
     service = QueryService(
         engine,
         max_workers=args.workers,

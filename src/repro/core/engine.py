@@ -40,7 +40,13 @@ from repro.core.temporal import (
     filter_candidates,
     match_satisfies,
 )
-from repro.core.verification import Candidate, VerificationStats, Verifier
+from repro.core.verification import (
+    Candidate,
+    VerificationStats,
+    Verifier,
+    choose_dp_backend,
+)
+from repro.distance.costs import SubstitutionMatrixCache
 from repro.distance.smith_waterman import all_matches
 from repro.exceptions import QueryError
 from repro.trajectory.dataset import TrajectoryDataset
@@ -56,6 +62,17 @@ logger = logging.getLogger(__name__)
 
 Selector = Literal["greedy", "exact", "prefix", "all"]
 VerificationMode = Literal["trie", "local", "sw"]
+DP_BACKENDS = ("python", "numpy", "auto")
+
+#: default capacity of the engine-level SubstitutionMatrix LRU (entries).
+#: Sized for the serving layer's zipf repeat traffic (the hot head of the
+#: query distribution).  The bound is entry-count, not bytes: each entry
+#: pins its lazily-grown row tables (proportional to distinct symbols the
+#: query's verifications touched), which can reach tens of MB per entry
+#: on paper-scale workloads — deployments with very diverse traffic or
+#: tight memory should lower this or set it to 0 (per-query matrices,
+#: the pre-cache behaviour).
+DEFAULT_SUBSTITUTION_CACHE = 32
 
 _SELECTORS: Dict[str, Callable] = {
     "greedy": mincand_greedy,
@@ -78,6 +95,14 @@ class QueryResult:
     verify_seconds: float
     verification: VerificationStats
     used_fallback: bool = False
+    #: DP backend the verification stage actually ran ("python"/"numpy";
+    #: empty for the SW mode and the scan fallback, which run no column
+    #: DP) — how the ``dp_backend="auto"`` choice is observed end to end.
+    dp_backend_used: str = ""
+    #: ndarrays materialized on the verification hot path (see
+    #: :attr:`repro.core.verification.Verifier.dp_array_allocations`);
+    #: deliberately outside VerificationStats, which is backend-identical.
+    dp_array_allocations: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -180,10 +205,22 @@ class SubtrajectorySearch:
         continuous costs with tiny eta — §3.1), scan the whole dataset
         instead of raising.
     dp_backend:
-        Verification DP backend: ``"numpy"`` (default) runs the
-        array-native column kernel over precomputed substitution/insertion
-        arrays; ``"python"`` is the pure-Python per-cell loop, kept for
-        ablation.  Both return identical results.
+        Verification DP backend: ``"auto"`` (default) resolves per query
+        — the array-native kernel for long queries or expensive cost
+        models, the pure-Python per-cell loop for short queries over
+        vectorizable-row models (the one regime where kernel-launch
+        overhead loses).  ``"numpy"`` / ``"python"`` force one backend.
+        All choices return identical results; ``QueryResult.
+        dp_backend_used`` reports what actually ran.
+    substitution_cache_size:
+        Capacity of the engine-level LRU of per-query
+        :class:`~repro.distance.costs.SubstitutionMatrix` objects, keyed
+        on the query-and-model prefix of :func:`query_signature`.
+        Repeated queries (the serving layer's zipf traffic) skip
+        substitution-row computation entirely on a hit — across tau and
+        time-window variations too; matrices depend only on the query
+        and the cost model, never on the dataset, so online inserts need
+        no invalidation either.  ``0`` disables the cache.
     """
 
     def __init__(
@@ -196,7 +233,8 @@ class SubtrajectorySearch:
         early_termination: bool = True,
         sort_by_departure: bool = False,
         fallback_to_scan: bool = True,
-        dp_backend: str = "numpy",
+        dp_backend: str = "auto",
+        substitution_cache_size: int = DEFAULT_SUBSTITUTION_CACHE,
     ) -> None:
         if costs.representation != dataset.representation:
             raise QueryError(
@@ -207,8 +245,10 @@ class SubtrajectorySearch:
             raise QueryError(f"unknown selector {selector!r}")
         if verification not in ("trie", "local", "sw"):
             raise QueryError(f"unknown verification mode {verification!r}")
-        if dp_backend not in ("python", "numpy"):
+        if dp_backend not in DP_BACKENDS:
             raise QueryError(f"unknown dp_backend {dp_backend!r}")
+        if substitution_cache_size < 0:
+            raise QueryError("substitution_cache_size must be >= 0")
         self._dataset = dataset
         self._costs = costs
         self._selector = _SELECTORS[selector]
@@ -216,6 +256,10 @@ class SubtrajectorySearch:
         self._early_termination = early_termination
         self._fallback = fallback_to_scan
         self._dp_backend = dp_backend
+        self._sub_matrix_cache = SubstitutionMatrixCache(substitution_cache_size)
+        # Memoized: the model is fixed for this engine's lifetime, and
+        # cost_model_id walks vars() — not something to redo per query.
+        self._model_id = cost_model_id(costs)
         self._update_lock = threading.Lock()
         self.index = InvertedIndex(dataset, sort_by_departure=sort_by_departure)
 
@@ -233,8 +277,16 @@ class SubtrajectorySearch:
 
     @property
     def dp_backend(self) -> str:
-        """The verification DP backend: ``"numpy"`` or ``"python"``."""
+        """The configured verification DP backend: ``"auto"``, ``"numpy"``
+        or ``"python"`` (``"auto"`` resolves per query — see
+        ``QueryResult.dp_backend_used`` for what a query actually ran)."""
         return self._dp_backend
+
+    def substitution_cache_stats(self) -> Dict[str, int]:
+        """Counters of the engine-level SubstitutionMatrix LRU
+        (capacity / size / hits / misses) — surfaced via ``/healthz`` and
+        the service stats so repeat-traffic savings are observable."""
+        return self._sub_matrix_cache.stats()
 
     def add_trajectory(self, trajectory, *, validate: bool = False) -> int:
         """Append one trajectory to the dataset and index it online (§4.1:
@@ -327,24 +379,17 @@ class SubtrajectorySearch:
         # Stage 3: verification.
         matches = MatchSet()
         stats = VerificationStats()
+        backend_used = ""
+        allocations = 0
         if self._verification == "sw":
             stats = self._verify_sw(candidates, query, tau, matches, cancel)
         else:
-            anchors = None
-            if self._dp_backend == "numpy" and candidates:
-                # Every candidate's anchor symbol lies in the chosen
-                # subsequence's neighborhoods; precompute rows densely for
-                # the ones that actually occur in the data (nonempty
-                # postings) — the rest, or an empty candidate set, would
-                # be pure wasted startup work (the matrix also fills
-                # lazily, so skipping here only defers, never recomputes).
-                index = self.index
-                anchors = [
-                    b
-                    for element in subsequence
-                    for b in element.neighborhood
-                    if index.frequency(b)
-                ]
+            backend_used = self._dp_backend
+            if backend_used == "auto":
+                backend_used = choose_dp_backend(len(query), self._costs)
+            matrix = None
+            if backend_used == "numpy":
+                matrix = self._substitution_matrix(query, subsequence, candidates)
             verifier = Verifier(
                 self._dataset.symbols,
                 query,
@@ -352,13 +397,14 @@ class SubtrajectorySearch:
                 tau,
                 use_trie=self._verification == "trie",
                 early_termination=self._early_termination,
-                dp_backend=self._dp_backend,
+                dp_backend=backend_used,
                 symbols_array_of=self._dataset.symbols_array,
-                anchors=anchors,
+                matrix=matrix,
                 cancel=cancel,
             )
             verifier.verify_all(candidates, matches)
             stats = verifier.stats
+            allocations = verifier.dp_array_allocations
         t3 = time.perf_counter()
 
         result = matches.to_list()
@@ -390,6 +436,8 @@ class SubtrajectorySearch:
             lookup_seconds=t2 - t1,
             verify_seconds=t3 - t2,
             verification=stats,
+            dp_backend_used=backend_used,
+            dp_array_allocations=allocations,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -410,6 +458,46 @@ class SubtrajectorySearch:
         return self._collect_candidates(subsequence, None)
 
     # -- internals ------------------------------------------------------------
+
+    def _substitution_matrix(self, query: Sequence[int], subsequence, candidates):
+        """The per-query SubstitutionMatrix, served from the engine LRU.
+
+        On a hit, both the substitution rows and the per-direction
+        contiguous copies hanging off the matrix are reused — the whole
+        row-computation stage of verification disappears for repeated
+        queries.  On a miss the matrix is built with dense rows for the
+        anchors that actually occur in the data (nonempty postings): every
+        candidate's anchor symbol lies in the chosen subsequence's
+        neighborhoods, and the matrix also fills lazily, so skipping
+        absent symbols only defers work, never recomputes it.
+
+        The key is the query-and-cost-model *prefix* of
+        :func:`query_signature`: matrices depend on neither the threshold
+        nor the temporal constraint (only which rows end up dense, a
+        performance detail), so requests varying tau or the time window
+        share one entry — and they depend on nothing in the dataset, so
+        entries stay valid across online inserts too.
+        """
+        cache = self._sub_matrix_cache
+        key = None
+        if cache.capacity:
+            key = ("sub", tuple(int(s) for s in query), self._model_id)
+            matrix = cache.get(key)
+            if matrix is not None:
+                return matrix
+        anchors = None
+        if candidates:
+            index = self.index
+            anchors = [
+                b
+                for element in subsequence
+                for b in element.neighborhood
+                if index.frequency(b)
+            ]
+        matrix = self._costs.sub_matrix(query, anchors=anchors)
+        if key is not None:
+            cache.put(key, matrix)
+        return matrix
 
     def _resolve_tau(
         self,

@@ -58,9 +58,11 @@ class PartitionedSubtrajectorySearch:
     (round-robin assignment, which balances shard sizes).  All constructor
     keyword arguments are forwarded to every shard engine.
 
-    Engine keyword arguments — including ``dp_backend``, whose
-    array-native ``"numpy"`` default every shard engine inherits — are
-    forwarded verbatim to each shard's
+    Engine keyword arguments — including ``dp_backend`` (the adaptive
+    ``"auto"`` default every shard engine inherits) and
+    ``substitution_cache_size`` (each shard engine keeps its own
+    SubstitutionMatrix LRU; see :meth:`substitution_cache_stats` for the
+    aggregate) — are forwarded verbatim to each shard's
     :class:`~repro.core.engine.SubtrajectorySearch` (in-process or inside
     its worker process).
 
@@ -110,7 +112,7 @@ class PartitionedSubtrajectorySearch:
             )
         num_shards = min(num_shards, len(dataset))
         self._backend = backend
-        self._dp_backend = str(engine_kwargs.get("dp_backend", "numpy"))
+        self._dp_backend = str(engine_kwargs.get("dp_backend", "auto"))
         self._global_ids: List[List[int]] = [[] for _ in range(num_shards)]
         self._shards = [
             TrajectoryDataset(dataset.graph, dataset.representation)
@@ -161,8 +163,39 @@ class PartitionedSubtrajectorySearch:
 
     @property
     def dp_backend(self) -> str:
-        """The verification DP backend every shard engine runs."""
+        """The verification DP backend every shard engine is configured
+        with (``"auto"`` resolves per query inside each shard)."""
         return self._dp_backend
+
+    def substitution_cache_stats(self) -> Dict[str, int]:
+        """Aggregated SubstitutionMatrix-LRU counters across shards.
+
+        Sums capacity/size/hits/misses over every shard engine.  On the
+        processes backend the workers are polled without blocking — a
+        worker busy with an in-flight query is skipped rather than
+        stalling a health probe behind a long verification —
+        ``shards_reporting`` says how many answered.
+        """
+        self._check_open()
+        if self._workers is not None:
+            parts = self._workers.substitution_cache_stats()
+        else:
+            parts = [engine.substitution_cache_stats() for engine in self._engines]
+        agg = {
+            "capacity": 0,
+            "size": 0,
+            "hits": 0,
+            "misses": 0,
+            "shards": self.num_shards,
+            "shards_reporting": 0,
+        }
+        for part in parts:
+            if part is None:
+                continue
+            agg["shards_reporting"] += 1
+            for field in ("capacity", "size", "hits", "misses"):
+                agg[field] += int(part.get(field, 0))
+        return agg
 
     def __len__(self) -> int:
         return sum(len(ids) for ids in self._global_ids)
@@ -290,6 +323,8 @@ class PartitionedSubtrajectorySearch:
         tau_used = 0.0
         candidates = 0
         mincand = lookup = verify = 0.0
+        allocations = 0
+        backend_used = ""
         stats = VerificationStats()
         for result, id_map in zip(results, self._global_ids):
             tau_used = result.tau
@@ -297,6 +332,8 @@ class PartitionedSubtrajectorySearch:
             mincand += result.mincand_seconds
             lookup += result.lookup_seconds
             verify += result.verify_seconds
+            allocations += result.dp_array_allocations
+            backend_used = backend_used or result.dp_backend_used
             s = result.verification
             stats.candidates += s.candidates
             stats.sw_columns += s.sw_columns
@@ -318,6 +355,8 @@ class PartitionedSubtrajectorySearch:
             lookup_seconds=lookup,
             verify_seconds=verify,
             verification=stats,
+            dp_backend_used=backend_used,
+            dp_array_allocations=allocations,
         )
 
     def query(

@@ -1,4 +1,4 @@
-"""DP-column tries for verification caching (§5.2).
+"""DP-column tries for verification caching (§5.2), arena-backed.
 
 Each trie caches the dynamic-programming columns produced while verifying
 candidates in one direction (forward or backward) for one anchor position
@@ -8,44 +8,72 @@ prefix against the fixed query part ``Q^d``.  Because trajectories in a
 road network share prefixes (out-degree is tiny), later candidates walk
 cached nodes instead of recomputing columns — the cache-miss rate is the
 CMR metric of §6.4.
+
+Memory layout (the PR 4 arena rework): on the array-native backend the
+trie owns **one growable ``(capacity, |Q^d|+1)`` float64 matrix per
+level** — all columns at the same depth are level-aligned rows of the
+same arena — and a :class:`TrieNode` holds only an integer row *slot*
+into its level's matrix (plus the two scalars the hot walk reads).  The
+batched StepDP kernel writes new columns straight into reserved arena
+rows, so verifying a query allocates a handful of arena/scratch buffers
+instead of one ndarray per computed column; profiles showed ~25% of
+at-scale verification time was garbage-collector overhead from exactly
+that churn.  The pure-Python backend (the ablation baseline) and the
+``use_trie=False`` ablation keep the historical one-column-per-node
+storage: nothing is shared there, so an arena would only pin memory.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-__all__ = ["TrieNode", "VerificationTrie"]
+import numpy as np
+
+__all__ = ["LevelArena", "TrieNode", "VerificationTrie"]
+
+#: rows a fresh level arena starts with; levels grow geometrically.
+_INITIAL_ROWS = 32
 
 
 class TrieNode:
     """One cached DP column.
 
-    ``column`` is ``A(x)`` of Algorithm 5 (length ``|Q^d| + 1``) — a Python
-    list (pure-Python DP) or an ``np.ndarray`` (array-native DP);
-    ``column_min`` caches ``min(column)``, the early-termination lower bound
-    ``LB`` of Eq. 11, and ``column_last`` caches ``column[-1]`` (the E value
-    read once per visit).  Callers that already know them (the vectorized
-    StepDP extracts both in batched C passes) pass them in to skip the
-    Python scans; both are plain floats so hot-loop comparisons and emitted
-    distances never carry numpy scalars.
+    ``column_min`` caches ``min(column)``, the early-termination lower
+    bound ``LB`` of Eq. 11, and ``column_last`` caches ``column[-1]`` (the
+    E value read once per visit); both are plain floats so hot-loop
+    comparisons and emitted distances never carry numpy scalars.
+
+    The column itself lives in one of two places:
+
+    - *arena nodes* (array-native backend, tries on): ``column`` is None
+      and ``slot`` indexes the node's row in its level's
+      :class:`LevelArena` matrix — the node does not own an ndarray;
+    - *detached nodes* (pure-Python backend, or ``use_trie=False``):
+      ``column`` holds the column itself (a list or an ndarray view) and
+      ``slot`` is ``-1``.
     """
 
-    __slots__ = ("children", "column", "column_min", "column_last")
+    __slots__ = ("children", "column", "column_min", "column_last", "slot")
 
     def __init__(
         self,
-        column: Sequence[float],
+        column: Optional[Sequence[float]] = None,
         column_min: Optional[float] = None,
         column_last: Optional[float] = None,
+        slot: int = -1,
     ) -> None:
-        self.children: Dict[int, "TrieNode"] = {}
-        self.column: Sequence[float] = column
-        self.column_min: float = (
-            float(min(column)) if column_min is None else column_min
-        )
-        self.column_last: float = (
-            float(column[-1]) if column_last is None else column_last
-        )
+        self.children: dict = {}
+        self.column: Optional[Sequence[float]] = column
+        if column_min is None or column_last is None:
+            if column is None:
+                raise ValueError("arena nodes must pass column_min/column_last")
+            if column_min is None:
+                column_min = float(min(column))
+            if column_last is None:
+                column_last = float(column[-1])
+        self.column_min: float = column_min
+        self.column_last: float = column_last
+        self.slot = slot
 
     def find_child(self, symbol: int) -> Optional["TrieNode"]:
         """The cached child for ``symbol``, or None (a cache miss)."""
@@ -58,15 +86,78 @@ class TrieNode:
         return child
 
 
+class LevelArena:
+    """Growable column storage for one trie level.
+
+    ``matrix`` is ``(capacity, width)`` float64; rows ``[0, used)`` hold
+    live columns.  :meth:`reserve` hands out contiguous row ranges so a
+    batched kernel can compute a whole round of same-level columns with
+    one ``out=`` slice — no per-column allocation at all.  Growth doubles
+    capacity (``allocations`` counts the reallocations, feeding the
+    benchmark's allocation-reduction metric).
+    """
+
+    __slots__ = ("matrix", "used", "allocations")
+
+    def __init__(self, width: int, capacity: int = _INITIAL_ROWS) -> None:
+        self.matrix = np.empty((max(capacity, 1), width), dtype=np.float64)
+        self.used = 0
+        self.allocations = 1
+
+    def reserve(self, count: int) -> int:
+        """Reserve ``count`` contiguous rows; returns the first slot."""
+        start = self.used
+        needed = start + count
+        capacity = self.matrix.shape[0]
+        if needed > capacity:
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, self.matrix.shape[1]), dtype=np.float64)
+            grown[:start] = self.matrix[:start]
+            self.matrix = grown
+            self.allocations += 1
+        self.used = needed
+        return start
+
+
 class VerificationTrie:
     """A trie rooted at the empty data prefix.
 
     The root column is ``wed(eps, Q^d_{1:j})`` for all ``j`` — the
-    cumulative insertion costs of the query part.
+    cumulative insertion costs of the query part.  With ``arena=True``
+    the trie owns one :class:`LevelArena` per depth and nodes store row
+    slots; otherwise nodes own their columns directly (the historical
+    per-node layout, kept for the pure-Python backend).
     """
 
-    def __init__(self, root_column: Sequence[float]) -> None:
+    def __init__(self, root_column: Sequence[float], *, arena: bool = False) -> None:
         self.root = TrieNode(root_column)
+        self.width = len(root_column)
+        self._levels: List[LevelArena] = []
+        self.arena = arena
+
+    def level(self, depth: int) -> LevelArena:
+        """The arena holding columns at ``depth`` (>= 1), created lazily."""
+        levels = self._levels
+        while len(levels) < depth:
+            levels.append(LevelArena(self.width))
+        return levels[depth - 1]
+
+    def column(self, node: TrieNode, depth: int) -> Sequence[float]:
+        """``node``'s column, wherever it lives (``depth`` = node depth)."""
+        if node.column is not None:
+            return node.column
+        return self._levels[depth - 1].matrix[node.slot]
+
+    @property
+    def allocations(self) -> int:
+        """Arena matrix (re)allocations so far — the ndarray cost of every
+        column this trie stores."""
+        return sum(level.allocations for level in self._levels)
+
+    def level_count(self) -> int:
+        """Number of materialized level arenas."""
+        return len(self._levels)
 
     def node_count(self) -> int:
         """Number of cached columns (root included) — a cache-size metric."""

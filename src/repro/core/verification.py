@@ -32,22 +32,31 @@ Two DP backends compute the columns, both evaluating the repo-wide
 prefix-min insert chain (see :mod:`repro.distance.wed`) so their floats
 are bit-identical:
 
-- ``dp_backend="numpy"`` (the default) is *array-native end to end* with
+- ``dp_backend="numpy"`` is *array-native end to end* with
   **anchor-grouped batch verification**: candidates are deduped, grouped
   by anchor position ``iq``, and each group's candidates walk the shared
   direction trie *run-to-miss* — every round's distinct cache misses
-  become one batched :func:`step_dp_batch` call over an ``(L, |Q^d| +
-  1)`` matrix, so numpy launch overhead amortizes across the whole group
-  instead of being paid per column.  Substitution rows come from a
-  per-query :class:`~repro.distance.costs.SubstitutionMatrix` as cached
-  ndarray slices (forward parts and reversed backward parts are zero-copy
-  views of one full-query row), trajectory strings are memoized
-  ``np.int32`` arrays sliced into directional views and materialized into
-  the walker chunk by chunk, and trie columns are ndarrays carrying their
-  minimum and last value out of the kernel as plain floats;
+  become batched :func:`step_dp_batch` calls, one per trie level touched,
+  whose ``out=`` target is a contiguous row range of that level's
+  **column arena** (:class:`~repro.core.trie.LevelArena`).  Verifying a
+  query therefore allocates a handful of growable arena/scratch buffers
+  instead of one ndarray per computed column — the per-column churn that
+  used to cost ~25% of at-scale verification time in collector overhead.
+  Substitution rows come from a per-query (engine-LRU-cached)
+  :class:`~repro.distance.costs.SubstitutionMatrix` through its
+  :class:`~repro.distance.costs.DirectionRows` caches, and trajectory
+  strings are memoized ``np.int32`` arrays sliced into directional views
+  and materialized into the walker chunk by chunk;
 - ``dp_backend="python"`` is the historical pure-Python per-cell loop,
   kept as the ablation baseline
   (``benchmarks/bench_verification_hotpath.py`` tracks the gap).
+
+``dp_backend="auto"`` (the engine default) resolves per query via
+:func:`choose_dp_backend`: the pure-Python loop for short queries over
+models with vectorizable (hence cheap) substitution rows — the one regime
+where kernel-launch overhead loses to plain Python — and the array-native
+backend everywhere else.  Safe precisely because the backends are
+bit-identical.
 
 Batching preserves the sequential semantics exactly: which columns get
 computed, every column's floats, each candidate's early-termination point,
@@ -56,7 +65,10 @@ and the batched vs. single-candidate numpy paths — agree bit for bit.
 
 The :class:`VerificationStats` counters implement the §6.4 metrics: UPR
 (columns surviving early termination vs. a full Smith–Waterman pass) and
-CMR (columns actually computed vs. columns visited).
+CMR (columns actually computed vs. columns visited).  They are
+backend-identical by design; the ndarray-materialization count, which is
+*not* (the python backend allocates none), is reported separately via
+:attr:`Verifier.dp_array_allocations`.
 """
 
 from __future__ import annotations
@@ -72,12 +84,37 @@ from repro.distance.costs import CostModel, SubstitutionMatrix
 from repro.exceptions import QueryCancelledError, QueryError
 
 __all__ = [
+    "AUTO_PYTHON_MAX_QUERY",
     "Candidate",
     "VerificationStats",
     "Verifier",
+    "choose_dp_backend",
     "step_dp_batch",
     "step_dp_numpy",
 ]
+
+#: longest query the auto backend still routes to the pure-Python DP
+#: (only on cost models with vectorizable rows); above this the
+#: array-native kernels win even on unit-cost models (ROADMAP: per-column
+#: numpy kernels cannot win at |Q| <~ 15 on unit-cost models).
+AUTO_PYTHON_MAX_QUERY = 15
+
+
+def choose_dp_backend(query_length: int, costs: CostModel) -> str:
+    """Resolve ``dp_backend="auto"`` for one query.
+
+    Picks ``"python"`` only where it measurably wins (see
+    ``BENCH_verification.json``): short queries (``<=
+    AUTO_PYTHON_MAX_QUERY``) over models whose substitution rows are
+    vectorizable — i.e. cheap — so the per-column numpy launch overhead
+    cannot amortize.  Everything else (long queries, or expensive rows
+    that the array-native path computes once per symbol instead of once
+    per column) goes to ``"numpy"``.  Both backends are bit-identical,
+    so the choice changes throughput, never answers.
+    """
+    if query_length <= AUTO_PYTHON_MAX_QUERY and costs.vectorized_rows():
+        return "python"
+    return "numpy"
 
 
 def step_dp_numpy(
@@ -85,6 +122,7 @@ def step_dp_numpy(
     delete_cost: float,
     ins_prefix: np.ndarray,
     prev: np.ndarray,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Vectorized StepDP (Algorithm 6) in the prefix-min convention.
 
@@ -97,10 +135,12 @@ def step_dp_numpy(
     strict ``< tau`` match semantics see the same floats everywhere.
 
     ``sub_row`` and ``prev`` may be non-contiguous views; the inputs are
-    never mutated and the returned column is a fresh array (it is cached
-    in the trie).
+    never mutated.  ``out``, when given, receives the column (the arena
+    path passes a reserved trie row, so no per-column array is created);
+    it must not alias any input.  The operation sequence is identical
+    either way — ``out`` changes the destination, never the floats.
     """
-    c = prev + delete_cost
+    c = prev + delete_cost if out is None else np.add(prev, delete_cost, out=out)
     np.minimum(c[1:], prev[:-1] + sub_row, out=c[1:])
     d = c - ins_prefix
     np.minimum.accumulate(d, out=d)
@@ -113,21 +153,44 @@ def step_dp_batch(
     delete_costs: np.ndarray,
     ins_prefix: np.ndarray,
     prev_columns: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    work: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> np.ndarray:
     """:func:`step_dp_numpy` over ``L`` independent columns at once.
 
     ``prev_columns`` is ``(L, n+1)``, ``sub_rows`` ``(L, n)``,
     ``delete_costs`` ``(L,)``; returns the ``(L, n+1)`` next columns.  Each
     row runs the identical operation sequence as the single-column kernel,
-    so batching changes throughput, never values.  This is what makes
-    anchor-grouped verification fast: one launch sequence per trie level
-    instead of per column.
+    so batching changes throughput, never values.  ``out``, when given,
+    receives the columns — the arena path passes a contiguous range of
+    freshly reserved trie-level rows, so a whole round of cache misses is
+    computed without allocating a single column array — and ``work`` (an
+    ``(L, n)`` and an ``(L, n+1)`` scratch buffer, contiguous, aliasing
+    nothing) absorbs the kernel's intermediate results, making the whole
+    call buffer-allocation-free.  This is what makes anchor-grouped
+    verification fast: one launch sequence per trie level instead of per
+    column, writing straight into the cache with the allocator idle.
     """
-    c = prev_columns + delete_costs[:, None]
-    np.minimum(c[:, 1:], prev_columns[:, :-1] + sub_rows, out=c[:, 1:])
-    d = c - ins_prefix
+    if out is None:
+        c = prev_columns + delete_costs[:, None]
+    else:
+        c = np.add(prev_columns, delete_costs[:, None], out=out)
+    if work is None:
+        np.minimum(c[:, 1:], prev_columns[:, :-1] + sub_rows, out=c[:, 1:])
+        d = c - ins_prefix
+        np.minimum.accumulate(d, axis=1, out=d)
+        np.minimum(c[:, 1:], ins_prefix[1:] + d[:, :-1], out=c[:, 1:])
+        return c
+    work_sums, work_d = work
+    sums = np.add(prev_columns[:, :-1], sub_rows, out=work_sums)
+    np.minimum(c[:, 1:], sums, out=c[:, 1:])
+    d = np.subtract(c, ins_prefix, out=work_d)
     np.minimum.accumulate(d, axis=1, out=d)
-    np.minimum(c[:, 1:], ins_prefix[1:] + d[:, :-1], out=c[:, 1:])
+    # work_sums' first use is fully consumed by the minimum above, so it
+    # is free to hold the insert-chain sums; the operation sequence
+    # (hence every float) is identical to the allocating branch.
+    chain = np.add(ins_prefix[1:], d[:, :-1], out=work_sums)
+    np.minimum(c[:, 1:], chain, out=c[:, 1:])
     return c
 
 
@@ -137,6 +200,17 @@ Candidate = Tuple[int, int, int]  # (trajectory id, position j, query position i
 #: enough that an immediately-terminated candidate on a long trajectory
 #: wastes almost nothing, large enough to amortize the slice machinery.
 _SYMBOL_CHUNK = 64
+
+#: ndarray buffers one batched StepDP resolution still materializes per
+#: level group after the scratch rework: the index arrays behind the
+#: parent-row and substitution-row/delete gathers (np.take converts the
+#: slot lists).  Counted (not avoided) because they are per *round*, not
+#: per column; the kernel itself runs buffer-allocation-free via the
+#: context's work/mins scratch.
+_GROUP_TEMP_ARRAYS = 3
+
+#: same accounting for a single-column StepDP call (kernel temps only).
+_SINGLE_TEMP_ARRAYS = 3
 
 
 @dataclass(slots=True)
@@ -183,13 +257,36 @@ class _DirectionContext:
     part — the trie's root column and the ``P`` of the prefix-min DP
     convention (an ndarray on the numpy backend, a list on the python
     one, summed left-to-right either way so both hold the same floats).
-    ``row_slice`` maps a *full-query* substitution row to this direction's
-    part: ``slice(iq+1, None)`` forward, ``slice(iq-1, None, -1)`` backward
-    (the reversed prefix) — both zero-copy ndarray views, so one cached row
-    per symbol serves every anchor position and both directions.
+    ``rows`` (numpy only) is the matrix-owned
+    :class:`~repro.distance.costs.DirectionRows` cache mapping a data
+    symbol to this direction's contiguous substitution-row slice and its
+    deletion cost; because it lives inside the (engine-LRU-cached)
+    SubstitutionMatrix, repeated queries reuse the copies across
+    verifier instances.  ``row_slice`` maps a *full-query* row to this
+    direction's part: ``slice(iq+1, None)`` forward, ``slice(iq-1, None,
+    -1)`` backward (the reversed prefix).
+
+    The context also owns the batched walker's scratch buffers (parent
+    columns, substitution rows, deletion costs), grown geometrically and
+    reused round after round, and the direction's arena-backed
+    :class:`~repro.core.trie.VerificationTrie`.
     """
 
-    __slots__ = ("query_part", "ins_prefix", "row_slice", "row_cache", "trie")
+    __slots__ = (
+        "query_part",
+        "ins_prefix",
+        "row_slice",
+        "rows",
+        "trie",
+        "width",
+        "scratch_allocations",
+        "_parents",
+        "_subs",
+        "_dels",
+        "_work_a",
+        "_work_b",
+        "_mins",
+    )
 
     def __init__(
         self,
@@ -200,6 +297,7 @@ class _DirectionContext:
         *,
         numpy_backend: bool,
         ins_vec: Optional[np.ndarray] = None,
+        matrix: Optional[SubstitutionMatrix] = None,
     ) -> None:
         if direction == "b":
             # Backward part: both strings reversed (WED is invariant under
@@ -209,38 +307,67 @@ class _DirectionContext:
         else:
             self.query_part = tuple(query[iq + 1 :])
             self.row_slice = slice(iq + 1, None)
-        #: symbol -> (contiguous substitution-row slice, deletion cost) for
-        #: this direction (backward slices are negative-stride views;
-        #: copying them once here makes every later batch-matrix fill a
-        #: plain memcpy, and pairing the deletion cost makes the batch
-        #: assembly a single dict hit per miss).
-        self.row_cache: Dict[int, Tuple[np.ndarray, float]] = {}
+        self.width = len(self.query_part) + 1
+        self.rows = None
+        self.scratch_allocations = 0
+        self._parents: Optional[np.ndarray] = None
+        self._subs: Optional[np.ndarray] = None
+        self._dels: Optional[np.ndarray] = None
+        self._work_a: Optional[np.ndarray] = None
+        self._work_b: Optional[np.ndarray] = None
+        self._mins: Optional[np.ndarray] = None
         if numpy_backend:
             ins_part = ins_vec[self.row_slice]
-            prefix = np.empty(len(self.query_part) + 1, dtype=np.float64)
+            prefix = np.empty(self.width, dtype=np.float64)
             prefix[0] = 0.0
             np.cumsum(ins_part, out=prefix[1:])
             self.ins_prefix: Sequence[float] = prefix
+            self.rows = matrix.direction_rows((iq, direction), self.row_slice)
+            self.scratch_allocations += 1  # the prefix itself
         else:
             prefix_list: List[float] = [0.0]
             for q in self.query_part:
                 prefix_list.append(prefix_list[-1] + costs.ins(q))
             self.ins_prefix = prefix_list
         # The root column wed(eps, part prefix) IS the insertion prefix.
-        self.trie = VerificationTrie(self.ins_prefix)
+        self.trie = VerificationTrie(self.ins_prefix, arena=numpy_backend)
 
-    def costs_for(
-        self, symbol: int, matrix: SubstitutionMatrix
-    ) -> Tuple[np.ndarray, float]:
-        """This direction's cached (substitution-row slice, delete cost)."""
-        pair = self.row_cache.get(symbol)
-        if pair is None:
-            pair = (
-                np.ascontiguousarray(matrix.row(symbol)[self.row_slice]),
-                matrix.delete(symbol),
+    def scratch(
+        self, count: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Reusable batch buffers, first ``count`` rows each (grown
+        geometrically, never shrunk): parent columns, substitution rows,
+        deletion costs, the two kernel work buffers, and the per-column
+        minimum vector."""
+        parents = self._parents
+        if parents is None or parents.shape[0] < count:
+            capacity = 16 if parents is None else parents.shape[0]
+            while capacity < count:
+                capacity *= 2
+            self._parents = parents = np.empty(
+                (capacity, self.width), dtype=np.float64
             )
-            self.row_cache[symbol] = pair
-        return pair
+            self._subs = np.empty((capacity, self.width - 1), dtype=np.float64)
+            self._dels = np.empty(capacity, dtype=np.float64)
+            self._work_a = np.empty((capacity, self.width - 1), dtype=np.float64)
+            self._work_b = np.empty((capacity, self.width), dtype=np.float64)
+            self._mins = np.empty(capacity, dtype=np.float64)
+            self.scratch_allocations += 6
+        return (
+            parents[:count],
+            self._subs[:count],
+            self._dels[:count],
+            self._work_a[:count],
+            self._work_b[:count],
+            self._mins[:count],
+        )
+
+    @property
+    def arena_allocations(self) -> int:
+        """Arena + scratch ndarray allocations this context has made."""
+        return self.scratch_allocations + (
+            self.trie.allocations if self.trie.arena else 0
+        )
 
 
 class Verifier:
@@ -260,9 +387,11 @@ class Verifier:
         Stop extending a direction once the column minimum reaches the
         budget (§5.1).  Disabling scans to the trajectory ends.
     dp_backend:
-        ``"numpy"`` (default) — anchor-grouped batch verification over the
-        array-native column kernels; ``"python"`` — the pure-Python
-        per-cell loop, kept for ablation.  Results are bit-identical.
+        ``"auto"`` (resolved per query via :func:`choose_dp_backend`),
+        ``"numpy"`` — anchor-grouped batch verification over the
+        array-native column kernels with arena-backed trie columns; or
+        ``"python"`` — the pure-Python per-cell loop, kept for ablation.
+        Results are bit-identical.
     symbols_array_of:
         Callable mapping a trajectory id to its ``np.int32`` symbol array
         (the dataset's ``symbols_array``).  Used by the numpy backend only;
@@ -271,8 +400,14 @@ class Verifier:
     anchors:
         Symbols that can appear at candidate anchor positions (the union of
         the tau-subsequence's substitution neighborhoods).  Their
-        substitution rows are precomputed densely in the per-query
-        :class:`~repro.distance.costs.SubstitutionMatrix`.
+        substitution rows are precomputed densely when this verifier builds
+        its own :class:`~repro.distance.costs.SubstitutionMatrix`; ignored
+        when ``matrix`` is supplied.
+    matrix:
+        A prebuilt :class:`~repro.distance.costs.SubstitutionMatrix` for
+        this exact query — the engine passes its LRU-cached instance so
+        repeated queries skip substitution-row computation entirely.  Must
+        have been built for the same query string.
     cancel:
         Optional cooperative cancellation token (anything with a
         ``cancelled() -> bool`` method, e.g.
@@ -291,13 +426,16 @@ class Verifier:
         *,
         use_trie: bool = True,
         early_termination: bool = True,
-        dp_backend: str = "numpy",
+        dp_backend: str = "auto",
         symbols_array_of=None,
         anchors: Optional[Sequence[int]] = None,
+        matrix: Optional[SubstitutionMatrix] = None,
         cancel=None,
     ) -> None:
-        if dp_backend not in ("python", "numpy"):
+        if dp_backend not in ("python", "numpy", "auto"):
             raise QueryError(f"unknown dp_backend {dp_backend!r}")
+        if dp_backend == "auto":
+            dp_backend = choose_dp_backend(len(query), costs)
         self._symbols_of = symbols_of
         self._query = tuple(query)
         self._costs = costs
@@ -306,11 +444,26 @@ class Verifier:
         self._early_termination = early_termination
         self._cancel = cancel
         self._numpy = dp_backend == "numpy"
+        self.dp_backend = dp_backend
         self._matrix: Optional[SubstitutionMatrix] = None
         self._ins_vec: Optional[np.ndarray] = None
+        #: ndarrays materialized on the verification path (arena/scratch
+        #: growths plus per-round kernel temporaries) — deliberately NOT a
+        #: VerificationStats field, because the python backend allocates
+        #: none and the stats are pinned backend-identical.
+        self._allocs = 0
         if self._numpy:
-            self._matrix = costs.sub_matrix(self._query, anchors=anchors)
+            if matrix is not None:
+                if matrix.query != self._query:
+                    raise QueryError(
+                        "substitution matrix was built for a different query"
+                    )
+                self._matrix = matrix
+            else:
+                self._matrix = costs.sub_matrix(self._query, anchors=anchors)
+                self._allocs += 1 + (1 if anchors else 0)
             self._ins_vec = costs.ins_vector(self._query)
+            self._allocs += 1
             if symbols_array_of is None:
                 symbols_array_of = self._converting_array_accessor()
         self._symbols_array_of = symbols_array_of
@@ -333,6 +486,21 @@ class Verifier:
 
         return accessor
 
+    @property
+    def dp_array_allocations(self) -> int:
+        """ndarrays materialized verifying so far: per-query setup, arena
+        and scratch (re)allocations, and per-round kernel temporaries.
+
+        The pre-arena layout allocated at least one ndarray per *computed
+        column* on top of the same per-round temporaries, so the
+        benchmark's allocation-reduction metric compares
+        ``computed_columns + dp_array_allocations`` (the old cost) against
+        ``dp_array_allocations`` (the new one)."""
+        total = self._allocs
+        for ctx in self._contexts.values():
+            total += ctx.arena_allocations
+        return total
+
     # -- Algorithm 3: drive all candidates ---------------------------------
 
     def verify_all(self, candidates: Sequence[Candidate], matches: MatchSet) -> None:
@@ -354,6 +522,15 @@ class Verifier:
         cancelled or deadline-expired query raises
         :class:`~repro.exceptions.QueryCancelledError` within one loop
         iteration instead of verifying the remaining candidates.
+
+        On the numpy backend, trie nodes are materialized only where
+        sharing is possible (see ``_resolve_group``); diverged tails live
+        as arena rows without node objects.  Results and counters are
+        unaffected, but a *later* ``verify_all`` or ``verify_candidate``
+        call on the same verifier finds a sparser cache than sequential
+        walking would have left and may recompute those columns (engine
+        queries build one verifier per query, so this costs nothing
+        there).
         """
         seen = set()
         unique: List[Candidate] = []
@@ -496,22 +673,35 @@ class Verifier:
         Each round, every runnable state advances through consecutive trie
         *hits* in a tight local-variable loop (as cheap as the sequential
         walk), parking at its first cache miss; the round's distinct
-        ``(node, symbol)`` misses are then computed in one
-        :func:`step_dp_batch` call and their new trie nodes shared by every
-        parked state.  A trie node's identity is its symbol path, so
-        shared-prefix states converge on the same objects regardless of
-        schedule: which columns get computed, each state's visit count,
-        and every float are identical to walking the candidates one at a
-        time — batching only amortizes the numpy launch overhead.
+        ``(node, symbol)`` misses — deduplicated through a round-local
+        rendezvous dict, so the shared tries never hold placeholder
+        entries — are then resolved level by level: each level's misses
+        become one :func:`step_dp_batch` call whose ``out=`` is a
+        contiguous range of freshly reserved arena rows, and the new trie
+        nodes are shared by every parked state.  A trie node's identity is
+        its symbol path, so shared-prefix states converge on the same
+        objects regardless of schedule: which columns get computed, each
+        state's visit count, and every float are identical to walking the
+        candidates one at a time — batching only amortizes the numpy
+        launch overhead, and the arena only changes where columns live.
+
+        States whose path has *diverged* from every other state (they were
+        the sole waiter on their last miss) are stepped as slot-indexed
+        **virgin chains**: their future steps are guaranteed unshared
+        misses (a state only ever hits columns cached before its first
+        miss, and co-waiters are exactly the states sharing a node), so
+        they skip the walker, the rendezvous, and even TrieNode
+        materialization — their columns live in the same arena rows,
+        addressed by slot, computed in the same per-level kernel calls as
+        the walker misses.  Emitted E values, termination points, and
+        every counter are identical; only the bookkeeping route differs.
         """
         root = ctx.trie.root
         outs: List[List[float]] = [[root.column_last] for _ in views]
         early = self._early_termination
         use_trie = self._use_trie
-        matrix = self._matrix
-        prefix = ctx.ins_prefix
-        width = len(ctx.query_part) + 1
         cancel = self._cancel
+        inf = float("inf")
         # One walk state per candidate still extending:
         # [node, symbol list, out list, budget, k, len(view), view array].
         # Symbols are materialized into plain int lists *chunk by chunk*
@@ -528,24 +718,39 @@ class Verifier:
                 runnable.append(
                     [root, view[:_SYMBOL_CHUNK].tolist(), out, budget, 0, n, view]
                 )
-        visited = computed = 0
-        # Parked misses.  With the trie on, the parent's ``children`` dict
-        # doubles as the rendezvous: a miss leaves the pending batch index
-        # as an *int* placeholder, so later states reaching the same
-        # (node, symbol) join its waiters with the one dict lookup they
-        # were doing anyway.  Placeholders are replaced by the real
-        # TrieNode when the batch resolves, and stripped if the batch
-        # fails (see below); cancellation polls only between rounds, when
-        # none are outstanding — so the tries never leak them.  Without
-        # the trie every state is its own miss (no sharing), matching the
+        computed = 0
+        # Visited-column accounting is derived, not incremented: every
+        # visit appends exactly one E value to its state's out list (hits
+        # immediately, misses when their batch resolves), so the visit
+        # count is the total out-list growth — one subtraction per state
+        # instead of one counter bump per visited column.
+        #
+        # Parked misses.  The rendezvous for duplicate (node, symbol)
+        # misses within a round is ``pend_index`` — a round-local dict, so
+        # the shared tries never see half-born entries: ``children`` gains
+        # a key only when its column is already in the arena, which also
+        # means a failing batch (e.g. a cost model raising mid-row) leaves
+        # the tries fully consistent with no cleanup pass.  Without the
+        # trie every state is its own miss (no sharing), matching the
         # sequential local-verification mode column for column.
+        pend_index: Dict[Tuple[TrieNode, int], int] = {}
         pend_nodes: List[TrieNode] = []
         pend_syms: List[int] = []
+        pend_depths: List[int] = []
+        pend_slots: List[int] = []
         pend_waiters: List[List[list]] = []
-        costs_cache_get = ctx.row_cache.get
-        while runnable or pend_nodes:
+        # Virgin chains: parallel lists of (state, parent arena slot,
+        # substitution-row slot); the state's st[4] carries its depth.
+        v_states: List[list] = []
+        v_pslots: List[int] = []
+        v_rowslots: List[int] = []
+        if use_trie:
+            rows = ctx.rows
+            rows_index_get = rows.index.get
+            rows_slot = rows.slot
+        while runnable or pend_nodes or v_states:
             if cancel is not None and cancel.cancelled():
-                self.stats.visited_columns += visited
+                self.stats.visited_columns += sum(len(o) for o in outs) - len(outs)
                 self.stats.computed_columns += computed
                 raise QueryCancelledError(
                     f"verification cancelled after {self.stats.candidates} "
@@ -555,93 +760,366 @@ class Verifier:
                 node, view, out, budget, k, n = st[:6]
                 append = out.append
                 filled = len(view)
+                # ``limit`` folds the early-termination flag out of the
+                # per-visit condition (inf never fires).
+                limit = budget if early else inf
                 if use_trie:
                     while True:
                         if k == filled:
                             view.extend(st[6][filled : 2 * filled + 16].tolist())
                             filled = len(view)
                         symbol = view[k]
-                        visited += 1
                         child = node.children.get(symbol)
                         if child is None:
                             st[0] = node
                             st[4] = k
-                            node.children[symbol] = len(pend_nodes)
-                            pend_nodes.append(node)
-                            pend_syms.append(symbol)
-                            pend_waiters.append([st])
-                            break
-                        if type(child) is int:
-                            st[0] = node
-                            st[4] = k
-                            pend_waiters[child].append(st)
+                            rendezvous = (node, symbol)
+                            idx = pend_index.get(rendezvous)
+                            if idx is None:
+                                pend_index[rendezvous] = len(pend_nodes)
+                                pend_nodes.append(node)
+                                pend_syms.append(symbol)
+                                pend_depths.append(k)
+                                # Dense substitution-row slot, resolved
+                                # here (one inline dict hit per distinct
+                                # miss) so resolution can bulk-gather.
+                                sslot = rows_index_get(symbol)
+                                if sslot is None:
+                                    sslot = rows_slot(symbol)
+                                pend_slots.append(sslot)
+                                pend_waiters.append([st])
+                            else:
+                                pend_waiters[idx].append(st)
                             break
                         append(child.column_last)
                         k += 1
-                        if (early and child.column_min >= budget) or k == n:
+                        if child.column_min >= limit or k == n:
                             break
                         node = child
                 else:
-                    # Every visit recomputes its column: park immediately.
+                    # Every visit recomputes its column: park immediately
+                    # (no rendezvous — nothing is shared without the trie).
                     if k == filled:
                         view.extend(st[6][filled : 2 * filled + 16].tolist())
                     symbol = view[k]
-                    visited += 1
                     st[0] = node
                     st[4] = k
                     pend_nodes.append(node)
                     pend_syms.append(symbol)
                     pend_waiters.append([st])
-            runnable = []
-            if pend_nodes:
-                batch = len(pend_nodes)
-                try:
-                    parents = np.empty((batch, width), dtype=np.float64)
-                    subs = np.empty((batch, width - 1), dtype=np.float64)
-                    dels_list: List[float] = []
-                    for i in range(batch):
-                        parents[i] = pend_nodes[i].column
-                        symbol = pend_syms[i]
-                        pair = costs_cache_get(symbol)
-                        if pair is None:
-                            pair = ctx.costs_for(symbol, matrix)
-                        subs[i] = pair[0]
-                        dels_list.append(pair[1])
-                    dels = np.asarray(dels_list, dtype=np.float64)
-                    columns = step_dp_batch(subs, dels, prefix, parents)
-                    mins = columns.min(axis=1).tolist()
-                    lasts = columns[:, -1].tolist()
-                    computed += batch
-                    for i in range(batch):
-                        child = TrieNode(columns[i], mins[i], lasts[i])
-                        if use_trie:
-                            pend_nodes[i].children[pend_syms[i]] = child
-                        cmin = mins[i]
-                        last = lasts[i]
-                        for st in pend_waiters[i]:
-                            st[2].append(last)
-                            k = st[4] + 1
-                            if (early and cmin >= st[3]) or k == st[5]:
-                                continue
-                            st[0] = child
-                            st[4] = k
-                            runnable.append(st)
-                except BaseException:
-                    # A failing batch (e.g. a cost model raising mid-row)
-                    # must not strand int placeholders in the shared tries:
-                    # strip any still unresolved so the verifier stays
-                    # usable after the caller handles the error.
-                    if use_trie:
-                        for node_, symbol_ in zip(pend_nodes, pend_syms):
-                            if type(node_.children.get(symbol_)) is int:
-                                del node_.children[symbol_]
-                    raise
-                pend_nodes = []
-                pend_syms = []
-                pend_waiters = []
-        self.stats.visited_columns += visited
+            if pend_nodes or v_states:
+                computed += len(pend_nodes) + len(v_states)
+                if use_trie:
+                    # Resolution steps the virgin chains alongside the
+                    # walker misses (one kernel call per level covers
+                    # both) and fills nxt_v with the chains still alive,
+                    # so only shared-prefix states come back through the
+                    # walker above.
+                    nxt_v: Tuple[list, list, list] = ([], [], [])
+                    runnable = self._resolve_round(
+                        ctx,
+                        pend_nodes,
+                        pend_syms,
+                        pend_depths,
+                        pend_slots,
+                        pend_waiters,
+                        v_states,
+                        v_pslots,
+                        v_rowslots,
+                        nxt_v,
+                    )
+                    v_states, v_pslots, v_rowslots = nxt_v
+                    pend_nodes = []
+                    pend_syms = []
+                    pend_depths = []
+                    pend_slots = []
+                    pend_waiters = []
+                else:
+                    runnable = self._resolve_detached(
+                        ctx, pend_nodes, pend_syms, pend_waiters
+                    )
+                    pend_nodes = []
+                    pend_syms = []
+                    pend_waiters = []
+                pend_index.clear()
+            else:
+                runnable = []
+        self.stats.visited_columns += sum(len(o) for o in outs) - len(outs)
         self.stats.computed_columns += computed
         return outs
+
+    def _resolve_round(
+        self,
+        ctx: _DirectionContext,
+        w_nodes: List[TrieNode],
+        w_syms: List[int],
+        w_depths: List[int],
+        w_rowslots: List[int],
+        w_waiters: List[List[list]],
+        v_states: List[list],
+        v_pslots: List[int],
+        v_rowslots: List[int],
+        nxt_v: Tuple[list, list, list],
+    ) -> List[list]:
+        """Resolve one round of misses — walker entries and virgin chains
+        together — into the arena.
+
+        Entries are grouped by child level; each level's walker misses
+        and virgin steps share a single ``out=``-targeted
+        :func:`step_dp_batch` call over a contiguous range of freshly
+        reserved arena rows.  Rounds are single-level almost always
+        (states advance in lockstep once past their first miss), so the
+        common case skips bucketing entirely; ``min``/``max`` detect it
+        at C speed.  ``nxt_v`` receives the virgin chains still alive;
+        the returned list holds the states that must go back through the
+        walker (shared-prefix tails needing dedupe).
+        """
+        if not w_nodes:
+            lo_v = min(st[4] for st in v_states)
+            hi_v = max(st[4] for st in v_states)
+            if lo_v == hi_v:
+                return self._resolve_group(
+                    ctx, lo_v + 1, w_nodes, w_syms, w_rowslots, w_waiters,
+                    v_states, v_pslots, v_rowslots, nxt_v,
+                )
+            lo, hi = lo_v, hi_v
+        elif not v_states:
+            lo = min(w_depths)
+            hi = max(w_depths)
+            if lo == hi:
+                return self._resolve_group(
+                    ctx, lo + 1, w_nodes, w_syms, w_rowslots, w_waiters,
+                    v_states, v_pslots, v_rowslots, nxt_v,
+                )
+        else:
+            lo = min(min(w_depths), min(st[4] for st in v_states))
+            hi = max(max(w_depths), max(st[4] for st in v_states))
+            if lo == hi:
+                return self._resolve_group(
+                    ctx, lo + 1, w_nodes, w_syms, w_rowslots, w_waiters,
+                    v_states, v_pslots, v_rowslots, nxt_v,
+                )
+        # Mixed-level round (possible when budgets stagger terminations):
+        # bucket both populations by level and resolve each level group.
+        w_groups: Dict[int, List[int]] = {}
+        for i, k in enumerate(w_depths):
+            group = w_groups.get(k)
+            if group is None:
+                w_groups[k] = [i]
+            else:
+                group.append(i)
+        v_groups: Dict[int, List[int]] = {}
+        for i, st in enumerate(v_states):
+            k = st[4]
+            group = v_groups.get(k)
+            if group is None:
+                v_groups[k] = [i]
+            else:
+                group.append(i)
+        runnable: List[list] = []
+        for k in sorted(set(w_groups) | set(v_groups)):
+            widx = w_groups.get(k, ())
+            vidx = v_groups.get(k, ())
+            runnable.extend(
+                self._resolve_group(
+                    ctx,
+                    k + 1,
+                    [w_nodes[i] for i in widx],
+                    [w_syms[i] for i in widx],
+                    [w_rowslots[i] for i in widx],
+                    [w_waiters[i] for i in widx],
+                    [v_states[i] for i in vidx],
+                    [v_pslots[i] for i in vidx],
+                    [v_rowslots[i] for i in vidx],
+                    nxt_v,
+                )
+            )
+        return runnable
+
+    def _resolve_group(
+        self,
+        ctx: _DirectionContext,
+        depth: int,
+        w_nodes: List[TrieNode],
+        w_syms: List[int],
+        w_rowslots: List[int],
+        w_waiters: List[List[list]],
+        v_states: List[list],
+        v_pslots: List[int],
+        v_rowslots: List[int],
+        nxt_v: Tuple[list, list, list],
+    ) -> List[list]:
+        """Compute one level's worth of missed columns straight into the
+        arena: parents gathered with one ``np.take`` from the level below
+        (all parents of a level group sit there by construction),
+        substitution rows and deletes bulk-gathered by their dense
+        :class:`~repro.distance.costs.DirectionRows` slots, and the
+        kernel writing into freshly reserved arena rows — walker misses
+        first, virgin chain steps behind them in the same batch.
+
+        Surviving states split two ways.  A *single-waiter* walker
+        entry's column is exclusively its state's: no other live state
+        can ever reach it (hits only happen before a state's first miss,
+        and co-waiters are exactly the states sharing a node), so its
+        next step is a guaranteed miss with no dedupe partner — the state
+        becomes a virgin chain, addressed by arena slot with no TrieNode
+        materialized at all.  Multi-waiter survivors may still converge
+        on shared symbols, so they return to the walker, whose rendezvous
+        dict dedupes them.  Emitted values, termination points, and all
+        counters are identical either way; only the bookkeeping route
+        (and the node count of the in-memory trie) differs."""
+        trie = ctx.trie
+        rows = ctx.rows
+        prefix = ctx.ins_prefix
+        early = self._early_termination
+        wn = len(w_nodes)
+        vn = len(v_states)
+        count = wn + vn
+        parents, subs, dels, work_a, work_b, mins_buf = ctx.scratch(count)
+        if depth == 1:
+            # Walker-only by construction: virgin states have advanced at
+            # least once, so their children sit at depth >= 2.
+            parents[:] = prefix
+        else:
+            pslots = [node.slot for node in w_nodes]
+            pslots.extend(v_pslots)
+            np.take(
+                trie.level(depth - 1).matrix, pslots, axis=0, out=parents
+            )
+        rowslots = w_rowslots + v_rowslots if vn else w_rowslots
+        np.take(rows.rows, rowslots, axis=0, out=subs)
+        np.take(rows.deletes, rowslots, axis=0, out=dels)
+        arena = trie.level(depth)
+        start = arena.reserve(count)
+        out = arena.matrix[start : start + count]
+        step_dp_batch(subs, dels, prefix, parents, out=out, work=(work_a, work_b))
+        # Direct ufunc reduce: same floats as out.min(axis=1), minus the
+        # np.min wrapper dispatch paid once per round.
+        mins = np.minimum.reduce(out, axis=1, out=mins_buf).tolist()
+        lasts = out[:, -1].tolist()
+        self._allocs += _GROUP_TEMP_ARRAYS
+        runnable: List[list] = []
+        runnable_append = runnable.append
+        new = TrieNode.__new__
+        slot = start
+        neg_inf = float("-inf")
+        nv_states, nv_pslots, nv_rowslots = nxt_v
+        rows_index_get = rows.index.get
+        rows_slot = rows.slot
+        # Walker section: one trie node per computed column, built via
+        # __new__ + attribute stores (skipping __init__'s call frame and
+        # derivation branches is worth the verbosity on this path).
+        for parent, symbol, cmin, last, wlist in zip(
+            w_nodes, w_syms, mins, lasts, w_waiters
+        ):
+            child = new(TrieNode)
+            child.children = {}
+            child.column = None
+            child.column_min = cmin
+            child.column_last = last
+            child.slot = slot
+            parent.children[symbol] = child
+            # -inf never reaches a (finite) budget, folding the early flag
+            # out of the per-waiter condition.
+            limit = cmin if early else neg_inf
+            if len(wlist) == 1:
+                st = wlist[0]
+                st[2].append(last)
+                k = st[4] + 1
+                if limit < st[3] and k != st[5]:
+                    # Sole waiter whose walk continues: divergence point —
+                    # the state becomes a virgin chain from this slot.
+                    st[4] = k
+                    view = st[1]
+                    if k == len(view):
+                        view.extend(st[6][k : 2 * k + 16].tolist())
+                    symbol2 = view[k]
+                    sslot = rows_index_get(symbol2)
+                    if sslot is None:
+                        sslot = rows_slot(symbol2)
+                    nv_states.append(st)
+                    nv_pslots.append(slot)
+                    nv_rowslots.append(sslot)
+                slot += 1
+                continue
+            slot += 1
+            for st in wlist:
+                st[2].append(last)
+                k = st[4] + 1
+                if limit >= st[3] or k == st[5]:
+                    continue
+                st[0] = child
+                st[4] = k
+                runnable_append(st)
+        # Virgin section: no nodes, no waiter lists — the chain advances
+        # by arena slot, terminating exactly where the sequential walk
+        # would.
+        if vn:
+            for i in range(vn):
+                st = v_states[i]
+                row = wn + i
+                last = lasts[row]
+                st[2].append(last)
+                cmin = mins[row]
+                k = st[4] + 1
+                if (early and cmin >= st[3]) or k == st[5]:
+                    continue
+                st[4] = k
+                view = st[1]
+                if k == len(view):
+                    view.extend(st[6][k : 2 * k + 16].tolist())
+                symbol2 = view[k]
+                sslot = rows_index_get(symbol2)
+                if sslot is None:
+                    sslot = rows_slot(symbol2)
+                nv_states.append(st)
+                nv_pslots.append(start + row)
+                nv_rowslots.append(sslot)
+        return runnable
+
+    def _resolve_detached(
+        self,
+        ctx: _DirectionContext,
+        nodes: List[TrieNode],
+        syms: List[int],
+        waiters: List[List[list]],
+    ) -> List[list]:
+        """Resolve one round without the trie: per-state detached columns.
+
+        Nothing is shared or cached in this ablation mode, so columns stay
+        per-node ndarray views (they die with their walk state — an arena
+        would pin every column for the query's lifetime)."""
+        rows = ctx.rows
+        prefix = ctx.ins_prefix
+        early = self._early_termination
+        rows_get = rows.get
+        count = len(nodes)
+        parents, subs, dels, work_a, work_b, mins_buf = ctx.scratch(count)
+        for i in range(count):
+            parents[i] = nodes[i].column
+            pair = rows_get(syms[i])
+            subs[i] = pair[0]
+            dels[i] = pair[1]
+        columns = step_dp_batch(subs, dels, prefix, parents, work=(work_a, work_b))
+        mins = np.min(columns, axis=1, out=mins_buf).tolist()
+        lasts = columns[:, -1].tolist()
+        # The columns matrix plus one view per detached node — this is the
+        # pre-arena allocation behaviour, kept only for use_trie=False.
+        self._allocs += count + _GROUP_TEMP_ARRAYS
+        runnable: List[list] = []
+        for i in range(count):
+            cmin = mins[i]
+            last = lasts[i]
+            child = TrieNode(columns[i], cmin, last)
+            for st in waiters[i]:
+                st[2].append(last)
+                k = st[4] + 1
+                if (early and cmin >= st[3]) or k == st[5]:
+                    continue
+                st[0] = child
+                st[4] = k
+                runnable.append(st)
+        return runnable
 
     def _context(self, iq: int, direction: str) -> _DirectionContext:
         key = (iq, direction)
@@ -654,6 +1132,7 @@ class Verifier:
                 self._costs,
                 numpy_backend=self._numpy,
                 ins_vec=self._ins_vec,
+                matrix=self._matrix,
             )
             self._contexts[key] = ctx
         return ctx
@@ -668,13 +1147,15 @@ class Verifier:
     ) -> List[float]:
         """Array-native AllPrefixWED over a zero-copy trajectory view
         (single-candidate path; the batched walker produces identical
-        columns and counters)."""
-        node: TrieNode = ctx.trie.root
+        columns and counters — including where the columns live: cache
+        misses are computed straight into reserved arena rows)."""
+        trie = ctx.trie
+        node: TrieNode = trie.root
         out: List[float] = [node.column_last]
         early = self._early_termination
         if early and node.column_min >= budget:
             return out
-        matrix = self._matrix
+        rows_get = ctx.rows.get
         prefix = ctx.ins_prefix
         use_trie = self._use_trie
         item = data_part.item
@@ -684,17 +1165,28 @@ class Verifier:
             visited += 1
             child = node.children.get(symbol) if use_trie else None
             if child is None:
-                sub_row, delete_cost = ctx.costs_for(symbol, matrix)
-                column = step_dp_numpy(
-                    sub_row,
-                    delete_cost,
-                    prefix,
-                    node.column,
+                sub_row, delete_cost = rows_get(symbol)
+                prev = (
+                    node.column
+                    if node.column is not None
+                    else trie.level(k).matrix[node.slot]
                 )
-                computed += 1
-                child = TrieNode(column, column.min().item(), column.item(-1))
                 if use_trie:
+                    arena = trie.level(k + 1)
+                    slot = arena.reserve(1)
+                    column = step_dp_numpy(
+                        sub_row, delete_cost, prefix, prev, out=arena.matrix[slot]
+                    )
+                    child = TrieNode(
+                        None, column.min().item(), column.item(-1), slot
+                    )
                     node.children[symbol] = child
+                else:
+                    column = step_dp_numpy(sub_row, delete_cost, prefix, prev)
+                    child = TrieNode(column, column.min().item(), column.item(-1))
+                    self._allocs += 1
+                computed += 1
+                self._allocs += _SINGLE_TEMP_ARRAYS
             node = child
             out.append(node.column_last)
             if early and node.column_min >= budget:

@@ -10,9 +10,9 @@ moves each shard's engine into a long-lived **worker process**:
   :class:`~repro.trajectory.dataset.TrajectoryDataset` + cost model +
   engine options and builds its :class:`~repro.core.engine.
   SubtrajectorySearch` locally (inheriting the engine's defaults,
-  including the array-native ``dp_backend="numpy"`` verification path),
-  so the (expensive) index construction and the (large) index memory live
-  only in the worker;
+  including the adaptive ``dp_backend="auto"`` verification path and the
+  per-engine SubstitutionMatrix LRU), so the (expensive) index
+  construction and the (large) index memory live only in the worker;
 - queries travel as small pickled descriptors over a per-worker
   :func:`multiprocessing.Pipe`; results come back as pickled
   :class:`~repro.core.engine.QueryResult` objects (the merge-irrelevant
@@ -41,6 +41,7 @@ when the caller stops waiting):
 
     ("query", req_id, symbols, kwargs, remaining_seconds | None)
     ("add",   req_id, expected_local_id, trajectory, validate)
+    ("stats", req_id)
     ("stop",  req_id)
     reply: (req_id, "ok", payload) | (req_id, "error", exception)
 
@@ -166,6 +167,8 @@ def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None
                         f"id {tid}, parent expected {expected}"
                     )
                 conn.send((req_id, "ok", tid))
+            elif kind == "stats":
+                conn.send((req_id, "ok", engine.substitution_cache_stats()))
             else:
                 raise WorkerError(f"unknown message kind {kind!r}")
         except BaseException as exc:  # noqa: BLE001 — ship failures to the parent
@@ -222,6 +225,27 @@ class _ShardWorker:
         """One round-trip: send ``(kind, ...payload)``, await the reply."""
         req_id = self.begin(kind, payload)
         return self.finish(req_id, token)
+
+    def try_call(self, kind: str, payload: Tuple):
+        """Like :meth:`call`, but returns ``None`` instead of waiting when
+        the worker is busy with an in-flight request.
+
+        Diagnostics path (``/healthz`` polling a worker's cache stats):
+        a liveness probe must never queue behind a long-running
+        verification on the single-request-per-worker pipe."""
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            self._req += 1
+            req_id = self._req
+            self._conn.send((kind, req_id, *payload))
+            return self._receive(req_id, None)
+        except (OSError, ValueError) as exc:
+            raise WorkerError(
+                f"shard {self.index} worker unreachable: {exc}"
+            ) from exc
+        finally:
+            self._lock.release()
 
     def begin(self, kind: str, payload: Tuple) -> int:
         """Send a request and return its id *without* waiting.
@@ -422,6 +446,15 @@ class ShardWorkerPool:
         if first_error is not None:
             raise first_error
         return results
+
+    # -- diagnostics --------------------------------------------------------
+
+    def substitution_cache_stats(self) -> List[Optional[Dict[str, int]]]:
+        """Per-worker SubstitutionMatrix-LRU counters, polled without
+        blocking: a worker busy with an in-flight query yields ``None``
+        (the caller reports partial coverage instead of stalling)."""
+        self._check_open()
+        return [w.try_call("stats", ()) for w in self._workers]
 
     # -- replication --------------------------------------------------------
 

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +41,7 @@ from repro.spatial.kdtree import KDTree
 
 __all__ = [
     "CostModel",
+    "DirectionRows",
     "EDRCost",
     "ERPCost",
     "LevenshteinCost",
@@ -46,8 +49,99 @@ __all__ = [
     "NetERPCost",
     "SURSCost",
     "SubstitutionMatrix",
+    "SubstitutionMatrixCache",
     "validate_cost_model",
 ]
+
+
+class DirectionRows:
+    """Per-direction substitution costs, stored *dense and slot-indexed*.
+
+    The verifier's DP consumes, per visited data symbol, the symbol's
+    substitution row restricted to one *query part* (forward suffix or
+    reversed backward prefix of the query) plus its deletion cost.  Each
+    distinct symbol gets an integer *slot* on first touch; its row (a
+    contiguous copy of the possibly negative-stride full-row slice) lands
+    in row ``slot`` of one growable matrix, with the deletion cost in a
+    parallel vector.  Batch assembly then gathers a whole round of rows
+    with two ``np.take`` calls instead of one numpy ``__setitem__`` per
+    cache miss — the per-miss copy loop used to be the largest
+    non-kernel cost of batched verification.
+
+    Instances are owned by (and cached inside) the
+    :class:`SubstitutionMatrix`, so when the engine's matrix LRU serves a
+    repeated query, the per-direction dense copies are reused too — not
+    just the full rows.
+    """
+
+    __slots__ = (
+        "_matrix",
+        "_slice",
+        "_lock",
+        "index",
+        "rows",
+        "deletes",
+        "allocations",
+    )
+
+    def __init__(
+        self, matrix: "SubstitutionMatrix", row_slice: slice, width: int
+    ) -> None:
+        self._matrix = matrix
+        self._slice = row_slice
+        #: serializes first-touch slot assignment/growth; readers stay
+        #: lock-free (see :meth:`slot`).
+        self._lock = threading.Lock()
+        #: symbol -> dense slot; the verifier's walker reads it inline
+        #: (one dict hit per cache miss) and calls :meth:`slot` only on
+        #: first touch of a symbol.
+        self.index: Dict[int, int] = {}
+        self.rows = np.empty((16, width), dtype=np.float64)
+        self.deletes = np.empty(16, dtype=np.float64)
+        #: ndarray (re)allocations, feeding the verifier's accounting
+        self.allocations = 2
+
+    def slot(self, symbol: int) -> int:
+        """The dense row slot for ``symbol`` (computed on first touch).
+
+        Shared across concurrent query threads (the engine's matrix LRU
+        hands one instance to every verifier of a repeated query), so
+        writes are serialized: the slot is assigned, its row and delete
+        written, and only then published in ``index`` — a lock-free
+        reader either misses (and comes here) or sees a fully written
+        row.  Growth publishes the grown buffers *before* writing the new
+        row, so any slot a reader has seen is present in whatever
+        ``rows``/``deletes`` arrays it fetches afterwards.
+        """
+        i = self.index.get(symbol)
+        if i is None:
+            with self._lock:
+                i = self.index.get(symbol)
+                if i is None:
+                    matrix = self._matrix
+                    i = len(self.index)
+                    if i == len(self.rows):
+                        grown = np.empty(
+                            (2 * i, self.rows.shape[1]), dtype=np.float64
+                        )
+                        grown[:i] = self.rows
+                        grown_d = np.empty(2 * i, dtype=np.float64)
+                        grown_d[:i] = self.deletes
+                        self.rows = grown
+                        self.deletes = grown_d
+                        self.allocations += 2
+                    self.rows[i] = matrix.row(symbol)[self._slice]
+                    self.deletes[i] = matrix.delete(symbol)
+                    self.index[symbol] = i
+        return i
+
+    def get(self, symbol: int) -> Tuple[np.ndarray, float]:
+        """This direction's ``(substitution row, delete cost)`` views."""
+        i = self.slot(symbol)
+        return self.rows[i], float(self.deletes[i])
+
+    def __len__(self) -> int:
+        return len(self.index)
 
 
 class SubstitutionMatrix:
@@ -71,7 +165,15 @@ class SubstitutionMatrix:
     once per DP column as well.
     """
 
-    __slots__ = ("_costs", "_query", "_rows", "_deletes", "_dense", "dense_rows")
+    __slots__ = (
+        "_costs",
+        "_query",
+        "_rows",
+        "_deletes",
+        "_dense",
+        "_directions",
+        "dense_rows",
+    )
 
     def __init__(
         self,
@@ -84,6 +186,7 @@ class SubstitutionMatrix:
         self._query = tuple(query)
         self._rows: Dict[int, np.ndarray] = {}
         self._deletes: Dict[int, float] = {}
+        self._directions: Dict[Hashable, DirectionRows] = {}
         self._dense: Optional[np.ndarray] = None
         #: number of rows precomputed densely from ``anchors``
         self.dense_rows = 0
@@ -117,9 +220,94 @@ class SubstitutionMatrix:
             self._deletes[symbol] = d
         return d
 
+    def direction_rows(self, key: Hashable, row_slice: slice) -> DirectionRows:
+        """The :class:`DirectionRows` cache for one ``(iq, direction)``.
+
+        ``key`` identifies the direction context (the verifier uses the
+        ``(iq, direction)`` pair); the first caller fixes ``row_slice``
+        for that key and later callers share the cached copies.
+        """
+        rows = self._directions.get(key)
+        if rows is None:
+            width = len(range(*row_slice.indices(len(self._query))))
+            # setdefault: concurrent first callers converge on ONE
+            # instance (slot tables must not fork between threads).
+            rows = self._directions.setdefault(
+                key, DirectionRows(self, row_slice, width)
+            )
+        return rows
+
     def cached_rows(self) -> int:
         """Distinct symbols with a materialized row (dense part included)."""
         return len(self._rows)
+
+
+class SubstitutionMatrixCache:
+    """Engine-level LRU of per-query :class:`SubstitutionMatrix` objects.
+
+    The matrix (and the :class:`DirectionRows` caches hanging off it)
+    depends only on the query and the cost-model configuration, never on
+    the dataset or the threshold, so the serving layer's repeated (zipf)
+    queries can skip substitution-row computation entirely — even when
+    they vary tau or the time window.  Keys are the query-and-model
+    prefix of the engine's normalized
+    :func:`~repro.core.engine.query_signature` (see
+    ``SubtrajectorySearch._substitution_matrix``), so one cache is valid
+    for exactly one engine/cost-model instance.
+
+    ``capacity == 0`` disables caching (``get`` always misses without
+    counting, ``put`` drops).  Thread-safe: engines are queried from many
+    server threads at once; the matrices' plain row dicts tolerate
+    concurrent lazy fills (dict updates are atomic under the GIL; a
+    benign race recomputes a row at worst), and the slot-indexed
+    :class:`DirectionRows` tables serialize their first-touch writes —
+    see :meth:`DirectionRows.slot`.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise CostModelError("substitution cache capacity must be >= 0")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, SubstitutionMatrix]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[SubstitutionMatrix]:
+        """The cached matrix for ``key`` (refreshing recency), or None."""
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            matrix = self._entries.get(key)
+            if matrix is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return matrix
+
+    def put(self, key: Hashable, matrix: SubstitutionMatrix) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = matrix
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        """Observable counters (served via ``/healthz`` and service stats)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
 
 class CostModel(ABC):
@@ -171,6 +359,19 @@ class CostModel(ABC):
         query, and looping :meth:`ins` keeps the values bit-identical to
         the pure-Python DP's."""
         return np.fromiter((self.ins(q) for q in seq), dtype=np.float64, count=len(seq))
+
+    def vectorized_rows(self) -> bool:
+        """True when this model computes substitution rows without a
+        per-element Python loop (it overrides :meth:`sub_row_array`).
+
+        ``dp_backend="auto"`` reads this as a cost proxy: vectorizable
+        rows are cheap rows, and on cheap rows short queries cannot
+        amortize the numpy kernel-launch overhead, so the pure-Python DP
+        wins there.  Models without an override (the network-aware
+        family, ERP) pay real work per row, which the array-native
+        backend computes once per symbol per query instead of once per
+        DP column — numpy wins at every query length."""
+        return type(self).sub_row_array is not CostModel.sub_row_array
 
     def sub_matrix(
         self, query: Sequence[int], *, anchors: Optional[Sequence[int]] = None

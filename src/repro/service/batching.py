@@ -9,11 +9,20 @@ the single-flight pattern.  Combined with the LRU cache this gives two
 layers of dedup: the cache collapses repeats *across* time, the batcher
 collapses repeats *within* one in-flight window (exactly the window where
 the cache still misses).
+
+Fairness: a follower joins a flight *later* than its leader started, so
+when the leader fails on a budget it exhausted (a deadline miss), the
+follower's own budget may still have time left — failing it with the
+leader's error would be spurious.  ``follower_retry`` lets the caller
+mark such errors as retryable: the follower re-enters the flight table
+(typically becoming the next leader) instead of inheriting the failure,
+for as long as its own ``wait_timeout`` budget lasts.
 """
 
 from __future__ import annotations
 
 import threading
+from time import monotonic
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 __all__ = ["Batcher"]
@@ -36,13 +45,18 @@ class Batcher:
 
     :meth:`run` returns ``(value, coalesced)`` where ``coalesced`` is True
     iff this caller rode along on another caller's computation.  A leader
-    failure propagates the *same* exception to every follower.
+    failure propagates the *same* exception to every follower — except
+    followers whose caller opted into retrying it (``follower_retry``),
+    which start over as potential new leaders.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._inflight: Dict[Hashable, _Flight] = {}
         self.coalesced = 0
+        #: followers that outlived a retryable leader failure and went
+        #: around again instead of failing spuriously (fairness metric).
+        self.retried_followers = 0
 
     def in_flight(self) -> int:
         """Number of distinct computations currently running."""
@@ -55,46 +69,75 @@ class Batcher:
         compute: Callable[[], Any],
         *,
         wait_timeout: Optional[float] = None,
+        follower_retry: Optional[Callable[[BaseException], bool]] = None,
     ) -> Tuple[Any, bool]:
         """Run ``compute`` once per concurrent burst of ``key``.
 
         The leader executes ``compute`` on its own thread; followers block
         until the leader finishes and share its value (or exception).  A
-        follower waits at most ``wait_timeout`` seconds (``None`` =
+        follower waits at most ``wait_timeout`` seconds total (``None`` =
         forever); on expiry it raises :class:`TimeoutError` — a follower's
         own deadline must hold even when it joined a leader's flight late.
-        """
-        with self._lock:
-            flight = self._inflight.get(key)
-            if flight is None:
-                flight = _Flight()
-                self._inflight[key] = flight
-                leader = True
-            else:
-                flight.followers += 1
-                self.coalesced += 1
-                leader = False
 
-        if not leader:
-            if not flight.done.wait(wait_timeout):
+        ``follower_retry``, when given, is consulted with the leader's
+        exception before propagating it to a follower: if it returns True
+        and the follower's own budget has time left, the follower loops
+        back into the flight table — becoming the new leader if no other
+        duplicate beat it there — instead of failing with an error it did
+        not earn.  Leaders always observe their own exceptions.
+        """
+        expires = None if wait_timeout is None else monotonic() + wait_timeout
+        while True:
+            with self._lock:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    flight.followers += 1
+                    self.coalesced += 1
+                    leader = False
+
+            if leader:
+                try:
+                    flight.value = compute()
+                except BaseException as exc:
+                    flight.error = exc
+                    raise
+                finally:
+                    # Deregister *before* waking followers so a request
+                    # arriving after completion starts a fresh flight (the
+                    # cache will catch it anyway).
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    flight.done.set()
+                return flight.value, False
+
+            remaining = None if expires is None else expires - monotonic()
+            if remaining is not None and remaining <= 0:
+                raise TimeoutError(
+                    "coalesced computation did not finish within "
+                    f"{wait_timeout} seconds"
+                )
+            if not flight.done.wait(remaining):
                 raise TimeoutError(
                     "coalesced computation did not finish within "
                     f"{wait_timeout} seconds"
                 )
             if flight.error is not None:
+                if (
+                    follower_retry is not None
+                    and follower_retry(flight.error)
+                    and (expires is None or monotonic() < expires)
+                ):
+                    with self._lock:
+                        # This request was NOT served by the leader's
+                        # computation after all — take back its coalesced
+                        # count (it is re-counted if it joins another
+                        # flight on the next lap).
+                        self.coalesced -= 1
+                        self.retried_followers += 1
+                    continue
                 raise flight.error
             return flight.value, True
-
-        try:
-            flight.value = compute()
-        except BaseException as exc:
-            flight.error = exc
-            raise
-        finally:
-            # Deregister *before* waking followers so a request arriving
-            # after completion starts a fresh flight (the cache will catch
-            # it anyway).
-            with self._lock:
-                self._inflight.pop(key, None)
-            flight.done.set()
-        return flight.value, False

@@ -110,23 +110,51 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802
         service: QueryService = self.server.service  # type: ignore[attr-defined]
-        if self.path == "/healthz":
-            engine = service.engine
-            count = len(engine.dataset) if hasattr(engine, "dataset") else len(engine)
-            self._send_json(
-                200,
-                {
+        try:
+            if self.path == "/healthz":
+                engine = service.engine
+                count = (
+                    len(engine.dataset) if hasattr(engine, "dataset") else len(engine)
+                )
+                payload = {
                     "status": "ok",
                     "trajectories": count,
                     "shards": getattr(engine, "num_shards", 1),
                     "backend": getattr(engine, "backend", "single"),
-                    "dp_backend": getattr(engine, "dp_backend", "numpy"),
-                },
-            )
-        elif self.path == "/stats":
-            self._send_json(200, service.stats())
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                    "dp_backend": getattr(engine, "dp_backend", "auto"),
+                }
+                sub_stats = getattr(engine, "substitution_cache_stats", None)
+                if sub_stats is not None:
+                    # Cache-hit observability for repeated-query traffic;
+                    # on the processes backend busy workers are skipped
+                    # (the probe must not queue behind a long
+                    # verification), and a failing poll (dead worker,
+                    # closing engine) degrades the field rather than the
+                    # probe — /healthz answers liveness, not shard health.
+                    try:
+                        payload["substitution_cache"] = sub_stats()
+                    except Exception as exc:  # noqa: BLE001
+                        payload["substitution_cache"] = {"error": str(exc)}
+                self._send_json(200, payload)
+            elif self.path == "/stats":
+                self._send_json(200, service.stats())
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except WorkerError as exc:
+            # Stats polling crosses worker pipes on the processes backend;
+            # a dead shard is a server failure the client should see as a
+            # JSON 500, not a dropped connection.
+            logger.error("shard worker failure serving %s: %s", self.path, exc)
+            self._send_json(500, {"error": str(exc)})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - keep-alive clients need a
+            # response body, not a dropped connection, on unexpected bugs.
+            logger.exception("unhandled error serving %s", self.path)
+            try:
+                self._send_json(500, {"error": f"internal error: {exc}"})
+            except Exception:  # headers may already be on the wire
+                self.close_connection = True
 
     def do_POST(self) -> None:  # noqa: N802
         service: QueryService = self.server.service  # type: ignore[attr-defined]

@@ -37,6 +37,13 @@ from repro.service.metrics import Metrics
 __all__ = ["QueryService", "ServiceResponse"]
 
 
+def _deadline_is_retryable(exc: BaseException) -> bool:
+    """Coalescing fairness predicate: a leader's deadline miss (or the
+    cancellation it decays to) is the leader's budget running out, not the
+    follower's — the follower retries while its own budget holds."""
+    return isinstance(exc, DeadlineExceededError)
+
+
 @dataclass(frozen=True, slots=True)
 class ServiceResponse:
     """One answered request: the engine result plus serving provenance."""
@@ -187,9 +194,16 @@ class QueryService:
                 # follower that asked for more time) and the cache
                 # generation (a post-insert request must not share a
                 # pre-insert computation).  wait_timeout enforces the
-                # budget for followers that joined a leader's flight late.
+                # budget for followers that joined a leader's flight late;
+                # follower_retry is the fairness half of the same rule — a
+                # follower that joined late has budget left when the
+                # leader's deadline fires, so it goes around as a new
+                # leader instead of inheriting a miss it did not earn.
                 result, coalesced = self.batcher.run(
-                    (sig, deadline, generation), compute, wait_timeout=budget
+                    (sig, deadline, generation),
+                    compute,
+                    wait_timeout=budget,
+                    follower_retry=_deadline_is_retryable,
                 )
             else:
                 result, coalesced = compute(), False
@@ -240,4 +254,11 @@ class QueryService:
         num_shards = getattr(self._engine, "num_shards", 1)
         snap["num_shards"] = num_shards
         snap["backend"] = getattr(self._engine, "backend", "single")
+        snap["dp_backend"] = getattr(self._engine, "dp_backend", "")
+        snap["coalesced_retries"] = (
+            self.batcher.retried_followers if self.batcher is not None else 0
+        )
+        sub_stats = getattr(self._engine, "substitution_cache_stats", None)
+        if sub_stats is not None:
+            snap["substitution_cache"] = sub_stats()
         return snap

@@ -56,8 +56,13 @@ class TestRenderMarkdown:
         from pathlib import Path
 
         real = Path(__file__).resolve().parents[1] / "results"
-        if not real.is_dir() or not list(real.glob("*.json")):
+        if not real.is_dir():
+            pytest.skip("no recorded results yet")
+        records = list(real.glob("*.json"))
+        if not records:
             pytest.skip("no recorded results yet")
         md = render_markdown(real)
         assert "Recorded experiment results" in md
-        assert md.count("##") >= 5
+        # One section per record — however many benchmarks have run so far
+        # (a single bench invocation leaves exactly one record behind).
+        assert md.count("\n## ") >= len(records)

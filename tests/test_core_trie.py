@@ -1,6 +1,9 @@
-"""Verification trie data structure."""
+"""Verification trie data structure (per-node and arena-backed layouts)."""
 
-from repro.core.trie import TrieNode, VerificationTrie
+import numpy as np
+import pytest
+
+from repro.core.trie import LevelArena, TrieNode, VerificationTrie
 
 
 class TestTrieNode:
@@ -35,3 +38,58 @@ class TestVerificationTrie:
         a.create_child(2, [2.0])
         trie.root.create_child(3, [3.0])
         assert trie.node_count() == 4
+
+
+class TestLevelArena:
+    def test_reserve_contiguous(self):
+        arena = LevelArena(4, capacity=2)
+        assert arena.reserve(2) == 0
+        assert arena.reserve(3) == 2  # forces growth, slots stay dense
+        assert arena.used == 5
+        assert arena.matrix.shape[1] == 4
+
+    def test_growth_preserves_rows(self):
+        arena = LevelArena(3, capacity=1)
+        first = arena.reserve(1)
+        arena.matrix[first] = [1.0, 2.0, 3.0]
+        before = arena.allocations
+        arena.reserve(8)  # grows past capacity
+        assert arena.allocations > before
+        assert arena.matrix[first].tolist() == [1.0, 2.0, 3.0]
+
+    def test_growth_is_geometric(self):
+        arena = LevelArena(2, capacity=2)
+        for _ in range(100):
+            arena.reserve(1)
+        # 100 rows, doubling from 2: ~6 reallocations, not ~50.
+        assert arena.allocations <= 8
+
+
+class TestArenaTrie:
+    def test_arena_nodes_hold_slots_not_columns(self):
+        root_column = np.asarray([0.0, 1.0, 2.0])
+        trie = VerificationTrie(root_column, arena=True)
+        arena = trie.level(1)
+        slot = arena.reserve(1)
+        arena.matrix[slot] = [0.5, 1.5, 2.5]
+        child = TrieNode(None, 0.5, 2.5, slot)
+        trie.root.children[7] = child
+        assert child.column is None
+        assert child.slot == slot
+        assert trie.column(child, 1).tolist() == [0.5, 1.5, 2.5]
+        assert trie.column(trie.root, 0) is root_column
+        assert trie.node_count() == 2
+        assert trie.level_count() == 1
+        assert trie.allocations >= 1
+
+    def test_levels_created_lazily_and_share_width(self):
+        trie = VerificationTrie(np.zeros(5), arena=True)
+        assert trie.level_count() == 0
+        level3 = trie.level(3)
+        assert trie.level_count() == 3
+        assert level3.matrix.shape[1] == 5
+        assert trie.level(3) is level3  # stable identity
+
+    def test_arena_node_requires_explicit_scalars(self):
+        with pytest.raises(ValueError):
+            TrieNode(None)  # no column to derive min/last from

@@ -1,0 +1,334 @@
+"""dp_backend="auto" selection and the engine-level SubstitutionMatrix LRU.
+
+The adaptive backend (ISSUE 4) picks python vs numpy per query from query
+length and cost-model vectorizability — safe because the backends are
+bit-identical — and the knob must round-trip CLI -> engine -> workers ->
+healthz.  The SubstitutionMatrix cache must make repeated-query savings
+observable through the same surfaces.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core.engine import SubtrajectorySearch
+from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.core.verification import (
+    AUTO_PYTHON_MAX_QUERY,
+    Verifier,
+    choose_dp_backend,
+)
+from repro.distance.costs import CostModel, SubstitutionMatrixCache
+from repro.exceptions import QueryError
+from repro.service import QueryService, ServiceServer
+from tests.conftest import sample_query
+
+
+def long_query(dataset, rng, length):
+    """A query longer than the fixture trajectories: concatenated samples
+    (queries are arbitrary symbol strings, not necessarily walks)."""
+    out = []
+    while len(out) < length:
+        out.extend(sample_query(dataset, rng, 8))
+    return out[:length]
+
+
+class _SlowRowCost(CostModel):
+    """A model without a vectorized sub_row_array override (like the
+    network-aware family): rows cost real per-element work, so auto must
+    pick numpy at every query length."""
+
+    representation = "vertex"
+    name = "slowrow"
+
+    def sub(self, a: int, b: int) -> float:
+        return 0.0 if a == b else 1.0
+
+    def ins(self, a: int) -> float:
+        return 1.0
+
+
+class TestChooseDpBackend:
+    def test_boundary_lengths_unit_cost(self, lev_cost):
+        assert lev_cost.vectorized_rows()
+        assert choose_dp_backend(AUTO_PYTHON_MAX_QUERY, lev_cost) == "python"
+        assert choose_dp_backend(AUTO_PYTHON_MAX_QUERY + 1, lev_cost) == "numpy"
+        assert choose_dp_backend(1, lev_cost) == "python"
+
+    def test_boundary_lengths_edr(self, edr_cost):
+        assert edr_cost.vectorized_rows()
+        assert choose_dp_backend(AUTO_PYTHON_MAX_QUERY, edr_cost) == "python"
+        assert choose_dp_backend(AUTO_PYTHON_MAX_QUERY + 1, edr_cost) == "numpy"
+
+    def test_expensive_rows_always_numpy(self, netedr_cost):
+        """NetEDR has no vectorized row override — rows are shortest-path
+        work the array-native path computes once per symbol, so numpy wins
+        at every length, boundary included."""
+        assert not netedr_cost.vectorized_rows()
+        for length in (1, AUTO_PYTHON_MAX_QUERY, AUTO_PYTHON_MAX_QUERY + 1, 100):
+            assert choose_dp_backend(length, netedr_cost) == "numpy"
+        assert not _SlowRowCost().vectorized_rows()
+        assert choose_dp_backend(2, _SlowRowCost()) == "numpy"
+
+    def test_erp_not_vectorized_routes_numpy(self, erp_cost):
+        # ERP deliberately keeps the scalar row (math.hypot bit-identity).
+        assert not erp_cost.vectorized_rows()
+        assert choose_dp_backend(2, erp_cost) == "numpy"
+
+
+class TestEngineAuto:
+    def test_default_is_auto(self, vertex_dataset, edr_cost):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        assert engine.dp_backend == "auto"
+
+    def test_short_query_runs_python(self, vertex_dataset, edr_cost, rng):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        result = engine.query(sample_query(vertex_dataset, rng, 6), tau_ratio=0.3)
+        assert result.dp_backend_used == "python"
+
+    def test_long_query_runs_numpy(self, vertex_dataset, edr_cost, rng):
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        query = long_query(vertex_dataset, rng, AUTO_PYTHON_MAX_QUERY + 1)
+        result = engine.query(query, tau_ratio=0.3)
+        assert result.dp_backend_used == "numpy"
+
+    def test_short_netedr_query_runs_numpy(self, vertex_dataset, netedr_cost, rng):
+        engine = SubtrajectorySearch(vertex_dataset, netedr_cost)
+        result = engine.query(sample_query(vertex_dataset, rng, 6), tau_ratio=0.3)
+        assert result.dp_backend_used == "numpy"
+
+    def test_explicit_backend_is_honoured(self, vertex_dataset, edr_cost, rng):
+        query = sample_query(vertex_dataset, rng, 6)
+        for backend in ("python", "numpy"):
+            engine = SubtrajectorySearch(vertex_dataset, edr_cost, dp_backend=backend)
+            assert engine.dp_backend == backend
+            assert engine.query(query, tau_ratio=0.3).dp_backend_used == backend
+
+    def test_auto_matches_forced_backends(self, vertex_dataset, edr_cost, rng):
+        query = sample_query(vertex_dataset, rng, 6)
+        answers = []
+        for backend in ("auto", "python", "numpy"):
+            engine = SubtrajectorySearch(vertex_dataset, edr_cost, dp_backend=backend)
+            result = engine.query(query, tau_ratio=0.3)
+            answers.append(
+                [(m.trajectory_id, m.start, m.end, m.distance) for m in result.matches]
+            )
+        assert answers[0] == answers[1] == answers[2]
+
+    def test_unknown_backend_rejected(self, vertex_dataset, edr_cost):
+        with pytest.raises(QueryError):
+            SubtrajectorySearch(vertex_dataset, edr_cost, dp_backend="cuda")
+        with pytest.raises(QueryError):
+            Verifier(lambda t: [], [1], _SlowRowCost(), 1.0, dp_backend="cuda")
+
+    def test_verifier_resolves_auto(self, lev_cost):
+        short = Verifier(lambda t: [], [1, 2], lev_cost, 1.0, dp_backend="auto")
+        assert short.dp_backend == "python"
+        long_q = list(range(AUTO_PYTHON_MAX_QUERY + 1))
+        assert (
+            Verifier(lambda t: [], long_q, lev_cost, 1.0, dp_backend="auto").dp_backend
+            == "numpy"
+        )
+
+
+class TestSubstitutionMatrixCache:
+    def test_lru_eviction_and_counters(self):
+        cache = SubstitutionMatrixCache(2)
+        assert cache.get("a") is None  # miss
+        cache.put("a", "A")
+        cache.put("b", "B")
+        assert cache.get("a") == "A"  # refreshes recency
+        cache.put("c", "C")  # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("c") == "C"
+        stats = cache.stats()
+        assert stats["size"] == 2
+        assert stats["hits"] == 2
+        assert stats["misses"] == 2
+
+    def test_zero_capacity_disables(self):
+        cache = SubstitutionMatrixCache(0)
+        cache.put("a", "A")
+        assert cache.get("a") is None
+        assert cache.stats() == {"capacity": 0, "size": 0, "hits": 0, "misses": 0}
+
+    def test_engine_repeated_query_hits(self, vertex_dataset, netedr_cost, rng):
+        engine = SubtrajectorySearch(vertex_dataset, netedr_cost)
+        query = sample_query(vertex_dataset, rng, 8)
+        first = engine.query(query, tau_ratio=0.3)
+        assert engine.substitution_cache_stats()["misses"] == 1
+        repeat = engine.query(query, tau_ratio=0.3)
+        stats = engine.substitution_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["size"] == 1
+        # A hit must not change the answer (the matrix is dataset-free).
+        assert [(m.trajectory_id, m.start, m.end, m.distance) for m in first.matches] == [
+            (m.trajectory_id, m.start, m.end, m.distance) for m in repeat.matches
+        ]
+        # The matrix is threshold-independent: varying tau still hits.
+        engine.query(query, tau_ratio=0.25)
+        stats = engine.substitution_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+        # A different query is a genuine miss.
+        other = sample_query(vertex_dataset, rng, 9)
+        if other != query:
+            engine.query(other, tau_ratio=0.3)
+            assert engine.substitution_cache_stats()["misses"] == 2
+
+    def test_engine_cache_disabled(self, vertex_dataset, netedr_cost, rng):
+        engine = SubtrajectorySearch(
+            vertex_dataset, netedr_cost, substitution_cache_size=0
+        )
+        query = sample_query(vertex_dataset, rng, 8)
+        engine.query(query, tau_ratio=0.3)
+        engine.query(query, tau_ratio=0.3)
+        assert engine.substitution_cache_stats() == {
+            "capacity": 0,
+            "size": 0,
+            "hits": 0,
+            "misses": 0,
+        }
+
+    def test_negative_capacity_rejected(self, vertex_dataset, edr_cost):
+        with pytest.raises(QueryError):
+            SubtrajectorySearch(
+                vertex_dataset, edr_cost, substitution_cache_size=-1
+            )
+
+    def test_direction_rows_concurrent_first_touch(self, lev_cost):
+        """The dense slot table is shared across server threads via the
+        matrix LRU: concurrent first-touch fills must neither fork slots
+        nor tear rows (regression for a slot-assignment race)."""
+        import threading
+
+        query = list(range(24))
+        matrix = lev_cost.sub_matrix(query)
+        rows = matrix.direction_rows((3, "f"), slice(4, None))
+        symbols = list(range(500))
+        barrier = threading.Barrier(4)
+
+        def fill(offset):
+            barrier.wait()
+            for s in symbols[offset:] + symbols[:offset]:
+                rows.slot(s)
+
+        threads = [threading.Thread(target=fill, args=(i * 125,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(rows) == len(symbols)
+        slots = [rows.slot(s) for s in symbols]
+        assert sorted(slots) == list(range(len(symbols)))  # no forked slots
+        for s in symbols:
+            row, delete = rows.get(s)
+            expected = lev_cost.sub_row_array(s, query)[4:]
+            assert row.tolist() == expected.tolist()  # no torn rows
+            assert delete == lev_cost.delete(s)
+
+
+class TestKnobRoundTrip:
+    """--dp-backend / --substitution-cache-size: CLI -> engine -> workers
+    -> healthz."""
+
+    def test_cli_defaults(self):
+        from repro.core.engine import DEFAULT_SUBSTITUTION_CACHE
+
+        args = build_parser().parse_args(["serve", "--self-test"])
+        assert args.dp_backend == "auto"
+        assert args.substitution_cache_size == DEFAULT_SUBSTITUTION_CACHE
+        args = build_parser().parse_args(
+            ["query", "--network", "n", "--trips", "t", "--query", "1",
+             "--dp-backend", "python", "--substitution-cache-size", "0"]
+        )
+        assert args.dp_backend == "python"
+        assert args.substitution_cache_size == 0
+
+    def test_partitioned_forwards_and_aggregates(self, vertex_dataset, edr_cost, rng):
+        engine = PartitionedSubtrajectorySearch(
+            vertex_dataset,
+            edr_cost,
+            num_shards=2,
+            dp_backend="auto",
+            substitution_cache_size=8,
+        )
+        assert engine.dp_backend == "auto"
+        query = long_query(vertex_dataset, rng, AUTO_PYTHON_MAX_QUERY + 1)
+        result = engine.query(query, tau_ratio=0.3)
+        assert result.dp_backend_used == "numpy"
+        agg = engine.substitution_cache_stats()
+        assert agg["shards"] == agg["shards_reporting"] == 2
+        assert agg["capacity"] == 16
+        assert agg["misses"] >= 1
+        engine.query(query, tau_ratio=0.3)
+        assert engine.substitution_cache_stats()["hits"] >= 1
+        engine.close()
+
+    def test_workers_round_trip(self, vertex_dataset, edr_cost, rng):
+        engine = PartitionedSubtrajectorySearch(
+            vertex_dataset,
+            edr_cost,
+            num_shards=2,
+            backend="processes",
+            dp_backend="auto",
+            substitution_cache_size=8,
+        )
+        try:
+            query = sample_query(vertex_dataset, rng, 6)
+            reference = SubtrajectorySearch(vertex_dataset, edr_cost)
+            result = engine.query(query, tau_ratio=0.3)
+            expected = reference.query(query, tau_ratio=0.3)
+            assert [(m.trajectory_id, m.start, m.end) for m in result.matches] == [
+                (m.trajectory_id, m.start, m.end) for m in expected.matches
+            ]
+            # Auto resolved inside the worker processes and shipped back.
+            assert result.dp_backend_used == expected.dp_backend_used == "python"
+            engine.query(query, tau_ratio=0.3)
+            agg = engine.substitution_cache_stats()
+            assert agg["shards_reporting"] == 2  # idle workers all answer
+            # Short EDR queries run the python backend — no matrices built.
+            assert agg["capacity"] == 16
+        finally:
+            engine.close()
+
+    def test_healthz_survives_unpollable_engine(self, vertex_dataset, edr_cost):
+        """A stats poll that raises (dead worker, closed engine) must
+        degrade the substitution_cache field, not drop the probe
+        connection — /healthz answers liveness, not shard health."""
+        engine = PartitionedSubtrajectorySearch(vertex_dataset, edr_cost, num_shards=2)
+        service = QueryService(engine)
+        with ServiceServer(service) as server:
+            server.start()
+            engine.close()  # substitution_cache_stats now raises QueryError
+            with urllib.request.urlopen(server.url + "/healthz", timeout=10) as resp:
+                health = json.loads(resp.read().decode("utf-8"))
+            assert health["status"] == "ok"
+            assert "error" in health["substitution_cache"]
+
+    def test_healthz_exposes_backend_and_cache(
+        self, vertex_dataset, netedr_cost, rng, trips
+    ):
+        engine = SubtrajectorySearch(vertex_dataset, netedr_cost)
+        service = QueryService(engine)
+        with ServiceServer(service) as server:
+            server.start()
+            query = sample_query(vertex_dataset, rng, 8)
+            service.query(query, tau_ratio=0.3)
+            # An online insert invalidates the *result* cache, but the
+            # substitution matrix depends only on query + cost model: the
+            # repeat recomputes the answer yet reuses the matrix — exactly
+            # the saving the /healthz counters must make visible.
+            service.add_trajectory(trips[0])
+            service.query(query, tau_ratio=0.3)
+            with urllib.request.urlopen(server.url + "/healthz", timeout=10) as resp:
+                health = json.loads(resp.read().decode("utf-8"))
+            assert health["dp_backend"] == "auto"
+            assert health["substitution_cache"]["hits"] >= 1
+            assert health["substitution_cache"]["misses"] >= 1
+            stats = service.stats()
+            assert stats["dp_backend"] == "auto"
+            assert stats["substitution_cache"]["capacity"] > 0
+            assert stats["coalesced_retries"] == 0

@@ -278,6 +278,67 @@ class TestBackendBitParity:
         assert results["python"][1] == results["numpy"][1]
 
     @given(
+        costs=_table_costs(0.3),
+        data=strings,
+        query=strings,
+        tau_steps=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_arena_columns_bit_identical_to_per_node_layout(
+        self, costs, data, query, tau_steps
+    ):
+        """The arena-backed column layout (batched verify_all writing into
+        per-level matrices) is a pure memory-layout change: the batched
+        walk, the single-candidate arena walk (verify_candidate), and the
+        per-node pure-Python layout must agree on every match key, every
+        distance *bit for bit* (0.3-multiples are not exactly
+        representable, so any reassociation would show), and every
+        VerificationStats counter."""
+        tau = tau_steps * 0.3
+        datasets = [list(data)]
+        candidates = [
+            (0, j, iq)
+            for j, sym in enumerate(data)
+            for iq, q in enumerate(query)
+            if costs.sub(q, sym) <= costs._eta
+        ]
+        outcomes = {}
+        for label, backend, batched in (
+            ("python-per-node", "python", True),
+            ("numpy-arena-batched", "numpy", True),
+            ("numpy-arena-single", "numpy", False),
+        ):
+            verifier = Verifier(
+                lambda tid: datasets[tid], query, costs, tau, dp_backend=backend
+            )
+            ms = MatchSet()
+            if batched:
+                verifier.verify_all(candidates, ms)
+            else:
+                # Single-candidate entry point: per-column arena writes
+                # instead of level-grouped batches (dedupe by hand — the
+                # batched path dedupes inside verify_all).
+                for cand in dict.fromkeys(candidates):
+                    verifier.verify_candidate(cand, ms)
+            outcomes[label] = (
+                {(m.trajectory_id, m.start, m.end): m.distance for m in ms},
+                verifier.stats,
+            )
+        reference_matches, reference_stats = outcomes["python-per-node"]
+        batched_matches, batched_stats = outcomes["numpy-arena-batched"]
+        single_matches, single_stats = outcomes["numpy-arena-single"]
+        assert batched_matches == reference_matches
+        assert single_matches == reference_matches
+        assert batched_stats == reference_stats
+        # The single path skips verify_all's dedupe accounting but must
+        # agree on every column/candidate/emit counter.
+        assert single_stats.candidates == reference_stats.candidates
+        assert single_stats.sw_columns == reference_stats.sw_columns
+        assert single_stats.visited_columns == reference_stats.visited_columns
+        assert single_stats.computed_columns == reference_stats.computed_columns
+        assert single_stats.emitted == reference_stats.emitted
+
+    @given(
         costs=_table_costs(0.25),
         data=strings,
         query=strings,

@@ -4,8 +4,13 @@ The contract under test (ISSUE 2): when a query's deadline expires, shard
 tasks observe the cancellation token *inside* the verification loop and
 return early — within one verification-loop iteration — instead of
 running to completion after `Executor._gather` has abandoned them.
+
+Plus the coalescing fairness rule (ISSUE 4): a Batcher follower that
+inherits its leader's DeadlineExceededError while its own budget still
+has time left is retried as a new leader instead of failing spuriously.
 """
 
+import threading
 import time
 
 import pytest
@@ -18,7 +23,8 @@ from repro.core.results import MatchSet
 from repro.core.verification import Verifier
 from repro.core.workers import default_start_method
 from repro.exceptions import DeadlineExceededError, QueryCancelledError
-from repro.service import Executor
+from repro.service import Executor, QueryService
+from repro.service.batching import Batcher
 from tests.conftest import sample_query
 
 
@@ -231,3 +237,208 @@ class TestExecutorDeadlineStopsShardWork:
             )
             assert result.tau > 0
         sharded.close()
+
+
+class TestCoalescingFairness:
+    """A follower must not fail on the leader's exhausted budget while its
+    own budget has time left — it retries as a new leader (ISSUE 4)."""
+
+    def test_batcher_follower_retries_retryable_leader_error(self):
+        batcher = Batcher()
+        leader_started = threading.Event()
+        release_leader = threading.Event()
+        calls = []
+        lock = threading.Lock()
+
+        def compute():
+            with lock:
+                calls.append(threading.current_thread().name)
+                first = len(calls) == 1
+            if first:
+                leader_started.set()
+                assert release_leader.wait(5.0)
+                raise DeadlineExceededError("leader budget exhausted")
+            return "fresh answer"
+
+        outcomes = {}
+
+        def leader():
+            try:
+                batcher.run("k", compute, follower_retry=_retry_deadline)
+            except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+                outcomes["leader"] = exc
+
+        def follower():
+            try:
+                outcomes["follower"] = batcher.run(
+                    "k", compute, follower_retry=_retry_deadline
+                )
+            except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+                outcomes["follower"] = exc
+
+        t_leader = threading.Thread(target=leader)
+        t_leader.start()
+        assert leader_started.wait(5.0)
+        t_follower = threading.Thread(target=follower)
+        t_follower.start()
+        # The follower must have joined the leader's flight before the
+        # leader is allowed to fail, else there is nothing to retry.
+        deadline = time.monotonic() + 5.0
+        while batcher.coalesced == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert batcher.coalesced == 1
+        release_leader.set()
+        t_leader.join(5.0)
+        t_follower.join(5.0)
+        # Leader observes its own deadline miss; the follower went around
+        # as a new leader and got a real answer (coalesced=False: it paid
+        # for its own computation).
+        assert isinstance(outcomes["leader"], DeadlineExceededError)
+        assert outcomes["follower"] == ("fresh answer", False)
+        assert batcher.retried_followers == 1
+        # The retried follower was NOT served by the leader's computation:
+        # its coalesced count is taken back when it goes around.
+        assert batcher.coalesced == 0
+        assert len(calls) == 2
+
+    def test_batcher_follower_with_spent_budget_inherits_error(self):
+        """No budget left -> no retry: the old (pre-fix) propagation."""
+        batcher = Batcher()
+        release = threading.Event()
+
+        def compute():
+            assert release.wait(5.0)
+            time.sleep(0.05)  # outlive the follower's wait budget
+            raise DeadlineExceededError("leader budget exhausted")
+
+        errors = {}
+
+        def leader():
+            try:
+                batcher.run("k", compute, follower_retry=_retry_deadline)
+            except BaseException as exc:  # noqa: BLE001
+                errors["leader"] = exc
+
+        def follower():
+            try:
+                batcher.run(
+                    "k",
+                    compute,
+                    wait_timeout=0.04,
+                    follower_retry=_retry_deadline,
+                )
+            except BaseException as exc:  # noqa: BLE001
+                errors["follower"] = exc
+
+        t_leader = threading.Thread(target=leader)
+        t_leader.start()
+        deadline = time.monotonic() + 5.0
+        while batcher.in_flight() == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        t_follower = threading.Thread(target=follower)
+        t_follower.start()
+        while batcher.coalesced == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release.set()
+        t_leader.join(5.0)
+        t_follower.join(5.0)
+        # The follower's own budget expired while waiting: TimeoutError
+        # (the service maps it to DeadlineExceededError), not a retry.
+        assert isinstance(errors["follower"], TimeoutError)
+        assert batcher.retried_followers == 0
+
+    def test_batcher_non_retryable_error_still_shared(self):
+        batcher = Batcher()
+        release = threading.Event()
+
+        def compute():
+            assert release.wait(5.0)
+            raise ValueError("bad query")
+
+        errors = {}
+
+        def runner(name):
+            try:
+                batcher.run("k", compute, follower_retry=_retry_deadline)
+            except BaseException as exc:  # noqa: BLE001
+                errors[name] = exc
+
+        t_leader = threading.Thread(target=runner, args=("leader",))
+        t_leader.start()
+        deadline = time.monotonic() + 5.0
+        while batcher.in_flight() == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        t_follower = threading.Thread(target=runner, args=("follower",))
+        t_follower.start()
+        while batcher.coalesced == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release.set()
+        t_leader.join(5.0)
+        t_follower.join(5.0)
+        assert isinstance(errors["follower"], ValueError)
+        assert errors["follower"] is errors["leader"]
+        assert batcher.retried_followers == 0
+
+    def test_service_follower_survives_leader_deadline(
+        self, vertex_dataset, edr_cost, rng, monkeypatch
+    ):
+        """End to end through QueryService: the leader misses its deadline,
+        the coalesced follower recomputes and answers."""
+        engine = SubtrajectorySearch(vertex_dataset, edr_cost)
+        service = QueryService(engine, cache_size=0)
+        query = sample_query(vertex_dataset, rng, 6)
+        leader_started = threading.Event()
+        release_leader = threading.Event()
+        original = type(service.executor).query
+        calls = []
+        lock = threading.Lock()
+
+        def flaky_executor_query(self, *args, **kwargs):
+            with lock:
+                calls.append(1)
+                first = len(calls) == 1
+            if first:
+                leader_started.set()
+                assert release_leader.wait(5.0)
+                raise DeadlineExceededError("leader ran out of budget")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(type(service.executor), "query", flaky_executor_query)
+        outcomes = {}
+
+        def submit(name):
+            try:
+                outcomes[name] = service.query(query, tau_ratio=0.25)
+            except BaseException as exc:  # noqa: BLE001
+                outcomes[name] = exc
+
+        try:
+            t_leader = threading.Thread(target=submit, args=("leader",))
+            t_leader.start()
+            assert leader_started.wait(5.0)
+            t_follower = threading.Thread(target=submit, args=("follower",))
+            t_follower.start()
+            deadline = time.monotonic() + 5.0
+            while service.batcher.coalesced == 0 and time.monotonic() < deadline:
+                time.sleep(0.001)
+            assert service.batcher.coalesced == 1
+            release_leader.set()
+            t_leader.join(10.0)
+            t_follower.join(10.0)
+            assert isinstance(outcomes["leader"], DeadlineExceededError)
+            follower = outcomes["follower"]
+            assert not isinstance(follower, BaseException), follower
+            expected = SubtrajectorySearch(vertex_dataset, edr_cost).query(
+                query, tau_ratio=0.25
+            )
+            assert [
+                (m.trajectory_id, m.start, m.end) for m in follower.result.matches
+            ] == [(m.trajectory_id, m.start, m.end) for m in expected.matches]
+            assert service.batcher.retried_followers == 1
+            assert service.stats()["coalesced_retries"] == 1
+        finally:
+            service.close()
+
+
+def _retry_deadline(exc: BaseException) -> bool:
+    return isinstance(exc, DeadlineExceededError)
