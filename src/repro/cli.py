@@ -19,7 +19,12 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.apps.travel_time import TravelTimeEstimator
-from repro.core.engine import DEFAULT_SUBSTITUTION_CACHE, SubtrajectorySearch
+from repro.core.engine import (
+    DEFAULT_SUBSTITUTION_CACHE,
+    DEFAULT_TRIE_CACHE,
+    DEFAULT_TRIE_CACHE_BYTES,
+    SubtrajectorySearch,
+)
 from repro.core.temporal import TimeInterval
 from repro.distance.costs import (
     CostModel,
@@ -100,6 +105,24 @@ def _add_dp_backend_option(parser: argparse.ArgumentParser) -> None:
         f"(0 disables; default: {DEFAULT_SUBSTITUTION_CACHE} entries "
         "per engine/shard)",
     )
+    parser.add_argument(
+        "--trie-cache-size",
+        type=int,
+        default=DEFAULT_TRIE_CACHE,
+        help="engine-level LRU of per-query verification tries; repeated "
+        "queries (tau/time-window variations included) start with warm "
+        "DP columns and only compute the cold frontier (0 disables; "
+        f"default: {DEFAULT_TRIE_CACHE} entries, shared across "
+        "in-process shards)",
+    )
+    parser.add_argument(
+        "--trie-cache-mb",
+        type=float,
+        default=DEFAULT_TRIE_CACHE_BYTES / (1024 * 1024),
+        help="byte budget (MiB) across all cached trie arenas; LRU "
+        "entries are shed past it after each verification (default: "
+        f"{DEFAULT_TRIE_CACHE_BYTES // (1024 * 1024)} MiB)",
+    )
 
 
 def _cmd_generate_network(args: argparse.Namespace) -> int:
@@ -155,6 +178,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         costs,
         dp_backend=args.dp_backend,
         substitution_cache_size=args.substitution_cache_size,
+        trie_cache_size=args.trie_cache_size,
+        trie_cache_bytes=int(args.trie_cache_mb * 1024 * 1024),
     )
     query = _parse_symbols(args.query)
     interval = None
@@ -242,6 +267,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             dp_backend=args.dp_backend,
             substitution_cache_size=args.substitution_cache_size,
+            trie_cache_size=args.trie_cache_size,
+            trie_cache_bytes=int(args.trie_cache_mb * 1024 * 1024),
         )
     else:
         engine = SubtrajectorySearch(
@@ -249,6 +276,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             costs,
             dp_backend=args.dp_backend,
             substitution_cache_size=args.substitution_cache_size,
+            trie_cache_size=args.trie_cache_size,
+            trie_cache_bytes=int(args.trie_cache_mb * 1024 * 1024),
         )
     service = QueryService(
         engine,

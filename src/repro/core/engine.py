@@ -40,6 +40,7 @@ from repro.core.temporal import (
     filter_candidates,
     match_satisfies,
 )
+from repro.core.trie import TrieCache
 from repro.core.verification import (
     Candidate,
     VerificationStats,
@@ -73,6 +74,18 @@ DP_BACKENDS = ("python", "numpy", "auto")
 #: tight memory should lower this or set it to 0 (per-query matrices,
 #: the pre-cache behaviour).
 DEFAULT_SUBSTITUTION_CACHE = 32
+
+#: default capacity (entries) of the engine-level TrieCache — warm DP
+#: columns across repeated queries.  Sized like the substitution LRU (the
+#: same zipf hot head), but additionally byte-budgeted: trie arenas keep
+#: growing while cached, so the binding limit under heavy traffic is
+#: usually DEFAULT_TRIE_CACHE_BYTES, not the entry count.
+DEFAULT_TRIE_CACHE = 32
+
+#: default byte budget across all cached trie arenas (per engine/shard
+#: group).  Re-accounted after every cached verification; LRU entries are
+#: shed until the total fits (see TrieCache.reconcile).
+DEFAULT_TRIE_CACHE_BYTES = 256 * 1024 * 1024
 
 _SELECTORS: Dict[str, Callable] = {
     "greedy": mincand_greedy,
@@ -221,6 +234,29 @@ class SubtrajectorySearch:
         time-window variations too; matrices depend only on the query
         and the cost model, never on the dataset, so online inserts need
         no invalidation either.  ``0`` disables the cache.
+    trie_cache_size / trie_cache_bytes:
+        Capacity (entries) and byte budget of the engine-level
+        :class:`~repro.core.trie.TrieCache` of per-query verification
+        tries, keyed on the same query-and-model signature prefix as the
+        substitution LRU.  Repeated queries start verification with
+        every previously computed DP column *warm* — the walker advances
+        through cached trie levels with vectorized gathers and launches
+        a DP kernel only at the cold frontier — again across tau and
+        time-window variations, and again needing no invalidation on
+        online inserts (columns are keyed by data-symbol path, not by
+        trajectory, so they are dataset-independent).  Arena bytes are
+        re-accounted after each verification and LRU entries shed past
+        the budget.  ``trie_cache_size=0`` fully disables the path
+        (per-query tries, the pre-cache behaviour).  Warmth changes
+        which columns are *recomputed*, never any emitted float: warm
+        and cold answers are bit-identical.
+    trie_cache:
+        A prebuilt :class:`~repro.core.trie.TrieCache` to use instead of
+        constructing one — how
+        :class:`~repro.core.partitioned.PartitionedSubtrajectorySearch`
+        shares a single cache across its in-process shard engines (safe
+        because trie columns are dataset-independent).  Overrides
+        ``trie_cache_size`` / ``trie_cache_bytes``.
     """
 
     def __init__(
@@ -235,6 +271,9 @@ class SubtrajectorySearch:
         fallback_to_scan: bool = True,
         dp_backend: str = "auto",
         substitution_cache_size: int = DEFAULT_SUBSTITUTION_CACHE,
+        trie_cache_size: int = DEFAULT_TRIE_CACHE,
+        trie_cache_bytes: Optional[int] = DEFAULT_TRIE_CACHE_BYTES,
+        trie_cache: Optional[TrieCache] = None,
     ) -> None:
         if costs.representation != dataset.representation:
             raise QueryError(
@@ -249,6 +288,10 @@ class SubtrajectorySearch:
             raise QueryError(f"unknown dp_backend {dp_backend!r}")
         if substitution_cache_size < 0:
             raise QueryError("substitution_cache_size must be >= 0")
+        if trie_cache_size < 0:
+            raise QueryError("trie_cache_size must be >= 0")
+        if trie_cache_bytes is not None and trie_cache_bytes < 0:
+            raise QueryError("trie_cache_bytes must be >= 0")
         self._dataset = dataset
         self._costs = costs
         self._selector = _SELECTORS[selector]
@@ -257,6 +300,11 @@ class SubtrajectorySearch:
         self._fallback = fallback_to_scan
         self._dp_backend = dp_backend
         self._sub_matrix_cache = SubstitutionMatrixCache(substitution_cache_size)
+        self._trie_cache = (
+            trie_cache
+            if trie_cache is not None
+            else TrieCache(trie_cache_size, trie_cache_bytes)
+        )
         # Memoized: the model is fixed for this engine's lifetime, and
         # cost_model_id walks vars() — not something to redo per query.
         self._model_id = cost_model_id(costs)
@@ -287,6 +335,22 @@ class SubtrajectorySearch:
         (capacity / size / hits / misses) — surfaced via ``/healthz`` and
         the service stats so repeat-traffic savings are observable."""
         return self._sub_matrix_cache.stats()
+
+    def trie_cache_stats(self) -> Dict[str, int]:
+        """Counters of the engine-level TrieCache (capacity / size /
+        bytes / hits / misses / evictions) — surfaced via ``/healthz``
+        and the service stats so warm-trie savings are observable."""
+        return self._trie_cache.stats()
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Every engine-level cache's counters in one snapshot — what
+        ``/healthz`` and ``/stats`` consume, so one probe is one poll
+        (the partitioned engine's processes backend crosses worker pipes
+        here; see its override)."""
+        return {
+            "substitution": self.substitution_cache_stats(),
+            "trie": self.trie_cache_stats(),
+        }
 
     def add_trajectory(self, trajectory, *, validate: bool = False) -> int:
         """Append one trajectory to the dataset and index it online (§4.1:
@@ -388,8 +452,11 @@ class SubtrajectorySearch:
             if backend_used == "auto":
                 backend_used = choose_dp_backend(len(query), self._costs)
             matrix = None
+            trie_entry = None
             if backend_used == "numpy":
                 matrix = self._substitution_matrix(query, subsequence, candidates)
+                if self._verification == "trie":
+                    trie_entry = self._trie_entry(query)
             verifier = Verifier(
                 self._dataset.symbols,
                 query,
@@ -400,9 +467,17 @@ class SubtrajectorySearch:
                 dp_backend=backend_used,
                 symbols_array_of=self._dataset.symbols_array,
                 matrix=matrix,
+                trie_entry=trie_entry,
                 cancel=cancel,
             )
-            verifier.verify_all(candidates, matches)
+            try:
+                verifier.verify_all(candidates, matches)
+            finally:
+                if trie_entry is not None:
+                    # Arenas grew during verification (cancelled or not):
+                    # re-account trie_cache_bytes and shed LRU entries
+                    # past the byte budget.
+                    self._trie_cache.reconcile()
             stats = verifier.stats
             allocations = verifier.dp_array_allocations
         t3 = time.perf_counter()
@@ -458,6 +533,24 @@ class SubtrajectorySearch:
         return self._collect_candidates(subsequence, None)
 
     # -- internals ------------------------------------------------------------
+
+    def _trie_entry(self, query: Sequence[int]):
+        """The cross-query TrieCache entry for this query, or None when
+        the cache is disabled.
+
+        Keyed on the query-and-cost-model *prefix* of
+        :func:`query_signature`, exactly like the substitution LRU: trie
+        columns depend on neither the threshold nor the temporal
+        constraint (only the early-termination *frontier* differs, i.e.
+        which columns exist so far — never their floats), so requests
+        varying tau or the time window share one entry — and they depend
+        on nothing in the dataset (columns are keyed by data-symbol
+        path), so entries stay valid across online inserts too.
+        """
+        cache = self._trie_cache
+        if not cache.capacity:
+            return None
+        return cache.entry(("trie", tuple(int(s) for s in query), self._model_id))
 
     def _substitution_matrix(self, query: Sequence[int], subsequence, candidates):
         """The per-query SubstitutionMatrix, served from the engine LRU.

@@ -38,8 +38,14 @@ from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.cancellation import raise_if_cancelled
-from repro.core.engine import QueryResult, SubtrajectorySearch
+from repro.core.engine import (
+    DEFAULT_TRIE_CACHE,
+    DEFAULT_TRIE_CACHE_BYTES,
+    QueryResult,
+    SubtrajectorySearch,
+)
 from repro.core.results import Match
+from repro.core.trie import TrieCache
 from repro.core.temporal import TemporalMode, TimeInterval
 from repro.core.verification import VerificationStats
 from repro.core.workers import ShardWorkerPool
@@ -65,6 +71,18 @@ class PartitionedSubtrajectorySearch:
     aggregate) — are forwarded verbatim to each shard's
     :class:`~repro.core.engine.SubtrajectorySearch` (in-process or inside
     its worker process).
+
+    The warm trie cache is the one exception to shard-local state: trie
+    columns are dataset-independent (keyed by data-symbol path, never by
+    trajectory), so on the in-process backends (``serial``/``threads``)
+    all shard engines share **one** :class:`~repro.core.trie.TrieCache` —
+    shard A's verification warms shard B's, and a fan-out query's shards
+    walk the same tries concurrently (safe: writer rounds serialize on
+    each trie's lock, readers are lock-free).  ``trie_cache_size`` /
+    ``trie_cache_bytes`` size that shared cache, or pass a prebuilt
+    ``trie_cache``.  The ``processes`` backend cannot share memory across
+    workers, so there the knobs size one cache *per worker* and
+    :meth:`trie_cache_stats` sums them.
 
     ``backend`` selects the fan-out strategy (see the module docstring).
     For backward compatibility it defaults to ``"threads"`` when
@@ -113,6 +131,33 @@ class PartitionedSubtrajectorySearch:
         num_shards = min(num_shards, len(dataset))
         self._backend = backend
         self._dp_backend = str(engine_kwargs.get("dp_backend", "auto"))
+        self._trie_cache: Optional[TrieCache] = None
+        if backend == "processes":
+            if "trie_cache" in engine_kwargs:
+                # Fail here with the real reason, not deep in the worker
+                # spawn as an opaque "cannot pickle thread lock".
+                raise QueryError(
+                    "backend='processes' cannot share a prebuilt trie_cache "
+                    "across worker processes; pass trie_cache_size / "
+                    "trie_cache_bytes to size each worker's own cache"
+                )
+        else:
+            # One shared cross-query trie cache for all in-process shard
+            # engines (columns are dataset-independent — see the class
+            # docstring); workers keep per-process caches instead.
+            shared = engine_kwargs.pop("trie_cache", None)
+            if shared is None:
+                size = engine_kwargs.pop("trie_cache_size", DEFAULT_TRIE_CACHE)
+                max_bytes = engine_kwargs.pop(
+                    "trie_cache_bytes", DEFAULT_TRIE_CACHE_BYTES
+                )
+                if size < 0:
+                    raise QueryError("trie_cache_size must be >= 0")
+                if max_bytes is not None and max_bytes < 0:
+                    raise QueryError("trie_cache_bytes must be >= 0")
+                shared = TrieCache(size, max_bytes)
+            self._trie_cache = shared
+            engine_kwargs = dict(engine_kwargs, trie_cache=shared)
         self._global_ids: List[List[int]] = [[] for _ in range(num_shards)]
         self._shards = [
             TrajectoryDataset(dataset.graph, dataset.representation)
@@ -167,6 +212,27 @@ class PartitionedSubtrajectorySearch:
         with (``"auto"`` resolves per query inside each shard)."""
         return self._dp_backend
 
+    #: summed fields of each engine-level cache's counters.
+    _SUB_FIELDS = ("capacity", "size", "hits", "misses")
+    _TRIE_FIELDS = ("capacity", "size", "bytes", "hits", "misses", "evictions")
+
+    def _aggregate(
+        self, parts: Sequence[Optional[Dict[str, int]]], fields: Sequence[str]
+    ) -> Dict[str, int]:
+        """Sum per-shard counter dicts; ``None`` parts (busy workers on a
+        non-blocking poll) are skipped and ``shards_reporting`` says how
+        many answered."""
+        agg = {field: 0 for field in fields}
+        agg["shards"] = self.num_shards
+        agg["shards_reporting"] = 0
+        for part in parts:
+            if part is None:
+                continue
+            agg["shards_reporting"] += 1
+            for field in fields:
+                agg[field] += int(part.get(field, 0))
+        return agg
+
     def substitution_cache_stats(self) -> Dict[str, int]:
         """Aggregated SubstitutionMatrix-LRU counters across shards.
 
@@ -181,21 +247,53 @@ class PartitionedSubtrajectorySearch:
             parts = self._workers.substitution_cache_stats()
         else:
             parts = [engine.substitution_cache_stats() for engine in self._engines]
-        agg = {
-            "capacity": 0,
-            "size": 0,
-            "hits": 0,
-            "misses": 0,
-            "shards": self.num_shards,
-            "shards_reporting": 0,
+        return self._aggregate(parts, self._SUB_FIELDS)
+
+    def trie_cache_stats(self) -> Dict[str, int]:
+        """TrieCache counters across shards.
+
+        On the in-process backends all shards share one cache, so its
+        counters are reported directly (``shards_reporting`` = every
+        shard, since every shard feeds the same cache).  On the processes
+        backend each worker keeps its own cache; the counters are summed
+        over the workers, polled without blocking — a worker busy with an
+        in-flight query is skipped rather than stalling a health probe —
+        and ``shards_reporting`` says how many answered.
+        """
+        self._check_open()
+        if self._workers is None:
+            stats: Dict[str, int] = dict(self._trie_cache.stats())
+            stats["shards"] = self.num_shards
+            stats["shards_reporting"] = self.num_shards
+            return stats
+        return self._aggregate(self._workers.trie_cache_stats(), self._TRIE_FIELDS)
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Both engine-level caches' aggregates from ONE worker poll.
+
+        ``/healthz`` and ``/stats`` consume this instead of calling the
+        per-cache methods back to back: on the processes backend that
+        would cross every worker's pipe twice and could report the two
+        caches from different snapshots (a worker turning busy between
+        the polls would count toward one and not the other).
+        """
+        self._check_open()
+        if self._workers is None:
+            return {
+                "substitution": self.substitution_cache_stats(),
+                "trie": self.trie_cache_stats(),
+            }
+        combined = self._workers.cache_stats()
+        return {
+            "substitution": self._aggregate(
+                [None if p is None else p.get("substitution") for p in combined],
+                self._SUB_FIELDS,
+            ),
+            "trie": self._aggregate(
+                [None if p is None else p.get("trie") for p in combined],
+                self._TRIE_FIELDS,
+            ),
         }
-        for part in parts:
-            if part is None:
-                continue
-            agg["shards_reporting"] += 1
-            for field in ("capacity", "size", "hits", "misses"):
-                agg[field] += int(part.get(field, 0))
-        return agg
 
     def __len__(self) -> int:
         return sum(len(ids) for ids in self._global_ids)

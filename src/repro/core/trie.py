@@ -3,77 +3,92 @@
 Each trie caches the dynamic-programming columns produced while verifying
 candidates in one direction (forward or backward) for one anchor position
 ``iq`` of the query.  A path from the root spells a sequence of data
-symbols; the node at its end stores the DP column ``A(x)`` for that data
-prefix against the fixed query part ``Q^d``.  Because trajectories in a
-road network share prefixes (out-degree is tiny), later candidates walk
-cached nodes instead of recomputing columns — the cache-miss rate is the
+symbols; the column reached at its end is the DP column ``A(x)`` for that
+data prefix against the fixed query part ``Q^d``.  Because trajectories in
+a road network share prefixes (out-degree is tiny), later candidates walk
+cached columns instead of recomputing them — the cache-miss rate is the
 CMR metric of §6.4.
 
-Memory layout (the PR 4 arena rework): on the array-native backend the
-trie owns **one growable ``(capacity, |Q^d|+1)`` float64 matrix per
-level** — all columns at the same depth are level-aligned rows of the
-same arena — and a :class:`TrieNode` holds only an integer row *slot*
-into its level's matrix (plus the two scalars the hot walk reads).  The
-batched StepDP kernel writes new columns straight into reserved arena
-rows, so verifying a query allocates a handful of arena/scratch buffers
-instead of one ndarray per computed column; profiles showed ~25% of
-at-scale verification time was garbage-collector overhead from exactly
-that churn.  The pure-Python backend (the ablation baseline) and the
+Memory layout (the PR 5 slot-native rework): on the array-native backend
+the trie is **fully slot-native** — no node objects at all.  Every level
+of the old layout had the same column width (``|Q^d| + 1``), so all
+columns live as rows of **one** growable ``(capacity, width)`` float64
+matrix, with slot 0 holding the root column.  Structure lives in one
+``edges`` dict mapping ``(parent_slot, symbol) -> child_slot``, and the
+two scalars the hot walk reads per visit (``min(column)`` — the Eq. 11
+early-termination bound — and ``column[-1]`` — the emitted E value) live
+twice: in parallel ``mins`` / ``lasts`` float64 vectors so a warm
+level-synchronous walker can gather a whole frontier with ``np.take``,
+and in plain-float ``mins_list`` / ``lasts_list`` mirrors so scalar hot
+loops never touch numpy scalars.  This is what makes the trie *portable
+across queries*: a :class:`TrieCache` entry is just the trie objects, and
+a repeated query walks them warm with no per-node object graph to rebuild
+or traverse.
+
+Concurrency contract (shared tries are walked by concurrent server
+threads): readers are lock-free; writers serialize on :attr:`
+VerificationTrie.lock` and must publish in the order *grow arrays → write
+column/mins/lasts → publish edge*.  A reader that observes an edge is
+therefore guaranteed fully-written backing entries in whatever array
+references it fetches afterwards (CPython's GIL orders the stores), and
+grown arrays always contain every previously published slot — no torn
+columns.  Rows are never mutated after their edge is published.
+
+The pure-Python backend (the ablation baseline) and the
 ``use_trie=False`` ablation keep the historical one-column-per-node
-storage: nothing is shared there, so an arena would only pin memory.
+:class:`TrieNode` storage: nothing is shared there, so an arena would
+only pin memory.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["LevelArena", "TrieNode", "VerificationTrie"]
+__all__ = ["TrieCache", "TrieCacheEntry", "TrieNode", "VerificationTrie"]
 
-#: rows a fresh level arena starts with; levels grow geometrically.
+#: rows a fresh arena starts with; growth doubles.
 _INITIAL_ROWS = 32
+
+#: rough per-column bookkeeping bytes beyond the float arrays: one edges
+#: dict entry (key tuple + slots) plus the two list-mirror floats.  An
+#: estimate — byte budgets bound the dominant ndarray cost exactly and
+#: the dict/list overhead approximately.
+_COLUMN_OVERHEAD_BYTES = 150
 
 
 class TrieNode:
-    """One cached DP column.
+    """One cached DP column of the *per-node* (non-arena) layout.
 
     ``column_min`` caches ``min(column)``, the early-termination lower
     bound ``LB`` of Eq. 11, and ``column_last`` caches ``column[-1]`` (the
     E value read once per visit); both are plain floats so hot-loop
     comparisons and emitted distances never carry numpy scalars.
 
-    The column itself lives in one of two places:
-
-    - *arena nodes* (array-native backend, tries on): ``column`` is None
-      and ``slot`` indexes the node's row in its level's
-      :class:`LevelArena` matrix — the node does not own an ndarray;
-    - *detached nodes* (pure-Python backend, or ``use_trie=False``):
-      ``column`` holds the column itself (a list or an ndarray view) and
-      ``slot`` is ``-1``.
+    Used by the pure-Python backend's tries and by the ``use_trie=False``
+    ablation's detached columns; the array-native trie stores no nodes
+    (see the module docstring).
     """
 
-    __slots__ = ("children", "column", "column_min", "column_last", "slot")
+    __slots__ = ("children", "column", "column_min", "column_last")
 
     def __init__(
         self,
-        column: Optional[Sequence[float]] = None,
+        column: Sequence[float],
         column_min: Optional[float] = None,
         column_last: Optional[float] = None,
-        slot: int = -1,
     ) -> None:
         self.children: dict = {}
-        self.column: Optional[Sequence[float]] = column
-        if column_min is None or column_last is None:
-            if column is None:
-                raise ValueError("arena nodes must pass column_min/column_last")
-            if column_min is None:
-                column_min = float(min(column))
-            if column_last is None:
-                column_last = float(column[-1])
+        self.column: Sequence[float] = column
+        if column_min is None:
+            column_min = float(min(column))
+        if column_last is None:
+            column_last = float(column[-1])
         self.column_min: float = column_min
         self.column_last: float = column_last
-        self.slot = slot
 
     def find_child(self, symbol: int) -> Optional["TrieNode"]:
         """The cached child for ``symbol``, or None (a cache miss)."""
@@ -86,81 +101,116 @@ class TrieNode:
         return child
 
 
-class LevelArena:
-    """Growable column storage for one trie level.
-
-    ``matrix`` is ``(capacity, width)`` float64; rows ``[0, used)`` hold
-    live columns.  :meth:`reserve` hands out contiguous row ranges so a
-    batched kernel can compute a whole round of same-level columns with
-    one ``out=`` slice — no per-column allocation at all.  Growth doubles
-    capacity (``allocations`` counts the reallocations, feeding the
-    benchmark's allocation-reduction metric).
-    """
-
-    __slots__ = ("matrix", "used", "allocations")
-
-    def __init__(self, width: int, capacity: int = _INITIAL_ROWS) -> None:
-        self.matrix = np.empty((max(capacity, 1), width), dtype=np.float64)
-        self.used = 0
-        self.allocations = 1
-
-    def reserve(self, count: int) -> int:
-        """Reserve ``count`` contiguous rows; returns the first slot."""
-        start = self.used
-        needed = start + count
-        capacity = self.matrix.shape[0]
-        if needed > capacity:
-            while capacity < needed:
-                capacity *= 2
-            grown = np.empty((capacity, self.matrix.shape[1]), dtype=np.float64)
-            grown[:start] = self.matrix[:start]
-            self.matrix = grown
-            self.allocations += 1
-        self.used = needed
-        return start
-
-
 class VerificationTrie:
     """A trie rooted at the empty data prefix.
 
     The root column is ``wed(eps, Q^d_{1:j})`` for all ``j`` — the
-    cumulative insertion costs of the query part.  With ``arena=True``
-    the trie owns one :class:`LevelArena` per depth and nodes store row
-    slots; otherwise nodes own their columns directly (the historical
-    per-node layout, kept for the pure-Python backend).
+    cumulative insertion costs of the query part.
+
+    With ``arena=True`` the trie is slot-native: one growable
+    ``(capacity, width)`` matrix holds every column (slot 0 = root), the
+    ``edges`` dict holds the structure, and ``mins``/``lasts`` (ndarray)
+    plus ``mins_list``/``lasts_list`` (plain floats) hold the per-column
+    scalars.  Writers must hold :attr:`lock` and follow the publication
+    order in the module docstring.  With ``arena=False`` the trie is the
+    historical :class:`TrieNode` graph under :attr:`root` (the
+    pure-Python backend's layout).
     """
 
+    __slots__ = (
+        "arena",
+        "width",
+        "root",
+        "matrix",
+        "mins",
+        "lasts",
+        "mins_list",
+        "lasts_list",
+        "edges",
+        "used",
+        "allocations",
+        "lock",
+        "__weakref__",
+    )
+
     def __init__(self, root_column: Sequence[float], *, arena: bool = False) -> None:
-        self.root = TrieNode(root_column)
-        self.width = len(root_column)
-        self._levels: List[LevelArena] = []
         self.arena = arena
+        self.width = len(root_column)
+        if not arena:
+            self.root: Optional[TrieNode] = TrieNode(root_column)
+            self.matrix: Optional[np.ndarray] = None
+            self.mins: Optional[np.ndarray] = None
+            self.lasts: Optional[np.ndarray] = None
+            self.mins_list: List[float] = []
+            self.lasts_list: List[float] = []
+            self.edges: Dict[Tuple[int, int], int] = {}
+            self.used = 0
+            self.allocations = 0
+            self.lock = threading.Lock()
+            return
+        self.root = None
+        capacity = max(_INITIAL_ROWS, 1)
+        self.matrix = np.empty((capacity, self.width), dtype=np.float64)
+        self.mins = np.empty(capacity, dtype=np.float64)
+        self.lasts = np.empty(capacity, dtype=np.float64)
+        self.matrix[0] = root_column
+        root_min = float(min(root_column))
+        root_last = float(root_column[-1])
+        self.mins[0] = root_min
+        self.lasts[0] = root_last
+        self.mins_list = [root_min]
+        self.lasts_list = [root_last]
+        #: (parent_slot, symbol) -> child_slot; slot 0 is the root.
+        self.edges = {}
+        self.used = 1
+        #: ndarray (re)allocations so far — the materialization cost of
+        #: every column this trie stores (feeds the benchmark's
+        #: allocation-reduction metric).
+        self.allocations = 3
+        #: serializes writer rounds (reserve + column write + edge
+        #: publication); readers stay lock-free.
+        self.lock = threading.Lock()
 
-    def level(self, depth: int) -> LevelArena:
-        """The arena holding columns at ``depth`` (>= 1), created lazily."""
-        levels = self._levels
-        while len(levels) < depth:
-            levels.append(LevelArena(self.width))
-        return levels[depth - 1]
+    def reserve(self, count: int) -> int:
+        """Reserve ``count`` contiguous rows; returns the first slot.
 
-    def column(self, node: TrieNode, depth: int) -> Sequence[float]:
-        """``node``'s column, wherever it lives (``depth`` = node depth)."""
-        if node.column is not None:
-            return node.column
-        return self._levels[depth - 1].matrix[node.slot]
+        Caller must hold :attr:`lock`.  Growth publishes the grown
+        ``matrix``/``mins``/``lasts`` (old rows copied) *before*
+        returning, so lock-free readers holding either generation see
+        every previously published slot.
+        """
+        start = self.used
+        needed = start + count
+        matrix = self.matrix
+        capacity = matrix.shape[0]
+        if needed > capacity:
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, self.width), dtype=np.float64)
+            grown[:start] = matrix[:start]
+            grown_mins = np.empty(capacity, dtype=np.float64)
+            grown_mins[:start] = self.mins[:start]
+            grown_lasts = np.empty(capacity, dtype=np.float64)
+            grown_lasts[:start] = self.lasts[:start]
+            # Publish the grown arrays before any new row is written: a
+            # reader can only learn of a new slot through an edge, which
+            # is published after the row — so any array reference it
+            # fetches after seeing the edge contains the slot.
+            self.matrix = grown
+            self.mins = grown_mins
+            self.lasts = grown_lasts
+            self.allocations += 3
+        self.used = needed
+        return start
 
-    @property
-    def allocations(self) -> int:
-        """Arena matrix (re)allocations so far — the ndarray cost of every
-        column this trie stores."""
-        return sum(level.allocations for level in self._levels)
-
-    def level_count(self) -> int:
-        """Number of materialized level arenas."""
-        return len(self._levels)
+    def row(self, slot: int) -> np.ndarray:
+        """The column stored at ``slot`` (arena layout)."""
+        return self.matrix[slot]
 
     def node_count(self) -> int:
         """Number of cached columns (root included) — a cache-size metric."""
+        if self.arena:
+            return self.used
         count = 0
         stack: List[TrieNode] = [self.root]
         while stack:
@@ -168,3 +218,174 @@ class VerificationTrie:
             count += 1
             stack.extend(node.children.values())
         return count
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes: the float arrays exactly, plus an
+        estimated per-column overhead for the edges dict and scalar
+        mirrors (see ``_COLUMN_OVERHEAD_BYTES``)."""
+        if not self.arena:
+            return 0
+        return (
+            self.matrix.nbytes
+            + self.mins.nbytes
+            + self.lasts.nbytes
+            + self.used * _COLUMN_OVERHEAD_BYTES
+        )
+
+
+class TrieCacheEntry:
+    """All direction tries of one ``(query, cost model)`` pair.
+
+    ``tries`` maps ``(iq, direction)`` to the shared arena-backed
+    :class:`VerificationTrie` — one pair of tries per anchor position the
+    query's verifications have touched.  Entries are handed to concurrent
+    verifiers; :meth:`trie` makes first-touch creation converge on one
+    instance per direction.
+    """
+
+    __slots__ = ("tries", "lock", "__weakref__")
+
+    def __init__(self) -> None:
+        self.tries: Dict[Tuple[int, str], VerificationTrie] = {}
+        self.lock = threading.Lock()
+
+    def trie(
+        self, key: Tuple[int, str], factory: Callable[[], VerificationTrie]
+    ) -> VerificationTrie:
+        """The shared trie for one ``(iq, direction)``, built on first
+        touch (atomically: concurrent first callers get one instance)."""
+        trie = self.tries.get(key)
+        if trie is None:
+            with self.lock:
+                trie = self.tries.get(key)
+                if trie is None:
+                    trie = factory()
+                    self.tries[key] = trie
+        return trie
+
+    @property
+    def nbytes(self) -> int:
+        """Total approximate bytes across this entry's tries."""
+        return sum(trie.nbytes for trie in list(self.tries.values()))
+
+    def column_count(self) -> int:
+        """Total cached columns across this entry's tries."""
+        return sum(trie.node_count() for trie in list(self.tries.values()))
+
+
+class TrieCache:
+    """Engine-level LRU of :class:`TrieCacheEntry` objects — warm DP
+    columns across queries.
+
+    Trie columns depend only on the query part, the cost model, and the
+    walked data symbols — never on the threshold, the time window, or the
+    dataset (a column is keyed by its symbol *path*, not by which
+    trajectory produced it).  So the serving layer's repeated (zipf)
+    queries — including tau and time-window variations — can start
+    verification with every previously computed column warm, and online
+    inserts need **no invalidation**: a new trajectory can only add new
+    paths, and any shared prefix it has with cached paths maps to the
+    exact same columns.
+
+    Keys are the query-and-model prefix of the engine's normalized
+    :func:`~repro.core.engine.query_signature` — the same prefix the
+    :class:`~repro.distance.costs.SubstitutionMatrixCache` uses — so one
+    cache is valid for exactly one engine/cost-model scope (or one group
+    of shard engines over the same model: shard engines of a partitioned
+    deployment share a single instance, because columns are
+    dataset-independent).
+
+    Eviction is LRU, bounded two ways: ``capacity`` entries, and — since
+    arenas keep growing *after* insertion as later queries extend the
+    tries — a ``max_bytes`` budget enforced by :meth:`reconcile`, which
+    the engine calls after each verification to re-account
+    ``trie_cache_bytes`` and shed LRU entries until the total fits.
+    ``capacity == 0`` disables the cache entirely (``entry`` returns
+    ``None`` without counting).  Thread-safe; evicting an entry that a
+    running verifier still holds is safe — the verifier keeps its
+    reference, the arenas are released when the last reference drops.
+    """
+
+    def __init__(self, capacity: int, max_bytes: Optional[int] = None) -> None:
+        if capacity < 0:
+            raise ValueError("trie cache capacity must be >= 0")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("trie cache byte budget must be >= 0")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: bytes across live entries as of the last :meth:`reconcile`.
+        self.bytes = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, TrieCacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, key: Hashable) -> Optional[TrieCacheEntry]:
+        """The (created-if-absent) entry for ``key``, LRU-refreshed; None
+        when the cache is disabled.  Creation counts as a miss."""
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            self.misses += 1
+            entry = TrieCacheEntry()
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return entry
+
+    def peek(self, key: Hashable) -> Optional[TrieCacheEntry]:
+        """The entry for ``key`` without counting or refreshing (tests /
+        diagnostics)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def keys(self) -> List[Hashable]:
+        """Keys in LRU order, least recent first (tests / diagnostics)."""
+        with self._lock:
+            return list(self._entries)
+
+    def reconcile(self) -> int:
+        """Re-account entry bytes and evict LRU entries past ``max_bytes``.
+
+        Returns the post-eviction byte total.  Called by the engine after
+        each cached verification, because arenas grow while entries sit
+        in the cache — insertion-time accounting alone would undercount.
+        An oversized *single* entry is evicted too (the budget is a hard
+        cap); the query that produced it simply stays cold.
+        """
+        with self._lock:
+            sizes = [(key, entry.nbytes) for key, entry in self._entries.items()]
+            total = sum(size for _, size in sizes)
+            if self.max_bytes is not None:
+                for key, size in sizes:  # sizes is in LRU order
+                    if total <= self.max_bytes:
+                        break
+                    if self._entries.pop(key, None) is not None:
+                        self.evictions += 1
+                        total -= size
+            self.bytes = total
+            return total
+
+    def stats(self) -> Dict[str, int]:
+        """Observable counters (served via ``/healthz`` and service stats)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "bytes": self.bytes,
+                "max_bytes": -1 if self.max_bytes is None else self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

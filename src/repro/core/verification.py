@@ -33,20 +33,24 @@ prefix-min insert chain (see :mod:`repro.distance.wed`) so their floats
 are bit-identical:
 
 - ``dp_backend="numpy"`` is *array-native end to end* with
-  **anchor-grouped batch verification**: candidates are deduped, grouped
-  by anchor position ``iq``, and each group's candidates walk the shared
-  direction trie *run-to-miss* — every round's distinct cache misses
-  become batched :func:`step_dp_batch` calls, one per trie level touched,
-  whose ``out=`` target is a contiguous row range of that level's
-  **column arena** (:class:`~repro.core.trie.LevelArena`).  Verifying a
-  query therefore allocates a handful of growable arena/scratch buffers
-  instead of one ndarray per computed column — the per-column churn that
-  used to cost ~25% of at-scale verification time in collector overhead.
-  Substitution rows come from a per-query (engine-LRU-cached)
-  :class:`~repro.distance.costs.SubstitutionMatrix` through its
-  :class:`~repro.distance.costs.DirectionRows` caches, and trajectory
-  strings are memoized ``np.int32`` arrays sliced into directional views
-  and materialized into the walker chunk by chunk;
+  **anchor-grouped batch verification** over *slot-native* tries
+  (:class:`~repro.core.trie.VerificationTrie` with ``arena=True``):
+  columns live as rows of one growable per-trie matrix, structure lives
+  in one ``(parent_slot, symbol) -> child_slot`` dict, and the two
+  scalars every visit reads (column min / column last) live in parallel
+  vectors plus plain-float mirrors.  Candidates are deduped, grouped by
+  anchor position ``iq``, and each group's states advance through cached
+  columns **level-synchronously** — one trie level per round, the whole
+  frontier's mins/lasts gathered with vectorized ``np.take`` — which is
+  what makes *warm* tries (served across queries by the engine's
+  :class:`~repro.core.trie.TrieCache`) nearly free to rewalk: a fully
+  cached query never launches a DP kernel at all.  At the cold frontier,
+  states park per-``(slot, symbol)`` miss (rendezvous-deduplicated) and
+  each round's distinct misses become one :func:`step_dp_batch` call
+  writing straight into freshly reserved arena rows; a state that was the
+  *sole* waiter on its miss has provably diverged from every other state
+  and advances as a slot-indexed **virgin chain** — no rendezvous, no
+  walker round-trip — batched into the same kernel calls.
 - ``dp_backend="python"`` is the historical pure-Python per-cell loop,
   kept as the ablation baseline
   (``benchmarks/bench_verification_hotpath.py`` tracks the gap).
@@ -58,10 +62,22 @@ where kernel-launch overhead loses to plain Python — and the array-native
 backend everywhere else.  Safe precisely because the backends are
 bit-identical.
 
-Batching preserves the sequential semantics exactly: which columns get
-computed, every column's floats, each candidate's early-termination point,
-and the UPR/CMR counters are all order-independent, so the two backends —
-and the batched vs. single-candidate numpy paths — agree bit for bit.
+Batching, level-synchrony, and cross-query trie warmth all preserve the
+sequential semantics exactly: which columns get computed *by this query*,
+every column's floats, each candidate's early-termination point, and the
+UPR/CMR counters are order- and schedule-independent — the two backends,
+the batched vs. single-candidate numpy paths, and cold vs. warm caches
+agree on results bit for bit (warm caches lower ``computed_columns`` and
+nothing else: a cached column has the same floats it would be recomputed
+with).
+
+Shared tries (the cross-query cache, and shard engines sharing one cache)
+are walked by concurrent server threads: readers are lock-free, and each
+round of misses is resolved under the trie's writer lock with
+publish-after-write ordering (see :mod:`repro.core.trie`), re-checking
+parked misses against edges another thread may have published meanwhile —
+so concurrent walks never tear a column and at worst recount a column one
+thread computed as the other thread's cache hit.
 
 The :class:`VerificationStats` counters implement the §6.4 metrics: UPR
 (columns surviving early termination vs. a full Smith–Waterman pass) and
@@ -79,7 +95,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.results import MatchSet
-from repro.core.trie import TrieNode, VerificationTrie
+from repro.core.trie import TrieCacheEntry, TrieNode, VerificationTrie
 from repro.distance.costs import CostModel, SubstitutionMatrix
 from repro.exceptions import QueryCancelledError, QueryError
 
@@ -163,13 +179,13 @@ def step_dp_batch(
     row runs the identical operation sequence as the single-column kernel,
     so batching changes throughput, never values.  ``out``, when given,
     receives the columns — the arena path passes a contiguous range of
-    freshly reserved trie-level rows, so a whole round of cache misses is
+    freshly reserved trie rows, so a whole round of cache misses is
     computed without allocating a single column array — and ``work`` (an
     ``(L, n)`` and an ``(L, n+1)`` scratch buffer, contiguous, aliasing
     nothing) absorbs the kernel's intermediate results, making the whole
     call buffer-allocation-free.  This is what makes anchor-grouped
-    verification fast: one launch sequence per trie level instead of per
-    column, writing straight into the cache with the allocator idle.
+    verification fast: one launch sequence per round of misses instead of
+    per column, writing straight into the cache with the allocator idle.
     """
     if out is None:
         c = prev_columns + delete_costs[:, None]
@@ -202,15 +218,24 @@ Candidate = Tuple[int, int, int]  # (trajectory id, position j, query position i
 _SYMBOL_CHUNK = 64
 
 #: ndarray buffers one batched StepDP resolution still materializes per
-#: level group after the scratch rework: the index arrays behind the
-#: parent-row and substitution-row/delete gathers (np.take converts the
-#: slot lists).  Counted (not avoided) because they are per *round*, not
-#: per column; the kernel itself runs buffer-allocation-free via the
-#: context's work/mins scratch.
+#: round after the scratch rework: the index arrays behind the parent-row
+#: and substitution-row/delete gathers (np.take converts the slot lists).
+#: Counted (not avoided) because they are per *round*, not per column;
+#: the kernel itself runs buffer-allocation-free via the context's
+#: work/mins scratch.
 _GROUP_TEMP_ARRAYS = 3
 
 #: same accounting for a single-column StepDP call (kernel temps only).
 _SINGLE_TEMP_ARRAYS = 3
+
+#: ndarray temporaries one level-synchronous gather materializes: the two
+#: index arrays behind the min/last np.take calls plus their two results.
+_GATHER_TEMP_ARRAYS = 4
+
+#: frontier size below which the level-synchronous walker reads the
+#: plain-float min/last mirrors instead of launching np.take gathers
+#: (kernel dispatch overhead loses to list indexing on tiny frontiers).
+_GATHER_MIN = 16
 
 
 @dataclass(slots=True)
@@ -256,20 +281,26 @@ class _DirectionContext:
     ``ins_prefix`` is the cumulative insertion-cost prefix of the query
     part — the trie's root column and the ``P`` of the prefix-min DP
     convention (an ndarray on the numpy backend, a list on the python
-    one, summed left-to-right either way so both hold the same floats).
-    ``rows`` (numpy only) is the matrix-owned
+    one, summed left-to-right either way so both hold the same floats; a
+    *warm* trie served by the engine's TrieCache holds the bit-identical
+    root column because the computation is deterministic).  ``rows``
+    (numpy only) is the matrix-owned
     :class:`~repro.distance.costs.DirectionRows` cache mapping a data
     symbol to this direction's contiguous substitution-row slice and its
     deletion cost; because it lives inside the (engine-LRU-cached)
-    SubstitutionMatrix, repeated queries reuse the copies across
-    verifier instances.  ``row_slice`` maps a *full-query* row to this
-    direction's part: ``slice(iq+1, None)`` forward, ``slice(iq-1, None,
-    -1)`` backward (the reversed prefix).
+    SubstitutionMatrix, repeated queries reuse the copies across verifier
+    instances.  ``row_slice`` maps a *full-query* row to this direction's
+    part: ``slice(iq+1, None)`` forward, ``slice(iq-1, None, -1)``
+    backward (the reversed prefix).
 
-    The context also owns the batched walker's scratch buffers (parent
-    columns, substitution rows, deletion costs), grown geometrically and
-    reused round after round, and the direction's arena-backed
-    :class:`~repro.core.trie.VerificationTrie`.
+    The context is per-verifier (it owns the batched walker's scratch
+    buffers — parent columns, substitution rows, deletion costs — grown
+    geometrically and reused round after round); only the *trie* may be
+    shared: with a :class:`~repro.core.trie.TrieCacheEntry` the
+    direction's arena-backed trie comes warm from the engine's
+    cross-query cache, otherwise a fresh one is built.  ``use_trie=False``
+    (the ablation) builds no arena at all — just a detached root
+    :class:`~repro.core.trie.TrieNode`, since nothing is cached.
     """
 
     __slots__ = (
@@ -278,8 +309,10 @@ class _DirectionContext:
         "row_slice",
         "rows",
         "trie",
+        "root",
         "width",
         "scratch_allocations",
+        "trie_growth",
         "_parents",
         "_subs",
         "_dels",
@@ -296,8 +329,10 @@ class _DirectionContext:
         costs: CostModel,
         *,
         numpy_backend: bool,
+        use_trie: bool = True,
         ins_vec: Optional[np.ndarray] = None,
         matrix: Optional[SubstitutionMatrix] = None,
+        entry: Optional[TrieCacheEntry] = None,
     ) -> None:
         if direction == "b":
             # Backward part: both strings reversed (WED is invariant under
@@ -309,7 +344,15 @@ class _DirectionContext:
             self.row_slice = slice(iq + 1, None)
         self.width = len(self.query_part) + 1
         self.rows = None
+        self.root: Optional[TrieNode] = None
+        self.trie: Optional[VerificationTrie] = None
         self.scratch_allocations = 0
+        #: arena ndarray (re)allocations THIS context performed — trie
+        #: creation plus reserve-driven growth inside our own locked
+        #: rounds.  Accumulated locally rather than read off the (maybe
+        #: shared) trie, so concurrent verifiers growing the same warm
+        #: trie never double-count each other's work.
+        self.trie_growth = 0
         self._parents: Optional[np.ndarray] = None
         self._subs: Optional[np.ndarray] = None
         self._dels: Optional[np.ndarray] = None
@@ -324,13 +367,31 @@ class _DirectionContext:
             self.ins_prefix: Sequence[float] = prefix
             self.rows = matrix.direction_rows((iq, direction), self.row_slice)
             self.scratch_allocations += 1  # the prefix itself
+            if use_trie:
+                if entry is not None:
+                    # Cross-query warm trie: concurrent first-touchers
+                    # converge on one instance; all later queries of this
+                    # (query, model) start with these columns cached.
+                    # Creation is charged to the creating query only (the
+                    # factory runs at most once per entry).
+                    def _build() -> VerificationTrie:
+                        built = VerificationTrie(prefix, arena=True)
+                        self.trie_growth += built.allocations
+                        return built
+
+                    self.trie = entry.trie((iq, direction), _build)
+                else:
+                    self.trie = VerificationTrie(prefix, arena=True)
+                    self.trie_growth += self.trie.allocations
+            else:
+                self.root = TrieNode(prefix)
         else:
             prefix_list: List[float] = [0.0]
             for q in self.query_part:
                 prefix_list.append(prefix_list[-1] + costs.ins(q))
             self.ins_prefix = prefix_list
-        # The root column wed(eps, part prefix) IS the insertion prefix.
-        self.trie = VerificationTrie(self.ins_prefix, arena=numpy_backend)
+            # The root column wed(eps, part prefix) IS the insertion prefix.
+            self.trie = VerificationTrie(prefix_list)
 
     def scratch(
         self, count: int
@@ -364,10 +425,10 @@ class _DirectionContext:
 
     @property
     def arena_allocations(self) -> int:
-        """Arena + scratch ndarray allocations this context has made."""
-        return self.scratch_allocations + (
-            self.trie.allocations if self.trie.arena else 0
-        )
+        """Arena + scratch ndarray allocations this context has made (a
+        warm shared trie's pre-existing allocations — and any growth a
+        *concurrent* verifier performs on it — are excluded)."""
+        return self.scratch_allocations + self.trie_growth
 
 
 class Verifier:
@@ -389,7 +450,7 @@ class Verifier:
     dp_backend:
         ``"auto"`` (resolved per query via :func:`choose_dp_backend`),
         ``"numpy"`` — anchor-grouped batch verification over the
-        array-native column kernels with arena-backed trie columns; or
+        array-native column kernels with slot-native arena tries; or
         ``"python"`` — the pure-Python per-cell loop, kept for ablation.
         Results are bit-identical.
     symbols_array_of:
@@ -408,11 +469,18 @@ class Verifier:
         this exact query — the engine passes its LRU-cached instance so
         repeated queries skip substitution-row computation entirely.  Must
         have been built for the same query string.
+    trie_entry:
+        A :class:`~repro.core.trie.TrieCacheEntry` holding this query's
+        shared direction tries — the engine passes its TrieCache entry so
+        repeated queries (tau and time-window variations included) start
+        verification with warm columns.  Numpy backend with
+        ``use_trie=True`` only; the tries may be walked by concurrent
+        verifiers (see the module docstring's concurrency notes).
     cancel:
         Optional cooperative cancellation token (anything with a
         ``cancelled() -> bool`` method, e.g.
         :class:`~repro.core.cancellation.CancelToken`).  Polled once per
-        candidate (python backend) or per group/trie level (numpy
+        candidate (python backend) or per group/walk round (numpy
         backend) in :meth:`verify_all`, so expired work stops within one
         verification-loop iteration instead of running to completion.
     """
@@ -430,6 +498,7 @@ class Verifier:
         symbols_array_of=None,
         anchors: Optional[Sequence[int]] = None,
         matrix: Optional[SubstitutionMatrix] = None,
+        trie_entry: Optional[TrieCacheEntry] = None,
         cancel=None,
     ) -> None:
         if dp_backend not in ("python", "numpy", "auto"):
@@ -447,6 +516,7 @@ class Verifier:
         self.dp_backend = dp_backend
         self._matrix: Optional[SubstitutionMatrix] = None
         self._ins_vec: Optional[np.ndarray] = None
+        self._trie_entry = trie_entry if (self._numpy and use_trie) else None
         #: ndarrays materialized on the verification path (arena/scratch
         #: growths plus per-round kernel temporaries) — deliberately NOT a
         #: VerificationStats field, because the python backend allocates
@@ -495,7 +565,8 @@ class Verifier:
         column* on top of the same per-round temporaries, so the
         benchmark's allocation-reduction metric compares
         ``computed_columns + dp_array_allocations`` (the old cost) against
-        ``dp_array_allocations`` (the new one)."""
+        ``dp_array_allocations`` (the new one).  With a warm shared trie
+        only this query's growth is counted, not the cached history."""
         total = self._allocs
         for ctx in self._contexts.values():
             total += ctx.arena_allocations
@@ -518,19 +589,10 @@ class Verifier:
         order-independent.
 
         Polls the cancellation token between candidates (python backend)
-        or between anchor groups and trie levels (numpy backend), so a
+        or between anchor groups and walk rounds (numpy backend), so a
         cancelled or deadline-expired query raises
         :class:`~repro.exceptions.QueryCancelledError` within one loop
         iteration instead of verifying the remaining candidates.
-
-        On the numpy backend, trie nodes are materialized only where
-        sharing is possible (see ``_resolve_group``); diverged tails live
-        as arena rows without node objects.  Results and counters are
-        unaffected, but a *later* ``verify_all`` or ``verify_candidate``
-        call on the same verifier finds a sparser cache than sequential
-        walking would have left and may recompute those columns (engine
-        queries build one verifier per query, so this costs nothing
-        there).
         """
         seen = set()
         unique: List[Candidate] = []
@@ -667,56 +729,64 @@ class Verifier:
         budgets: List[float],
         ctx: _DirectionContext,
     ) -> List[List[float]]:
-        """AllPrefixWED for many candidates over one shared trie, walked
-        run-to-miss.
+        """AllPrefixWED for many candidates over one shared slot-native
+        trie, advanced level-synchronously.
 
-        Each round, every runnable state advances through consecutive trie
-        *hits* in a tight local-variable loop (as cheap as the sequential
-        walk), parking at its first cache miss; the round's distinct
-        ``(node, symbol)`` misses — deduplicated through a round-local
-        rendezvous dict, so the shared tries never hold placeholder
-        entries — are then resolved level by level: each level's misses
-        become one :func:`step_dp_batch` call whose ``out=`` is a
-        contiguous range of freshly reserved arena rows, and the new trie
-        nodes are shared by every parked state.  A trie node's identity is
-        its symbol path, so shared-prefix states converge on the same
-        objects regardless of schedule: which columns get computed, each
-        state's visit count, and every float are identical to walking the
-        candidates one at a time — batching only amortizes the numpy
-        launch overhead, and the arena only changes where columns live.
+        Rounds alternate two phases until every state terminates:
 
-        States whose path has *diverged* from every other state (they were
-        the sole waiter on their last miss) are stepped as slot-indexed
-        **virgin chains**: their future steps are guaranteed unshared
-        misses (a state only ever hits columns cached before its first
-        miss, and co-waiters are exactly the states sharing a node), so
-        they skip the walker, the rendezvous, and even TrieNode
-        materialization — their columns live in the same arena rows,
-        addressed by slot, computed in the same per-level kernel calls as
-        the walker misses.  Emitted E values, termination points, and
-        every counter are identical; only the bookkeeping route differs.
+        1. **walk** (:meth:`_walk_level_sync`): all live states advance
+           through cached columns in depth-lockstep — per round, each
+           state's one ``(slot, symbol)`` edge lookup, then the whole
+           frontier's column mins/lasts gathered with two vectorized
+           ``np.take`` calls over the trie's scalar vectors.  On a warm
+           (cross-query cached) trie this phase is the entire
+           verification: no kernel ever launches.  A state whose edge is
+           absent parks at the cold frontier, rendezvous-deduplicated per
+           distinct ``(slot, symbol)`` miss;
+        2. **resolve** (:meth:`_resolve_round`): the round's distinct
+           misses — walker entries and virgin-chain steps together —
+           become one :func:`step_dp_batch` call writing into freshly
+           reserved arena rows, published under the trie's writer lock.
+
+        A state that was the *sole* waiter on its miss has provably
+        diverged from every other state in this walk — states sharing a
+        prefix walk an identical frozen-trie path each round and
+        therefore meet at the same first miss as co-waiters — so its
+        future steps are guaranteed unshared misses: it advances as a
+        slot-indexed **virgin chain**, skipping the walker and rendezvous
+        entirely, batched into the same kernel calls.  Emitted E values,
+        termination points, and every counter are identical to walking
+        the candidates one at a time; batching, lockstep order, virgin
+        routing, and cache warmth only change where time (not arithmetic)
+        is spent — except that warm cache hits are, by definition, not
+        recounted in ``computed_columns``.
+
+        Without the trie (the ablation), every visit recomputes its
+        column into detached per-node storage — see
+        :meth:`_batched_detached`.
         """
-        root = ctx.trie.root
-        outs: List[List[float]] = [[root.column_last] for _ in views]
+        if not self._use_trie:
+            return self._batched_detached(views, budgets, ctx)
+        trie = ctx.trie
+        root_last = trie.lasts_list[0]
+        root_min = trie.mins_list[0]
+        outs: List[List[float]] = [[root_last] for _ in views]
         early = self._early_termination
-        use_trie = self._use_trie
         cancel = self._cancel
-        inf = float("inf")
         # One walk state per candidate still extending:
-        # [node, symbol list, out list, budget, k, len(view), view array].
+        # [slot, symbol list, out list, budget, k, len(view), view array].
         # Symbols are materialized into plain int lists *chunk by chunk*
-        # (C-speed tolist of the zero-copy view, indexed per visit by the
-        # tight loop) so an early-terminated candidate on a very long
-        # trajectory never pays for symbols it will not reach.
+        # (C-speed tolist of the zero-copy view, indexed per visit) so an
+        # early-terminated candidate on a very long trajectory never pays
+        # for symbols it will not reach.
         runnable: List[list] = []
-        root_min = root.column_min
         for view, budget, out in zip(views, budgets, outs):
             if early and root_min >= budget:
                 continue
             n = len(view)
             if n:
                 runnable.append(
-                    [root, view[:_SYMBOL_CHUNK].tolist(), out, budget, 0, n, view]
+                    [0, view[:_SYMBOL_CHUNK].tolist(), out, budget, 0, n, view]
                 )
         computed = 0
         # Visited-column accounting is derived, not incremented: every
@@ -725,30 +795,25 @@ class Verifier:
         # count is the total out-list growth — one subtraction per state
         # instead of one counter bump per visited column.
         #
-        # Parked misses.  The rendezvous for duplicate (node, symbol)
+        # Parked misses.  The rendezvous for duplicate (slot, symbol)
         # misses within a round is ``pend_index`` — a round-local dict, so
-        # the shared tries never see half-born entries: ``children`` gains
-        # a key only when its column is already in the arena, which also
-        # means a failing batch (e.g. a cost model raising mid-row) leaves
-        # the tries fully consistent with no cleanup pass.  Without the
-        # trie every state is its own miss (no sharing), matching the
-        # sequential local-verification mode column for column.
-        pend_index: Dict[Tuple[TrieNode, int], int] = {}
-        pend_nodes: List[TrieNode] = []
+        # the shared trie never sees half-born entries: ``edges`` gains a
+        # key only when its column is already in the arena (and fully
+        # written), which also means a failing batch (e.g. a cost model
+        # raising mid-row) leaves the trie fully consistent with no
+        # cleanup pass.
+        pend_index: Dict[Tuple[int, int], int] = {}
+        pend_pslots: List[int] = []
         pend_syms: List[int] = []
-        pend_depths: List[int] = []
-        pend_slots: List[int] = []
+        pend_rowslots: List[int] = []
         pend_waiters: List[List[list]] = []
         # Virgin chains: parallel lists of (state, parent arena slot,
-        # substitution-row slot); the state's st[4] carries its depth.
+        # next symbol, substitution-row slot).
         v_states: List[list] = []
         v_pslots: List[int] = []
+        v_syms: List[int] = []
         v_rowslots: List[int] = []
-        if use_trie:
-            rows = ctx.rows
-            rows_index_get = rows.index.get
-            rows_slot = rows.slot
-        while runnable or pend_nodes or v_states:
+        while runnable or pend_pslots or v_states:
             if cancel is not None and cancel.cancelled():
                 self.stats.visited_columns += sum(len(o) for o in outs) - len(outs)
                 self.stats.computed_columns += computed
@@ -756,277 +821,284 @@ class Verifier:
                     f"verification cancelled after {self.stats.candidates} "
                     "candidates (mid-batch)"
                 )
-            for st in runnable:
-                node, view, out, budget, k, n = st[:6]
-                append = out.append
-                filled = len(view)
-                # ``limit`` folds the early-termination flag out of the
-                # per-visit condition (inf never fires).
-                limit = budget if early else inf
-                if use_trie:
-                    while True:
-                        if k == filled:
-                            view.extend(st[6][filled : 2 * filled + 16].tolist())
-                            filled = len(view)
-                        symbol = view[k]
-                        child = node.children.get(symbol)
-                        if child is None:
-                            st[0] = node
-                            st[4] = k
-                            rendezvous = (node, symbol)
-                            idx = pend_index.get(rendezvous)
-                            if idx is None:
-                                pend_index[rendezvous] = len(pend_nodes)
-                                pend_nodes.append(node)
-                                pend_syms.append(symbol)
-                                pend_depths.append(k)
-                                # Dense substitution-row slot, resolved
-                                # here (one inline dict hit per distinct
-                                # miss) so resolution can bulk-gather.
-                                sslot = rows_index_get(symbol)
-                                if sslot is None:
-                                    sslot = rows_slot(symbol)
-                                pend_slots.append(sslot)
-                                pend_waiters.append([st])
-                            else:
-                                pend_waiters[idx].append(st)
-                            break
-                        append(child.column_last)
-                        k += 1
-                        if child.column_min >= limit or k == n:
-                            break
-                        node = child
-                else:
-                    # Every visit recomputes its column: park immediately
-                    # (no rendezvous — nothing is shared without the trie).
-                    if k == filled:
-                        view.extend(st[6][filled : 2 * filled + 16].tolist())
-                    symbol = view[k]
-                    st[0] = node
-                    st[4] = k
-                    pend_nodes.append(node)
-                    pend_syms.append(symbol)
-                    pend_waiters.append([st])
-            if pend_nodes or v_states:
-                computed += len(pend_nodes) + len(v_states)
-                if use_trie:
-                    # Resolution steps the virgin chains alongside the
-                    # walker misses (one kernel call per level covers
-                    # both) and fills nxt_v with the chains still alive,
-                    # so only shared-prefix states come back through the
-                    # walker above.
-                    nxt_v: Tuple[list, list, list] = ([], [], [])
-                    runnable = self._resolve_round(
-                        ctx,
-                        pend_nodes,
-                        pend_syms,
-                        pend_depths,
-                        pend_slots,
-                        pend_waiters,
-                        v_states,
-                        v_pslots,
-                        v_rowslots,
-                        nxt_v,
-                    )
-                    v_states, v_pslots, v_rowslots = nxt_v
-                    pend_nodes = []
-                    pend_syms = []
-                    pend_depths = []
-                    pend_slots = []
-                    pend_waiters = []
-                else:
-                    runnable = self._resolve_detached(
-                        ctx, pend_nodes, pend_syms, pend_waiters
-                    )
-                    pend_nodes = []
-                    pend_syms = []
-                    pend_waiters = []
+            if runnable:
+                self._walk_level_sync(
+                    ctx,
+                    runnable,
+                    pend_index,
+                    pend_pslots,
+                    pend_syms,
+                    pend_rowslots,
+                    pend_waiters,
+                )
+            if pend_pslots or v_states:
+                nxt_v: Tuple[list, list, list, list] = ([], [], [], [])
+                done, runnable = self._resolve_round(
+                    ctx,
+                    pend_pslots,
+                    pend_syms,
+                    pend_rowslots,
+                    pend_waiters,
+                    v_states,
+                    v_pslots,
+                    v_syms,
+                    v_rowslots,
+                    nxt_v,
+                )
+                computed += done
+                v_states, v_pslots, v_syms, v_rowslots = nxt_v
                 pend_index.clear()
+                pend_pslots = []
+                pend_syms = []
+                pend_rowslots = []
+                pend_waiters = []
             else:
                 runnable = []
         self.stats.visited_columns += sum(len(o) for o in outs) - len(outs)
         self.stats.computed_columns += computed
         return outs
 
+    def _walk_level_sync(
+        self,
+        ctx: _DirectionContext,
+        states: List[list],
+        pend_index: Dict[Tuple[int, int], int],
+        pend_pslots: List[int],
+        pend_syms: List[int],
+        pend_rowslots: List[int],
+        pend_waiters: List[List[list]],
+    ) -> None:
+        """Advance ``states`` through cached columns until every one has
+        terminated or parked at a cache miss.
+
+        While the frontier is wide (>= ``_GATHER_MIN`` live states — the
+        warm-cache regime, where whole candidate groups walk cached
+        levels together), states advance in depth-lockstep: one round
+        per trie level, the round's edge lookups driven through
+        ``map``/``zip`` at C speed and the frontier's column mins/lasts
+        gathered with two vectorized ``np.take`` calls over the trie's
+        parallel scalar vectors.  Once the frontier thins out, each
+        remaining state runs to its miss in a tight scalar loop over the
+        plain-float mirrors, where per-round batching overhead would
+        dominate.  Both paths read the identical floats and park the
+        identical misses — the trie is frozen during a walk phase, so
+        the visit *interleaving* (lockstep vs run-to-miss) is the only
+        difference, and nothing observes it.  Misses rendezvous per
+        distinct ``(slot, symbol)`` in ``pend_index`` either way.
+        """
+        trie = ctx.trie
+        edges_get = trie.edges.get
+        mins_list = trie.mins_list
+        lasts_list = trie.lasts_list
+        rows = ctx.rows
+        rows_index_get = rows.index.get
+        rows_slot = rows.slot
+        early = self._early_termination
+        inf = float("inf")
+
+        def park(st: list, slot: int, symbol: int) -> None:
+            rendezvous = (slot, symbol)
+            idx = pend_index.get(rendezvous)
+            if idx is None:
+                pend_index[rendezvous] = len(pend_pslots)
+                pend_pslots.append(slot)
+                pend_syms.append(symbol)
+                # Dense substitution-row slot, resolved here (one inline
+                # dict hit per distinct miss) so resolution can
+                # bulk-gather.
+                sslot = rows_index_get(symbol)
+                if sslot is None:
+                    sslot = rows_slot(symbol)
+                pend_rowslots.append(sslot)
+                pend_waiters.append([st])
+            else:
+                pend_waiters[idx].append(st)
+
+        live = states
+        while len(live) >= _GATHER_MIN:
+            for st in live:
+                view = st[1]
+                if st[4] == len(view):
+                    view.extend(st[6][len(view) : 2 * len(view) + 16].tolist())
+            keys = [(st[0], st[1][st[4]]) for st in live]
+            children = list(map(edges_get, keys))
+            if None in children:
+                hit_states: List[list] = []
+                hit_slots: List[int] = []
+                for st, key, child in zip(live, keys, children):
+                    if child is None:
+                        park(st, key[0], key[1])
+                    else:
+                        hit_states.append(st)
+                        hit_slots.append(child)
+                if not hit_states:
+                    return
+            else:
+                hit_states = live
+                hit_slots = children
+            mins_l = np.take(trie.mins, hit_slots).tolist()
+            lasts_l = np.take(trie.lasts, hit_slots).tolist()
+            self._allocs += _GATHER_TEMP_ARRAYS
+            nxt: List[list] = []
+            for st, child, cmin, last in zip(hit_states, hit_slots, mins_l, lasts_l):
+                st[2].append(last)
+                k = st[4] + 1
+                if (early and cmin >= st[3]) or k == st[5]:
+                    continue
+                st[0] = child
+                st[4] = k
+                nxt.append(st)
+            live = nxt
+        for st in live:
+            slot = st[0]
+            view = st[1]
+            out = st[2]
+            k = st[4]
+            n = st[5]
+            append = out.append
+            filled = len(view)
+            # ``limit`` folds the early-termination flag out of the
+            # per-visit condition (inf never fires).
+            limit = st[3] if early else inf
+            while True:
+                if k == filled:
+                    view.extend(st[6][filled : 2 * filled + 16].tolist())
+                    filled = len(view)
+                symbol = view[k]
+                child = edges_get((slot, symbol))
+                if child is None:
+                    st[0] = slot
+                    st[4] = k
+                    park(st, slot, symbol)
+                    break
+                append(lasts_list[child])
+                k += 1
+                if mins_list[child] >= limit or k == n:
+                    break
+                slot = child
+
     def _resolve_round(
         self,
         ctx: _DirectionContext,
-        w_nodes: List[TrieNode],
-        w_syms: List[int],
-        w_depths: List[int],
-        w_rowslots: List[int],
-        w_waiters: List[List[list]],
+        pend_pslots: List[int],
+        pend_syms: List[int],
+        pend_rowslots: List[int],
+        pend_waiters: List[List[list]],
         v_states: List[list],
         v_pslots: List[int],
+        v_syms: List[int],
         v_rowslots: List[int],
-        nxt_v: Tuple[list, list, list],
-    ) -> List[list]:
+        nxt_v: Tuple[list, list, list, list],
+    ) -> Tuple[int, List[list]]:
         """Resolve one round of misses — walker entries and virgin chains
-        together — into the arena.
+        together — into the arena with a single batched kernel call.
 
-        Entries are grouped by child level; each level's walker misses
-        and virgin steps share a single ``out=``-targeted
-        :func:`step_dp_batch` call over a contiguous range of freshly
-        reserved arena rows.  Rounds are single-level almost always
-        (states advance in lockstep once past their first miss), so the
-        common case skips bucketing entirely; ``min``/``max`` detect it
-        at C speed.  ``nxt_v`` receives the virgin chains still alive;
-        the returned list holds the states that must go back through the
-        walker (shared-prefix tails needing dedupe).
-        """
-        if not w_nodes:
-            lo_v = min(st[4] for st in v_states)
-            hi_v = max(st[4] for st in v_states)
-            if lo_v == hi_v:
-                return self._resolve_group(
-                    ctx, lo_v + 1, w_nodes, w_syms, w_rowslots, w_waiters,
-                    v_states, v_pslots, v_rowslots, nxt_v,
-                )
-            lo, hi = lo_v, hi_v
-        elif not v_states:
-            lo = min(w_depths)
-            hi = max(w_depths)
-            if lo == hi:
-                return self._resolve_group(
-                    ctx, lo + 1, w_nodes, w_syms, w_rowslots, w_waiters,
-                    v_states, v_pslots, v_rowslots, nxt_v,
-                )
-        else:
-            lo = min(min(w_depths), min(st[4] for st in v_states))
-            hi = max(max(w_depths), max(st[4] for st in v_states))
-            if lo == hi:
-                return self._resolve_group(
-                    ctx, lo + 1, w_nodes, w_syms, w_rowslots, w_waiters,
-                    v_states, v_pslots, v_rowslots, nxt_v,
-                )
-        # Mixed-level round (possible when budgets stagger terminations):
-        # bucket both populations by level and resolve each level group.
-        w_groups: Dict[int, List[int]] = {}
-        for i, k in enumerate(w_depths):
-            group = w_groups.get(k)
-            if group is None:
-                w_groups[k] = [i]
-            else:
-                group.append(i)
-        v_groups: Dict[int, List[int]] = {}
-        for i, st in enumerate(v_states):
-            k = st[4]
-            group = v_groups.get(k)
-            if group is None:
-                v_groups[k] = [i]
-            else:
-                group.append(i)
-        runnable: List[list] = []
-        for k in sorted(set(w_groups) | set(v_groups)):
-            widx = w_groups.get(k, ())
-            vidx = v_groups.get(k, ())
-            runnable.extend(
-                self._resolve_group(
-                    ctx,
-                    k + 1,
-                    [w_nodes[i] for i in widx],
-                    [w_syms[i] for i in widx],
-                    [w_rowslots[i] for i in widx],
-                    [w_waiters[i] for i in widx],
-                    [v_states[i] for i in vidx],
-                    [v_pslots[i] for i in vidx],
-                    [v_rowslots[i] for i in vidx],
-                    nxt_v,
-                )
-            )
-        return runnable
-
-    def _resolve_group(
-        self,
-        ctx: _DirectionContext,
-        depth: int,
-        w_nodes: List[TrieNode],
-        w_syms: List[int],
-        w_rowslots: List[int],
-        w_waiters: List[List[list]],
-        v_states: List[list],
-        v_pslots: List[int],
-        v_rowslots: List[int],
-        nxt_v: Tuple[list, list, list],
-    ) -> List[list]:
-        """Compute one level's worth of missed columns straight into the
-        arena: parents gathered with one ``np.take`` from the level below
-        (all parents of a level group sit there by construction),
+        Slots are global to the trie (every level has the same column
+        width), so the whole round is one batch regardless of depth:
+        parents gathered with one ``np.take`` from the matrix,
         substitution rows and deletes bulk-gathered by their dense
         :class:`~repro.distance.costs.DirectionRows` slots, and the
-        kernel writing into freshly reserved arena rows — walker misses
-        first, virgin chain steps behind them in the same batch.
+        kernel writing into freshly reserved rows — walker misses first,
+        virgin chain steps behind them.  The trie's writer lock is held
+        across reserve + write + publish (the module-docstring ordering),
+        and parked misses are re-checked against ``edges`` first: on a
+        *shared* trie another thread may have published some of them
+        since this walk parked (those waiters are served as hits, and the
+        column is not re-counted as computed).  Single-threaded the
+        re-check never fires — walks see a frozen trie between park and
+        resolve — so counters stay bit-identical to the python backend.
 
-        Surviving states split two ways.  A *single-waiter* walker
-        entry's column is exclusively its state's: no other live state
-        can ever reach it (hits only happen before a state's first miss,
-        and co-waiters are exactly the states sharing a node), so its
-        next step is a guaranteed miss with no dedupe partner — the state
-        becomes a virgin chain, addressed by arena slot with no TrieNode
-        materialized at all.  Multi-waiter survivors may still converge
-        on shared symbols, so they return to the walker, whose rendezvous
-        dict dedupes them.  Emitted values, termination points, and all
-        counters are identical either way; only the bookkeeping route
-        (and the node count of the in-memory trie) differs."""
+        Returns ``(columns computed, states returning to the walker)``;
+        ``nxt_v`` receives the virgin chains still alive.  A surviving
+        *sole-waiter* walker entry becomes a virgin chain (see
+        :meth:`_batched_all_prefix_wed` for the divergence proof);
+        multi-waiter survivors may still converge on shared symbols, so
+        they return to the walker, whose rendezvous dict dedupes them.
+        """
         trie = ctx.trie
         rows = ctx.rows
         prefix = ctx.ins_prefix
         early = self._early_termination
-        wn = len(w_nodes)
-        vn = len(v_states)
-        count = wn + vn
-        parents, subs, dels, work_a, work_b, mins_buf = ctx.scratch(count)
-        if depth == 1:
-            # Walker-only by construction: virgin states have advanced at
-            # least once, so their children sit at depth >= 2.
-            parents[:] = prefix
-        else:
-            pslots = [node.slot for node in w_nodes]
-            pslots.extend(v_pslots)
-            np.take(
-                trie.level(depth - 1).matrix, pslots, axis=0, out=parents
-            )
-        rowslots = w_rowslots + v_rowslots if vn else w_rowslots
-        np.take(rows.rows, rowslots, axis=0, out=subs)
-        np.take(rows.deletes, rowslots, axis=0, out=dels)
-        arena = trie.level(depth)
-        start = arena.reserve(count)
-        out = arena.matrix[start : start + count]
-        step_dp_batch(subs, dels, prefix, parents, out=out, work=(work_a, work_b))
-        # Direct ufunc reduce: same floats as out.min(axis=1), minus the
-        # np.min wrapper dispatch paid once per round.
-        mins = np.minimum.reduce(out, axis=1, out=mins_buf).tolist()
-        lasts = out[:, -1].tolist()
-        self._allocs += _GROUP_TEMP_ARRAYS
         runnable: List[list] = []
-        runnable_append = runnable.append
-        new = TrieNode.__new__
-        slot = start
-        neg_inf = float("-inf")
-        nv_states, nv_pslots, nv_rowslots = nxt_v
+        wn = len(pend_pslots)
+        vn = len(v_states)
+        lock = trie.lock
+        edges = trie.edges
+        mins_list = trie.mins_list
+        lasts_list = trie.lasts_list
+        with lock:
+            # Cross-thread re-check (no-op single-threaded, see docstring).
+            hit = [
+                i
+                for i in range(wn)
+                if (pend_pslots[i], pend_syms[i]) in edges
+            ]
+            v_hit = (
+                [i for i in range(vn) if (v_pslots[i], v_syms[i]) in edges]
+                if vn
+                else []
+            )
+            if hit or v_hit:
+                wn, vn = self._absorb_published(
+                    ctx, hit, v_hit, pend_pslots, pend_syms, pend_rowslots,
+                    pend_waiters, v_states, v_pslots, v_syms, v_rowslots,
+                    runnable,
+                )
+                if not (wn or vn):
+                    return 0, runnable
+            count = wn + vn
+            parents, subs, dels, work_a, work_b, mins_buf = ctx.scratch(count)
+            pslots = pend_pslots + v_pslots if vn else pend_pslots
+            rowslots = pend_rowslots + v_rowslots if vn else pend_rowslots
+            # Parents are gathered into scratch BEFORE reserving: reserve
+            # may grow (swap) the matrix, and the out= slice below must
+            # come from the post-growth matrix.
+            np.take(trie.matrix, pslots, axis=0, out=parents)
+            np.take(rows.rows, rowslots, axis=0, out=subs)
+            np.take(rows.deletes, rowslots, axis=0, out=dels)
+            # Growth only happens inside reserve, and only under this
+            # lock we hold — so the delta is exactly OUR growth, even on
+            # a trie shared with concurrent verifiers.
+            before_growth = trie.allocations
+            start = trie.reserve(count)
+            ctx.trie_growth += trie.allocations - before_growth
+            out = trie.matrix[start : start + count]
+            step_dp_batch(
+                subs, dels, prefix, parents, out=out, work=(work_a, work_b)
+            )
+            # Direct ufunc reduce: same floats as out.min(axis=1), minus
+            # the np.min wrapper dispatch paid once per round.
+            np.minimum.reduce(out, axis=1, out=mins_buf)
+            trie.mins[start : start + count] = mins_buf
+            trie.lasts[start : start + count] = out[:, -1]
+            mins = mins_buf.tolist()
+            lasts = out[:, -1].tolist()
+            mins_list.extend(mins)
+            lasts_list.extend(lasts)
+            # Publish the edges last: a lock-free reader that sees one is
+            # guaranteed a fully written column and scalars.
+            slot = start
+            for i in range(wn):
+                edges[(pend_pslots[i], pend_syms[i])] = slot
+                slot += 1
+            for i in range(vn):
+                edges[(v_pslots[i], v_syms[i])] = slot
+                slot += 1
+        self._allocs += _GROUP_TEMP_ARRAYS
+        nv_states, nv_pslots, nv_syms, nv_rowslots = nxt_v
         rows_index_get = rows.index.get
         rows_slot = rows.slot
-        # Walker section: one trie node per computed column, built via
-        # __new__ + attribute stores (skipping __init__'s call frame and
-        # derivation branches is worth the verbosity on this path).
-        for parent, symbol, cmin, last, wlist in zip(
-            w_nodes, w_syms, mins, lasts, w_waiters
-        ):
-            child = new(TrieNode)
-            child.children = {}
-            child.column = None
-            child.column_min = cmin
-            child.column_last = last
-            child.slot = slot
-            parent.children[symbol] = child
-            # -inf never reaches a (finite) budget, folding the early flag
-            # out of the per-waiter condition.
-            limit = cmin if early else neg_inf
+        runnable_append = runnable.append
+        slot = start
+        for i in range(wn):
+            cmin = mins[i]
+            last = lasts[i]
+            wlist = pend_waiters[i]
             if len(wlist) == 1:
                 st = wlist[0]
                 st[2].append(last)
                 k = st[4] + 1
-                if limit < st[3] and k != st[5]:
+                if (not early or cmin < st[3]) and k != st[5]:
                     # Sole waiter whose walk continues: divergence point —
                     # the state becomes a virgin chain from this slot.
                     st[4] = k
@@ -1039,43 +1111,167 @@ class Verifier:
                         sslot = rows_slot(symbol2)
                     nv_states.append(st)
                     nv_pslots.append(slot)
+                    nv_syms.append(symbol2)
                     nv_rowslots.append(sslot)
                 slot += 1
                 continue
-            slot += 1
             for st in wlist:
                 st[2].append(last)
                 k = st[4] + 1
-                if limit >= st[3] or k == st[5]:
+                if (early and cmin >= st[3]) or k == st[5]:
                     continue
-                st[0] = child
+                st[0] = slot
                 st[4] = k
                 runnable_append(st)
-        # Virgin section: no nodes, no waiter lists — the chain advances
-        # by arena slot, terminating exactly where the sequential walk
-        # would.
-        if vn:
-            for i in range(vn):
-                st = v_states[i]
-                row = wn + i
-                last = lasts[row]
+            slot += 1
+        # Virgin section: no waiter lists — the chain advances by arena
+        # slot, terminating exactly where the sequential walk would.
+        for i in range(vn):
+            st = v_states[i]
+            row = wn + i
+            last = lasts[row]
+            st[2].append(last)
+            cmin = mins[row]
+            k = st[4] + 1
+            if (early and cmin >= st[3]) or k == st[5]:
+                continue
+            st[4] = k
+            view = st[1]
+            if k == len(view):
+                view.extend(st[6][k : 2 * k + 16].tolist())
+            symbol2 = view[k]
+            sslot = rows_index_get(symbol2)
+            if sslot is None:
+                sslot = rows_slot(symbol2)
+            nv_states.append(st)
+            nv_pslots.append(start + row)
+            nv_syms.append(symbol2)
+            nv_rowslots.append(sslot)
+        return count, runnable
+
+    def _absorb_published(
+        self,
+        ctx: _DirectionContext,
+        hit: List[int],
+        v_hit: List[int],
+        pend_pslots: List[int],
+        pend_syms: List[int],
+        pend_rowslots: List[int],
+        pend_waiters: List[List[list]],
+        v_states: List[list],
+        v_pslots: List[int],
+        v_syms: List[int],
+        v_rowslots: List[int],
+        runnable: List[list],
+    ) -> Tuple[int, int]:
+        """Serve parked misses that a *concurrent* walk resolved first
+        (their edges appeared between park and resolve) as cache hits,
+        compacting the pending lists in place.  Only reachable on shared
+        tries under concurrency; survivors — virgin chains included,
+        since a cross-thread publication breaks the chain's sole-owner
+        guarantee — return to the walker.  Caller holds the trie lock.
+        Returns the compacted ``(walker, virgin)`` pending counts."""
+        trie = ctx.trie
+        edges = trie.edges
+        mins_list = trie.mins_list
+        lasts_list = trie.lasts_list
+        early = self._early_termination
+        hit_set = set(hit)
+        for i in hit:
+            slot = edges[(pend_pslots[i], pend_syms[i])]
+            cmin = mins_list[slot]
+            last = lasts_list[slot]
+            for st in pend_waiters[i]:
                 st[2].append(last)
-                cmin = mins[row]
                 k = st[4] + 1
                 if (early and cmin >= st[3]) or k == st[5]:
                     continue
+                st[0] = slot
                 st[4] = k
+                runnable.append(st)
+        keep = [i for i in range(len(pend_pslots)) if i not in hit_set]
+        pend_pslots[:] = [pend_pslots[i] for i in keep]
+        pend_syms[:] = [pend_syms[i] for i in keep]
+        pend_rowslots[:] = [pend_rowslots[i] for i in keep]
+        pend_waiters[:] = [pend_waiters[i] for i in keep]
+        if v_hit:
+            v_hit_set = set(v_hit)
+            for i in v_hit:
+                st = v_states[i]
+                slot = edges[(v_pslots[i], v_syms[i])]
+                cmin = mins_list[slot]
+                last = lasts_list[slot]
+                st[2].append(last)
+                k = st[4] + 1
+                if (early and cmin >= st[3]) or k == st[5]:
+                    continue
+                st[0] = slot
+                st[4] = k
+                runnable.append(st)
+            keep = [i for i in range(len(v_states)) if i not in v_hit_set]
+            v_states[:] = [v_states[i] for i in keep]
+            v_pslots[:] = [v_pslots[i] for i in keep]
+            v_syms[:] = [v_syms[i] for i in keep]
+            v_rowslots[:] = [v_rowslots[i] for i in keep]
+        return len(pend_pslots), len(v_states)
+
+    def _batched_detached(
+        self,
+        views: List[np.ndarray],
+        budgets: List[float],
+        ctx: _DirectionContext,
+    ) -> List[List[float]]:
+        """The ``use_trie=False`` ablation: every visit recomputes its
+        column (nothing is shared), still batched per round so the kernel
+        amortizes — matching the sequential local-verification mode
+        column for column."""
+        root = ctx.root
+        outs: List[List[float]] = [[root.column_last] for _ in views]
+        early = self._early_termination
+        cancel = self._cancel
+        runnable: List[list] = []
+        root_min = root.column_min
+        for view, budget, out in zip(views, budgets, outs):
+            if early and root_min >= budget:
+                continue
+            n = len(view)
+            if n:
+                runnable.append(
+                    [root, view[:_SYMBOL_CHUNK].tolist(), out, budget, 0, n, view]
+                )
+        computed = 0
+        pend_nodes: List[TrieNode] = []
+        pend_syms: List[int] = []
+        pend_waiters: List[List[list]] = []
+        while runnable or pend_nodes:
+            if cancel is not None and cancel.cancelled():
+                self.stats.visited_columns += sum(len(o) for o in outs) - len(outs)
+                self.stats.computed_columns += computed
+                raise QueryCancelledError(
+                    f"verification cancelled after {self.stats.candidates} "
+                    "candidates (mid-batch)"
+                )
+            for st in runnable:
                 view = st[1]
+                k = st[4]
                 if k == len(view):
-                    view.extend(st[6][k : 2 * k + 16].tolist())
-                symbol2 = view[k]
-                sslot = rows_index_get(symbol2)
-                if sslot is None:
-                    sslot = rows_slot(symbol2)
-                nv_states.append(st)
-                nv_pslots.append(start + row)
-                nv_rowslots.append(sslot)
-        return runnable
+                    view.extend(st[6][len(view) : 2 * len(view) + 16].tolist())
+                pend_nodes.append(st[0])
+                pend_syms.append(view[k])
+                pend_waiters.append([st])
+            if pend_nodes:
+                computed += len(pend_nodes)
+                runnable = self._resolve_detached(
+                    ctx, pend_nodes, pend_syms, pend_waiters
+                )
+                pend_nodes = []
+                pend_syms = []
+                pend_waiters = []
+            else:
+                runnable = []
+        self.stats.visited_columns += sum(len(o) for o in outs) - len(outs)
+        self.stats.computed_columns += computed
+        return outs
 
     def _resolve_detached(
         self,
@@ -1131,8 +1327,10 @@ class Verifier:
                 direction,
                 self._costs,
                 numpy_backend=self._numpy,
+                use_trie=self._use_trie,
                 ins_vec=self._ins_vec,
                 matrix=self._matrix,
+                entry=self._trie_entry,
             )
             self._contexts[key] = ctx
         return ctx
@@ -1149,47 +1347,75 @@ class Verifier:
         (single-candidate path; the batched walker produces identical
         columns and counters — including where the columns live: cache
         misses are computed straight into reserved arena rows)."""
-        trie = ctx.trie
-        node: TrieNode = trie.root
-        out: List[float] = [node.column_last]
         early = self._early_termination
-        if early and node.column_min >= budget:
+        visited = computed = 0
+        if not self._use_trie:
+            # Detached: recompute every column, cache nothing.
+            node = ctx.root
+            out: List[float] = [node.column_last]
+            if early and node.column_min >= budget:
+                return out
+            rows_get = ctx.rows.get
+            prefix = ctx.ins_prefix
+            item = data_part.item
+            for k in range(len(data_part)):
+                symbol = item(k)
+                visited += 1
+                sub_row, delete_cost = rows_get(symbol)
+                column = step_dp_numpy(sub_row, delete_cost, prefix, node.column)
+                node = TrieNode(column, column.min().item(), column.item(-1))
+                self._allocs += 1 + _SINGLE_TEMP_ARRAYS
+                computed += 1
+                out.append(node.column_last)
+                if early and node.column_min >= budget:
+                    break
+            self.stats.visited_columns += visited
+            self.stats.computed_columns += computed
             return out
+        trie = ctx.trie
+        mins_list = trie.mins_list
+        lasts_list = trie.lasts_list
+        out = [lasts_list[0]]
+        if early and mins_list[0] >= budget:
+            return out
+        edges_get = trie.edges.get
         rows_get = ctx.rows.get
         prefix = ctx.ins_prefix
-        use_trie = self._use_trie
         item = data_part.item
-        visited = computed = 0
+        slot = 0
         for k in range(len(data_part)):
             symbol = item(k)
             visited += 1
-            child = node.children.get(symbol) if use_trie else None
+            child = edges_get((slot, symbol))
             if child is None:
-                sub_row, delete_cost = rows_get(symbol)
-                prev = (
-                    node.column
-                    if node.column is not None
-                    else trie.level(k).matrix[node.slot]
-                )
-                if use_trie:
-                    arena = trie.level(k + 1)
-                    slot = arena.reserve(1)
-                    column = step_dp_numpy(
-                        sub_row, delete_cost, prefix, prev, out=arena.matrix[slot]
-                    )
-                    child = TrieNode(
-                        None, column.min().item(), column.item(-1), slot
-                    )
-                    node.children[symbol] = child
-                else:
-                    column = step_dp_numpy(sub_row, delete_cost, prefix, prev)
-                    child = TrieNode(column, column.min().item(), column.item(-1))
-                    self._allocs += 1
-                computed += 1
-                self._allocs += _SINGLE_TEMP_ARRAYS
-            node = child
-            out.append(node.column_last)
-            if early and node.column_min >= budget:
+                with trie.lock:
+                    child = edges_get((slot, symbol))  # cross-thread re-check
+                    if child is None:
+                        sub_row, delete_cost = rows_get(symbol)
+                        before_growth = trie.allocations
+                        child = trie.reserve(1)
+                        ctx.trie_growth += trie.allocations - before_growth
+                        # prev is fetched post-reserve so both views come
+                        # from the (possibly grown) current matrix.
+                        column = step_dp_numpy(
+                            sub_row,
+                            delete_cost,
+                            prefix,
+                            trie.matrix[slot],
+                            out=trie.matrix[child],
+                        )
+                        cmin = column.min().item()
+                        clast = column.item(-1)
+                        trie.mins[child] = cmin
+                        trie.lasts[child] = clast
+                        mins_list.append(cmin)
+                        lasts_list.append(clast)
+                        trie.edges[(slot, symbol)] = child
+                        computed += 1
+                        self._allocs += _SINGLE_TEMP_ARRAYS
+            slot = child
+            out.append(lasts_list[slot])
+            if early and mins_list[slot] >= budget:
                 break
         self.stats.visited_columns += visited
         self.stats.computed_columns += computed
@@ -1263,8 +1489,12 @@ class Verifier:
         return column
 
     def trie_node_count(self) -> int:
-        """Total cached columns across all live tries."""
-        return sum(ctx.trie.node_count() for ctx in self._contexts.values())
+        """Total cached columns across all live tries (detached contexts
+        count their root alone — nothing else survives the walk there)."""
+        total = 0
+        for ctx in self._contexts.values():
+            total += 1 if ctx.trie is None else ctx.trie.node_count()
+        return total
 
 
 class _Reversed:

@@ -41,7 +41,7 @@ when the caller stops waiting):
 
     ("query", req_id, symbols, kwargs, remaining_seconds | None)
     ("add",   req_id, expected_local_id, trajectory, validate)
-    ("stats", req_id)
+    ("stats", req_id)                 -> {"substitution": ..., "trie": ...}
     ("stop",  req_id)
     reply: (req_id, "ok", payload) | (req_id, "error", exception)
 
@@ -168,7 +168,19 @@ def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None
                     )
                 conn.send((req_id, "ok", tid))
             elif kind == "stats":
-                conn.send((req_id, "ok", engine.substitution_cache_stats()))
+                # One combined payload for every engine-level cache, so a
+                # single non-blocking poll serves all observability
+                # consumers (healthz, /stats, aggregated shard stats).
+                conn.send(
+                    (
+                        req_id,
+                        "ok",
+                        {
+                            "substitution": engine.substitution_cache_stats(),
+                            "trie": engine.trie_cache_stats(),
+                        },
+                    )
+                )
             else:
                 raise WorkerError(f"unknown message kind {kind!r}")
         except BaseException as exc:  # noqa: BLE001 — ship failures to the parent
@@ -449,12 +461,29 @@ class ShardWorkerPool:
 
     # -- diagnostics --------------------------------------------------------
 
-    def substitution_cache_stats(self) -> List[Optional[Dict[str, int]]]:
-        """Per-worker SubstitutionMatrix-LRU counters, polled without
-        blocking: a worker busy with an in-flight query yields ``None``
-        (the caller reports partial coverage instead of stalling)."""
+    def cache_stats(self) -> List[Optional[Dict[str, Dict[str, int]]]]:
+        """Per-worker engine-cache counters (``{"substitution": ...,
+        "trie": ...}``), polled without blocking: a worker busy with an
+        in-flight query yields ``None`` (the caller reports partial
+        coverage instead of stalling)."""
         self._check_open()
         return [w.try_call("stats", ()) for w in self._workers]
+
+    def substitution_cache_stats(self) -> List[Optional[Dict[str, int]]]:
+        """Per-worker SubstitutionMatrix-LRU counters (see
+        :meth:`cache_stats` for the polling semantics)."""
+        return [
+            None if part is None else part.get("substitution")
+            for part in self.cache_stats()
+        ]
+
+    def trie_cache_stats(self) -> List[Optional[Dict[str, int]]]:
+        """Per-worker TrieCache counters (see :meth:`cache_stats` for the
+        polling semantics)."""
+        return [
+            None if part is None else part.get("trie")
+            for part in self.cache_stats()
+        ]
 
     # -- replication --------------------------------------------------------
 

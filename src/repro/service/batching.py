@@ -126,11 +126,17 @@ class Batcher:
                     f"{wait_timeout} seconds"
                 )
             if flight.error is not None:
-                if (
-                    follower_retry is not None
-                    and follower_retry(flight.error)
-                    and (expires is None or monotonic() < expires)
-                ):
+                if follower_retry is not None and follower_retry(flight.error):
+                    if expires is not None and monotonic() >= expires:
+                        # The error was retryable but this follower's OWN
+                        # budget ran out mid-retry (e.g. the predicate or
+                        # scheduling outlived it): its deadline verdict
+                        # is TimeoutError, not an inherited leader error
+                        # it explicitly opted out of.
+                        raise TimeoutError(
+                            "coalesced computation did not finish within "
+                            f"{wait_timeout} seconds"
+                        )
                     with self._lock:
                         # This request was NOT served by the leader's
                         # computation after all — take back its coalesced

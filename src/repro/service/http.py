@@ -123,18 +123,23 @@ class _Handler(BaseHTTPRequestHandler):
                     "backend": getattr(engine, "backend", "single"),
                     "dp_backend": getattr(engine, "dp_backend", "auto"),
                 }
-                sub_stats = getattr(engine, "substitution_cache_stats", None)
-                if sub_stats is not None:
-                    # Cache-hit observability for repeated-query traffic;
-                    # on the processes backend busy workers are skipped
-                    # (the probe must not queue behind a long
-                    # verification), and a failing poll (dead worker,
-                    # closing engine) degrades the field rather than the
-                    # probe — /healthz answers liveness, not shard health.
+                # Cache-hit observability for repeated-query traffic
+                # (substitution rows and warm verification tries), read
+                # as ONE combined snapshot so the processes backend's
+                # non-blocking worker poll runs once per probe; busy
+                # workers are skipped (the probe must not queue behind a
+                # long verification), and a failing poll (dead worker,
+                # closing engine) degrades the fields rather than the
+                # probe — /healthz answers liveness, not shard health.
+                cache_stats = getattr(engine, "cache_stats", None)
+                if cache_stats is not None:
                     try:
-                        payload["substitution_cache"] = sub_stats()
+                        combined = cache_stats()
+                        payload["substitution_cache"] = combined["substitution"]
+                        payload["trie_cache"] = combined["trie"]
                     except Exception as exc:  # noqa: BLE001
                         payload["substitution_cache"] = {"error": str(exc)}
+                        payload["trie_cache"] = {"error": str(exc)}
                 self._send_json(200, payload)
             elif self.path == "/stats":
                 self._send_json(200, service.stats())

@@ -258,7 +258,11 @@ class QueryService:
         snap["coalesced_retries"] = (
             self.batcher.retried_followers if self.batcher is not None else 0
         )
-        sub_stats = getattr(self._engine, "substitution_cache_stats", None)
-        if sub_stats is not None:
-            snap["substitution_cache"] = sub_stats()
+        # One combined snapshot: on the processes backend the worker
+        # pipes are polled once, and both caches report the same moment.
+        cache_stats = getattr(self._engine, "cache_stats", None)
+        if cache_stats is not None:
+            combined = cache_stats()
+            snap["substitution_cache"] = combined["substitution"]
+            snap["trie_cache"] = combined["trie"]
         return snap

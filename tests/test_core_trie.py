@@ -1,9 +1,9 @@
-"""Verification trie data structure (per-node and arena-backed layouts)."""
+"""Verification trie data structure (per-node and slot-native layouts)."""
 
 import numpy as np
 import pytest
 
-from repro.core.trie import LevelArena, TrieNode, VerificationTrie
+from repro.core.trie import TrieCache, TrieCacheEntry, TrieNode, VerificationTrie
 
 
 class TestTrieNode:
@@ -40,56 +40,141 @@ class TestVerificationTrie:
         assert trie.node_count() == 4
 
 
-class TestLevelArena:
-    def test_reserve_contiguous(self):
-        arena = LevelArena(4, capacity=2)
-        assert arena.reserve(2) == 0
-        assert arena.reserve(3) == 2  # forces growth, slots stay dense
-        assert arena.used == 5
-        assert arena.matrix.shape[1] == 4
+class TestArenaTrie:
+    """The slot-native layout: one matrix, one edges dict, scalar vectors."""
 
-    def test_growth_preserves_rows(self):
-        arena = LevelArena(3, capacity=1)
-        first = arena.reserve(1)
-        arena.matrix[first] = [1.0, 2.0, 3.0]
-        before = arena.allocations
-        arena.reserve(8)  # grows past capacity
-        assert arena.allocations > before
-        assert arena.matrix[first].tolist() == [1.0, 2.0, 3.0]
+    def test_root_lives_at_slot_zero(self):
+        trie = VerificationTrie(np.asarray([0.0, 1.0, 2.0]), arena=True)
+        assert trie.root is None
+        assert trie.used == 1
+        assert trie.row(0).tolist() == [0.0, 1.0, 2.0]
+        assert trie.mins_list == [0.0]
+        assert trie.lasts_list == [2.0]
+        assert trie.mins[0] == 0.0 and trie.lasts[0] == 2.0
+        assert trie.node_count() == 1
+
+    def test_reserve_contiguous_and_growth_preserves_rows(self):
+        trie = VerificationTrie(np.asarray([1.0, 2.0, 3.0]), arena=True)
+        with trie.lock:
+            first = trie.reserve(2)
+        assert first == 1  # root occupies slot 0
+        trie.matrix[first] = [4.0, 5.0, 6.0]
+        before = trie.allocations
+        with trie.lock:
+            grown = trie.reserve(200)  # forces growth, slots stay dense
+        assert grown == 3
+        assert trie.used == 203
+        assert trie.allocations > before
+        assert trie.matrix[first].tolist() == [4.0, 5.0, 6.0]
+        assert trie.row(0).tolist() == [1.0, 2.0, 3.0]
+        assert trie.mins.shape == trie.lasts.shape == (trie.matrix.shape[0],)
 
     def test_growth_is_geometric(self):
-        arena = LevelArena(2, capacity=2)
-        for _ in range(100):
-            arena.reserve(1)
-        # 100 rows, doubling from 2: ~6 reallocations, not ~50.
-        assert arena.allocations <= 8
+        trie = VerificationTrie(np.zeros(2), arena=True)
+        for _ in range(300):
+            with trie.lock:
+                trie.reserve(1)
+        # 300 rows, doubling from 32: ~4 reallocation rounds, not ~300.
+        assert trie.allocations <= 3 + 4 * 3
 
-
-class TestArenaTrie:
-    def test_arena_nodes_hold_slots_not_columns(self):
-        root_column = np.asarray([0.0, 1.0, 2.0])
-        trie = VerificationTrie(root_column, arena=True)
-        arena = trie.level(1)
-        slot = arena.reserve(1)
-        arena.matrix[slot] = [0.5, 1.5, 2.5]
-        child = TrieNode(None, 0.5, 2.5, slot)
-        trie.root.children[7] = child
-        assert child.column is None
-        assert child.slot == slot
-        assert trie.column(child, 1).tolist() == [0.5, 1.5, 2.5]
-        assert trie.column(trie.root, 0) is root_column
+    def test_edges_address_columns(self):
+        trie = VerificationTrie(np.asarray([0.0, 1.0]), arena=True)
+        with trie.lock:
+            slot = trie.reserve(1)
+            trie.matrix[slot] = [0.5, 1.5]
+            trie.mins[slot] = 0.5
+            trie.lasts[slot] = 1.5
+            trie.mins_list.append(0.5)
+            trie.lasts_list.append(1.5)
+            trie.edges[(0, 7)] = slot
+        assert trie.edges.get((0, 7)) == slot
+        assert trie.edges.get((0, 8)) is None
         assert trie.node_count() == 2
-        assert trie.level_count() == 1
-        assert trie.allocations >= 1
 
-    def test_levels_created_lazily_and_share_width(self):
-        trie = VerificationTrie(np.zeros(5), arena=True)
-        assert trie.level_count() == 0
-        level3 = trie.level(3)
-        assert trie.level_count() == 3
-        assert level3.matrix.shape[1] == 5
-        assert trie.level(3) is level3  # stable identity
+    def test_nbytes_tracks_growth(self):
+        trie = VerificationTrie(np.zeros(4), arena=True)
+        before = trie.nbytes
+        assert before > 0
+        with trie.lock:
+            trie.reserve(500)
+        assert trie.nbytes > before
+        # Non-arena tries pin nothing accountable.
+        assert VerificationTrie([0.0]).nbytes == 0
 
-    def test_arena_node_requires_explicit_scalars(self):
+
+class TestTrieCacheEntry:
+    def test_first_touch_converges_on_one_instance(self):
+        entry = TrieCacheEntry()
+        built = []
+
+        def factory():
+            trie = VerificationTrie(np.zeros(3), arena=True)
+            built.append(trie)
+            return trie
+
+        a = entry.trie((0, "f"), factory)
+        b = entry.trie((0, "f"), factory)
+        c = entry.trie((0, "b"), factory)
+        assert a is b
+        assert a is not c
+        assert len(built) == 2
+        assert entry.nbytes == a.nbytes + c.nbytes
+        assert entry.column_count() == 2  # two roots
+
+
+class TestTrieCache:
+    def _entry_with_bytes(self, cache, key, rows):
+        entry = cache.entry(key)
+        trie = entry.trie((0, "f"), lambda: VerificationTrie(np.zeros(8), arena=True))
+        with trie.lock:
+            trie.reserve(rows)
+        return entry
+
+    def test_lru_entry_capacity(self):
+        cache = TrieCache(2)
+        cache.entry("a")
+        cache.entry("b")
+        cache.entry("a")  # refresh: b is now LRU
+        cache.entry("c")  # evicts b
+        assert cache.keys() == ["a", "c"]
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 3
+
+    def test_zero_capacity_disables(self):
+        cache = TrieCache(0)
+        assert cache.entry("a") is None
+        assert cache.entry("a") is None
+        stats = cache.stats()
+        assert stats["hits"] == stats["misses"] == stats["size"] == 0
+
+    def test_byte_budget_evicts_lru_first(self):
+        cache = TrieCache(16, max_bytes=150_000)
+        self._entry_with_bytes(cache, "a", 400)
+        self._entry_with_bytes(cache, "b", 400)
+        assert cache.reconcile() <= 150_000
+        # One ~100KB entry fits; two do not. "a" (LRU) must have gone.
+        assert cache.keys() == ["b"]
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["bytes"] <= 150_000
+
+    def test_reconcile_accounts_growth_after_insertion(self):
+        cache = TrieCache(16, max_bytes=50_000)
+        entry = self._entry_with_bytes(cache, "a", 4)
+        assert cache.reconcile() < 50_000
+        assert cache.keys() == ["a"]
+        # The cached entry keeps growing while cached — the budget must
+        # catch it at the next reconcile, even as the only entry.
+        trie = entry.tries[(0, "f")]
+        with trie.lock:
+            trie.reserve(4000)
+        cache.reconcile()
+        assert cache.keys() == []
+        assert cache.stats()["bytes"] == 0
+
+    def test_negative_parameters_rejected(self):
         with pytest.raises(ValueError):
-            TrieNode(None)  # no column to derive min/last from
+            TrieCache(-1)
+        with pytest.raises(ValueError):
+            TrieCache(4, max_bytes=-1)

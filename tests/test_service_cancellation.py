@@ -379,6 +379,67 @@ class TestCoalescingFairness:
         assert errors["follower"] is errors["leader"]
         assert batcher.retried_followers == 0
 
+    def test_batcher_follower_deadline_expires_mid_retry(self):
+        """ISSUE 5 regression: a follower whose OWN deadline expires
+        *mid-retry* — after the leader's retryable failure woke it but
+        before it could re-enter the flight table (here: the retry
+        predicate itself outlives the budget, standing in for any
+        scheduling delay) — must fail with its own budget verdict,
+        TimeoutError, not inherit the leader's error it explicitly opted
+        out of, and must not go around as a new leader with time it does
+        not have."""
+        batcher = Batcher()
+        release = threading.Event()
+        computes = []
+
+        def compute():
+            computes.append(1)
+            assert release.wait(5.0)
+            raise DeadlineExceededError("leader budget exhausted")
+
+        def slow_retry_predicate(exc: BaseException) -> bool:
+            # Retryable — but deciding so outlived the follower's budget.
+            time.sleep(0.15)
+            return isinstance(exc, DeadlineExceededError)
+
+        errors = {}
+
+        def leader():
+            try:
+                batcher.run("k", compute, follower_retry=_retry_deadline)
+            except BaseException as exc:  # noqa: BLE001
+                errors["leader"] = exc
+
+        def follower():
+            try:
+                batcher.run(
+                    "k",
+                    compute,
+                    wait_timeout=0.1,
+                    follower_retry=slow_retry_predicate,
+                )
+            except BaseException as exc:  # noqa: BLE001
+                errors["follower"] = exc
+
+        t_leader = threading.Thread(target=leader)
+        t_leader.start()
+        deadline = time.monotonic() + 5.0
+        while batcher.in_flight() == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        t_follower = threading.Thread(target=follower)
+        t_follower.start()
+        while batcher.coalesced == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release.set()
+        t_leader.join(5.0)
+        t_follower.join(5.0)
+        assert isinstance(errors["leader"], DeadlineExceededError)
+        assert isinstance(errors["follower"], TimeoutError)
+        assert errors["follower"] is not errors["leader"]
+        # No retry happened: the single compute() was the leader's.
+        assert batcher.retried_followers == 0
+        assert len(computes) == 1
+
     def test_service_follower_survives_leader_deadline(
         self, vertex_dataset, edr_cost, rng, monkeypatch
     ):

@@ -1,0 +1,483 @@
+"""Cross-query warm trie cache (ISSUE 5): warm == cold, bit for bit.
+
+The engine-level :class:`~repro.core.trie.TrieCache` persists verification
+tries across queries sharing the query-and-cost-model signature prefix, so
+repeated queries walk warm columns level-synchronously instead of
+recomputing them.  Warmth is a pure scheduling change — a cached column
+holds the exact floats its recomputation would produce — so this suite
+pins, via hypothesis over synthetic workloads and non-representable
+(0.3-multiple) costs:
+
+- results (match keys AND distances) bit-identical warm vs cold, across
+  python/numpy/auto backends and tau variations sharing one cache entry;
+- every VerificationStats counter identical warm vs cold except
+  ``computed_columns``, which may only *drop* on a warm walk (and drops
+  to exactly 0 on an exact repeat — the whole frontier is cached);
+- the cache being merely *enabled* changes nothing: a first (cold-start)
+  query through the cache matches the cache-disabled run in results,
+  stats, and ``dp_array_allocations`` exactly;
+- concurrency: shard engines sharing one TrieCache under simultaneous
+  queries and an online insert never tear a column;
+- eviction: LRU order under the byte budget, arena release, size-0
+  disable, and stats summing across shards (processes backend included).
+"""
+
+import gc
+import json
+import threading
+import urllib.request
+import weakref
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_parser
+from repro.core.engine import (
+    DEFAULT_TRIE_CACHE,
+    DEFAULT_TRIE_CACHE_BYTES,
+    SubtrajectorySearch,
+)
+from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.core.results import MatchSet
+from repro.core.trie import TrieCacheEntry
+from repro.core.verification import Verifier
+from repro.distance.costs import CostModel, LevenshteinCost
+from repro.service import QueryService
+from repro.service.http import ServiceServer
+from repro.trajectory.dataset import TrajectoryDataset
+
+
+class WeightedCost(CostModel):
+    """Non-representable 0.3-multiple costs: bit-identity stress.
+
+    No ``sub_row_array`` override, so ``vectorized_rows()`` is False and
+    ``dp_backend="auto"`` routes every query length to numpy."""
+
+    name = "w03"
+
+    def sub(self, a: int, b: int) -> float:
+        return 0.3 * abs(a - b)
+
+    def ins(self, a: int) -> float:
+        return 0.7 + 0.1 * (a % 3)
+
+
+lev = LevenshteinCost()
+w03 = WeightedCost()
+
+
+def candidates_for(data_strings, query):
+    """All (id, j, iq) anchors within substitution distance 1 symbol."""
+    out = []
+    for tid, data in enumerate(data_strings):
+        for j, sym in enumerate(data):
+            for iq, q in enumerate(query):
+                if abs(sym - q) <= 1:
+                    out.append((tid, j, iq))
+    return out
+
+
+def run_verifier(data, query, costs, tau, backend, entry):
+    v = Verifier(
+        lambda tid: data[tid],
+        query,
+        costs,
+        tau,
+        dp_backend=backend,
+        trie_entry=entry,
+    )
+    ms = MatchSet()
+    v.verify_all(candidates_for(data, query), ms)
+    matches = sorted(
+        (m.trajectory_id, m.start, m.end, m.distance) for m in ms.to_list()
+    )
+    return matches, v.stats, v.dp_array_allocations
+
+
+symbols = st.integers(min_value=0, max_value=5)
+strings = st.lists(symbols, min_size=1, max_size=10)
+
+
+class TestWarmColdBitIdentity:
+    """Hypothesis pinning of the warm walker against cold verification."""
+
+    @given(
+        data=st.lists(strings, min_size=1, max_size=3),
+        query=st.lists(symbols, min_size=1, max_size=5),
+        taus=st.lists(
+            st.floats(min_value=0.4, max_value=4.0), min_size=1, max_size=3
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    @pytest.mark.parametrize("costs", [lev, w03], ids=["lev", "w03"])
+    def test_tau_variations_share_one_entry(self, costs, data, query, taus):
+        """One shared TrieCacheEntry across tau variations: results and
+        all answer-relevant counters bit-identical to fresh-trie runs;
+        computed_columns only ever drops."""
+        entry = TrieCacheEntry()
+        for tau in taus:
+            warm = run_verifier(data, query, costs, tau, "numpy", entry)
+            cold = run_verifier(data, query, costs, tau, "numpy", None)
+            assert warm[0] == cold[0]  # keys AND distances, exact ==
+            ws, cs = warm[1], cold[1]
+            assert ws.candidates == cs.candidates
+            assert ws.sw_columns == cs.sw_columns
+            assert ws.visited_columns == cs.visited_columns
+            assert ws.emitted == cs.emitted
+            assert ws.duplicate_candidates == cs.duplicate_candidates
+            # Warmth can only save recomputation, never add it.
+            assert ws.computed_columns <= cs.computed_columns
+        # An exact repeat finds its whole frontier cached: the walk is
+        # pure level-synchronous gathers, zero kernel launches.
+        repeat = run_verifier(data, query, costs, taus[-1], "numpy", entry)
+        assert repeat[0] == warm[0]
+        assert repeat[1].computed_columns == 0
+        assert repeat[1].visited_columns == warm[1].visited_columns
+
+    @given(
+        data=st.lists(strings, min_size=1, max_size=3),
+        query=st.lists(symbols, min_size=1, max_size=5),
+        tau=st.floats(min_value=0.4, max_value=4.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    @pytest.mark.parametrize("costs", [lev, w03], ids=["lev", "w03"])
+    def test_warm_walk_matches_python_backend(self, costs, data, query, tau):
+        """The strongest cross-backend pin: a *warm* numpy walk equals the
+        pure-Python per-cell backend bit for bit — results and every
+        counter except computed_columns (the python backend has no
+        cross-query cache, so it recomputes what the warm walk reuses)."""
+        entry = TrieCacheEntry()
+        run_verifier(data, query, costs, tau, "numpy", entry)  # warm up
+        warm = run_verifier(data, query, costs, tau, "numpy", entry)
+        python = run_verifier(data, query, costs, tau, "python", None)
+        assert warm[0] == python[0]
+        assert warm[1].visited_columns == python[1].visited_columns
+        assert warm[1].emitted == python[1].emitted
+        assert warm[1].computed_columns == 0
+        # And the python backend ignores the entry entirely: handing it
+        # one must change nothing (auto short queries on vectorizable
+        # models resolve to python — the cache must be inert there).
+        with_entry = run_verifier(data, query, costs, tau, "python", entry)
+        assert with_entry[0] == python[0]
+        assert with_entry[1] == python[1]
+        assert with_entry[2] == python[2] == 0  # no ndarrays either way
+
+    @given(
+        data=st.lists(strings, min_size=1, max_size=3),
+        query=st.lists(symbols, min_size=1, max_size=5),
+        tau=st.floats(min_value=0.4, max_value=4.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cache_enabled_cold_start_is_invisible(self, data, query, tau):
+        """Routing a first-touch query through a (cold) cache entry is a
+        no-op: results, the full VerificationStats, and even
+        dp_array_allocations match the cache-disabled run exactly."""
+        through_cache = run_verifier(data, query, w03, tau, "numpy", TrieCacheEntry())
+        no_cache = run_verifier(data, query, w03, tau, "numpy", None)
+        assert through_cache[0] == no_cache[0]
+        assert through_cache[1] == no_cache[1]
+        assert through_cache[2] == no_cache[2]
+
+
+def _result_key(result):
+    return [(m.trajectory_id, m.start, m.end, m.distance) for m in result.matches]
+
+
+class TestEngineWarmPath:
+    """Engine-level integration: cache key sharing, backends, inserts."""
+
+    @pytest.mark.parametrize("dp_backend", ["auto", "numpy", "python"])
+    def test_warm_engine_matches_cold_engine(
+        self, vertex_dataset, netedr_cost, rng, dp_backend
+    ):
+        from tests.conftest import sample_query
+
+        warm_engine = SubtrajectorySearch(
+            vertex_dataset, netedr_cost, dp_backend=dp_backend, trie_cache_size=8
+        )
+        cold_engine = SubtrajectorySearch(
+            vertex_dataset, netedr_cost, dp_backend=dp_backend, trie_cache_size=0
+        )
+        query = sample_query(vertex_dataset, rng, 8)
+        for tau_ratio in (0.3, 0.45, 0.3, 0.2):
+            warm = warm_engine.query(query, tau_ratio=tau_ratio)
+            cold = cold_engine.query(query, tau_ratio=tau_ratio)
+            assert _result_key(warm) == _result_key(cold)
+            assert warm.verification.visited_columns == cold.verification.visited_columns
+            assert warm.verification.computed_columns <= cold.verification.computed_columns
+        stats = warm_engine.trie_cache_stats()
+        if dp_backend == "python":
+            # The python backend builds per-verifier node tries; the
+            # engine never touches the TrieCache for it.
+            assert stats["misses"] == stats["hits"] == 0
+        else:
+            # All four tau variations share ONE entry: a single miss.
+            assert stats["misses"] == 1
+            assert stats["hits"] == 3
+            assert stats["size"] == 1
+        assert cold_engine.trie_cache_stats()["capacity"] == 0
+
+    def test_online_insert_needs_no_invalidation(self, small_graph, trips, netedr_cost):
+        """Why inserts never invalidate the trie cache: a cached column is
+        keyed by its data-symbol *path* (plus the fixed query part and
+        cost model) — ``wed(path, Q^d)`` does not mention the dataset.  A
+        new trajectory only adds new paths; wherever it shares a prefix
+        with already-cached paths, the correct columns for that prefix
+        are *by definition* the cached ones.  So the warm engine must
+        answer post-insert queries exactly like a cold engine built on
+        the post-insert dataset, with its pre-insert entries intact."""
+        dataset = TrajectoryDataset(small_graph, "vertex")
+        dataset.extend(trips[:20])
+        engine = SubtrajectorySearch(dataset, netedr_cost, trie_cache_size=8)
+        query = list(dataset.symbols(0))[:8]
+        before = engine.query(query, tau_ratio=0.4)
+        assert engine.trie_cache_stats()["size"] == 1
+        engine.add_trajectory(trips[20])
+        after = engine.query(query, tau_ratio=0.4)
+        # Entry survived the insert (no invalidation) and was reused.
+        stats = engine.trie_cache_stats()
+        assert stats["size"] == 1
+        assert stats["hits"] == 1
+        assert stats["evictions"] == 0
+        # ... and the warm answer equals a from-scratch engine's.
+        reference = TrajectoryDataset(small_graph, "vertex")
+        reference.extend(trips[:21])
+        fresh = SubtrajectorySearch(reference, netedr_cost, trie_cache_size=0)
+        assert _result_key(after) == _result_key(fresh.query(query, tau_ratio=0.4))
+        # The new trajectory's matches are found warm: the insert's new
+        # paths are cold frontier, everything shared stays cached.
+        assert len(after.matches) >= len(before.matches)
+
+
+class TestSharedCacheConcurrency:
+    def test_threads_shards_share_one_cache_under_insert(
+        self, small_graph, trips, netedr_cost
+    ):
+        """Two threads-backend shards + concurrent clients + an online
+        insert, all over ONE shared TrieCache.
+
+        Safe because (a) trie columns are dataset-independent — shard A's
+        walk caches columns shard B would compute identically, and an
+        insert adds paths without changing any existing column (see
+        test_online_insert_needs_no_invalidation) — and (b) the trie's
+        writer lock plus publish-after-write ordering mean a lock-free
+        reader never observes a torn column.  Torn or wrong columns
+        would surface here as wrong distances vs. the cold references.
+        """
+        dataset = TrajectoryDataset(small_graph, "vertex")
+        dataset.extend(trips[:20])
+        engine = PartitionedSubtrajectorySearch(
+            dataset,
+            netedr_cost,
+            num_shards=2,
+            backend="threads",
+            max_workers=2,
+            trie_cache_size=8,
+        )
+        queries = [list(dataset.symbols(t))[:8] for t in (0, 1)]
+        pre = {
+            i: _result_key(engine.query(q, tau_ratio=0.4))
+            for i, q in enumerate(queries)
+        }
+        n_pre = len(dataset)
+        reference = TrajectoryDataset(small_graph, "vertex")
+        reference.extend(trips[:21])
+        post_engine = SubtrajectorySearch(reference, netedr_cost, trie_cache_size=0)
+        post = {
+            i: _result_key(post_engine.query(q, tau_ratio=0.4))
+            for i, q in enumerate(queries)
+        }
+        errors = []
+        inserted = threading.Event()
+
+        def client(worker_id):
+            try:
+                for lap in range(8):
+                    i = (worker_id + lap) % len(queries)
+                    got = _result_key(engine.query(queries[i], tau_ratio=0.4))
+                    # A query racing the insert may see the new trajectory
+                    # partially indexed (documented engine window), so
+                    # only the settled-trajectory part is exact; columns
+                    # themselves must be correct either way.
+                    old = [m for m in got if m[0] < n_pre]
+                    new = [m for m in got if m[0] >= n_pre]
+                    assert old == pre[i], f"torn/wrong result for query {i}"
+                    assert set(new) <= set(post[i]) - set(pre[i])
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def mutator():
+            try:
+                inserted.wait(5.0)
+                engine.add_trajectory(trips[20])
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+        threads.append(threading.Thread(target=mutator))
+        for t in threads:
+            t.start()
+        inserted.set()
+        for t in threads:
+            t.join(30.0)
+        assert not errors, errors
+        # Settled state: warm answers equal the post-insert cold engine.
+        for i, q in enumerate(queries):
+            assert _result_key(engine.query(q, tau_ratio=0.4)) == post[i]
+        stats = engine.trie_cache_stats()
+        # One shared cache: one miss per distinct signature, no matter
+        # how many shards and threads walked it; everything else hit.
+        assert stats["misses"] == len(queries)
+        assert stats["hits"] >= 4 * 8 - len(queries)
+        assert stats["evictions"] == 0
+        assert stats["shards"] == stats["shards_reporting"] == 2
+        engine.close()
+
+
+class TestEvictionAndDisable:
+    def test_engine_lru_order_and_arena_release(self, vertex_dataset, netedr_cost):
+        engine = SubtrajectorySearch(
+            vertex_dataset, netedr_cost, trie_cache_size=2
+        )
+        cache = engine._trie_cache
+        queries = [list(vertex_dataset.symbols(t))[:6] for t in (0, 1, 2)]
+        engine.query(queries[0], tau_ratio=0.3)
+        (first_key,) = cache.keys()
+        entry = cache.peek(first_key)
+        refs = [weakref.ref(entry)] + [
+            weakref.ref(trie) for trie in entry.tries.values()
+        ]
+        assert refs[1:], "verification should have built at least one trie"
+        del entry
+        engine.query(queries[1], tau_ratio=0.3)
+        engine.query(queries[0], tau_ratio=0.3)  # refresh: q1 is now LRU
+        engine.query(queries[2], tau_ratio=0.3)  # capacity 2: evicts q1
+        keys = cache.keys()
+        assert len(keys) == 2
+        assert first_key in keys  # the refreshed entry survived
+        stats = engine.trie_cache_stats()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 3
+        # Evicting q1's would mean releasing ITS arenas; here q1 survived,
+        # so evict it too and confirm the arenas actually free.
+        engine.query(queries[1], tau_ratio=0.3)
+        engine.query(queries[2], tau_ratio=0.3)
+        assert first_key not in cache.keys()
+        gc.collect()
+        assert all(ref() is None for ref in refs), "evicted arenas still pinned"
+
+    def test_byte_budget_evicts_after_verification(self, vertex_dataset, netedr_cost):
+        engine = SubtrajectorySearch(
+            vertex_dataset,
+            netedr_cost,
+            trie_cache_size=8,
+            trie_cache_bytes=1,  # nothing fits: every query evicts itself
+        )
+        query = list(vertex_dataset.symbols(0))[:6]
+        engine.query(query, tau_ratio=0.3)
+        stats = engine.trie_cache_stats()
+        assert stats["size"] == 0
+        assert stats["evictions"] == 1
+        assert stats["bytes"] == 0
+        # Correctness is unaffected — the query simply stays cold.
+        engine.query(query, tau_ratio=0.3)
+        assert engine.trie_cache_stats()["evictions"] == 2
+
+    def test_size_zero_fully_disables(self, vertex_dataset, netedr_cost, rng):
+        from tests.conftest import sample_query
+
+        engine = SubtrajectorySearch(
+            vertex_dataset, netedr_cost, trie_cache_size=0
+        )
+        query = sample_query(vertex_dataset, rng, 8)
+        a = engine.query(query, tau_ratio=0.3)
+        b = engine.query(query, tau_ratio=0.3)
+        assert _result_key(a) == _result_key(b)
+        # Truly off: no entries, no counting, and repeats recompute.
+        assert engine.trie_cache_stats() == {
+            "capacity": 0,
+            "size": 0,
+            "bytes": 0,
+            "max_bytes": engine.trie_cache_stats()["max_bytes"],
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+        assert b.verification.computed_columns == a.verification.computed_columns > 0
+
+    def test_knob_cli_round_trip(self):
+        args = build_parser().parse_args(["serve", "--self-test"])
+        assert args.trie_cache_size == DEFAULT_TRIE_CACHE
+        assert args.trie_cache_mb == DEFAULT_TRIE_CACHE_BYTES / (1024 * 1024)
+        args = build_parser().parse_args(
+            ["query", "--network", "n", "--trips", "t", "--query", "1",
+             "--trie-cache-size", "0", "--trie-cache-mb", "16"]
+        )
+        assert args.trie_cache_size == 0
+        assert args.trie_cache_mb == 16.0
+
+    def test_healthz_and_stats_expose_trie_cache(
+        self, vertex_dataset, netedr_cost, rng
+    ):
+        from tests.conftest import sample_query
+
+        engine = SubtrajectorySearch(vertex_dataset, netedr_cost)
+        service = QueryService(engine)
+        with ServiceServer(service) as server:
+            server.start()
+            query = sample_query(vertex_dataset, rng, 8)
+            # Distinct result-cache signatures, one shared trie entry.
+            service.query(query, tau_ratio=0.3)
+            service.query(query, tau_ratio=0.45)
+            with urllib.request.urlopen(server.url + "/healthz", timeout=10) as resp:
+                health = json.loads(resp.read().decode("utf-8"))
+            assert health["trie_cache"]["misses"] == 1
+            assert health["trie_cache"]["hits"] == 1
+            assert health["trie_cache"]["bytes"] > 0
+            stats = service.stats()
+            assert stats["trie_cache"]["capacity"] == DEFAULT_TRIE_CACHE
+            assert stats["trie_cache"]["evictions"] == 0
+
+    def test_processes_backend_rejects_prebuilt_cache(
+        self, vertex_dataset, netedr_cost
+    ):
+        """Worker processes cannot share a parent-side TrieCache (no
+        shared memory; it holds a thread lock that cannot cross a spawn
+        pickle) — the constructor must say so, not crash in the worker
+        bootstrap."""
+        from repro.core.trie import TrieCache
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError, match="trie_cache"):
+            PartitionedSubtrajectorySearch(
+                vertex_dataset,
+                netedr_cost,
+                num_shards=2,
+                backend="processes",
+                trie_cache=TrieCache(4),
+            )
+
+    def test_stats_sum_across_process_shards(self, vertex_dataset, netedr_cost):
+        engine = PartitionedSubtrajectorySearch(
+            vertex_dataset,
+            netedr_cost,
+            num_shards=2,
+            backend="processes",
+            trie_cache_size=4,
+        )
+        try:
+            query = list(vertex_dataset.symbols(0))[:8]
+            engine.query(query, tau_ratio=0.3)
+            engine.query(query, tau_ratio=0.3)
+            stats = engine.trie_cache_stats()
+            assert stats["shards"] == 2
+            assert stats["shards_reporting"] == 2  # idle workers all answer
+            # Per-worker caches (no shared memory): capacities sum, and
+            # the repeat hit every worker's own cache once.
+            assert stats["capacity"] == 8
+            assert stats["misses"] == 2
+            assert stats["hits"] == 2
+            assert stats["size"] == 2
+        finally:
+            engine.close()
