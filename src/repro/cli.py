@@ -8,7 +8,9 @@ Gives downstream users a no-code path through the full workflow:
 - ``query`` — run one subtrajectory similarity query;
 - ``travel-time`` — estimate the travel time of a path;
 - ``serve`` — run the JSON-over-HTTP query service (``--self-test``
-  starts it on a synthetic workload, issues one HTTP query, and exits).
+  starts it on a synthetic workload, issues one HTTP query, and exits);
+- ``trace`` — fetch completed traces from a running server's flight
+  recorder (``/debug/traces``) and render them as span trees.
 """
 
 from __future__ import annotations
@@ -286,6 +288,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.deadline,
         cache_size=args.cache_size,
         batching=not args.no_batching,
+        trace_sample_rate=args.trace_sample_rate,
+        slow_query_seconds=(
+            None if args.slow_query_ms is None else args.slow_query_ms / 1000.0
+        ),
     )
     try:
         port = 0 if args.self_test else args.port
@@ -350,6 +356,43 @@ def _serve_self_test(server, service, dataset) -> int:
         return 0
     finally:
         server.shutdown()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import urllib.request
+
+    from repro.obs import render_trace
+
+    order = "slowest" if args.slowest else "recent"
+    url = (
+        f"{args.url.rstrip('/')}/debug/traces"
+        f"?order={order}&limit={args.count}"
+    )
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {url}: {exc}") from exc
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    traces = payload.get("traces", [])
+    if not traces:
+        stats = payload.get("stats", {})
+        print(
+            "no traces recorded"
+            f" (recorded={stats.get('recorded', 0)};"
+            " is the server running with --trace-sample-rate > 0"
+            " or --slow-query-ms set?)"
+        )
+        return 0
+    for i, trace in enumerate(traces):
+        if i:
+            print()
+        duration_ms = float(trace.get("duration", 0.0)) * 1e3
+        print(f"# {order} {i + 1}/{len(traces)}  ({duration_ms:.3f} ms)")
+        print(render_trace(trace))
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -439,6 +482,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batching", action="store_true", help="disable request coalescing"
     )
     p.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help="fraction of requests traced end-to-end into the flight "
+        "recorder (0 = off, the near-zero-overhead default; slow queries "
+        "are always recorded when --slow-query-ms is set)",
+    )
+    p.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help="log a one-line JSON record (logger 'repro.slowlog') and "
+        "force-record a trace for every query slower than this many "
+        "milliseconds (default: off)",
+    )
+    p.add_argument(
         "--self-test",
         action="store_true",
         help="serve a synthetic workload, answer one HTTP query, and exit",
@@ -446,6 +505,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cost_options(p)
     _add_dp_backend_option(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace", help="fetch and render traces from a running server"
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="server base URL"
+    )
+    p.add_argument(
+        "--slowest",
+        action="store_true",
+        help="show the slowest recorded traces instead of the most recent",
+    )
+    p.add_argument(
+        "-n", "--count", type=int, default=5, help="traces to fetch"
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw /debug/traces JSON instead of rendered trees",
+    )
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "report", help="render recorded benchmark results as markdown"

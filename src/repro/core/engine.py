@@ -22,7 +22,7 @@ import logging
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Literal, Optional, Sequence
+from typing import Any, Callable, Dict, List, Literal, Optional, Sequence
 
 from repro.core.cancellation import raise_if_cancelled
 from repro.core.filtering import QueryElement, query_profile, tau_from_ratio
@@ -116,6 +116,16 @@ class QueryResult:
     #: :attr:`repro.core.verification.Verifier.dp_array_allocations`);
     #: deliberately outside VerificationStats, which is backend-identical.
     dp_array_allocations: int = 0
+    #: what the cross-query TrieCache did for this query: ``"hit"`` (warm
+    #: columns reused), ``"miss"`` (verified cold, warmed the cache),
+    #: ``"off"`` (cache disabled), or ``""`` when the trie-cache path was
+    #: not taken at all (sw mode, python backend, scan fallback).  Merged
+    #: shard results join the distinct per-shard statuses with ``+``.
+    trie_cache_status: str = ""
+    #: DP kernel launches during verification (batched rounds plus
+    #: single-column steps; 0 for the python backend and a fully-warm
+    #: rewalk) — like dp_array_allocations, outside VerificationStats.
+    dp_rounds: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -352,6 +362,18 @@ class SubtrajectorySearch:
             "trie": self.trie_cache_stats(),
         }
 
+    def observability_cache_stats(self) -> Dict[str, Any]:
+        """Cache stats shaped for the ``/metrics`` collectors: one
+        ``(shard_label, counters)`` pair per reporting shard for each
+        cache.  A single-node engine is its own shard ``"0"``; see the
+        partitioned engine's override for fan-out labeling."""
+        return {
+            "shards": 1,
+            "reporting": 1,
+            "substitution": [("0", self.substitution_cache_stats())],
+            "trie": [("0", self.trie_cache_stats())],
+        }
+
     def add_trajectory(self, trajectory, *, validate: bool = False) -> int:
         """Append one trajectory to the dataset and index it online (§4.1:
         postings lists grow by appending records).
@@ -397,6 +419,7 @@ class SubtrajectorySearch:
         temporal_filter: bool = True,
         temporal_mode: TemporalMode = "overlap",
         cancel=None,
+        trace=None,
     ) -> QueryResult:
         """All subtrajectories within WED ``tau`` of ``query``
         (Definition 3: strict inequality).
@@ -409,9 +432,18 @@ class SubtrajectorySearch:
         and inside the verification loops, and a tripped token raises
         :class:`~repro.exceptions.QueryCancelledError` instead of wasting
         CPU on an answer nobody is waiting for.
+
+        ``trace`` is an optional parent :class:`~repro.obs.tracing.Span`:
+        the engine attaches one child span per stage (mincand / lookup /
+        verify), replayed from the stage clocks it measures anyway — zero
+        extra timing calls — and annotated with the stage counters
+        (candidates, DP columns/rounds/backend, trie-cache status).
         """
         tau = self._resolve_tau(query, tau, tau_ratio)
         if tau <= 0:
+            if trace is not None:
+                trace.set("tau", float(tau))
+                trace.set("degenerate", "tau<=0")
             return QueryResult([], tau, [], 0, 0.0, 0.0, 0.0, VerificationStats())
         self._check_assumption(query, tau)
         raise_if_cancelled(cancel, "query")
@@ -425,7 +457,7 @@ class SubtrajectorySearch:
             if not self._fallback:
                 raise
             return self._scan_fallback(
-                query, tau, t0, time_interval, temporal_mode, cancel
+                query, tau, t0, time_interval, temporal_mode, cancel, trace
             )
         t1 = time.perf_counter()
 
@@ -445,6 +477,8 @@ class SubtrajectorySearch:
         stats = VerificationStats()
         backend_used = ""
         allocations = 0
+        trie_status = ""
+        dp_rounds = 0
         if self._verification == "sw":
             stats = self._verify_sw(candidates, query, tau, matches, cancel)
         else:
@@ -456,7 +490,7 @@ class SubtrajectorySearch:
             if backend_used == "numpy":
                 matrix = self._substitution_matrix(query, subsequence, candidates)
                 if self._verification == "trie":
-                    trie_entry = self._trie_entry(query)
+                    trie_entry, trie_status = self._trie_entry(query)
             verifier = Verifier(
                 self._dataset.symbols,
                 query,
@@ -480,6 +514,7 @@ class SubtrajectorySearch:
                     self._trie_cache.reconcile()
             stats = verifier.stats
             allocations = verifier.dp_array_allocations
+            dp_rounds = verifier.dp_rounds
         t3 = time.perf_counter()
 
         result = matches.to_list()
@@ -502,6 +537,27 @@ class SubtrajectorySearch:
                 (t2 - t1) * 1e3,
                 (t3 - t2) * 1e3,
             )
+        if trace is not None:
+            # Stage spans replayed from the clocks above — the trace adds
+            # record-keeping, never a fourth perf_counter read pair.
+            trace.set("tau", float(tau))
+            trace.set("query_length", len(query))
+            trace.set("matches", len(result))
+            trace.add("mincand", t0, t1, subsequence=len(subsequence))
+            trace.add("lookup", t1, t2, candidates=len(candidates))
+            trace.add(
+                "verify",
+                t2,
+                t3,
+                candidates=stats.candidates,
+                visited_columns=stats.visited_columns,
+                computed_columns=stats.computed_columns,
+                emitted=stats.emitted,
+                dp_backend=backend_used or self._verification,
+                dp_rounds=dp_rounds,
+                dp_array_allocations=allocations,
+                trie_cache=trie_status or "n/a",
+            )
         return QueryResult(
             matches=result,
             tau=tau,
@@ -513,6 +569,8 @@ class SubtrajectorySearch:
             verification=stats,
             dp_backend_used=backend_used,
             dp_array_allocations=allocations,
+            trie_cache_status=trie_status,
+            dp_rounds=dp_rounds,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -535,8 +593,9 @@ class SubtrajectorySearch:
     # -- internals ------------------------------------------------------------
 
     def _trie_entry(self, query: Sequence[int]):
-        """The cross-query TrieCache entry for this query, or None when
-        the cache is disabled.
+        """The cross-query TrieCache entry for this query plus its
+        lookup status (``(entry, "hit"/"miss")``, or ``(None, "off")``
+        when the cache is disabled).
 
         Keyed on the query-and-cost-model *prefix* of
         :func:`query_signature`, exactly like the substitution LRU: trie
@@ -549,8 +608,8 @@ class SubtrajectorySearch:
         """
         cache = self._trie_cache
         if not cache.capacity:
-            return None
-        return cache.entry(("trie", tuple(int(s) for s in query), self._model_id))
+            return None, "off"
+        return cache.lookup(("trie", tuple(int(s) for s in query), self._model_id))
 
     def _substitution_matrix(self, query: Sequence[int], subsequence, candidates):
         """The per-query SubstitutionMatrix, served from the engine LRU.
@@ -672,6 +731,7 @@ class SubtrajectorySearch:
         interval: Optional[TimeInterval],
         temporal_mode: TemporalMode,
         cancel=None,
+        trace=None,
     ) -> QueryResult:
         """Exact full scan used when no tau-subsequence exists."""
         t1 = time.perf_counter()
@@ -693,6 +753,14 @@ class SubtrajectorySearch:
                 for m in result
                 if match_satisfies(self._dataset, m, interval, temporal_mode)
             ]
+        if trace is not None:
+            trace.set("tau", float(tau))
+            trace.set("matches", len(result))
+            trace.set("fallback", "scan")
+            trace.add("mincand", t0, t1)
+            trace.add(
+                "scan", t1, t2, candidates=stats.candidates, emitted=stats.emitted
+            )
         return QueryResult(
             matches=result,
             tau=tau,

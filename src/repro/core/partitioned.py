@@ -295,6 +295,41 @@ class PartitionedSubtrajectorySearch:
             ),
         }
 
+    def observability_cache_stats(self) -> Dict[str, Any]:
+        """Per-shard (unaggregated) cache counters for ``/metrics``.
+
+        Unlike :meth:`cache_stats` (which sums for ``/stats``), the
+        metrics endpoint wants one labelled sample per cache instance:
+        in-process backends report one substitution cache per shard and
+        the single **shared** trie cache; the processes backend reports
+        both caches per worker from ONE non-blocking poll (busy workers
+        are skipped, ``reporting`` says how many answered).
+        """
+        self._check_open()
+        out: Dict[str, Any] = {"shards": self.num_shards}
+        if self._workers is None:
+            out["reporting"] = self.num_shards
+            out["substitution"] = [
+                (str(i), engine.substitution_cache_stats())
+                for i, engine in enumerate(self._engines)
+            ]
+            out["trie"] = [("shared", dict(self._trie_cache.stats()))]
+            return out
+        combined = self._workers.cache_stats()
+        substitution = []
+        trie = []
+        reporting = 0
+        for i, part in enumerate(combined):
+            if part is None:
+                continue
+            reporting += 1
+            substitution.append((str(i), part["substitution"]))
+            trie.append((str(i), part["trie"]))
+        out["reporting"] = reporting
+        out["substitution"] = substitution
+        out["trie"] = trie
+        return out
+
     def __len__(self) -> int:
         return sum(len(ids) for ids in self._global_ids)
 
@@ -381,6 +416,7 @@ class PartitionedSubtrajectorySearch:
         temporal_filter: bool = True,
         temporal_mode: TemporalMode = "overlap",
         cancel=None,
+        trace=None,
     ) -> List[Callable[[], QueryResult]]:
         """One zero-argument callable per shard, each returning that shard's
         :class:`QueryResult` (shard-local trajectory ids).
@@ -389,7 +425,12 @@ class PartitionedSubtrajectorySearch:
         pass their results *in shard order* to :meth:`merge_shard_results`.
         ``cancel`` (a cooperative cancellation token) is threaded into
         every shard query — tripping it stops all shards' verification
-        loops within one iteration, on every backend.
+        loops within one iteration, on every backend.  ``trace`` (a
+        :class:`repro.obs.tracing.Span`, or None) makes each callable open
+        a per-shard child span covering its own execution window — spans
+        open inside the callable, so an external scheduler's queueing
+        delay is visible as the gap between the parent span and the shard
+        spans.
         """
         self._check_open()
         kwargs = dict(
@@ -401,13 +442,51 @@ class PartitionedSubtrajectorySearch:
         )
         if self._workers is not None:
             return [
-                partial(self._workers.query_shard, shard, list(query), kwargs, cancel)
+                partial(
+                    self._worker_shard_query,
+                    shard, list(query), kwargs, cancel, trace,
+                )
                 for shard in range(self.num_shards)
             ]
         return [
-            partial(engine.query, query, cancel=cancel, **kwargs)
-            for engine in self._engines
+            partial(
+                self._in_process_shard_query,
+                shard, engine, query, kwargs, cancel, trace,
+            )
+            for shard, engine in enumerate(self._engines)
         ]
+
+    def _in_process_shard_query(
+        self, shard, engine, query, kwargs, cancel, trace
+    ) -> QueryResult:
+        if trace is None:
+            return engine.query(query, cancel=cancel, **kwargs)
+        span = trace.child("shard", shard=shard, backend=self._backend)
+        try:
+            return engine.query(query, cancel=cancel, trace=span, **kwargs)
+        except BaseException as exc:
+            span.set("error", type(exc).__name__)
+            raise
+        finally:
+            span.finish()
+
+    def _worker_shard_query(
+        self, shard, query, kwargs, cancel, trace
+    ) -> QueryResult:
+        if trace is None:
+            return self._workers.query_shard(shard, query, kwargs, cancel)
+        span = trace.child("shard", shard=shard, backend="processes")
+        try:
+            result, exported = self._workers.query_shard(
+                shard, query, kwargs, cancel, trace_ctx=span.context()
+            )
+            span.graft(exported)
+            return result
+        except BaseException as exc:
+            span.set("error", type(exc).__name__)
+            raise
+        finally:
+            span.finish()
 
     def merge_shard_results(self, results: Sequence[QueryResult]) -> QueryResult:
         """Union shard results (given in shard order) into one global
@@ -422,7 +501,9 @@ class PartitionedSubtrajectorySearch:
         candidates = 0
         mincand = lookup = verify = 0.0
         allocations = 0
+        dp_rounds = 0
         backend_used = ""
+        trie_statuses: List[str] = []
         stats = VerificationStats()
         for result, id_map in zip(results, self._global_ids):
             tau_used = result.tau
@@ -431,7 +512,11 @@ class PartitionedSubtrajectorySearch:
             lookup += result.lookup_seconds
             verify += result.verify_seconds
             allocations += result.dp_array_allocations
+            dp_rounds += result.dp_rounds
             backend_used = backend_used or result.dp_backend_used
+            status = result.trie_cache_status
+            if status and status not in trie_statuses:
+                trie_statuses.append(status)
             s = result.verification
             stats.candidates += s.candidates
             stats.sw_columns += s.sw_columns
@@ -455,6 +540,8 @@ class PartitionedSubtrajectorySearch:
             verification=stats,
             dp_backend_used=backend_used,
             dp_array_allocations=allocations,
+            dp_rounds=dp_rounds,
+            trie_cache_status="+".join(sorted(trie_statuses)),
         )
 
     def query(
@@ -467,10 +554,14 @@ class PartitionedSubtrajectorySearch:
         temporal_filter: bool = True,
         temporal_mode: TemporalMode = "overlap",
         cancel=None,
+        trace=None,
     ) -> QueryResult:
         """Fan out to every shard and merge (exact, same semantics as the
         single-node engine).  ``cancel`` optionally carries a deadline /
-        cancellation token through to every shard's verification loop."""
+        cancellation token through to every shard's verification loop.
+        ``trace`` (a :class:`repro.obs.tracing.Span`, or None) collects
+        one child span per shard — on the processes backend the workers'
+        own engine-stage spans are stitched underneath them."""
         self._check_open()
         raise_if_cancelled(cancel, "query")
         if self._workers is not None:
@@ -483,19 +574,51 @@ class PartitionedSubtrajectorySearch:
             )
             # Send to every worker before collecting any reply: all shard
             # processes verify concurrently (no parent-side threads needed).
-            results = self._workers.query_all(list(query), kwargs, cancel)
-            return self.merge_shard_results(results)
-        calls = self.shard_query_callables(
-            query,
-            tau=tau,
-            tau_ratio=tau_ratio,
-            time_interval=time_interval,
-            temporal_filter=temporal_filter,
-            temporal_mode=temporal_mode,
-            cancel=cancel,
-        )
-        if self._pool is None:
-            results = [call() for call in calls]
+            if trace is None:
+                results = self._workers.query_all(list(query), kwargs, cancel)
+            else:
+                spans = [
+                    trace.child("shard", shard=i, backend="processes")
+                    for i in range(self.num_shards)
+                ]
+                try:
+                    # on_reply closes each shard's span the moment its
+                    # reply is collected, so span ends track per-shard
+                    # completion rather than the full fan-out.
+                    payloads = self._workers.query_all(
+                        list(query),
+                        kwargs,
+                        cancel,
+                        trace_ctxs=[span.context() for span in spans],
+                        on_reply=lambda i: spans[i].finish(),
+                    )
+                finally:
+                    for span in spans:  # no-op on already-finished spans
+                        span.finish()
+                results = []
+                for span, payload in zip(spans, payloads):
+                    result, exported = payload
+                    span.graft(exported)
+                    results.append(result)
+            merged = self.merge_shard_results(results)
         else:
-            results = list(self._pool.map(lambda call: call(), calls))
-        return self.merge_shard_results(results)
+            calls = self.shard_query_callables(
+                query,
+                tau=tau,
+                tau_ratio=tau_ratio,
+                time_interval=time_interval,
+                temporal_filter=temporal_filter,
+                temporal_mode=temporal_mode,
+                cancel=cancel,
+                trace=trace,
+            )
+            if self._pool is None:
+                results = [call() for call in calls]
+            else:
+                results = list(self._pool.map(lambda call: call(), calls))
+            merged = self.merge_shard_results(results)
+        if trace is not None:
+            trace.set("shards", self.num_shards)
+            trace.set("matches", len(merged.matches))
+            trace.set("candidates", merged.num_candidates)
+        return merged

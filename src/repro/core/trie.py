@@ -42,6 +42,7 @@ only pin memory.
 
 from __future__ import annotations
 
+import sys
 import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
@@ -53,11 +54,20 @@ __all__ = ["TrieCache", "TrieCacheEntry", "TrieNode", "VerificationTrie"]
 #: rows a fresh arena starts with; growth doubles.
 _INITIAL_ROWS = 32
 
-#: rough per-column bookkeeping bytes beyond the float arrays: one edges
-#: dict entry (key tuple + slots) plus the two list-mirror floats.  An
-#: estimate — byte budgets bound the dominant ndarray cost exactly and
-#: the dict/list overhead approximately.
-_COLUMN_OVERHEAD_BYTES = 150
+# Per-column python-object bytes beyond the float arrays, *measured* on
+# this interpreter instead of the old hard-coded 150-byte guess (which
+# drifted on wide alphabets, where the edges dict dominates).  Each
+# published column costs one edges entry — a 2-tuple key plus two boxed
+# ints (slots and symbols exceed the small-int intern range on real
+# graphs, so the boxes are real) and the boxed child-slot value — and two
+# boxed floats appended to the scalar mirrors.  The containers' own
+# tables (dict hash table, list cells) are NOT folded in here: ``nbytes``
+# reads them exactly via ``sys.getsizeof`` at accounting time, which is
+# O(1) per container and tracks hash-table growth for free.
+_EDGE_OBJECT_BYTES = (
+    sys.getsizeof((1 << 20, 1 << 20)) + 3 * sys.getsizeof(1 << 20)
+)
+_FLOAT_OBJECT_BYTES = sys.getsizeof(0.5)
 
 
 class TrieNode:
@@ -221,16 +231,26 @@ class VerificationTrie:
 
     @property
     def nbytes(self) -> int:
-        """Approximate resident bytes: the float arrays exactly, plus an
-        estimated per-column overhead for the edges dict and scalar
-        mirrors (see ``_COLUMN_OVERHEAD_BYTES``)."""
+        """Resident bytes, measured: the float arrays exactly
+        (``ndarray.nbytes``), the bookkeeping containers exactly
+        (``sys.getsizeof`` on the edges dict and scalar-mirror lists —
+        O(1) each, capturing hash-table/list growth as it happens), plus
+        the measured per-object cost of the boxed keys, slots, and
+        mirror floats each published column pins (see
+        ``_EDGE_OBJECT_BYTES`` / ``_FLOAT_OBJECT_BYTES``)."""
         if not self.arena:
             return 0
+        # used - 1 edges: every column except the root was published
+        # through exactly one edges entry.
         return (
             self.matrix.nbytes
             + self.mins.nbytes
             + self.lasts.nbytes
-            + self.used * _COLUMN_OVERHEAD_BYTES
+            + sys.getsizeof(self.edges)
+            + sys.getsizeof(self.mins_list)
+            + sys.getsizeof(self.lasts_list)
+            + max(0, self.used - 1) * _EDGE_OBJECT_BYTES
+            + 2 * self.used * _FLOAT_OBJECT_BYTES
         )
 
 
@@ -328,21 +348,29 @@ class TrieCache:
     def entry(self, key: Hashable) -> Optional[TrieCacheEntry]:
         """The (created-if-absent) entry for ``key``, LRU-refreshed; None
         when the cache is disabled.  Creation counts as a miss."""
+        return self.lookup(key)[0]
+
+    def lookup(self, key: Hashable) -> Tuple[Optional[TrieCacheEntry], str]:
+        """Like :meth:`entry`, but also reports what happened:
+        ``"hit"`` (warm entry reused), ``"miss"`` (fresh entry created —
+        this query verifies cold and warms the cache), or ``"off"``
+        (cache disabled).  The status feeds trace span attributes, so an
+        operator can see warm vs. cold verification per query."""
         if self.capacity == 0:
-            return None
+            return None, "off"
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return entry
+                return entry, "hit"
             self.misses += 1
             entry = TrieCacheEntry()
             self._entries[key] = entry
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
-            return entry
+            return entry, "miss"
 
     def peek(self, key: Hashable) -> Optional[TrieCacheEntry]:
         """The entry for ``key`` without counting or refreshing (tests /

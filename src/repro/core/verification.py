@@ -522,6 +522,12 @@ class Verifier:
         #: VerificationStats field, because the python backend allocates
         #: none and the stats are pinned backend-identical.
         self._allocs = 0
+        #: DP kernel launches (batched rounds + single-column steps) —
+        #: the "how many times did we enter numpy" trace attribute.
+        #: Like ``_allocs``, kept out of VerificationStats: the python
+        #: backend launches no kernels and the stats are pinned
+        #: backend-identical.
+        self._dp_rounds = 0
         if self._numpy:
             if matrix is not None:
                 if matrix.query != self._query:
@@ -571,6 +577,15 @@ class Verifier:
         for ctx in self._contexts.values():
             total += ctx.arena_allocations
         return total
+
+    @property
+    def dp_rounds(self) -> int:
+        """DP kernel launches so far: batched rounds plus single-column
+        steps.  A fully-warm rewalk launches zero; the engine copies the
+        count into ``QueryResult.dp_rounds`` as a trace attribute.  Kept
+        out of :class:`VerificationStats` (backend-identical by
+        contract): the python backend launches no kernels."""
+        return self._dp_rounds
 
     # -- Algorithm 3: drive all candidates ---------------------------------
 
@@ -1085,6 +1100,7 @@ class Verifier:
                 edges[(v_pslots[i], v_syms[i])] = slot
                 slot += 1
         self._allocs += _GROUP_TEMP_ARRAYS
+        self._dp_rounds += 1
         nv_states, nv_pslots, nv_syms, nv_rowslots = nxt_v
         rows_index_get = rows.index.get
         rows_slot = rows.slot
@@ -1302,6 +1318,7 @@ class Verifier:
         # The columns matrix plus one view per detached node — this is the
         # pre-arena allocation behaviour, kept only for use_trie=False.
         self._allocs += count + _GROUP_TEMP_ARRAYS
+        self._dp_rounds += 1
         runnable: List[list] = []
         for i in range(count):
             cmin = mins[i]
@@ -1365,6 +1382,7 @@ class Verifier:
                 column = step_dp_numpy(sub_row, delete_cost, prefix, node.column)
                 node = TrieNode(column, column.min().item(), column.item(-1))
                 self._allocs += 1 + _SINGLE_TEMP_ARRAYS
+                self._dp_rounds += 1
                 computed += 1
                 out.append(node.column_last)
                 if early and node.column_min >= budget:
@@ -1413,6 +1431,7 @@ class Verifier:
                         trie.edges[(slot, symbol)] = child
                         computed += 1
                         self._allocs += _SINGLE_TEMP_ARRAYS
+                        self._dp_rounds += 1
             slot = child
             out.append(lasts_list[slot])
             if early and mins_list[slot] >= budget:

@@ -39,11 +39,20 @@ Protocol (one request in flight per worker, enforced by a parent-side
 lock; every request gets exactly one reply, keeping the pipe in sync even
 when the caller stops waiting):
 
-    ("query", req_id, symbols, kwargs, remaining_seconds | None)
+    ("query", req_id, symbols, kwargs, remaining_seconds | None,
+              trace_ctx | None)
     ("add",   req_id, expected_local_id, trajectory, validate)
     ("stats", req_id)                 -> {"substitution": ..., "trie": ...}
     ("stop",  req_id)
     reply: (req_id, "ok", payload) | (req_id, "error", exception)
+
+``trace_ctx`` is a ``(trace_id, parent_span_id)`` pair (see
+:mod:`repro.obs.tracing`): when present, the worker wraps the engine
+query in a local trace rooted at the shipped context and the "ok"
+payload becomes ``(result, exported_spans)`` — span starts relative to
+the worker root, re-anchored by the parent via ``Span.graft`` — so one
+request's trace crosses the pickle boundary intact.  Untraced queries
+keep the bare-``QueryResult`` payload.
 
 plus a readiness handshake: the worker's first message (req 0) reports
 whether its engine built, so constructor errors (bad engine options,
@@ -152,12 +161,30 @@ def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None
                 break
             if kind == "query":
                 symbols, kwargs, remaining = msg[2], msg[3], msg[4]
+                trace_ctx = msg[5] if len(msg) > 5 else None
                 token = _WorkerCancelToken(req_id, flag, remaining)
-                result = engine.query(symbols, cancel=token, **kwargs)
-                # The merge ignores the tau-subsequence; stripping it keeps
-                # reply pickles small (neighborhoods can be large).
-                result.subsequence = []
-                conn.send((req_id, "ok", result))
+                if trace_ctx is None:
+                    result = engine.query(symbols, cancel=token, **kwargs)
+                    # The merge ignores the tau-subsequence; stripping it
+                    # keeps reply pickles small (neighborhoods are large).
+                    result.subsequence = []
+                    conn.send((req_id, "ok", result))
+                else:
+                    from repro.obs.tracing import Trace
+
+                    trace = Trace(
+                        "shard_worker",
+                        trace_id=trace_ctx[0],
+                        parent_id=trace_ctx[1],
+                        shard=shard_index,
+                        pid=os.getpid(),
+                    )
+                    result = engine.query(
+                        symbols, cancel=token, trace=trace.root, **kwargs
+                    )
+                    result.subsequence = []
+                    trace.finish()
+                    conn.send((req_id, "ok", (result, trace.export())))
             elif kind == "add":
                 expected, trajectory, validate = msg[2], msg[3], msg[4]
                 tid = engine.add_trajectory(trajectory, validate=validate)
@@ -413,13 +440,24 @@ class ShardWorkerPool:
     # -- queries ------------------------------------------------------------
 
     def query_shard(self, shard: int, query: Sequence[int], kwargs: Dict[str, Any],
-                    cancel=None):
-        """Run one query on one shard worker (blocking round-trip)."""
+                    cancel=None, trace_ctx=None):
+        """Run one query on one shard worker (blocking round-trip).
+
+        With ``trace_ctx`` (a ``(trace_id, parent_span_id)`` pair) the
+        worker traces its engine query and the return value is
+        ``(result, exported_spans)`` instead of the bare result."""
         self._check_open()
-        payload = (list(query), kwargs, _remaining_of(cancel))
+        payload = (list(query), kwargs, _remaining_of(cancel), trace_ctx)
         return self._workers[shard].call("query", payload, cancel)
 
-    def query_all(self, query: Sequence[int], kwargs: Dict[str, Any], cancel=None) -> List:
+    def query_all(
+        self,
+        query: Sequence[int],
+        kwargs: Dict[str, Any],
+        cancel=None,
+        trace_ctxs: Optional[Sequence] = None,
+        on_reply=None,
+    ) -> List:
         """Fan one query out to every worker; results in shard order.
 
         Requests are *all sent before any reply is awaited* — that is what
@@ -427,12 +465,24 @@ class ShardWorkerPool:
         the parent merely waits.  On the first failure the remaining
         workers are cancelled (not abandoned), so no reply is ever left in
         a pipe.
+
+        ``trace_ctxs`` (one span context per shard, or None) makes each
+        worker return ``(result, exported_spans)`` — see
+        :meth:`query_shard`.  ``on_reply(shard_index)`` is invoked right
+        after each shard's reply is successfully collected (the hook the
+        caller uses to close per-shard RPC spans at their true end).
         """
         self._check_open()
+        if trace_ctxs is not None and len(trace_ctxs) != len(self._workers):
+            raise WorkerError(
+                f"expected {len(self._workers)} trace contexts, "
+                f"got {len(trace_ctxs)}"
+            )
         pending: List[Tuple[_ShardWorker, int]] = []
         try:
-            for worker in self._workers:
-                payload = (list(query), kwargs, _remaining_of(cancel))
+            for index, worker in enumerate(self._workers):
+                ctx = None if trace_ctxs is None else trace_ctxs[index]
+                payload = (list(query), kwargs, _remaining_of(cancel), ctx)
                 pending.append((worker, worker.begin("query", payload)))
         except BaseException:
             for worker, rid in pending:
@@ -447,6 +497,8 @@ class ShardWorkerPool:
         for pos, (worker, rid) in enumerate(pending):
             try:
                 results.append(worker.finish(rid, cancel))
+                if on_reply is not None:
+                    on_reply(pos)
             except BaseException as exc:
                 if first_error is None:
                     first_error = exc

@@ -1,0 +1,35 @@
+"""Observability primitives: trace spans, Prometheus-text metrics, and
+the slow-query flight recorder.
+
+Deliberately dependency-free and service-agnostic — the serving layer's
+wiring lives in :mod:`repro.service.observability`; this package only
+knows how to time spans (:mod:`~repro.obs.tracing`), render exposition
+text (:mod:`~repro.obs.metrics`), and keep bounded trace history
+(:mod:`~repro.obs.flight`).
+"""
+
+from repro.obs.flight import FlightRecorder, render_trace, slow_query_record
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metric_value,
+)
+from repro.obs.tracing import Span, SpanContext, Trace, Tracer, synthesize_trace
+
+__all__ = [
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Trace",
+    "Tracer",
+    "format_metric_value",
+    "render_trace",
+    "slow_query_record",
+    "synthesize_trace",
+]

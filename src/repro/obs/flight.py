@@ -1,0 +1,156 @@
+"""Flight recorder: bounded buffers of completed traces, plus rendering.
+
+An operator debugging "why was *that* query slow" needs the trace of a
+request that already finished — so completed traces land in two bounded
+structures:
+
+- a ring of the ``recent`` most recent traces (what just happened);
+- a min-heap of the ``slowest`` slowest traces seen so far (the worst
+  offenders over the recorder's lifetime), keyed on root duration.
+
+Both hold plain trace dicts (:meth:`repro.obs.tracing.Trace.to_dict` or
+:func:`~repro.obs.tracing.synthesize_trace` records), so the
+``/debug/traces`` endpoint serializes them verbatim and the CLI renders
+them without touching live Span objects.  Memory is bounded by
+``recent + slowest`` trace dicts regardless of traffic.
+
+:func:`render_trace` turns one record into the indented span tree the
+``repro trace`` CLI prints; :func:`slow_query_record` is the one-line
+JSON payload logged for every query over the slow threshold.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["FlightRecorder", "render_trace", "slow_query_record"]
+
+
+class FlightRecorder:
+    """Thread-safe bounded store of completed trace records."""
+
+    def __init__(self, *, recent: int = 64, slowest: int = 16) -> None:
+        if recent < 1 or slowest < 1:
+            raise ValueError("flight recorder capacities must be >= 1")
+        self._lock = threading.Lock()
+        self._recent: deque = deque(maxlen=recent)
+        self._slowest_cap = slowest
+        #: min-heap of (duration, tiebreak, trace) — the root is the
+        #: *fastest* of the kept slowest, evicted first.
+        self._slowest: List[tuple] = []
+        self._tiebreak = itertools.count()
+        self.recorded = 0
+
+    def record(self, trace: Dict[str, Any]) -> None:
+        """File one completed trace record."""
+        duration = float(trace.get("duration", 0.0))
+        with self._lock:
+            self.recorded += 1
+            self._recent.append(trace)
+            entry = (duration, next(self._tiebreak), trace)
+            if len(self._slowest) < self._slowest_cap:
+                heapq.heappush(self._slowest, entry)
+            elif duration > self._slowest[0][0]:
+                heapq.heapreplace(self._slowest, entry)
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Most recent traces, newest first."""
+        with self._lock:
+            out = list(self._recent)
+        out.reverse()
+        return out if limit is None else out[:limit]
+
+    def slowest(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Slowest traces, slowest first."""
+        with self._lock:
+            ordered = sorted(self._slowest, key=lambda e: (-e[0], -e[1]))
+        traces = [entry[2] for entry in ordered]
+        return traces if limit is None else traces[:limit]
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "recorded": self.recorded,
+                "recent": len(self._recent),
+                "slowest": len(self._slowest),
+            }
+
+
+def _format_attrs(attributes: Dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attributes.items()))
+    return f"  [{inner}]"
+
+
+def render_trace(trace: Dict[str, Any]) -> str:
+    """One trace record as an indented span tree with durations.
+
+    Spans are flat records carrying ``parent_id``; the tree is rebuilt
+    here, children ordered by start time.  Orphans (a parent span lost
+    to sampling races or a worker crash mid-export) attach under the
+    root rather than disappearing.
+    """
+    spans = list(trace.get("spans", []))
+    if not spans:
+        return f"trace {trace.get('trace_id', '?')}: <no spans>"
+    by_id = {s["span_id"]: s for s in spans}
+    children: Dict[str, List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent_id", "")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    root = roots[0]
+    for orphan in roots[1:]:
+        children.setdefault(root["span_id"], []).append(orphan)
+
+    header = (
+        f"trace {trace.get('trace_id', '?')}"
+        f"{'  (synthesized)' if trace.get('synthesized') else ''}"
+    )
+    lines = [header]
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        duration_ms = float(span.get("duration", 0.0)) * 1e3
+        lines.append(
+            f"{'  ' * depth}- {span['name']}  {duration_ms:.3f} ms"
+            f"{_format_attrs(span.get('attributes', {}))}"
+        )
+        for child in sorted(
+            children.get(span["span_id"], []), key=lambda s: s.get("start", 0.0)
+        ):
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def slow_query_record(
+    trace_or_none: Optional[Dict[str, Any]],
+    *,
+    seconds: float,
+    threshold: float,
+    **fields: Any,
+) -> Dict[str, Any]:
+    """The one-line JSON payload logged for a slow query.
+
+    Flat scalars only (log pipelines index them); the full span tree
+    stays in the flight recorder, referenced by ``trace_id`` when one
+    was recorded.
+    """
+    record: Dict[str, Any] = {
+        "event": "slow_query",
+        "seconds": seconds,
+        "threshold_seconds": threshold,
+    }
+    if trace_or_none is not None:
+        record["trace_id"] = trace_or_none.get("trace_id", "")
+    record.update(fields)
+    return record

@@ -13,6 +13,9 @@ service —
   requests;
 - :class:`Metrics` — QPS, latency percentiles, hit rates, per-stage
   timing rollups;
+- :class:`ServiceObservability` — request tracing, the Prometheus-text
+  ``/metrics`` registry, and the slow-query flight recorder (built on
+  :mod:`repro.obs`);
 - :class:`QueryService` — the facade composing the above;
 - :class:`ServiceServer` — a stdlib JSON-over-HTTP frontend
   (``python -m repro serve``).
@@ -27,6 +30,7 @@ from repro.service.cache import ResultCache
 from repro.service.executor import Executor
 from repro.service.http import ServiceServer, response_payload
 from repro.service.metrics import Metrics, percentile
+from repro.service.observability import ServiceObservability
 from repro.service.service import QueryService, ServiceResponse
 
 __all__ = [
@@ -35,6 +39,7 @@ __all__ = [
     "Metrics",
     "QueryService",
     "ResultCache",
+    "ServiceObservability",
     "ServiceResponse",
     "ServiceServer",
     "percentile",

@@ -54,6 +54,10 @@ class Batcher:
         self._lock = threading.Lock()
         self._inflight: Dict[Hashable, _Flight] = {}
         self.coalesced = 0
+        #: distinct flights led over the batcher's lifetime — one engine
+        #: pass each; ``flights + coalesced`` = requests that reached the
+        #: batcher (exported to ``/metrics`` as a counter).
+        self.flights = 0
         #: followers that outlived a retryable leader failure and went
         #: around again instead of failing spuriously (fairness metric).
         self.retried_followers = 0
@@ -93,6 +97,7 @@ class Batcher:
                 if flight is None:
                     flight = _Flight()
                     self._inflight[key] = flight
+                    self.flights += 1
                     leader = True
                 else:
                     flight.followers += 1

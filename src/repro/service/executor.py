@@ -153,18 +153,32 @@ class Executor:
         temporal_filter: bool = True,
         temporal_mode: TemporalMode = "overlap",
         deadline: Optional[float] = None,
+        trace=None,
     ) -> QueryResult:
         """Execute one query on the pool and return its merged result.
 
         Raises :class:`AdmissionError` when shed and
         :class:`DeadlineExceededError` when the budget (``deadline``
         seconds from now, defaulting to ``default_deadline``) expires.
+        ``trace`` (a :class:`repro.obs.tracing.Span`, or None) collects
+        ``admission`` and ``execute`` child spans; the engine hangs its
+        per-shard and per-stage spans under ``execute``.
         """
         if deadline is not None and deadline <= 0:
             # A malformed request, not a missed deadline: report it as
             # such instead of polluting the deadline-miss metric.
             raise ValueError("deadline must be positive")
-        self._admit()
+        if trace is None:
+            self._admit()
+        else:
+            span = trace.child("admission", pending=self.pending)
+            try:
+                self._admit()
+            except BaseException as exc:
+                span.set("error", type(exc).__name__)
+                raise
+            finally:
+                span.finish()
         try:
             budget = deadline if deadline is not None else self._default_deadline
             token = CancelToken(budget)
@@ -175,14 +189,25 @@ class Executor:
                 temporal_filter=temporal_filter,
                 temporal_mode=temporal_mode,
             )
+            exec_span = (
+                None if trace is None
+                else trace.child("execute", fan_out=self._fan_out)
+            )
             try:
                 if self._fan_out:
                     calls = self._engine.shard_query_callables(
-                        query, cancel=token, **kwargs
+                        query, cancel=token, trace=exec_span, **kwargs
                     )
                     futures = [self._pool.submit(call) for call in calls]
                     results = self._gather(futures, token)
-                    return self._engine.merge_shard_results(results)
+                    merged = self._engine.merge_shard_results(results)
+                    if exec_span is not None:
+                        exec_span.set("shards", len(calls))
+                        exec_span.set("matches", len(merged.matches))
+                        exec_span.set("candidates", merged.num_candidates)
+                    return merged
+                if exec_span is not None:
+                    kwargs["trace"] = exec_span
                 future = self._pool.submit(
                     self._engine.query, query, cancel=token, **kwargs
                 )
@@ -193,6 +218,13 @@ class Executor:
                 if "shutdown" in str(exc):
                     raise AdmissionError("service is shutting down") from None
                 raise
+            except BaseException as exc:
+                if exec_span is not None:
+                    exec_span.set("error", type(exc).__name__)
+                raise
+            finally:
+                if exec_span is not None:
+                    exec_span.finish()
         finally:
             with self._lock:
                 self._pending -= 1

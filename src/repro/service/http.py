@@ -9,6 +9,10 @@ API surface (all bodies JSON):
 
 - ``GET /healthz`` — liveness: ``{"status": "ok", ...}``;
 - ``GET /stats`` — the metrics snapshot of :meth:`QueryService.stats`;
+- ``GET /metrics`` — Prometheus text exposition (version 0.0.4) of the
+  service's :class:`~repro.obs.MetricsRegistry`;
+- ``GET /debug/traces?order=recent|slowest&limit=n`` — flight-recorder
+  dump: completed trace records, JSON;
 - ``POST /query`` — ``{"path": [symbols...], "tau": x | "tau_ratio": r,
   "time_from": t0?, "time_to": t1?, "temporal_mode": "overlap"|"within"?,
   "deadline": seconds?, "limit": n?}`` → matches plus serving provenance
@@ -28,6 +32,7 @@ import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.temporal import TimeInterval
 from repro.exceptions import (
@@ -83,8 +88,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if status >= 400:
             # The request body may not have been (fully) drained on error
@@ -110,8 +121,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802
         service: QueryService = self.server.service  # type: ignore[attr-defined]
+        parsed = urlsplit(self.path)
+        path = parsed.path
         try:
-            if self.path == "/healthz":
+            if path == "/healthz":
                 engine = service.engine
                 count = (
                     len(engine.dataset) if hasattr(engine, "dataset") else len(engine)
@@ -141,8 +154,21 @@ class _Handler(BaseHTTPRequestHandler):
                         payload["substitution_cache"] = {"error": str(exc)}
                         payload["trie_cache"] = {"error": str(exc)}
                 self._send_json(200, payload)
-            elif self.path == "/stats":
+            elif path == "/stats":
                 self._send_json(200, service.stats())
+            elif path == "/metrics":
+                # Prometheus text exposition.  The registry renders push
+                # instruments and pull collectors; the engine-cache
+                # collector polls processes-backend workers WITHOUT
+                # blocking, so a scrape never queues behind a
+                # long-running query.
+                self._send_text(
+                    200,
+                    service.observability.registry.render(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/debug/traces":
+                self._handle_traces(service, parse_qs(parsed.query))
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except WorkerError as exc:
@@ -151,7 +177,7 @@ class _Handler(BaseHTTPRequestHandler):
             # JSON 500, not a dropped connection.
             logger.error("shard worker failure serving %s: %s", self.path, exc)
             self._send_json(500, {"error": str(exc)})
-        except ReproError as exc:
+        except (ValueError, ReproError) as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - keep-alive clients need a
             # response body, not a dropped connection, on unexpected bugs.
@@ -190,6 +216,24 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(500, {"error": f"internal error: {exc}"})
             except Exception:  # headers may already be on the wire
                 self.close_connection = True
+
+    def _handle_traces(self, service: QueryService, params: Dict[str, list]) -> None:
+        order = params.get("order", ["recent"])[0]
+        if order not in ("recent", "slowest"):
+            raise ValueError("'order' must be 'recent' or 'slowest'")
+        raw_limit = params.get("limit", [None])[0]
+        limit = None
+        if raw_limit is not None:
+            limit = int(raw_limit)
+            if limit < 0:
+                raise ValueError("'limit' must be a nonnegative integer")
+        recorder = service.observability.recorder
+        traces = (
+            recorder.slowest(limit) if order == "slowest" else recorder.recent(limit)
+        )
+        self._send_json(
+            200, {"order": order, "traces": traces, "stats": recorder.stats()}
+        )
 
     def _handle_query(self, service: QueryService) -> None:
         body = self._read_body()

@@ -54,6 +54,9 @@ class Metrics:
         self._latencies: deque = deque(maxlen=window)
         self.queries = 0
         self.errors = 0
+        #: exact per-exception-type error counts (``errors`` stays the
+        #: backward-compatible aggregate the ``/stats`` clients expect).
+        self.errors_by_type: Dict[str, int] = {}
         self.cache_hits = 0
         self.coalesced = 0
         self.rejected = 0
@@ -90,15 +93,24 @@ class Metrics:
                     self.lookup_seconds += result.lookup_seconds
                     self.verify_seconds += result.verify_seconds
 
-    def observe_error(self, kind: str = "error") -> None:
+    def observe_error(
+        self, kind: str = "error", *, exc: Optional[BaseException] = None
+    ) -> None:
         """Record one failed query (``kind``: ``"rejected"``,
-        ``"deadline"``, or anything else for a generic error)."""
+        ``"deadline"``, or anything else for a generic error).
+
+        ``exc`` additionally labels the failure by exception type in
+        :attr:`errors_by_type` — ``"which error"`` is the first question
+        when the aggregate counter moves; without it the label falls back
+        to ``kind``."""
         with self._lock:
             self.errors += 1
             if kind == "rejected":
                 self.rejected += 1
             elif kind == "deadline":
                 self.deadline_exceeded += 1
+            label = kind if exc is None else type(exc).__name__
+            self.errors_by_type[label] = self.errors_by_type.get(label, 0) + 1
 
     def observe_invalidation(self, count: int = 1) -> None:
         """Record cache entries dropped by an online update."""
@@ -116,6 +128,7 @@ class Metrics:
                 "uptime_seconds": elapsed,
                 "queries": queries,
                 "errors": self.errors,
+                "errors_by_type": dict(self.errors_by_type),
                 "rejected": self.rejected,
                 "deadline_exceeded": self.deadline_exceeded,
                 "qps": queries / elapsed if elapsed > 0 else 0.0,

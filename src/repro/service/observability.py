@@ -1,0 +1,384 @@
+"""Service-side observability wiring: tracer + flight recorder + registry.
+
+:mod:`repro.obs` supplies the primitives (spans, Prometheus exposition,
+bounded trace history); this module binds them to one
+:class:`~repro.service.QueryService`:
+
+- :class:`ServiceObservability` owns the :class:`~repro.obs.Tracer`
+  (sampling), the :class:`~repro.obs.FlightRecorder` (``/debug/traces``
+  and ``repro trace``), and a :class:`~repro.obs.MetricsRegistry` of
+  push instruments (query/error counters, latency / candidate /
+  DP-column histograms) plus pull collectors (engine cache counters per
+  shard, executor/cache/batcher gauges, flight-recorder depth) that the
+  ``/metrics`` endpoint renders;
+- every query over ``slow_query_seconds`` emits a one-line JSON record
+  on the ``repro.slowlog`` logger and is *always* preserved in the
+  flight recorder — sampled queries keep their real span tree, unsampled
+  ones get a stage breakdown synthesized from the engine's own timings
+  (:func:`~repro.obs.synthesize_trace`), so the slowest requests are
+  debuggable even at ``trace_sample_rate=0``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.engine import QueryResult
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    Trace,
+    Tracer,
+    slow_query_record,
+    synthesize_trace,
+)
+
+__all__ = ["ServiceObservability"]
+
+#: one-line JSON records for queries over the slow threshold land here.
+slow_query_logger = logging.getLogger("repro.slowlog")
+
+_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+_CANDIDATE_BUCKETS = (1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000)
+_DP_COLUMN_BUCKETS = (
+    10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000, 300000,
+)
+
+
+class ServiceObservability:
+    """Tracing, metrics export, and the flight recorder for one service.
+
+    Parameters
+    ----------
+    trace_sample_rate:
+        Fraction of requests to trace in ``[0, 1]``; 0 (the default)
+        keeps the request path on the near-zero-cost unsampled branch.
+        Slow queries are preserved regardless (see module docstring).
+    slow_query_seconds:
+        End-to-end latency threshold over which a query is logged and
+        force-recorded; ``None`` disables slow-query handling.
+    recent_traces / slowest_traces:
+        Flight recorder capacities.
+    """
+
+    def __init__(
+        self,
+        *,
+        trace_sample_rate: float = 0.0,
+        slow_query_seconds: Optional[float] = None,
+        recent_traces: int = 64,
+        slowest_traces: int = 16,
+    ) -> None:
+        if slow_query_seconds is not None and slow_query_seconds < 0:
+            raise ValueError("slow_query_seconds must be >= 0")
+        self.tracer = Tracer(trace_sample_rate)
+        self.recorder = FlightRecorder(
+            recent=recent_traces, slowest=slowest_traces
+        )
+        self.slow_query_seconds = slow_query_seconds
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self._queries = reg.counter(
+            "repro_queries_total",
+            "Completed queries by serving outcome.",
+            labelnames=("outcome",),
+        )
+        self._errors = reg.counter(
+            "repro_errors_total",
+            "Failed queries by error type.",
+            labelnames=("type",),
+        )
+        self._latency = reg.histogram(
+            "repro_query_latency_seconds",
+            "End-to-end request latency by serving outcome.",
+            buckets=_LATENCY_BUCKETS,
+            labelnames=("outcome",),
+        )
+        self._candidates = reg.histogram(
+            "repro_query_candidates",
+            "Candidates verified per engine-computed query.",
+            buckets=_CANDIDATE_BUCKETS,
+        )
+        self._dp_columns = reg.histogram(
+            "repro_query_dp_columns",
+            "DP columns computed per engine-computed query.",
+            buckets=_DP_COLUMN_BUCKETS,
+        )
+        self._by_backend = reg.counter(
+            "repro_queries_by_dp_backend_total",
+            "Engine-computed queries by resolved DP backend.",
+            labelnames=("dp_backend",),
+        )
+        self._stage_seconds = reg.counter(
+            "repro_stage_seconds_total",
+            "Engine time by stage (MinCand / lookup / verification).",
+            labelnames=("stage",),
+        )
+        self._dp_rounds = reg.counter(
+            "repro_dp_rounds_total",
+            "Verification DP kernel launches (batched rounds and "
+            "single-column steps).",
+        )
+        self._sampled = reg.counter(
+            "repro_traces_sampled_total", "Requests that recorded a trace."
+        )
+        self._slow = reg.counter(
+            "repro_slow_queries_total",
+            "Queries over the slow-query threshold.",
+        )
+        reg.register_collector(self._collect_recorder)
+        self._service = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, service) -> None:
+        """Register the pull collectors that read ``service`` state
+        (executor depth, result cache, coalescer, engine caches)."""
+        if self._service is not None:
+            raise ValueError("observability is already bound to a service")
+        self._service = service
+        self.registry.register_collector(self._collect_service)
+        self.registry.register_collector(self._collect_engine_caches)
+
+    # -- request-path hooks ---------------------------------------------------
+
+    def start_trace(self, **attributes: Any) -> Optional[Trace]:
+        """Begin a trace for one request iff sampled."""
+        trace = self.tracer.start("query", **attributes)
+        if trace is not None:
+            self._sampled.inc()
+        return trace
+
+    def observe_response(
+        self,
+        seconds: float,
+        *,
+        cached: bool = False,
+        coalesced: bool = False,
+        result: Optional[QueryResult] = None,
+    ) -> None:
+        """Record one successful response in the export registry."""
+        outcome = "cached" if cached else ("coalesced" if coalesced else "computed")
+        self._queries.inc(outcome=outcome)
+        self._latency.observe(seconds, outcome=outcome)
+        if result is None or cached or coalesced:
+            return
+        self._candidates.observe(result.num_candidates)
+        self._dp_columns.observe(result.verification.computed_columns)
+        self._by_backend.inc(dp_backend=result.dp_backend_used or "unknown")
+        self._stage_seconds.inc(result.mincand_seconds, stage="mincand")
+        self._stage_seconds.inc(result.lookup_seconds, stage="lookup")
+        self._stage_seconds.inc(result.verify_seconds, stage="verify")
+        self._dp_rounds.inc(result.dp_rounds)
+
+    def observe_error(self, exc: BaseException) -> None:
+        """Record one failed request, labelled by exception type."""
+        self._errors.inc(type=type(exc).__name__)
+
+    def finish_trace(
+        self,
+        trace: Optional[Trace],
+        *,
+        seconds: float,
+        result: Optional[QueryResult] = None,
+        cached: bool = False,
+        coalesced: bool = False,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Close out one request's trace and apply slow-query handling.
+
+        Sampled traces are finished and filed in the flight recorder
+        (errors annotated, never dropped).  Queries over the slow
+        threshold additionally log a one-line JSON record; when unsampled
+        they get a synthesized stage-breakdown trace so the recorder's
+        ``slowest`` view never misses a slow query merely because
+        sampling skipped it.
+        """
+        slow = (
+            self.slow_query_seconds is not None
+            and seconds >= self.slow_query_seconds
+        )
+        record: Optional[Dict[str, Any]] = None
+        if trace is not None:
+            root = trace.root
+            root.set("seconds", round(seconds, 6))
+            if cached:
+                root.set("outcome", "cached")
+            elif coalesced:
+                root.set("outcome", "coalesced")
+            if error is not None:
+                root.set("error", type(error).__name__)
+            trace.finish()
+            record = trace.to_dict()
+        elif slow:
+            record = self._synthesize(
+                seconds, result=result, cached=cached,
+                coalesced=coalesced, error=error,
+            )
+        if record is None:
+            return
+        if slow:
+            record["slow"] = True
+            self._slow.inc()
+            payload = slow_query_record(
+                record,
+                seconds=seconds,
+                threshold=self.slow_query_seconds,
+                cached=cached,
+                coalesced=coalesced,
+                error="" if error is None else type(error).__name__,
+                matches=0 if result is None else len(result.matches),
+                candidates=0 if result is None else result.num_candidates,
+                dp_backend="" if result is None else result.dp_backend_used,
+            )
+            slow_query_logger.warning(json.dumps(payload, sort_keys=True))
+        self.recorder.record(record)
+
+    @staticmethod
+    def _synthesize(
+        seconds: float,
+        *,
+        result: Optional[QueryResult],
+        cached: bool,
+        coalesced: bool,
+        error: Optional[BaseException],
+    ) -> Dict[str, Any]:
+        stages: List[Tuple[str, float, Dict[str, Any]]] = []
+        attrs: Dict[str, Any] = {}
+        if cached:
+            attrs["outcome"] = "cached"
+        elif coalesced:
+            attrs["outcome"] = "coalesced"
+        if error is not None:
+            attrs["error"] = type(error).__name__
+        if result is not None and not (cached or coalesced):
+            stages = [
+                ("mincand", result.mincand_seconds, {}),
+                ("lookup", result.lookup_seconds,
+                 {"candidates": result.num_candidates}),
+                ("verify", result.verify_seconds,
+                 {"dp_backend": result.dp_backend_used,
+                  "dp_rounds": result.dp_rounds,
+                  "trie_cache": result.trie_cache_status or "n/a",
+                  "computed_columns": result.verification.computed_columns}),
+            ]
+            attrs["matches"] = len(result.matches)
+        return synthesize_trace("query", seconds=seconds, stages=stages, **attrs)
+
+    # -- pull collectors ------------------------------------------------------
+
+    def _collect_recorder(self):
+        stats = self.recorder.stats()
+        return [
+            (
+                "repro_traces_recorded_total",
+                "counter",
+                "Traces filed in the flight recorder.",
+                [({}, stats["recorded"])],
+            ),
+            (
+                "repro_flight_recorder_traces",
+                "gauge",
+                "Traces currently held, by buffer.",
+                [
+                    ({"buffer": "recent"}, stats["recent"]),
+                    ({"buffer": "slowest"}, stats["slowest"]),
+                ],
+            ),
+        ]
+
+    def _collect_service(self):
+        service = self._service
+        families = [
+            (
+                "repro_inflight_queries",
+                "gauge",
+                "Queries admitted and not yet finished.",
+                [({}, service.executor.pending)],
+            ),
+            (
+                "repro_result_cache_entries",
+                "gauge",
+                "Cached query results.",
+                [({}, len(service.cache))],
+            ),
+            (
+                "repro_result_cache_capacity",
+                "gauge",
+                "Result cache capacity.",
+                [({}, service.cache.capacity)],
+            ),
+        ]
+        if service.batcher is not None:
+            families.append(
+                (
+                    "repro_coalesce_flights",
+                    "gauge",
+                    "Distinct computations currently in flight.",
+                    [({}, service.batcher.in_flight())],
+                )
+            )
+            families.append(
+                (
+                    "repro_coalesce_flights_led_total",
+                    "counter",
+                    "Flights led (one engine pass each).",
+                    [({}, service.batcher.flights)],
+                )
+            )
+        return families
+
+    def _collect_engine_caches(self):
+        """Per-shard engine cache counters from one (non-blocking on the
+        processes backend) poll; a failing poll yields no samples rather
+        than failing the whole scrape."""
+        engine = self._service.engine
+        stats_of = getattr(engine, "observability_cache_stats", None)
+        if stats_of is None:
+            return []
+        try:
+            combined = stats_of()
+        except Exception:  # noqa: BLE001 - scrape must not 500 on a
+            # closing engine or dead worker; /healthz reports the failure.
+            return []
+        families = [
+            (
+                "repro_cache_shards_reporting",
+                "gauge",
+                "Shards that answered the cache poll (busy workers on "
+                "the processes backend are skipped).",
+                [({}, combined.get("reporting", 0))],
+            )
+        ]
+        sub_fields = (
+            ("entries", "size", "gauge", "Cached substitution matrices."),
+            ("hits_total", "hits", "counter", "Substitution cache hits."),
+            ("misses_total", "misses", "counter", "Substitution cache misses."),
+        )
+        trie_fields = (
+            ("entries", "size", "gauge", "Cached verification tries."),
+            ("bytes", "bytes", "gauge",
+             "Measured bytes held by cached tries (arrays + edge maps)."),
+            ("hits_total", "hits", "counter", "Trie cache hits."),
+            ("misses_total", "misses", "counter", "Trie cache misses."),
+            ("evictions_total", "evictions", "counter", "Trie cache evictions."),
+        )
+        for prefix, parts, fields in (
+            ("repro_substitution_cache", combined.get("substitution", []), sub_fields),
+            ("repro_trie_cache", combined.get("trie", []), trie_fields),
+        ):
+            for suffix, key, kind, help_text in fields:
+                samples = [
+                    ({"shard": label}, float(part.get(key, 0)))
+                    for label, part in parts
+                ]
+                if samples:
+                    families.append(
+                        (f"{prefix}_{suffix}", kind, help_text, samples)
+                    )
+        return families

@@ -33,6 +33,7 @@ from repro.service.batching import Batcher
 from repro.service.cache import ResultCache
 from repro.service.executor import Executor
 from repro.service.metrics import Metrics
+from repro.service.observability import ServiceObservability
 
 __all__ = ["QueryService", "ServiceResponse"]
 
@@ -70,6 +71,18 @@ class QueryService:
         LRU capacity; ``0`` disables result caching.
     batching:
         Coalesce concurrent duplicate requests (single-flight).
+    observability:
+        A prebuilt :class:`~repro.service.observability.ServiceObservability`
+        to bind, or ``None`` to construct one from ``trace_sample_rate`` /
+        ``slow_query_seconds`` (which are ignored when a prebuilt one is
+        given — its own knobs win).
+    trace_sample_rate:
+        Fraction of requests to trace end-to-end (0 = tracing off, the
+        near-zero-overhead default; slow queries are recorded regardless).
+    slow_query_seconds:
+        Latency threshold over which a query logs a one-line JSON record
+        on the ``repro.slowlog`` logger and is force-kept in the flight
+        recorder (``None`` disables).
     """
 
     def __init__(
@@ -82,6 +95,9 @@ class QueryService:
         cache_size: int = 1024,
         batching: bool = True,
         metrics_window: int = 4096,
+        observability: Optional[ServiceObservability] = None,
+        trace_sample_rate: float = 0.0,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         self._engine = engine
         self._costs = engine.costs
@@ -94,6 +110,13 @@ class QueryService:
         self.cache = ResultCache(cache_size)
         self.batcher = Batcher() if batching else None
         self.metrics = Metrics(window=metrics_window)
+        if observability is None:
+            observability = ServiceObservability(
+                trace_sample_rate=trace_sample_rate,
+                slow_query_seconds=slow_query_seconds,
+            )
+        self.observability = observability
+        observability.bind(self)
 
     @property
     def engine(self):
@@ -158,16 +181,32 @@ class QueryService:
             time_interval=time_interval,
             temporal_mode=temporal_mode,
         )
+        obs = self.observability
+        trace = obs.start_trace(query_length=len(query))
+        root = None if trace is None else trace.root
+        if root is not None:
+            if tau is not None:
+                root.set("tau", float(tau))
+            if tau_ratio is not None:
+                root.set("tau_ratio", float(tau_ratio))
+            if deadline is not None:
+                root.set("deadline_seconds", float(deadline))
         t0 = time.perf_counter()
         # Captured before the cache lookup: this generation also keys the
         # coalescing flight, so a request arriving after an invalidation
         # never joins a pre-invalidation flight (read-your-writes for the
         # inserter) and a computed result is never re-cached across one.
         generation = self.cache.generation
+        lookup_span = None if root is None else root.child("cache_lookup")
         hit = self.cache.get(sig)
+        if lookup_span is not None:
+            lookup_span.set("hit", hit is not None)
+            lookup_span.finish()
         if hit is not None:
             seconds = time.perf_counter() - t0
             self.metrics.observe(seconds, cached=True, result=hit)
+            obs.observe_response(seconds, cached=True, result=hit)
+            obs.finish_trace(trace, seconds=seconds, result=hit, cached=True)
             return ServiceResponse(hit, sig, True, False, seconds)
 
         def compute() -> QueryResult:
@@ -178,6 +217,7 @@ class QueryService:
                 time_interval=time_interval,
                 temporal_mode=temporal_mode,
                 deadline=deadline,
+                trace=root,
             )
             # generation guard: if an online update invalidated the cache
             # while this was computing, the result is stale — don't re-cache.
@@ -187,6 +227,7 @@ class QueryService:
         budget = (
             deadline if deadline is not None else self.executor.default_deadline
         )
+        result, coalesced = None, False
         try:
             if self.batcher is not None:
                 # The flight key includes the deadline (a tightly-budgeted
@@ -199,29 +240,50 @@ class QueryService:
                 # follower that joined late has budget left when the
                 # leader's deadline fires, so it goes around as a new
                 # leader instead of inheriting a miss it did not earn.
-                result, coalesced = self.batcher.run(
-                    (sig, deadline, generation),
-                    compute,
-                    wait_timeout=budget,
-                    follower_retry=_deadline_is_retryable,
-                )
+                flight_span = None if root is None else root.child("coalesce")
+                try:
+                    result, coalesced = self.batcher.run(
+                        (sig, deadline, generation),
+                        compute,
+                        wait_timeout=budget,
+                        follower_retry=_deadline_is_retryable,
+                    )
+                finally:
+                    if flight_span is not None:
+                        flight_span.set("coalesced", coalesced)
+                        flight_span.finish()
             else:
                 result, coalesced = compute(), False
-        except AdmissionError:
-            self.metrics.observe_error("rejected")
+        except AdmissionError as exc:
+            self.metrics.observe_error("rejected", exc=exc)
+            self._trace_error(trace, t0, exc)
             raise
-        except DeadlineExceededError:
-            self.metrics.observe_error("deadline")
+        except DeadlineExceededError as exc:
+            self.metrics.observe_error("deadline", exc=exc)
+            self._trace_error(trace, t0, exc)
             raise
         except TimeoutError as exc:
-            self.metrics.observe_error("deadline")
-            raise DeadlineExceededError(str(exc)) from None
-        except Exception:
-            self.metrics.observe_error()
+            converted = DeadlineExceededError(str(exc))
+            self.metrics.observe_error("deadline", exc=converted)
+            self._trace_error(trace, t0, converted)
+            raise converted from None
+        except Exception as exc:
+            self.metrics.observe_error(exc=exc)
+            self._trace_error(trace, t0, exc)
             raise
         seconds = time.perf_counter() - t0
         self.metrics.observe(seconds, coalesced=coalesced, result=result)
+        obs.observe_response(seconds, coalesced=coalesced, result=result)
+        obs.finish_trace(
+            trace, seconds=seconds, result=result, coalesced=coalesced
+        )
         return ServiceResponse(result, sig, False, coalesced, seconds)
+
+    def _trace_error(self, trace, t0: float, exc: BaseException) -> None:
+        """Close out a failed request's trace and error instruments."""
+        obs = self.observability
+        obs.observe_error(exc)
+        obs.finish_trace(trace, seconds=time.perf_counter() - t0, error=exc)
 
     # -- online updates -----------------------------------------------------
 
@@ -265,4 +327,9 @@ class QueryService:
             combined = cache_stats()
             snap["substitution_cache"] = combined["substitution"]
             snap["trie_cache"] = combined["trie"]
+        snap["observability"] = {
+            "trace_sample_rate": self.observability.tracer.sample_rate,
+            "slow_query_seconds": self.observability.slow_query_seconds,
+            "flight_recorder": self.observability.recorder.stats(),
+        }
         return snap

@@ -1,6 +1,8 @@
 """Process-backed shard workers: exactness, replication, lifecycle."""
 
 import multiprocessing as mp
+import threading
+import time
 
 import pytest
 
@@ -9,6 +11,7 @@ from repro.core.engine import SubtrajectorySearch
 from repro.core.partitioned import PartitionedSubtrajectorySearch
 from repro.core.temporal import TimeInterval
 from repro.core.workers import default_start_method
+from repro.distance.costs import EDRCost
 from repro.exceptions import QueryError, ServiceError, WorkerError
 from repro.trajectory.dataset import TrajectoryDataset
 from tests.conftest import sample_query
@@ -217,3 +220,89 @@ class TestLifecycle:
                 engine.query(sample_query(vertex_dataset, rng, 6), tau_ratio=0.25)
         finally:
             engine.close()  # close after a crash must still succeed
+
+
+class GatedEDRCost(EDRCost):
+    """An EDRCost whose substitution rows block on a shared gate.
+
+    Fork-inherited :class:`multiprocessing.Event` objects let the test
+    freeze a query *inside* a worker's verification phase and release it
+    later — the only reliable way to have a probe race a genuinely
+    in-flight request."""
+
+    name = "gated-edr"
+
+    def _block(self):
+        self.entered.set()
+        if not self.gate.wait(timeout=60.0):
+            raise RuntimeError("gate never released")
+
+    def sub(self, a, b):
+        self._block()
+        return super().sub(a, b)
+
+    def sub_row(self, p, seq):
+        self._block()
+        return super().sub_row(p, seq)
+
+    def sub_row_array(self, p, seq):
+        self._block()
+        return super().sub_row_array(p, seq)
+
+
+@pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="gate events need fork inheritance",
+)
+class TestProbesDoNotQueueBehindQueries:
+    """Observability probes must stay non-blocking (ISSUE 6, satellite 3).
+
+    ``/healthz``, ``/stats``, and ``/metrics`` all poll worker cache
+    stats; a probe that queues behind a long-running verification on the
+    single-request-per-worker pipe would turn every slow query into an
+    apparent outage."""
+
+    def test_stats_probes_return_while_query_is_in_flight(
+        self, small_graph, vertex_dataset, edr_cost, rng
+    ):
+        ctx = mp.get_context("fork")
+        cost = GatedEDRCost(small_graph, epsilon=60.0)
+        cost.gate = ctx.Event()
+        cost.entered = ctx.Event()
+        cost.gate.set()  # anything cost-touching at build time sails through
+        engine = PartitionedSubtrajectorySearch(
+            vertex_dataset, cost, num_shards=2, backend="processes",
+            start_method="fork",
+        )
+        query = sample_query(vertex_dataset, rng, 6)
+        results = []
+        worker = threading.Thread(
+            target=lambda: results.append(engine.query(query, tau_ratio=0.25)),
+            daemon=True,
+        )
+        try:
+            cost.gate.clear()
+            worker.start()
+            assert cost.entered.wait(timeout=30.0), "query never reached a worker"
+
+            t0 = time.perf_counter()
+            per_worker = engine._workers.cache_stats()
+            obs = engine.observability_cache_stats()
+            elapsed = time.perf_counter() - t0
+
+            assert elapsed < 2.0, "probe queued behind the blocked query"
+            # Busy workers report None / drop out of coverage, not stall.
+            assert any(part is None for part in per_worker)
+            assert obs["shards"] == 2
+            assert obs["reporting"] < obs["shards"]
+        finally:
+            cost.gate.set()
+            worker.join(timeout=60.0)
+            engine.close()
+        assert not worker.is_alive()
+
+        # After release the answer is still exact.
+        single = SubtrajectorySearch(vertex_dataset, edr_cost)
+        assert results and keys(results[0]) == keys(
+            single.query(query, tau_ratio=0.25)
+        )

@@ -93,6 +93,26 @@ class TestMetrics:
         assert snap["latency_p99"] <= 0.010 + 1e-12
         assert snap["latency_mean"] == pytest.approx(0.0065)
 
+    def test_errors_labelled_by_exception_type(self):
+        """ISSUE 6 satellite 2: per-type error counts alongside the
+        aggregate (``errors`` stays for /stats compatibility)."""
+        metrics = Metrics()
+        metrics.observe_error("error", exc=ValueError("bad tau"))
+        metrics.observe_error("error", exc=ValueError("bad query"))
+        metrics.observe_error("deadline", exc=TimeoutError("too slow"))
+        metrics.observe_error("rejected")  # no exception: kind is the label
+
+        snap = metrics.snapshot()
+        assert snap["errors"] == 4
+        assert snap["deadline_exceeded"] == 1
+        assert snap["rejected"] == 1
+        assert snap["errors_by_type"] == {
+            "ValueError": 2,
+            "TimeoutError": 1,
+            "rejected": 1,
+        }
+        json.dumps(snap)
+
     def test_window_must_be_positive(self):
         with pytest.raises(ValueError):
             Metrics(window=0)

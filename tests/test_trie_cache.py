@@ -40,7 +40,7 @@ from repro.core.engine import (
 )
 from repro.core.partitioned import PartitionedSubtrajectorySearch
 from repro.core.results import MatchSet
-from repro.core.trie import TrieCacheEntry
+from repro.core.trie import TrieCache, TrieCacheEntry
 from repro.core.verification import Verifier
 from repro.distance.costs import CostModel, LevenshteinCost
 from repro.service import QueryService
@@ -481,3 +481,74 @@ class TestEvictionAndDisable:
             assert stats["size"] == 2
         finally:
             engine.close()
+
+
+class TestLookupStatusAndMeasuredBytes:
+    """ISSUE 6 satellite 1 plus the lookup-status plumbing traces rely on."""
+
+    def test_lookup_reports_hit_miss_off(self):
+        cache = TrieCache(2)
+        entry, status = cache.lookup("k")
+        assert status == "miss" and entry is not None
+        again, status2 = cache.lookup("k")
+        assert status2 == "hit" and again is entry
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+        off = TrieCache(0)
+        assert off.lookup("k") == (None, "off")
+        # Disabled caches count nothing — "off" is not a miss.
+        assert off.stats()["hits"] == 0 and off.stats()["misses"] == 0
+
+    def test_query_result_carries_trie_cache_status(
+        self, vertex_dataset, netedr_cost
+    ):
+        engine = SubtrajectorySearch(
+            vertex_dataset, netedr_cost, dp_backend="numpy", trie_cache_size=8
+        )
+        query = list(vertex_dataset.symbols(0))[:8]
+        assert engine.query(query, tau_ratio=0.3).trie_cache_status == "miss"
+        assert engine.query(query, tau_ratio=0.3).trie_cache_status == "hit"
+        disabled = SubtrajectorySearch(
+            vertex_dataset, netedr_cost, dp_backend="numpy", trie_cache_size=0
+        )
+        assert disabled.query(query, tau_ratio=0.3).trie_cache_status == "off"
+        # The python backend never takes the trie path at all.
+        python_engine = SubtrajectorySearch(
+            vertex_dataset, netedr_cost, dp_backend="python"
+        )
+        assert python_engine.query(query, tau_ratio=0.3).trie_cache_status == ""
+
+    def test_merged_shard_statuses_join_distinct_values(
+        self, vertex_dataset, netedr_cost
+    ):
+        engine = PartitionedSubtrajectorySearch(
+            vertex_dataset, netedr_cost, num_shards=2, dp_backend="numpy",
+            trie_cache_size=8,
+        )
+        query = list(vertex_dataset.symbols(0))[:8]
+        cold = engine.query(query, tau_ratio=0.3).trie_cache_status
+        # Serial shards share one cache: shard 0's miss warms shard 1.
+        assert "miss" in cold.split("+")
+        warm = engine.query(query, tau_ratio=0.3).trie_cache_status
+        assert warm == "hit"
+
+    def test_bytes_are_measured_not_estimated(self, vertex_dataset, netedr_cost):
+        """Satellite 1: ``nbytes`` measures the real containers and boxed
+        objects (``sys.getsizeof`` + ``ndarray.nbytes``), so accounted
+        bytes strictly exceed the raw array payload."""
+        engine = SubtrajectorySearch(
+            vertex_dataset, netedr_cost, dp_backend="numpy", trie_cache_size=8
+        )
+        query = list(vertex_dataset.symbols(0))[:8]
+        engine.query(query, tau_ratio=0.3)
+        cache = engine._trie_cache
+        (key,) = cache.keys()
+        entry = cache.peek(key)
+        assert entry.tries, "verification should have built tries"
+        array_bytes = sum(
+            trie.matrix.nbytes + trie.mins.nbytes + trie.lasts.nbytes
+            for trie in entry.tries.values()
+        )
+        assert array_bytes > 0
+        assert entry.nbytes > array_bytes
+        # What /metrics and /stats report is exactly the measured figure.
+        assert engine.trie_cache_stats()["bytes"] == entry.nbytes
