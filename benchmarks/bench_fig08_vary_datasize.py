@@ -2,7 +2,16 @@
 
 Paper shape: every method scales roughly linearly in |T|; OSF-BT is
 consistently the fastest at all sizes.
+
+This file also carries the *index-tier* size sweep
+(``test_fig08_frozen_index_scale_sweep``): dict vs frozen index up to
+|T| = 10^5 trajectories at full scale — the gap between reproduction
+scale and production scale (ROADMAP §2).  The committed full-scale
+artifact lives at ``BENCH_frozen_index.json``.
 """
+
+import random
+import time
 
 import pytest
 from _helpers import (
@@ -16,9 +25,126 @@ from _helpers import (
 )
 
 from repro.bench.harness import SeriesTable, format_seconds
+from repro.core.engine import SubtrajectorySearch
+from repro.core.frozen import FrozenInvertedIndex
+from repro.core.invindex import InvertedIndex
+from repro.distance.costs import LevenshteinCost
+from repro.network.generators import grid_city
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
 
 FRACTIONS = [0.25, 0.5, 0.75, 1.0]
 TAU_RATIO = 0.1
+
+# Index-tier sweep sizes: |T| at REPRO_BENCH_SCALE=1.0.  TripGenerator's
+# Dijkstra routing is far too slow to mint 10^5 trips, so the sweep uses
+# cheap seeded random walks — the index tier only cares about symbol
+# statistics, not route realism.
+SWEEP_SIZES = [1_000, 10_000, 100_000]
+
+
+def _random_walk_dataset(num_trajectories: int, seed: int) -> TrajectoryDataset:
+    graph = grid_city(40, 40, seed=seed)
+    rng = random.Random(seed)
+    num_vertices = graph.num_vertices
+    dataset = TrajectoryDataset(graph, "vertex")
+    for _ in range(num_trajectories):
+        v = rng.randrange(num_vertices)
+        path = [v]
+        for _ in range(rng.randint(10, 40)):
+            succ = graph.successors(v)
+            if not succ:
+                break
+            v = succ[rng.randrange(len(succ))]
+            path.append(v)
+        dataset.add(Trajectory(path))
+    return dataset
+
+
+def test_fig08_frozen_index_scale_sweep(benchmark, recorder, bench_scale, tmp_path):
+    """Dict vs frozen index as |T| grows to 10^5 (at full scale).
+
+    Asserts the two acceptance facts of the frozen tier: the packed
+    file stays <= 0.5x the dict index's in-memory bytes at every size,
+    and opening the file is O(1) — cold-open latency does not grow with
+    the index (only the header is read; sections are mmap views).
+    """
+    sizes = [max(10, int(n * bench_scale)) for n in SWEEP_SIZES]
+    cells = []
+    for size in sizes:
+        dataset = _random_walk_dataset(size, seed=97)
+        dict_index = InvertedIndex(dataset)
+        dict_bytes = dict_index.memory_bytes()
+        t0 = time.perf_counter()
+        frozen = FrozenInvertedIndex.freeze(dataset)
+        path = tmp_path / f"sweep-{size}.reproidx"
+        file_bytes = frozen.save(path)
+        freeze_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        opened = FrozenInvertedIndex.open(path)
+        open_seconds = time.perf_counter() - t0
+        assert opened.num_postings == dict_index.num_postings
+        cells.append(
+            {
+                "trajectories": size,
+                "postings": dict_index.num_postings,
+                "dict_build_seconds": dict_index.build_seconds,
+                "dict_bytes": dict_bytes,
+                "freeze_seconds": freeze_seconds,
+                "file_bytes": file_bytes,
+                "bytes_ratio": file_bytes / dict_bytes,
+                "cold_open_seconds": open_seconds,
+            }
+        )
+
+    table = SeriesTable(
+        "|T|",
+        ["postings", "dict MB", "file MB", "ratio", "freeze s", "open ms"],
+        title="Index tier vs |T|: dict RSS vs frozen file, cold-open latency",
+    )
+    for cell in cells:
+        table.add_row(
+            str(cell["trajectories"]),
+            [
+                cell["postings"],
+                f"{cell['dict_bytes'] / 1e6:.2f}",
+                f"{cell['file_bytes'] / 1e6:.2f}",
+                f"{cell['bytes_ratio']:.3f}",
+                f"{cell['freeze_seconds']:.2f}",
+                f"{cell['cold_open_seconds'] * 1e3:.2f}",
+            ],
+        )
+    table.print()
+
+    # The packed file beats half the dict footprint at every size.
+    assert all(c["bytes_ratio"] <= 0.5 for c in cells)
+    # O(1) open: a 100x larger index must not open meaningfully slower —
+    # generous absolute + relative bounds so CI noise cannot trip it.
+    assert cells[-1]["cold_open_seconds"] < max(
+        0.05, 50 * cells[0]["cold_open_seconds"]
+    )
+
+    # Query parity at the smallest size (the big sizes prove scale, the
+    # hypothesis suite proves bit-identity exhaustively).
+    dataset = _random_walk_dataset(sizes[0], seed=97)
+    query = list(dataset.symbols(0))[:8]
+    ref = SubtrajectorySearch(dataset, LevenshteinCost()).query(query, tau=2.0)
+    got = SubtrajectorySearch(
+        dataset,
+        LevenshteinCost(),
+        index_backend="frozen",
+        index_path=str(tmp_path / f"sweep-{sizes[0]}.reproidx"),
+    ).query(query, tau=2.0)
+    assert got.matches == ref.matches
+    assert got.verification == ref.verification
+
+    recorder.record(
+        "frozen_index_scale",
+        {"sizes": sizes, "cells": cells, "scale": bench_scale},
+        expectation="frozen file <= 0.5x dict RSS at every |T|; "
+        "cold open O(1); answers bit-identical",
+    )
+    benchmark(lambda: FrozenInvertedIndex.open(tmp_path / f"sweep-{sizes[-1]}.reproidx"))
 
 
 @pytest.mark.parametrize("profile", dataset_names())

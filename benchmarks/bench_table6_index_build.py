@@ -13,12 +13,13 @@ from _helpers import make_cost_model
 from repro.baselines import DITAIndex, ERPIndex, QGramIndex
 from repro.bench.datasets import build_dataset
 from repro.bench.harness import SeriesTable
+from repro.core.frozen import FrozenInvertedIndex
 from repro.core.invindex import InvertedIndex
 
 
-def test_table6_index_construction(benchmark, recorder, bench_scale):
+def test_table6_index_construction(benchmark, recorder, bench_scale, tmp_path):
     profiles = ["beijing", "porto", "sanfran"]
-    rows = {"OSF postings": [], "q-gram": []}
+    rows = {"OSF postings": [], "OSF frozen": [], "q-gram": []}
     for profile in profiles:
         graph, dataset = build_dataset(profile, scale=bench_scale)
         costs = make_cost_model("EDR", graph)
@@ -26,6 +27,15 @@ def test_table6_index_construction(benchmark, recorder, bench_scale):
         rows["OSF postings"].append(
             (index.build_seconds, index.memory_bytes() / 1e6)
         )
+        # The frozen tier: same postings, packed into the mmap-able
+        # single-file container (docs/INDEX_FORMAT.md).  The file must
+        # come in at <= 0.5x the dict index's in-memory bytes — the
+        # acceptance bar for the packed layout.
+        t0 = time.perf_counter()
+        frozen = FrozenInvertedIndex.freeze(dataset)
+        file_bytes = frozen.save(tmp_path / f"{profile}.reproidx")
+        rows["OSF frozen"].append((time.perf_counter() - t0, file_bytes / 1e6))
+        assert file_bytes <= 0.5 * index.memory_bytes()
         t0 = time.perf_counter()
         qg = QGramIndex(dataset, costs, q=3)
         rows["q-gram"].append((time.perf_counter() - t0, qg.num_grams * 120 / 1e6))
@@ -49,6 +59,7 @@ def test_table6_index_construction(benchmark, recorder, bench_scale):
     )
     fmt = lambda v: f"{v[0]:.2f}s/{v[1]:.2f}MB"  # noqa: E731
     table.add_row("OSF postings", rows["OSF postings"] + ["-"], formatter=lambda v: fmt(v) if v != "-" else v)
+    table.add_row("OSF frozen", rows["OSF frozen"] + ["-"], formatter=lambda v: fmt(v) if v != "-" else v)
     table.add_row("q-gram", rows["q-gram"] + ["-"], formatter=lambda v: fmt(v) if v != "-" else v)
     table.add_row("DITA", ["-", "-", "-", dita_row], formatter=lambda v: fmt(v) if v != "-" else v)
     table.add_row("ERP-index", ["-", "-", "-", erp_row], formatter=lambda v: fmt(v) if v != "-" else v)
@@ -69,6 +80,7 @@ def test_table6_index_construction(benchmark, recorder, bench_scale):
         {
             "profiles": profiles,
             "osf_postings": rows["OSF postings"],
+            "osf_frozen": rows["OSF frozen"],
             "qgram": rows["q-gram"],
             "dita_tiny": dita_row,
             "erp_index_tiny": erp_row,

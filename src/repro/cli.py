@@ -7,8 +7,12 @@ Gives downstream users a no-code path through the full workflow:
 - ``stats`` — Table-2-style statistics of a dataset;
 - ``query`` — run one subtrajectory similarity query;
 - ``travel-time`` — estimate the travel time of a path;
+- ``index build`` / ``index inspect`` — freeze a dataset's inverted
+  index into the mmap-able single-file format (``docs/INDEX_FORMAT.md``),
+  optionally sharded, and examine an index file's header;
 - ``serve`` — run the JSON-over-HTTP query service (``--self-test``
-  starts it on a synthetic workload, issues one HTTP query, and exits);
+  starts it on a synthetic workload, issues one HTTP query, and exits;
+  ``--index`` serves from a prebuilt frozen index);
 - ``trace`` — fetch completed traces from a running server's flight
   recorder (``/debug/traces``) and render them as span trees.
 """
@@ -235,6 +239,62 @@ def _cmd_travel_time(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.core.frozen import (
+        FrozenInvertedIndex,
+        round_robin_shards,
+        shard_index_path,
+    )
+
+    _, dataset = _load(args, args.representation)
+    num_shards = max(1, min(args.shards, len(dataset)))
+    shards = (
+        [dataset]
+        if num_shards == 1
+        else round_robin_shards(dataset, num_shards)
+    )
+    files = []
+    total_bytes = 0
+    build_seconds = 0.0
+    total_postings = 0
+    for i, shard in enumerate(shards):
+        frozen = FrozenInvertedIndex.freeze(
+            shard,
+            sort_by_departure=args.sort_by_departure,
+            shard=None if num_shards == 1 else (i, num_shards),
+            global_trajectories=len(dataset),
+        )
+        path = shard_index_path(args.out, i, num_shards)
+        total_bytes += frozen.save(path)
+        build_seconds += frozen.build_seconds
+        total_postings += frozen.num_postings
+        files.append(path)
+    print(
+        json.dumps(
+            {
+                "trajectories": len(dataset),
+                "postings": total_postings,
+                "shards": num_shards,
+                "files": files,
+                "file_bytes": total_bytes,
+                "build_seconds": build_seconds,
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def _cmd_index_inspect(args: argparse.Namespace) -> int:
+    from repro.core.frozen import IndexFormatError, inspect_index
+
+    try:
+        print(json.dumps(inspect_index(args.path), indent=2))
+    except (OSError, IndexFormatError) as exc:
+        raise SystemExit(f"cannot inspect {args.path}: {exc}") from exc
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.partitioned import PartitionedSubtrajectorySearch
     from repro.service import QueryService, ServiceServer
@@ -256,6 +316,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"{args.function} needs --representation {costs.representation}"
         )
+    index_kwargs = (
+        {}
+        if args.index is None
+        else {"index_backend": "frozen", "index_path": args.index}
+    )
     if args.shards > 1 or args.backend == "processes":
         # "threads" fans shards out on an engine-owned thread pool
         # (GIL-bound verification); "processes" builds one long-lived
@@ -271,6 +336,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             substitution_cache_size=args.substitution_cache_size,
             trie_cache_size=args.trie_cache_size,
             trie_cache_bytes=int(args.trie_cache_mb * 1024 * 1024),
+            **index_kwargs,
         )
     else:
         engine = SubtrajectorySearch(
@@ -280,6 +346,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             substitution_cache_size=args.substitution_cache_size,
             trie_cache_size=args.trie_cache_size,
             trie_cache_bytes=int(args.trie_cache_mb * 1024 * 1024),
+            **index_kwargs,
         )
     service = QueryService(
         engine,
@@ -498,6 +565,15 @@ def build_parser() -> argparse.ArgumentParser:
         "milliseconds (default: off)",
     )
     p.add_argument(
+        "--index",
+        default=None,
+        help="serve from a prebuilt frozen index ('repro index build'): "
+        "the file path for one shard, or the build stem for a sharded "
+        "deployment (shard k opens <stem>.shard<k>-of-<N>).  Workers "
+        "mmap the file in O(1) and the OS page cache shares one copy "
+        "across processes; see docs/INDEX_FORMAT.md",
+    )
+    p.add_argument(
         "--self-test",
         action="store_true",
         help="serve a synthetic workload, answer one HTTP query, and exit",
@@ -505,6 +581,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cost_options(p)
     _add_dp_backend_option(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "index", help="build / inspect frozen mmap-able index files"
+    )
+    index_sub = p.add_subparsers(dest="index_command", required=True)
+
+    p = index_sub.add_parser(
+        "build",
+        help="freeze a dataset's inverted index to the single-file "
+        "mmap-able format (docs/INDEX_FORMAT.md)",
+    )
+    p.add_argument("--network", required=True)
+    p.add_argument("--trips", required=True)
+    p.add_argument("--out", required=True, help="output path (stem when sharded)")
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="write one file per round-robin shard "
+        "(<out>.shard<k>-of-<N>; must match 'serve --shards')",
+    )
+    p.add_argument(
+        "--representation",
+        default="vertex",
+        choices=["vertex", "edge"],
+        help="symbol alphabet to index (default: vertex)",
+    )
+    p.add_argument(
+        "--sort-by-departure",
+        action="store_true",
+        help="order postings by trajectory departure time (temporal "
+        "pruning, §4.3; the result is closed to online inserts)",
+    )
+    p.set_defaults(func=_cmd_index_build)
+
+    p = index_sub.add_parser(
+        "inspect", help="print a frozen index file's header as JSON"
+    )
+    p.add_argument("path", help="index file to inspect")
+    p.set_defaults(func=_cmd_index_inspect)
 
     p = sub.add_parser(
         "trace", help="fetch and render traces from a running server"

@@ -8,6 +8,14 @@ from repro.core.cancellation import CancelToken
 from repro.core.engine import QueryResult, SubtrajectorySearch
 from repro.core.eta_tuning import tune_eta
 from repro.core.filtering import QueryElement, query_profile, tau_from_ratio
+from repro.core.frozen import (
+    DeltaOverlayIndex,
+    FrozenInvertedIndex,
+    IndexFormatError,
+    inspect_index,
+    round_robin_shards,
+    shard_index_path,
+)
 from repro.core.invindex import InvertedIndex
 from repro.core.mincand import (
     mincand_all,
@@ -23,6 +31,9 @@ from repro.core.workers import ShardWorkerPool
 
 __all__ = [
     "CancelToken",
+    "DeltaOverlayIndex",
+    "FrozenInvertedIndex",
+    "IndexFormatError",
     "InvertedIndex",
     "Match",
     "MatchSet",
@@ -32,11 +43,14 @@ __all__ = [
     "ShardWorkerPool",
     "SubtrajectorySearch",
     "TimeInterval",
+    "inspect_index",
     "mincand_all",
     "mincand_exact",
     "mincand_greedy",
     "mincand_prefix",
     "query_profile",
+    "round_robin_shards",
+    "shard_index_path",
     "tau_from_ratio",
     "topk_search",
     "tune_eta",

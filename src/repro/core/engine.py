@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Literal, Optional, Sequence
 
 from repro.core.cancellation import raise_if_cancelled
 from repro.core.filtering import QueryElement, query_profile, tau_from_ratio
+from repro.core.frozen import DeltaOverlayIndex, FrozenInvertedIndex
 from repro.core.invindex import InvertedIndex
 from repro.core.mincand import (
     mincand_all,
@@ -64,6 +65,7 @@ logger = logging.getLogger(__name__)
 Selector = Literal["greedy", "exact", "prefix", "all"]
 VerificationMode = Literal["trie", "local", "sw"]
 DP_BACKENDS = ("python", "numpy", "auto")
+INDEX_BACKENDS = ("dict", "frozen")
 
 #: default capacity of the engine-level SubstitutionMatrix LRU (entries).
 #: Sized for the serving layer's zipf repeat traffic (the hot head of the
@@ -267,6 +269,30 @@ class SubtrajectorySearch:
         shares a single cache across its in-process shard engines (safe
         because trie columns are dataset-independent).  Overrides
         ``trie_cache_size`` / ``trie_cache_bytes``.
+    index_backend:
+        ``"dict"`` (default) builds the mutable
+        :class:`~repro.core.invindex.InvertedIndex` in-process.
+        ``"frozen"`` uses the array-packed
+        :class:`~repro.core.frozen.FrozenInvertedIndex` as an immutable
+        base behind a :class:`~repro.core.frozen.DeltaOverlayIndex`
+        mutable front — opened from ``index_path`` when given (O(1)
+        mmap; the OS page cache shares the file across every process
+        mapping it), else frozen from the dataset in memory.  Both
+        backends answer queries bit-identically.
+    index_path:
+        Path to a frozen index file built by ``repro index build`` (or
+        :meth:`FrozenInvertedIndex.save`).  Requires
+        ``index_backend="frozen"``.  The file's header is validated
+        against the dataset (representation, departure-sort flag,
+        trajectory count); trajectories appended to the dataset after
+        the freeze are indexed into the delta overlay at construction.
+    index_expected_shard:
+        ``(shard_index, num_shards)`` provenance the opened file must
+        declare — how
+        :class:`~repro.core.partitioned.PartitionedSubtrajectorySearch`
+        guards against feeding shard ``k``'s engine a file frozen for a
+        different shard or shard count.  ``None`` (default) requires an
+        *unsharded* file.
     """
 
     def __init__(
@@ -284,6 +310,9 @@ class SubtrajectorySearch:
         trie_cache_size: int = DEFAULT_TRIE_CACHE,
         trie_cache_bytes: Optional[int] = DEFAULT_TRIE_CACHE_BYTES,
         trie_cache: Optional[TrieCache] = None,
+        index_backend: str = "dict",
+        index_path: Optional[str] = None,
+        index_expected_shard: Optional[tuple] = None,
     ) -> None:
         if costs.representation != dataset.representation:
             raise QueryError(
@@ -302,6 +331,10 @@ class SubtrajectorySearch:
             raise QueryError("trie_cache_size must be >= 0")
         if trie_cache_bytes is not None and trie_cache_bytes < 0:
             raise QueryError("trie_cache_bytes must be >= 0")
+        if index_backend not in INDEX_BACKENDS:
+            raise QueryError(f"unknown index_backend {index_backend!r}")
+        if index_path is not None and index_backend != "frozen":
+            raise QueryError("index_path requires index_backend='frozen'")
         self._dataset = dataset
         self._costs = costs
         self._selector = _SELECTORS[selector]
@@ -319,7 +352,72 @@ class SubtrajectorySearch:
         # cost_model_id walks vars() — not something to redo per query.
         self._model_id = cost_model_id(costs)
         self._update_lock = threading.Lock()
-        self.index = InvertedIndex(dataset, sort_by_departure=sort_by_departure)
+        self._index_backend = index_backend
+        # Memoized (num_postings, bytes) pair for index_stats(): the dict
+        # backend's memory_bytes() is an O(postings) getsizeof walk — not
+        # something to redo on every /healthz probe of a large index.
+        self._index_bytes_memo: Optional[tuple] = None
+        if index_backend == "dict":
+            self.index = InvertedIndex(dataset, sort_by_departure=sort_by_departure)
+        else:
+            self.index = self._build_frozen_index(
+                dataset, sort_by_departure, index_path, index_expected_shard
+            )
+
+    @staticmethod
+    def _build_frozen_index(
+        dataset: TrajectoryDataset,
+        sort_by_departure: bool,
+        index_path: Optional[str],
+        expected_shard: Optional[tuple],
+    ) -> DeltaOverlayIndex:
+        """Open (or freeze) the immutable base and validate it against the
+        dataset, then wrap it in the mutable delta overlay."""
+        if index_path is None:
+            base = FrozenInvertedIndex.freeze(
+                dataset, sort_by_departure=sort_by_departure
+            )
+        else:
+            base = FrozenInvertedIndex.open(index_path)
+            if base.representation != dataset.representation:
+                raise QueryError(
+                    f"frozen index {index_path} holds "
+                    f"{base.representation!r} symbols but the dataset uses "
+                    f"{dataset.representation!r} representation"
+                )
+            if base.sorted_by_departure != sort_by_departure:
+                raise QueryError(
+                    f"frozen index {index_path} was built with "
+                    f"sort_by_departure={base.sorted_by_departure}; the "
+                    f"engine asked for {sort_by_departure}"
+                )
+            if base.num_trajectories > len(dataset):
+                raise QueryError(
+                    f"frozen index {index_path} covers "
+                    f"{base.num_trajectories} trajectories but the dataset "
+                    f"holds only {len(dataset)}"
+                )
+            shard = base.shard
+            if expected_shard is None:
+                if shard is not None:
+                    raise QueryError(
+                        f"frozen index {index_path} is shard "
+                        f"{shard['index']} of {shard['of']}; this engine "
+                        "expects an unsharded index"
+                    )
+            else:
+                want = (int(expected_shard[0]), int(expected_shard[1]))
+                got = (
+                    None
+                    if shard is None
+                    else (int(shard["index"]), int(shard["of"]))
+                )
+                if got != want:
+                    raise QueryError(
+                        f"frozen index {index_path} declares shard "
+                        f"{got}; this engine expects shard {want}"
+                    )
+        return DeltaOverlayIndex(base, dataset)
 
     # -- public API --------------------------------------------------------
 
@@ -339,6 +437,33 @@ class SubtrajectorySearch:
         or ``"python"`` (``"auto"`` resolves per query — see
         ``QueryResult.dp_backend_used`` for what a query actually ran)."""
         return self._dp_backend
+
+    @property
+    def index_backend(self) -> str:
+        """The configured index backend: ``"dict"`` or ``"frozen"``."""
+        return self._index_backend
+
+    def index_stats(self) -> Dict[str, Any]:
+        """The inverted index's backend, size, and (for a mapped frozen
+        base) page-cache residency — surfaced via ``/healthz`` and the
+        ``/metrics`` collectors.  The dict backend's byte figure is
+        memoized on the posting count, so repeated probes of an unchanged
+        index skip its O(postings) size walk."""
+        index = self.index
+        if isinstance(index, DeltaOverlayIndex):
+            return index.stats()
+        num = index.num_postings
+        memo = self._index_bytes_memo
+        if memo is None or memo[0] != num:
+            memo = (num, index.memory_bytes())
+            self._index_bytes_memo = memo
+        return {
+            "backend": "dict",
+            "num_symbols": index.num_symbols,
+            "num_postings": num,
+            "bytes": memo[1],
+            "mmap": False,
+        }
 
     def substitution_cache_stats(self) -> Dict[str, int]:
         """Counters of the engine-level SubstitutionMatrix LRU
@@ -360,18 +485,21 @@ class SubtrajectorySearch:
         return {
             "substitution": self.substitution_cache_stats(),
             "trie": self.trie_cache_stats(),
+            "index": self.index_stats(),
         }
 
     def observability_cache_stats(self) -> Dict[str, Any]:
         """Cache stats shaped for the ``/metrics`` collectors: one
         ``(shard_label, counters)`` pair per reporting shard for each
-        cache.  A single-node engine is its own shard ``"0"``; see the
-        partitioned engine's override for fan-out labeling."""
+        cache (and for the index).  A single-node engine is its own shard
+        ``"0"``; see the partitioned engine's override for fan-out
+        labeling."""
         return {
             "shards": 1,
             "reporting": 1,
             "substitution": [("0", self.substitution_cache_stats())],
             "trie": [("0", self.trie_cache_stats())],
+            "index": [("0", self.index_stats())],
         }
 
     def add_trajectory(self, trajectory, *, validate: bool = False) -> int:
@@ -382,13 +510,18 @@ class SubtrajectorySearch:
         indexes, which are built once over a closed dataset.
 
         Inserts are serialized against each other (safe from concurrent
-        server threads).  Concurrent *queries* are safe — postings lists
-        are replaced as immutable tuples, so every individual lookup sees
-        a consistent list — but publication is atomic per *symbol*, not
-        per trajectory: a query racing the insert may observe the new
-        trajectory's postings for only a prefix of its positions and miss
-        matches anchored on the rest until the insert completes
-        (per-trajectory atomic publication is a ROADMAP item).
+        server threads).  Concurrent *queries* are safe on both index
+        backends: the dict index replaces postings lists as immutable
+        tuples, and the frozen backend never touches its mmap'd base —
+        inserts land only in the
+        :class:`~repro.core.frozen.DeltaOverlayIndex` dict overlay, which
+        publishes the same immutable tuples, so every individual lookup
+        sees a consistent (base + delta) list.  On either backend,
+        publication is atomic per *symbol*, not per trajectory: a query
+        racing the insert may observe the new trajectory's postings for
+        only a prefix of its positions and miss matches anchored on the
+        rest until the insert completes (per-trajectory atomic
+        publication is a ROADMAP item).
         """
         with self._update_lock:
             if self.index.sorted_by_departure:

@@ -1,9 +1,24 @@
-"""Inverted index over trajectory symbols (§4.1).
+"""Inverted index over trajectory symbols (§4.1) — the dict-backed backend.
 
 One postings list per symbol; a posting is ``(trajectory_id, position)``.
 Postings can optionally be ordered by trajectory departure time so that
 temporal constraints can prune candidates with a binary search instead of a
 scan (§4.3).
+
+This is one of two interchangeable index backends behind
+:class:`~repro.core.engine.SubtrajectorySearch`:
+
+- ``index_backend="dict"`` (this module): mutable python tuples, built
+  in-process — the right default at reproduction scale and for datasets
+  taking frequent online inserts.
+- ``index_backend="frozen"`` (:mod:`repro.core.frozen`): the same
+  postings packed into flat ``int32``/``int64`` arrays, memory-mapped
+  from a versioned single-file container (byte layout specified in
+  ``docs/INDEX_FORMAT.md``) and shared read-only across worker
+  processes, with a dict-backed delta overlay for online inserts.
+
+Both backends return bit-identical query results (hypothesis-pinned in
+``tests/test_core_frozen.py``).
 """
 
 from __future__ import annotations

@@ -44,6 +44,7 @@ from repro.core.engine import (
     QueryResult,
     SubtrajectorySearch,
 )
+from repro.core.frozen import shard_index_path
 from repro.core.results import Match
 from repro.core.trie import TrieCache
 from repro.core.temporal import TemporalMode, TimeInterval
@@ -83,6 +84,15 @@ class PartitionedSubtrajectorySearch:
     ``trie_cache``.  The ``processes`` backend cannot share memory across
     workers, so there the knobs size one cache *per worker* and
     :meth:`trie_cache_stats` sums them.
+
+    ``index_backend="frozen"`` with an ``index_path`` *stem* resolves one
+    frozen index file per shard (``<stem>.shard<k>-of-<N>`` as written by
+    ``repro index build --shards N``, or the stem itself for one shard)
+    and forwards it to the owning shard engine along with the expected
+    shard provenance, so a mismatched file fails loudly at construction.
+    On the ``processes`` backend this is the whole point: each worker
+    mmaps its shard's file in O(1) instead of rebuilding (or unpickling)
+    postings, and the OS page cache shares the bytes across workers.
 
     ``backend`` selects the fan-out strategy (see the module docstring).
     For backward compatibility it defaults to ``"threads"`` when
@@ -129,6 +139,22 @@ class PartitionedSubtrajectorySearch:
                 "worker per shard)"
             )
         num_shards = min(num_shards, len(dataset))
+        index_path = engine_kwargs.pop("index_path", None)
+        if index_path is not None and engine_kwargs.get("index_backend") != "frozen":
+            raise QueryError("index_path requires index_backend='frozen'")
+        # Per-shard engine kwargs: shard k opens its own frozen file and
+        # must find its own shard provenance in the header.
+        per_shard_kwargs: Optional[List[Dict[str, Any]]] = None
+        if index_path is not None:
+            per_shard_kwargs = [
+                {
+                    "index_path": shard_index_path(index_path, i, num_shards),
+                    "index_expected_shard": (
+                        None if num_shards == 1 else (i, num_shards)
+                    ),
+                }
+                for i in range(num_shards)
+            ]
         self._backend = backend
         self._dp_backend = str(engine_kwargs.get("dp_backend", "auto"))
         self._trie_cache: Optional[TrieCache] = None
@@ -175,14 +201,28 @@ class PartitionedSubtrajectorySearch:
         self._workers: Optional[ShardWorkerPool] = None
         if backend == "processes":
             # Engines are built inside the workers — index memory and
-            # build time live there, once, not in the parent too.
+            # build time live there, once, not in the parent too.  With a
+            # frozen index_path the workers ship only the *path*: each
+            # opens its shard's file by mmap instead of rebuilding.
             self._workers = ShardWorkerPool(
-                self._shards, costs, engine_kwargs, start_method=start_method
+                self._shards,
+                costs,
+                engine_kwargs,
+                start_method=start_method,
+                per_shard_kwargs=per_shard_kwargs,
             )
         else:
             self._engines = [
-                SubtrajectorySearch(shard, costs, **engine_kwargs)
-                for shard in self._shards
+                SubtrajectorySearch(
+                    shard,
+                    costs,
+                    **(
+                        engine_kwargs
+                        if per_shard_kwargs is None
+                        else {**engine_kwargs, **per_shard_kwargs[i]}
+                    ),
+                )
+                for i, shard in enumerate(self._shards)
             ]
             if backend == "threads" and num_shards > 1:
                 workers = num_shards if max_workers is None else max_workers
@@ -215,6 +255,14 @@ class PartitionedSubtrajectorySearch:
     #: summed fields of each engine-level cache's counters.
     _SUB_FIELDS = ("capacity", "size", "hits", "misses")
     _TRIE_FIELDS = ("capacity", "size", "bytes", "hits", "misses", "evictions")
+    _INDEX_FIELDS = (
+        "num_symbols",
+        "num_postings",
+        "delta_postings",
+        "bytes",
+        "file_bytes",
+        "resident_bytes",
+    )
 
     def _aggregate(
         self, parts: Sequence[Optional[Dict[str, int]]], fields: Sequence[str]
@@ -268,6 +316,32 @@ class PartitionedSubtrajectorySearch:
             return stats
         return self._aggregate(self._workers.trie_cache_stats(), self._TRIE_FIELDS)
 
+    def _aggregate_index(
+        self, parts: Sequence[Optional[Dict[str, Any]]]
+    ) -> Dict[str, Any]:
+        """Sum per-shard index counters and carry the non-numeric facts:
+        the backend name (uniform across shards by construction) and
+        whether *every* reporting shard serves from an mmap."""
+        agg: Dict[str, Any] = self._aggregate(parts, self._INDEX_FIELDS)
+        reporting = [p for p in parts if p is not None]
+        agg["backend"] = reporting[0].get("backend", "") if reporting else ""
+        agg["mmap"] = bool(reporting) and all(p.get("mmap") for p in reporting)
+        return agg
+
+    def index_stats(self) -> Dict[str, Any]:
+        """Aggregated inverted-index stats across shards (backend, summed
+        sizes/bytes, whether every shard serves from an mmap).  On the
+        processes backend the workers are polled without blocking — busy
+        workers are skipped, ``shards_reporting`` says how many answered.
+        """
+        self._check_open()
+        if self._workers is not None:
+            combined = self._workers.cache_stats()
+            parts = [None if p is None else p.get("index") for p in combined]
+        else:
+            parts = [engine.index_stats() for engine in self._engines]
+        return self._aggregate_index(parts)
+
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
         """Both engine-level caches' aggregates from ONE worker poll.
 
@@ -282,6 +356,7 @@ class PartitionedSubtrajectorySearch:
             return {
                 "substitution": self.substitution_cache_stats(),
                 "trie": self.trie_cache_stats(),
+                "index": self.index_stats(),
             }
         combined = self._workers.cache_stats()
         return {
@@ -292,6 +367,9 @@ class PartitionedSubtrajectorySearch:
             "trie": self._aggregate(
                 [None if p is None else p.get("trie") for p in combined],
                 self._TRIE_FIELDS,
+            ),
+            "index": self._aggregate_index(
+                [None if p is None else p.get("index") for p in combined]
             ),
         }
 
@@ -314,10 +392,15 @@ class PartitionedSubtrajectorySearch:
                 for i, engine in enumerate(self._engines)
             ]
             out["trie"] = [("shared", dict(self._trie_cache.stats()))]
+            out["index"] = [
+                (str(i), engine.index_stats())
+                for i, engine in enumerate(self._engines)
+            ]
             return out
         combined = self._workers.cache_stats()
         substitution = []
         trie = []
+        index = []
         reporting = 0
         for i, part in enumerate(combined):
             if part is None:
@@ -325,9 +408,12 @@ class PartitionedSubtrajectorySearch:
             reporting += 1
             substitution.append((str(i), part["substitution"]))
             trie.append((str(i), part["trie"]))
+            if "index" in part:
+                index.append((str(i), part["index"]))
         out["reporting"] = reporting
         out["substitution"] = substitution
         out["trie"] = trie
+        out["index"] = index
         return out
 
     def __len__(self) -> int:

@@ -195,9 +195,10 @@ def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None
                     )
                 conn.send((req_id, "ok", tid))
             elif kind == "stats":
-                # One combined payload for every engine-level cache, so a
-                # single non-blocking poll serves all observability
-                # consumers (healthz, /stats, aggregated shard stats).
+                # One combined payload for every engine-level cache plus
+                # the index, so a single non-blocking poll serves all
+                # observability consumers (healthz, /stats, /metrics,
+                # aggregated shard stats).
                 conn.send(
                     (
                         req_id,
@@ -205,6 +206,7 @@ def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None
                         {
                             "substitution": engine.substitution_cache_stats(),
                             "trie": engine.trie_cache_stats(),
+                            "index": engine.index_stats(),
                         },
                     )
                 )
@@ -399,6 +401,11 @@ class ShardWorkerPool:
     start_method:
         ``multiprocessing`` start method (default:
         :func:`default_start_method`).
+    per_shard_kwargs:
+        Optional list (one dict per shard) of engine kwargs merged *over*
+        ``engine_kwargs`` for that shard's worker — how the partitioned
+        engine ships each worker its own frozen ``index_path`` (the path
+        crosses the pipe, never the index: the worker mmaps the file).
     """
 
     def __init__(
@@ -408,14 +415,25 @@ class ShardWorkerPool:
         engine_kwargs: Optional[Dict[str, Any]] = None,
         *,
         start_method: Optional[str] = None,
+        per_shard_kwargs: Optional[Sequence[Optional[Dict[str, Any]]]] = None,
     ) -> None:
+        if per_shard_kwargs is not None and len(per_shard_kwargs) != len(
+            shard_datasets
+        ):
+            raise WorkerError(
+                f"expected {len(shard_datasets)} per-shard kwarg dicts, "
+                f"got {len(per_shard_kwargs)}"
+            )
         ctx = mp.get_context(start_method or default_start_method())
         self._closed = False
         self._workers: List[_ShardWorker] = []
         try:
             for index, dataset in enumerate(shard_datasets):
+                kwargs = dict(engine_kwargs or {})
+                if per_shard_kwargs is not None and per_shard_kwargs[index]:
+                    kwargs.update(per_shard_kwargs[index])
                 self._workers.append(
-                    _ShardWorker(ctx, index, dataset, costs, engine_kwargs or {})
+                    _ShardWorker(ctx, index, dataset, costs, kwargs)
                 )
         except BaseException:
             self.close()

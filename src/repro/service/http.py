@@ -150,9 +150,14 @@ class _Handler(BaseHTTPRequestHandler):
                         combined = cache_stats()
                         payload["substitution_cache"] = combined["substitution"]
                         payload["trie_cache"] = combined["trie"]
+                        # Index backend, bytes, and (for a frozen mmap)
+                        # page-cache residency — same single snapshot.
+                        if "index" in combined:
+                            payload["index"] = combined["index"]
                     except Exception as exc:  # noqa: BLE001
                         payload["substitution_cache"] = {"error": str(exc)}
                         payload["trie_cache"] = {"error": str(exc)}
+                        payload["index"] = {"error": str(exc)}
                 self._send_json(200, payload)
             elif path == "/stats":
                 self._send_json(200, service.stats())

@@ -368,9 +368,27 @@ class ServiceObservability:
             ("misses_total", "misses", "counter", "Trie cache misses."),
             ("evictions_total", "evictions", "counter", "Trie cache evictions."),
         )
+        index_fields = (
+            ("bytes", "bytes", "gauge",
+             "Bytes held by the inverted index postings (packed arrays "
+             "for the frozen backend, getsizeof estimate for dict)."),
+            ("file_bytes", "file_bytes", "gauge",
+             "On-disk bytes of the frozen index file (0 for in-memory "
+             "backends)."),
+            ("resident_bytes", "resident_bytes", "gauge",
+             "Page-cache-resident bytes of the frozen index mapping via "
+             "mincore (0 when unavailable)."),
+            ("postings", "num_postings", "gauge", "Total postings indexed."),
+            ("delta_postings", "delta_postings", "gauge",
+             "Postings added by online inserts since the freeze."),
+            ("mmap", "mmap", "gauge",
+             "Whether the shard serves its index from a shared file "
+             "mapping (1) or private process memory (0)."),
+        )
         for prefix, parts, fields in (
             ("repro_substitution_cache", combined.get("substitution", []), sub_fields),
             ("repro_trie_cache", combined.get("trie", []), trie_fields),
+            ("repro_index", combined.get("index", []), index_fields),
         ):
             for suffix, key, kind, help_text in fields:
                 samples = [
