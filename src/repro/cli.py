@@ -321,6 +321,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.index is None
         else {"index_backend": "frozen", "index_path": args.index}
     )
+    if getattr(args, "fault_plan", None) is not None:
+        from repro.faultinject import load_fault_plan
+
+        if args.backend != "processes":
+            raise SystemExit("--fault-plan requires --backend processes")
+        index_kwargs["fault_plan"] = load_fault_plan(args.fault_plan)
     if args.shards > 1 or args.backend == "processes":
         # "threads" fans shards out on an engine-owned thread pool
         # (GIL-bound verification); "processes" builds one long-lived
@@ -572,6 +578,14 @@ def build_parser() -> argparse.ArgumentParser:
         "deployment (shard k opens <stem>.shard<k>-of-<N>).  Workers "
         "mmap the file in O(1) and the OS page cache shares one copy "
         "across processes; see docs/INDEX_FORMAT.md",
+    )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        help="deterministic fault injection for the processes backend: a "
+        "path to a FaultPlan JSON file, or the JSON object inline (leading "
+        "'{').  Chaos drills only — kills/delays/drops shard workers on a "
+        "seeded schedule; see repro.faultinject",
     )
     p.add_argument(
         "--self-test",

@@ -22,7 +22,7 @@ import logging
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Literal, Optional, Sequence
+from typing import Any, Callable, Dict, List, Literal, Optional, Sequence, Tuple
 
 from repro.core.cancellation import raise_if_cancelled
 from repro.core.filtering import QueryElement, query_profile, tau_from_ratio
@@ -128,6 +128,14 @@ class QueryResult:
     #: single-column steps; 0 for the python backend and a fully-warm
     #: rewalk) — like dp_array_allocations, outside VerificationStats.
     dp_rounds: int = 0
+    #: False when this is a *partial* answer: one or more shards were
+    #: unavailable and the caller opted into graceful degradation
+    #: (``allow_partial``), so matches from the shards listed in
+    #: :attr:`degraded_shards` are missing.  Partial answers are never
+    #: cached as complete by the serving layer.
+    complete: bool = True
+    #: shard indices whose results are missing from a partial answer.
+    degraded_shards: Tuple[int, ...] = ()
 
     @property
     def total_seconds(self) -> float:

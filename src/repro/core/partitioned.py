@@ -49,8 +49,9 @@ from repro.core.results import Match
 from repro.core.trie import TrieCache
 from repro.core.temporal import TemporalMode, TimeInterval
 from repro.core.verification import VerificationStats
+from repro.core.supervision import WorkerState
 from repro.core.workers import ShardWorkerPool
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, ShardUnavailableError
 from repro.trajectory.dataset import TrajectoryDataset
 
 __all__ = ["PartitionedSubtrajectorySearch"]
@@ -118,6 +119,12 @@ class PartitionedSubtrajectorySearch:
         max_workers: Optional[int] = None,
         backend: Optional[str] = None,
         start_method: Optional[str] = None,
+        supervise: bool = True,
+        fault_plan=None,
+        breaker_failures: int = 3,
+        breaker_cooldown: float = 1.0,
+        respawn_backoff: float = 0.05,
+        respawn_backoff_cap: float = 2.0,
         **engine_kwargs,
     ) -> None:
         if num_shards < 1:
@@ -137,6 +144,13 @@ class PartitionedSubtrajectorySearch:
                 f"backend={backend!r} does not take max_workers (the thread "
                 "pool is the threads backend's; processes always runs one "
                 "worker per shard)"
+            )
+        if backend != "processes" and fault_plan is not None:
+            # In-process shards cannot die independently of the parent —
+            # there is nothing for a fault plan to act on.
+            raise QueryError(
+                f"backend={backend!r} does not take a fault_plan (fault "
+                "injection targets the processes backend's shard workers)"
             )
         num_shards = min(num_shards, len(dataset))
         index_path = engine_kwargs.pop("index_path", None)
@@ -210,6 +224,12 @@ class PartitionedSubtrajectorySearch:
                 engine_kwargs,
                 start_method=start_method,
                 per_shard_kwargs=per_shard_kwargs,
+                supervise=supervise,
+                fault_plan=fault_plan,
+                breaker_failures=breaker_failures,
+                breaker_cooldown=breaker_cooldown,
+                respawn_backoff=respawn_backoff,
+                respawn_backoff_cap=respawn_backoff_cap,
             )
         else:
             self._engines = [
@@ -251,6 +271,36 @@ class PartitionedSubtrajectorySearch:
         """The verification DP backend every shard engine is configured
         with (``"auto"`` resolves per query inside each shard)."""
         return self._dp_backend
+
+    # -- supervision snapshots ----------------------------------------------
+
+    def worker_states(self) -> List[WorkerState]:
+        """Per-shard supervision snapshots (``/healthz`` / ``/metrics``).
+
+        On the processes backend these come from the pool's supervisor
+        (liveness, pid, restart count, breaker state).  In-process shards
+        share the parent's fate, so the other backends report synthetic
+        always-alive states — the endpoint shape is backend-uniform.
+        """
+        self._check_open()
+        if self._workers is not None:
+            return self._workers.worker_states()
+        return [
+            WorkerState(
+                shard=shard,
+                alive=True,
+                pid=None,
+                restarts=0,
+                breaker="closed",
+                consecutive_failures=0,
+            )
+            for shard in range(self.num_shards)
+        ]
+
+    def restarts_total(self) -> int:
+        """Completed shard-worker respawns (0 on in-process backends)."""
+        self._check_open()
+        return 0 if self._workers is None else self._workers.restarts_total()
 
     #: summed fields of each engine-level cache's counters.
     _SUB_FIELDS = ("capacity", "size", "hits", "misses")
@@ -574,13 +624,30 @@ class PartitionedSubtrajectorySearch:
         finally:
             span.finish()
 
-    def merge_shard_results(self, results: Sequence[QueryResult]) -> QueryResult:
+    def merge_shard_results(
+        self, results: Sequence[Optional[QueryResult]]
+    ) -> QueryResult:
         """Union shard results (given in shard order) into one global
         :class:`QueryResult`: ids mapped back to the global space, matches
-        sorted by ``(id, start, end)``, timings and counters summed."""
+        sorted by ``(id, start, end)``, timings and counters summed.
+
+        A ``None`` entry is a *degraded* shard (its worker stayed down and
+        the caller opted into ``allow_partial``): its matches are simply
+        missing, the merged result carries ``complete=False`` and the
+        shard's index in ``degraded_shards``.  All ``None`` raises
+        :class:`~repro.exceptions.ShardUnavailableError` — there is
+        nothing to serve a partial answer from."""
         if len(results) != self.num_shards:
             raise QueryError(
                 f"expected {self.num_shards} shard results, got {len(results)}"
+            )
+        degraded = tuple(
+            shard for shard, result in enumerate(results) if result is None
+        )
+        if len(degraded) == self.num_shards:
+            raise ShardUnavailableError(
+                "every shard is unavailable (nothing to serve a partial "
+                "result from)"
             )
         matches: List[Match] = []
         tau_used = 0.0
@@ -592,6 +659,8 @@ class PartitionedSubtrajectorySearch:
         trie_statuses: List[str] = []
         stats = VerificationStats()
         for result, id_map in zip(results, self._global_ids):
+            if result is None:
+                continue
             tau_used = result.tau
             candidates += result.num_candidates
             mincand += result.mincand_seconds
@@ -628,6 +697,8 @@ class PartitionedSubtrajectorySearch:
             dp_array_allocations=allocations,
             dp_rounds=dp_rounds,
             trie_cache_status="+".join(sorted(trie_statuses)),
+            complete=not degraded,
+            degraded_shards=degraded,
         )
 
     def query(
@@ -641,13 +712,22 @@ class PartitionedSubtrajectorySearch:
         temporal_mode: TemporalMode = "overlap",
         cancel=None,
         trace=None,
+        allow_partial: bool = False,
     ) -> QueryResult:
         """Fan out to every shard and merge (exact, same semantics as the
         single-node engine).  ``cancel`` optionally carries a deadline /
         cancellation token through to every shard's verification loop.
         ``trace`` (a :class:`repro.obs.tracing.Span`, or None) collects
         one child span per shard — on the processes backend the workers'
-        own engine-stage spans are stitched underneath them."""
+        own engine-stage spans are stitched underneath them.
+
+        ``allow_partial`` opts into graceful degradation on the processes
+        backend: a shard whose worker stays down (even after the pool's
+        respawn-and-retry) yields no matches instead of failing the whole
+        query, and the merged result says so (``complete=False`` +
+        ``degraded_shards``).  In-process shards share the parent's fate
+        and cannot independently fail, so the flag is accepted but inert
+        on the other backends."""
         self._check_open()
         raise_if_cancelled(cancel, "query")
         if self._workers is not None:
@@ -661,7 +741,9 @@ class PartitionedSubtrajectorySearch:
             # Send to every worker before collecting any reply: all shard
             # processes verify concurrently (no parent-side threads needed).
             if trace is None:
-                results = self._workers.query_all(list(query), kwargs, cancel)
+                results = self._workers.query_all(
+                    list(query), kwargs, cancel, allow_partial=allow_partial
+                )
             else:
                 spans = [
                     trace.child("shard", shard=i, backend="processes")
@@ -670,19 +752,25 @@ class PartitionedSubtrajectorySearch:
                 try:
                     # on_reply closes each shard's span the moment its
                     # reply is collected, so span ends track per-shard
-                    # completion rather than the full fan-out.
+                    # completion rather than the full fan-out; on_event
+                    # pins retry/degrade decisions onto the shard spans.
                     payloads = self._workers.query_all(
                         list(query),
                         kwargs,
                         cancel,
                         trace_ctxs=[span.context() for span in spans],
                         on_reply=lambda i: spans[i].finish(),
+                        allow_partial=allow_partial,
+                        on_event=lambda i, event: spans[i].set("fault", event),
                     )
                 finally:
                     for span in spans:  # no-op on already-finished spans
                         span.finish()
                 results = []
                 for span, payload in zip(spans, payloads):
+                    if payload is None:
+                        results.append(None)
+                        continue
                     result, exported = payload
                     span.graft(exported)
                     results.append(result)

@@ -31,9 +31,38 @@ moves each shard's engine into a long-lived **worker process**:
   WorkerError` instead of silently wrong answers, which is what the
   serving layer's cache-generation guarantees rest on;
 - lifecycle is leak-proof: workers are daemon processes, pools shut down
-  idempotently, and a module-level ``atexit`` hook terminates every pool
-  still alive at interpreter exit (so ``repro serve --self-test`` cannot
-  strand children).
+  idempotently (a wedged worker is escalated SIGTERM → SIGKILL so it can
+  never outlive ``close()``), and a module-level ``atexit`` hook
+  terminates every pool still alive at interpreter exit (so ``repro
+  serve --self-test`` cannot strand children).
+
+**Fault tolerance** (the supervision layer; policy objects live in
+:mod:`repro.core.supervision`):
+
+- a pool-level *supervisor thread* polls worker liveness and respawns
+  dead workers with bounded exponential backoff + per-shard jitter; the
+  query path additionally respawns eagerly when it trips over a corpse,
+  so recovery latency is bounded by one engine rebuild, not a poll tick;
+- a respawned worker rebuilds its engine from the parent's shard dataset
+  mirror, then the parent *replays its insert journal* — the write-ahead
+  record of every acknowledged online insert — through the same
+  versioned ``add`` protocol, so the replica is bit-identical to the
+  crashed one (the handshake reports the rebuilt engine's length; only
+  the entries past it replay, and any id disagreement fails loudly);
+- a per-shard :class:`~repro.core.supervision.CircuitBreaker` (closed →
+  open after N consecutive shard failures → half-open probe) keeps a
+  flapping shard from eating every query's deadline: with the breaker
+  open, queries either fail fast (:class:`~repro.exceptions.
+  ShardUnavailableError`) or — with ``allow_partial`` — degrade to the
+  live shards;
+- :meth:`ShardWorkerPool.query_all` retries a dead shard's query exactly
+  once on the respawned worker, within the caller's remaining deadline
+  budget, re-shipping the *updated* remaining time;
+- deterministic chaos: a :class:`~repro.faultinject.FaultPlan` ships
+  per-shard worker-side fault tables into the children (kill before /
+  after request K, delay or drop a reply, ignore stop) and parent-side
+  respawn failures into the supervisor, all keyed to request ordinals
+  that survive respawns — see :mod:`repro.faultinject`.
 
 Protocol (one request in flight per worker, enforced by a parent-side
 lock; every request gets exactly one reply, keeping the pipe in sync even
@@ -55,30 +84,40 @@ request's trace crosses the pickle boundary intact.  Untraced queries
 keep the bare-``QueryResult`` payload.
 
 plus a readiness handshake: the worker's first message (req 0) reports
-whether its engine built, so constructor errors (bad engine options,
-mismatched representation) raise in the parent at pool construction with
-their real cause — exactly as the in-process backends do.
+whether its engine built — and, on success, the engine's dataset length
+and pid (the journal-replay watermark) — so constructor errors (bad
+engine options, mismatched representation) raise in the parent at pool
+construction with their real cause, exactly as the in-process backends
+do.
 """
 
 from __future__ import annotations
 
 import atexit
+import logging
 import multiprocessing as mp
 import os
 import threading
 import weakref
-from time import monotonic
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from time import monotonic, sleep
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import WorkerError
+from repro.core.supervision import CircuitBreaker, RespawnBackoff, WorkerState
+from repro.exceptions import ShardUnavailableError, WorkerError
 
 __all__ = ["ShardWorkerPool", "default_start_method"]
+
+logger = logging.getLogger(__name__)
 
 #: parent-side poll slice while waiting on a worker reply; bounds how fast
 #: a tripped token propagates to the worker's shared flag.
 _POLL_SECONDS = 0.02
-#: grace given to a worker to exit after a "stop" before SIGTERM.
+#: grace given to a worker to exit after a "stop" before SIGTERM (and, a
+#: join later, SIGKILL).
 _STOP_TIMEOUT = 5.0
+#: supervisor liveness-poll period.
+_SUPERVISOR_POLL = 0.1
 
 
 def default_start_method() -> str:
@@ -90,7 +129,9 @@ def default_start_method() -> str:
     parent (e.g. rebuilding an engine while an HTTP server is live) can
     deadlock the child on locks held mid-fork by other threads, so such
     parents get ``spawn``, which always works: the worker entry point and
-    every shipped object are picklable.
+    every shipped object are picklable.  (Supervised *respawns* reuse the
+    pool's original context: the replacement worker must build from the
+    same inheritance path as the one it replaces.)
     """
     env = os.environ.get("REPRO_MP_START")
     if env:
@@ -124,40 +165,74 @@ class _WorkerCancelToken:
         return self._flag.value >= self._req_id
 
 
-def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None:
+def _worker_main(
+    conn, flag, shard_index, dataset, costs, engine_kwargs,
+    faults=None, request_offsets=None,
+) -> None:
     """Worker process entry point: build the shard engine, serve the pipe.
 
     Top-level (not a closure) so ``spawn`` contexts can pickle it.  Every
     received request is answered exactly once; failures — including
-    cancellations — travel back as pickled exceptions.
+    cancellations — travel back as pickled exceptions.  ``faults`` is an
+    optional :class:`~repro.faultinject.WorkerFaults` table and
+    ``request_offsets`` the per-kind ordinals already consumed by this
+    shard's previous incarnations (so fault rules fire once across
+    respawns).
     """
     # Imported here, not at module top, so the worker builds its engine
     # against whatever is on *its* path under spawn (and to keep this
     # module importable without pulling the whole engine in first).
     from repro.core.engine import SubtrajectorySearch
 
+    if faults is not None:
+        faults.install()
+    counts: Dict[str, int] = dict(request_offsets or {})
+
+    def _guarded_send(message) -> bool:
+        """Send a reply; a pipe torn down mid-send (parent died, or the
+        parent closed our conn racing this send) must end the loop
+        cleanly, not crash the worker with traceback noise."""
+        try:
+            conn.send(message)
+            return True
+        except (OSError, ValueError, BrokenPipeError):
+            return False
+
     # Readiness handshake (req 0): a failed engine build must raise in the
     # parent's constructor with its real cause, not as an opaque dead
-    # worker at first query.
+    # worker at first query.  On success the payload carries the dataset
+    # length — the parent's journal-replay watermark — and the pid.
     try:
         engine = SubtrajectorySearch(dataset, costs, **engine_kwargs)
     except BaseException as exc:  # noqa: BLE001 — ship the failure to the parent
-        try:
-            conn.send((0, "error", exc))
-        except Exception:
-            conn.send((0, "error", WorkerError(f"engine build failed: {exc!r}")))
+        if not _guarded_send((0, "error", exc)):
+            _guarded_send(
+                (0, "error", WorkerError(f"engine build failed: {exc!r}"))
+            )
         conn.close()
         return
-    conn.send((0, "ok", None))
+    if not _guarded_send((0, "ok", {"len": len(dataset), "pid": os.getpid()})):
+        conn.close()
+        return
     while True:
         try:
             msg = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             break  # parent gone (or interactive interrupt): nothing to reply to
         kind, req_id = msg[0], msg[1]
+        ordinal = 0
+        if faults is not None and kind in ("query", "add"):
+            ordinal = counts.get(kind, 0) + 1
+            counts[kind] = ordinal
+            faults.before(kind, ordinal)
+            if faults.drop_pipe(kind, ordinal):
+                conn.close()
+                os._exit(70)
         try:
             if kind == "stop":
-                conn.send((req_id, "ok", None))
+                if faults is not None and faults.wedge_stop:
+                    continue  # chaos: pretend not to hear — forces escalation
+                _guarded_send((req_id, "ok", None))
                 break
             if kind == "query":
                 symbols, kwargs, remaining = msg[2], msg[3], msg[4]
@@ -168,7 +243,7 @@ def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None
                     # The merge ignores the tau-subsequence; stripping it
                     # keeps reply pickles small (neighborhoods are large).
                     result.subsequence = []
-                    conn.send((req_id, "ok", result))
+                    payload = result
                 else:
                     from repro.obs.tracing import Trace
 
@@ -184,7 +259,11 @@ def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None
                     )
                     result.subsequence = []
                     trace.finish()
-                    conn.send((req_id, "ok", (result, trace.export())))
+                    payload = (result, trace.export())
+                if faults is not None:
+                    faults.delay(kind, ordinal)
+                if not _guarded_send((req_id, "ok", payload)):
+                    break
             elif kind == "add":
                 expected, trajectory, validate = msg[2], msg[3], msg[4]
                 tid = engine.add_trajectory(trajectory, validate=validate)
@@ -193,13 +272,16 @@ def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None
                         f"shard {shard_index} replica diverged: insert got local "
                         f"id {tid}, parent expected {expected}"
                     )
-                conn.send((req_id, "ok", tid))
+                if faults is not None:
+                    faults.delay(kind, ordinal)
+                if not _guarded_send((req_id, "ok", tid)):
+                    break
             elif kind == "stats":
                 # One combined payload for every engine-level cache plus
                 # the index, so a single non-blocking poll serves all
                 # observability consumers (healthz, /stats, /metrics,
                 # aggregated shard stats).
-                conn.send(
+                if not _guarded_send(
                     (
                         req_id,
                         "ok",
@@ -209,52 +291,130 @@ def _worker_main(conn, flag, shard_index, dataset, costs, engine_kwargs) -> None
                             "index": engine.index_stats(),
                         },
                     )
-                )
+                ):
+                    break
             else:
                 raise WorkerError(f"unknown message kind {kind!r}")
         except BaseException as exc:  # noqa: BLE001 — ship failures to the parent
-            try:
-                conn.send((req_id, "error", exc))
-            except Exception:
+            if not _guarded_send((req_id, "error", exc)):
                 # Unpicklable exception: degrade to a description so the
-                # parent still gets its one reply.
-                conn.send((req_id, "error", WorkerError(f"worker error: {exc!r}")))
-    conn.close()
+                # parent still gets its one reply.  If even the fallback
+                # cannot be sent the pipe is gone — exit the loop cleanly
+                # instead of dying with a BrokenPipeError traceback.
+                if not _guarded_send(
+                    (req_id, "error", WorkerError(f"worker error: {exc!r}"))
+                ):
+                    break
+            continue
+        if faults is not None and kind in ("query", "add"):
+            faults.after(kind, ordinal)
+    try:
+        conn.close()
+    except OSError:
+        pass
 
 
 class _ShardWorker:
-    """Parent-side proxy for one worker process.
+    """Parent-side proxy for one (respawnable) worker process.
 
     Serializes request/response round-trips with a lock (the worker is
     single-threaded, so pipelining would only queue in the pipe) and
     monitors process liveness while waiting, so a crashed worker surfaces
-    as :class:`WorkerError` instead of a hang.
+    as :class:`WorkerError` instead of a hang.  The constructor arguments
+    are retained so the supervisor can respawn the process; ``restarts``
+    counts completed respawns.
     """
 
-    def __init__(self, ctx, index: int, dataset, costs, engine_kwargs: Dict[str, Any]) -> None:
+    def __init__(
+        self, ctx, index: int, dataset, costs, engine_kwargs: Dict[str, Any],
+        faults=None,
+    ) -> None:
         self.index = index
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.restarts = 0
+        self._ctx = ctx
+        self._dataset = dataset
+        self._costs = costs
+        self._engine_kwargs = dict(engine_kwargs)
+        self._faults = faults
+        self._lock = threading.Lock()
+        self._req = 0
+        #: requests sent per kind over ALL incarnations — shipped to a
+        #: respawned worker so fault-rule ordinals keep counting.
+        self._sent: Dict[str, int] = {"query": 0, "add": 0}
+        self._spawn()
+
+    # -- process lifecycle --------------------------------------------------
+
+    def _spawn(self) -> Dict[str, Any]:
+        """Start (or restart) the worker process and run the readiness
+        handshake.  Returns the handshake payload (engine length, pid).
+        The caller must hold ``_lock`` on every call but the first."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         # Raw (lockless) value is enough: single writer semantics per
         # request, and a stale read only delays cancellation by one poll.
-        self._flag = ctx.Value("q", 0, lock=False)
-        self._process = ctx.Process(
+        self._flag = self._ctx.Value("q", 0, lock=False)
+        self._process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._flag, index, dataset, costs, dict(engine_kwargs)),
-            name=f"repro-shard-{index}",
+            args=(
+                child_conn,
+                self._flag,
+                self.index,
+                self._dataset,
+                self._costs,
+                dict(self._engine_kwargs),
+                self._faults,
+                dict(self._sent),
+            ),
+            name=f"repro-shard-{self.index}",
             daemon=True,
         )
         self._process.start()
         child_conn.close()
         self._conn = parent_conn
-        self._lock = threading.Lock()
-        self._req = 0
         # Block until the worker reports its engine built (req 0); engine
         # construction errors re-raise here with their original type.
-        self._receive(0, None)
+        return self._receive(0, None)
+
+    def respawn(self, journal: Sequence[Tuple[int, Any, bool]]) -> None:
+        """Replace a dead worker with a fresh process and replay the
+        insert journal so the replica is bit-identical.
+
+        Caller must hold ``_lock``.  The handshake reports the rebuilt
+        engine's dataset length; only journal entries at or past that
+        watermark replay (the respawn dataset mirror normally already
+        contains every acknowledged insert — the journal closes the race
+        where an insert was acknowledged but not yet mirrored when the
+        respawn snapshot was taken).  Any id disagreement during replay
+        raises :class:`WorkerError` — divergence fails loudly.
+        """
+        if self._process.is_alive():
+            # Pipe-level death (dropped conn) with the process lingering:
+            # the old incarnation must not keep burning CPU beside the new.
+            self._process.kill()
+            self._process.join(_STOP_TIMEOUT)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        handshake = self._spawn()
+        watermark = int(handshake.get("len", 0)) if handshake else 0
+        for expected, trajectory, validate in journal:
+            if expected < watermark:
+                continue  # already inside the respawn dataset snapshot
+            self._req += 1
+            self._sent["add"] += 1  # replays consume fault ordinals too
+            req_id = self._req
+            self._conn.send(("add", req_id, expected, trajectory, validate))
+            self._receive(req_id, None)  # versioned: divergence raises
+        self.restarts += 1
 
     @property
     def alive(self) -> bool:
         return self._process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid
 
     @property
     def daemon(self) -> bool:
@@ -273,10 +433,16 @@ class _ShardWorker:
 
         Diagnostics path (``/healthz`` polling a worker's cache stats):
         a liveness probe must never queue behind a long-running
-        verification on the single-request-per-worker pipe."""
+        verification on the single-request-per-worker pipe.  A *dead*
+        worker raises :class:`WorkerError` (never hangs)."""
         if not self._lock.acquire(blocking=False):
             return None
         try:
+            if not self._process.is_alive():
+                raise WorkerError(
+                    f"shard {self.index} worker process exited "
+                    f"(exitcode {self._process.exitcode})"
+                )
             self._req += 1
             req_id = self._req
             self._conn.send((kind, req_id, *payload))
@@ -298,6 +464,8 @@ class _ShardWorker:
         try:
             self._req += 1
             req_id = self._req
+            if kind in self._sent:
+                self._sent[kind] += 1
             self._conn.send((kind, req_id, *payload))
             return req_id
         except BaseException as exc:
@@ -356,16 +524,33 @@ class _ShardWorker:
     # -- lifecycle ----------------------------------------------------------
 
     def stop(self, timeout: float = _STOP_TIMEOUT) -> None:
-        """Stop the worker: polite "stop" first, SIGTERM if it lingers."""
+        """Stop the worker: polite "stop", SIGTERM if it lingers, SIGKILL
+        if it is wedged — a worker can never outlive ``close()``."""
         self.signal_cancel(self._req)  # unblock any abandoned in-flight work
         if self._process.is_alive():
+            # Polite phase: send "stop" without waiting for the reply (the
+            # join below observes the orderly exit; the unread reply dies
+            # with the pipe).  A worker wedged mid-request may hold the
+            # lock indefinitely — bound the wait and escalate instead.
+            acquired = self._lock.acquire(timeout=timeout)
             try:
-                self.call("stop", ())
-            except WorkerError:
-                pass  # already dead or pipe broken — join/terminate below
+                if acquired:
+                    try:
+                        self._req += 1
+                        self._conn.send(("stop", self._req))
+                    except (OSError, ValueError):
+                        pass  # already dead or pipe broken — escalate below
+            finally:
+                if acquired:
+                    self._lock.release()
             self._process.join(timeout)
             if self._process.is_alive():
                 self._process.terminate()
+                self._process.join(timeout)
+            if self._process.is_alive():
+                # SIGTERM ignored (wedged in native code, or a chaos
+                # `wedge_stop` fault): SIGKILL cannot be ignored.
+                self._process.kill()
                 self._process.join(timeout)
         try:
             self._conn.close()
@@ -389,13 +574,16 @@ def _shutdown_live_pools() -> None:
 
 
 class ShardWorkerPool:
-    """One worker process per shard, queried over pipes.
+    """One worker process per shard, queried over pipes, supervised.
 
     Parameters
     ----------
     shard_datasets:
         One :class:`~repro.trajectory.dataset.TrajectoryDataset` per
-        shard; each worker builds its engine from its dataset.
+        shard; each worker builds its engine from its dataset.  The pool
+        keeps the reference: a respawned worker rebuilds from the same
+        (possibly since-grown) dataset mirror, topped up by the insert
+        journal.
     costs / engine_kwargs:
         Forwarded to every worker's ``SubtrajectorySearch``.
     start_method:
@@ -405,7 +593,23 @@ class ShardWorkerPool:
         Optional list (one dict per shard) of engine kwargs merged *over*
         ``engine_kwargs`` for that shard's worker — how the partitioned
         engine ships each worker its own frozen ``index_path`` (the path
-        crosses the pipe, never the index: the worker mmaps the file).
+        crosses the pipe, never the index: the worker mmaps the file —
+        including again on every respawn).
+    supervise:
+        Run the supervisor thread (liveness poll + respawn with backoff)
+        and enable the query path's respawn-and-retry.  Off, a dead
+        worker stays dead and every query to it raises
+        :class:`WorkerError` — the pre-supervision semantics, kept for
+        tests that pin crash behavior.
+    fault_plan:
+        Optional :class:`~repro.faultinject.FaultPlan` — deterministic
+        chaos, see that module.
+    breaker_failures / breaker_cooldown:
+        Per-shard circuit breaker: consecutive shard failures that open
+        it, and seconds before a half-open probe is allowed.
+    respawn_backoff / respawn_backoff_cap:
+        Base and cap (seconds) of the supervisor's exponential respawn
+        backoff (jittered per shard).
     """
 
     def __init__(
@@ -416,6 +620,13 @@ class ShardWorkerPool:
         *,
         start_method: Optional[str] = None,
         per_shard_kwargs: Optional[Sequence[Optional[Dict[str, Any]]]] = None,
+        supervise: bool = True,
+        fault_plan=None,
+        breaker_failures: int = 3,
+        breaker_cooldown: float = 1.0,
+        respawn_backoff: float = 0.05,
+        respawn_backoff_cap: float = 2.0,
+        supervisor_poll: float = _SUPERVISOR_POLL,
     ) -> None:
         if per_shard_kwargs is not None and len(per_shard_kwargs) != len(
             shard_datasets
@@ -427,13 +638,44 @@ class ShardWorkerPool:
         ctx = mp.get_context(start_method or default_start_method())
         self._closed = False
         self._workers: List[_ShardWorker] = []
+        self._supervise = bool(supervise)
+        self._fault_plan = fault_plan
+        seed = 0 if fault_plan is None else int(getattr(fault_plan, "seed", 0))
+        n = len(shard_datasets)
+        self._journals: List[List[Tuple[int, Any, bool]]] = [[] for _ in range(n)]
+        self._breakers = [
+            CircuitBreaker(
+                failure_threshold=breaker_failures, cooldown=breaker_cooldown
+            )
+            for _ in range(n)
+        ]
+        self._backoffs = [
+            RespawnBackoff(
+                base=respawn_backoff, cap=respawn_backoff_cap, seed=seed + i
+            )
+            for i in range(n)
+        ]
+        self._respawn_attempts = [0] * n
+        self._respawn_not_before = [0.0] * n
+        self._respawn_fail_budget = [
+            0 if fault_plan is None else fault_plan.respawn_failures(i)
+            for i in range(n)
+        ]
+        self._last_errors = [""] * n
+        self._events: List[deque] = [deque(maxlen=16) for _ in range(n)]
+        self._supervisor_poll = supervisor_poll
+        self._supervisor: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
         try:
             for index, dataset in enumerate(shard_datasets):
                 kwargs = dict(engine_kwargs or {})
                 if per_shard_kwargs is not None and per_shard_kwargs[index]:
                     kwargs.update(per_shard_kwargs[index])
+                faults = (
+                    None if fault_plan is None else fault_plan.worker_faults(index)
+                )
                 self._workers.append(
-                    _ShardWorker(ctx, index, dataset, costs, kwargs)
+                    _ShardWorker(ctx, index, dataset, costs, kwargs, faults)
                 )
         except BaseException:
             self.close()
@@ -443,6 +685,13 @@ class ShardWorkerPool:
         if not _ATEXIT_REGISTERED:
             atexit.register(_shutdown_live_pools)
             _ATEXIT_REGISTERED = True
+        if self._supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise_loop,
+                name="repro-shard-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
 
     def __len__(self) -> int:
         return len(self._workers)
@@ -451,22 +700,195 @@ class ShardWorkerPool:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def supervised(self) -> bool:
+        """Whether the supervisor thread and query-path retry are on."""
+        return self._supervise
+
     def workers_alive(self) -> List[bool]:
         """Liveness of each worker process (diagnostics/tests)."""
         return [w.alive for w in self._workers]
 
+    # -- supervision --------------------------------------------------------
+
+    def _supervise_loop(self) -> None:
+        """Liveness poll: respawn dead workers on the backoff schedule.
+
+        Runs until ``close()``.  Never raises; a failed respawn is
+        recorded and retried after backoff."""
+        while not self._stop_event.wait(self._supervisor_poll):
+            if self._closed:
+                break
+            for shard, worker in enumerate(self._workers):
+                if worker.alive:
+                    continue
+                try:
+                    self._try_respawn(shard, blocking=False)
+                except Exception:  # noqa: BLE001 — the loop must survive
+                    logger.exception("supervisor respawn of shard %d failed", shard)
+
+    def _try_respawn(
+        self,
+        shard: int,
+        *,
+        blocking: bool,
+        force: bool = False,
+        seen_restarts: Optional[int] = None,
+    ) -> bool:
+        """Attempt to bring ``shard``'s worker back up.  Returns True when
+        the worker is alive afterwards (already, or freshly respawned).
+
+        ``blocking`` waits (bounded) for the worker lock — the query-path
+        retry; non-blocking skips the tick when the lock is busy — the
+        supervisor, which must never queue behind an in-flight request.
+        The blocking wait is bounded rather than infinite because a
+        fan-out retry may still hold *later* shards' locks: an unbounded
+        wait here against another fan-out holding this lock while wanting
+        one of ours would deadlock.  ``force`` ignores the backoff window
+        — used by the query path, whose bound is the caller's own
+        deadline budget.
+
+        ``seen_restarts`` is the worker's restart generation the caller
+        observed *failing*.  A dying worker closes its pipe before
+        ``waitpid`` reports it dead, so ``is_alive()`` can stay True for
+        a worker whose requests already EOF — trusting it would retry on
+        a corpse's pipe.  When the generation hasn't changed since the
+        failure, respawn over the stale-alive process (``respawn`` kills
+        any lingering incarnation first); when it has, the supervisor
+        beat us to it and the live worker really is fresh.
+        """
+        if self._closed or not self._supervise:
+            return False
+        worker = self._workers[shard]
+        if blocking:
+            if not worker._lock.acquire(timeout=2.0):
+                return False
+        elif not worker._lock.acquire(blocking=False):
+            return False
+        try:
+            if self._closed:
+                return False
+            if worker._process.is_alive() and not (
+                seen_restarts is not None and worker.restarts == seen_restarts
+            ):
+                return True
+            now = monotonic()
+            if not force and now < self._respawn_not_before[shard]:
+                return False
+            if self._respawn_fail_budget[shard] > 0:
+                # Injected respawn failure (deterministic chaos): consume
+                # one budget unit and behave exactly like a real failure.
+                self._respawn_fail_budget[shard] -= 1
+                self._note_respawn_failure(
+                    shard, "fault-injected respawn failure"
+                )
+                return False
+            try:
+                worker.respawn(list(self._journals[shard]))
+            except BaseException as exc:  # noqa: BLE001 — recorded, retried
+                self._note_respawn_failure(shard, repr(exc))
+                return False
+            self._respawn_attempts[shard] = 0
+            self._respawn_not_before[shard] = 0.0
+            self._last_errors[shard] = ""
+            self._events[shard].append(f"respawned pid={worker.pid}")
+            logger.warning(
+                "shard %d worker respawned (pid %s, restart #%d)",
+                shard, worker.pid, worker.restarts,
+            )
+            return True
+        finally:
+            worker._lock.release()
+
+    def _note_respawn_failure(self, shard: int, error: str) -> None:
+        attempt = self._respawn_attempts[shard]
+        delay = self._backoffs[shard].delay(attempt)
+        self._respawn_attempts[shard] = attempt + 1
+        self._respawn_not_before[shard] = monotonic() + delay
+        self._last_errors[shard] = error
+        self._events[shard].append(
+            f"respawn failed (attempt {attempt + 1}, backoff {delay:.3f}s): {error}"
+        )
+
+    def _note_shard_failure(self, shard: int, exc: BaseException) -> None:
+        self._breakers[shard].record_failure()
+        self._last_errors[shard] = repr(exc)
+        self._events[shard].append(f"query failed: {type(exc).__name__}")
+
+    def worker_states(self) -> List[WorkerState]:
+        """Per-shard supervision snapshots (the ``/healthz`` payload)."""
+        now = monotonic()
+        states = []
+        for shard, worker in enumerate(self._workers):
+            breaker = self._breakers[shard]
+            states.append(
+                WorkerState(
+                    shard=shard,
+                    alive=worker.alive,
+                    pid=worker.pid,
+                    restarts=worker.restarts,
+                    breaker=breaker.state,
+                    consecutive_failures=breaker.consecutive_failures,
+                    respawn_wait=max(
+                        0.0, self._respawn_not_before[shard] - now
+                    ),
+                    last_error=self._last_errors[shard],
+                    events=list(self._events[shard]),
+                )
+            )
+        return states
+
+    def restarts_total(self) -> int:
+        """Completed worker respawns across all shards (monotonic)."""
+        return sum(w.restarts for w in self._workers)
+
     # -- queries ------------------------------------------------------------
 
     def query_shard(self, shard: int, query: Sequence[int], kwargs: Dict[str, Any],
-                    cancel=None, trace_ctx=None):
-        """Run one query on one shard worker (blocking round-trip).
+                    cancel=None, trace_ctx=None, on_event=None):
+        """Run one query on one shard worker (blocking round-trip), with
+        the same breaker gate and respawn-and-retry-once the fan-out path
+        applies.
 
         With ``trace_ctx`` (a ``(trace_id, parent_span_id)`` pair) the
         worker traces its engine query and the return value is
         ``(result, exported_spans)`` instead of the bare result."""
         self._check_open()
-        payload = (list(query), kwargs, _remaining_of(cancel), trace_ctx)
-        return self._workers[shard].call("query", payload, cancel)
+        breaker = self._breakers[shard]
+        if not breaker.allow():
+            raise ShardUnavailableError(
+                f"shard {shard} circuit breaker is {breaker.state}"
+            )
+        worker = self._workers[shard]
+
+        def attempt():
+            payload = (list(query), kwargs, _remaining_of(cancel), trace_ctx)
+            return worker.call("query", payload, cancel)
+
+        try:
+            result = attempt()
+        except WorkerError as exc:
+            failed_gen = worker.restarts
+            self._note_shard_failure(shard, exc)
+            if not self._retry_budget_left(cancel) or not self._try_respawn(
+                shard, blocking=True, force=True, seen_restarts=failed_gen
+            ):
+                raise
+            if on_event is not None:
+                on_event(shard, "retried")
+            try:
+                result = attempt()
+            except WorkerError as retry_exc:
+                self._note_shard_failure(shard, retry_exc)
+                raise
+        breaker.record_success()
+        return result
+
+    def _retry_budget_left(self, cancel) -> bool:
+        """Whether the caller's deadline still has room for a retry."""
+        if not self._supervise:
+            return False
+        return cancel is None or not cancel.cancelled()
 
     def query_all(
         self,
@@ -475,69 +897,199 @@ class ShardWorkerPool:
         cancel=None,
         trace_ctxs: Optional[Sequence] = None,
         on_reply=None,
+        *,
+        allow_partial: bool = False,
+        on_event: Optional[Callable[[int, str], None]] = None,
     ) -> List:
         """Fan one query out to every worker; results in shard order.
 
         Requests are *all sent before any reply is awaited* — that is what
         buys more than one core: every worker verifies concurrently while
-        the parent merely waits.  On the first failure the remaining
-        workers are cancelled (not abandoned), so no reply is ever left in
-        a pipe.
+        the parent merely waits.  On the first non-retryable failure the
+        remaining workers are cancelled (not abandoned), so no reply is
+        ever left in a pipe.
+
+        Fault tolerance: a shard whose worker died (``WorkerError``) is
+        respawned and retried exactly once within the remaining deadline
+        budget; a shard whose circuit breaker is open is not even sent to.
+        With ``allow_partial=False`` (the default) any shard that stays
+        down fails the whole query loudly; with ``allow_partial=True``
+        such shards yield ``None`` in the result list (callers mark the
+        merged answer ``complete=False``) — unless *every* shard is down,
+        which always raises.
 
         ``trace_ctxs`` (one span context per shard, or None) makes each
         worker return ``(result, exported_spans)`` — see
         :meth:`query_shard`.  ``on_reply(shard_index)`` is invoked right
         after each shard's reply is successfully collected (the hook the
         caller uses to close per-shard RPC spans at their true end).
+        ``on_event(shard_index, event)`` reports retry/degrade decisions
+        (``"retried"`` / ``"degraded"`` / ``"breaker_open"``) for span
+        annotation.
         """
         self._check_open()
-        if trace_ctxs is not None and len(trace_ctxs) != len(self._workers):
+        n = len(self._workers)
+        if trace_ctxs is not None and len(trace_ctxs) != n:
             raise WorkerError(
-                f"expected {len(self._workers)} trace contexts, "
-                f"got {len(trace_ctxs)}"
+                f"expected {n} trace contexts, got {len(trace_ctxs)}"
             )
-        pending: List[Tuple[_ShardWorker, int]] = []
-        try:
-            for index, worker in enumerate(self._workers):
-                ctx = None if trace_ctxs is None else trace_ctxs[index]
-                payload = (list(query), kwargs, _remaining_of(cancel), ctx)
-                pending.append((worker, worker.begin("query", payload)))
-        except BaseException:
-            for worker, rid in pending:
-                worker.signal_cancel(rid)
-                try:
-                    worker.finish(rid, cancel)
-                except Exception:
-                    pass
-            raise
-        results: List = []
+
+        def payload_for(shard: int) -> Tuple:
+            ctx = None if trace_ctxs is None else trace_ctxs[shard]
+            # Rebuilt per (re)send so a retry ships the *updated*
+            # remaining deadline budget.
+            return (list(query), kwargs, _remaining_of(cancel), ctx)
+
+        def emit(shard: int, event: str) -> None:
+            if on_event is not None:
+                on_event(shard, event)
+
+        # req id per shard, or None for shards not sent to (breaker open /
+        # send failed and degraded).
+        pending: List[Optional[int]] = [None] * n
+        degraded: List[bool] = [False] * n
         first_error: Optional[BaseException] = None
-        for pos, (worker, rid) in enumerate(pending):
+
+        def fail_shard(shard: int, exc: BaseException) -> None:
+            nonlocal first_error
+            if allow_partial:
+                degraded[shard] = True
+                emit(shard, "degraded")
+            elif first_error is None:
+                first_error = exc
+
+        # -- send phase ----------------------------------------------------
+        try:
+            for shard, worker in enumerate(self._workers):
+                if first_error is not None:
+                    break  # strict mode already doomed: don't start more work
+                if not self._breakers[shard].allow():
+                    emit(shard, "breaker_open")
+                    fail_shard(
+                        shard,
+                        ShardUnavailableError(
+                            f"shard {shard} circuit breaker is "
+                            f"{self._breakers[shard].state}"
+                        ),
+                    )
+                    continue
+                try:
+                    pending[shard] = worker.begin("query", payload_for(shard))
+                except WorkerError as exc:
+                    failed_gen = worker.restarts
+                    self._note_shard_failure(shard, exc)
+                    if self._retry_budget_left(cancel) and self._try_respawn(
+                        shard, blocking=True, force=True,
+                        seen_restarts=failed_gen,
+                    ):
+                        emit(shard, "retried")
+                        try:
+                            pending[shard] = worker.begin(
+                                "query", payload_for(shard)
+                            )
+                            continue
+                        except WorkerError as retry_exc:
+                            self._note_shard_failure(shard, retry_exc)
+                            exc = retry_exc
+                    fail_shard(shard, exc)
+        except BaseException:
+            self._drain(pending, cancel)
+            raise
+
+        if first_error is not None:
+            # Strict mode already doomed during the send phase: cancel and
+            # drain whatever was sent, then raise without waiting for
+            # full results.
+            self._drain(pending, cancel)
+            raise first_error
+
+        # -- collect phase -------------------------------------------------
+        results: List = [None] * n
+        for shard, worker in enumerate(self._workers):
+            rid = pending[shard]
+            if rid is None:
+                continue
             try:
-                results.append(worker.finish(rid, cancel))
+                results[shard] = worker.finish(rid, cancel)
+                self._breakers[shard].record_success()
+                pending[shard] = None
                 if on_reply is not None:
-                    on_reply(pos)
+                    on_reply(shard)
+                continue
+            except WorkerError as exc:
+                pending[shard] = None
+                failed_gen = worker.restarts
+                self._note_shard_failure(shard, exc)
+                if first_error is None and self._retry_budget_left(
+                    cancel
+                ) and self._try_respawn(
+                    shard, blocking=True, force=True, seen_restarts=failed_gen
+                ):
+                    emit(shard, "retried")
+                    try:
+                        rid = worker.begin("query", payload_for(shard))
+                        results[shard] = worker.finish(rid, cancel)
+                        self._breakers[shard].record_success()
+                        if on_reply is not None:
+                            on_reply(shard)
+                        continue
+                    except WorkerError as retry_exc:
+                        self._note_shard_failure(shard, retry_exc)
+                        exc = retry_exc
+                fail_shard(shard, exc)
             except BaseException as exc:
+                # Non-worker failure (deadline, cancellation, engine
+                # error shipped back from a healthy worker): dooms the
+                # query on every mode — cancel the shards we have not
+                # collected yet, drain their replies, and raise.
+                pending[shard] = None
                 if first_error is None:
                     first_error = exc
-                    # Tell the shards we have not collected yet to stop
-                    # working — their (error) replies are still drained.
-                    for later, later_rid in pending[pos + 1:]:
-                        later.signal_cancel(later_rid)
-                results.append(None)
+            if first_error is not None:
+                self._drain(pending, cancel)
+                raise first_error
         if first_error is not None:
+            self._drain(pending, cancel)
             raise first_error
+        if allow_partial and all(
+            degraded[i] or results[i] is None for i in range(n)
+        ):
+            raise ShardUnavailableError(
+                "every shard is unavailable (nothing to serve a partial "
+                "result from)"
+            )
         return results
+
+    def _drain(self, pending: List[Optional[int]], cancel) -> None:
+        """Cancel and drain every still-pending request so no reply is
+        left in a pipe (keeps request/reply framing in sync)."""
+        for shard, rid in enumerate(pending):
+            if rid is None:
+                continue
+            worker = self._workers[shard]
+            worker.signal_cancel(rid)
+            try:
+                worker.finish(rid, cancel)
+            except Exception:
+                pass
+            pending[shard] = None
 
     # -- diagnostics --------------------------------------------------------
 
     def cache_stats(self) -> List[Optional[Dict[str, Dict[str, int]]]]:
         """Per-worker engine-cache counters (``{"substitution": ...,
         "trie": ...}``), polled without blocking: a worker busy with an
-        in-flight query yields ``None`` (the caller reports partial
-        coverage instead of stalling)."""
+        in-flight query — or dead and awaiting respawn — yields ``None``
+        (the caller reports partial coverage instead of stalling or
+        erroring a health probe)."""
         self._check_open()
-        return [w.try_call("stats", ()) for w in self._workers]
+        stats: List[Optional[Dict[str, Dict[str, int]]]] = []
+        for worker in self._workers:
+            try:
+                stats.append(worker.try_call("stats", ()))
+            except WorkerError:
+                stats.append(None)
+        return stats
 
     def substitution_cache_stats(self) -> List[Optional[Dict[str, int]]]:
         """Per-worker SubstitutionMatrix-LRU counters (see
@@ -559,27 +1111,49 @@ class ShardWorkerPool:
 
     def replicate_add(self, shard: int, expected_local_id: int, trajectory,
                       *, validate: bool = False) -> int:
-        """Apply one online insert on a shard worker, versioned.
+        """Apply one online insert on a shard worker, versioned and
+        journaled.
 
         ``expected_local_id`` is the shard-local id the parent's replica
         assigns; the worker acknowledges only if its own insert agrees,
         so parent and worker cannot silently diverge.  Synchronous — when
         this returns, queries on that worker see the new trajectory
-        (read-your-writes for the inserter).
+        (read-your-writes for the inserter).  The acknowledged insert is
+        appended to the shard's journal *before* the worker lock is
+        released, so a respawn can never snapshot a state where the
+        insert is committed on the worker but absent from both the
+        dataset mirror and the journal.
         """
         self._check_open()
-        return self._workers[shard].call(
-            "add", (expected_local_id, trajectory, bool(validate))
-        )
+        worker = self._workers[shard]
+        entry = (int(expected_local_id), trajectory, bool(validate))
+        req_id = worker.begin("add", entry)
+        try:
+            tid = worker._receive(req_id, None)
+            self._journals[shard].append(entry)
+            self._breakers[shard].record_success()
+            return tid
+        except WorkerError as exc:
+            self._note_shard_failure(shard, exc)
+            raise
+        finally:
+            worker._lock.release()
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Stop every worker (idempotent; also runs via ``atexit``)."""
+        """Stop the supervisor, then every worker (idempotent; also runs
+        via ``atexit``)."""
         if self._closed:
             return
         self._closed = True
         _LIVE_POOLS.discard(self)
+        # The supervisor must be down before workers stop, or it would
+        # respawn what close() is killing.
+        self._stop_event.set()
+        if self._supervisor is not None and self._supervisor.is_alive():
+            if self._supervisor is not threading.current_thread():
+                self._supervisor.join(timeout=2.0)
         for worker in self._workers:
             worker.stop()
 

@@ -62,3 +62,10 @@ class QueryCancelledError(ServiceError):
 class WorkerError(ServiceError):
     """Raised when a shard worker process fails: it died mid-request, its
     pipe desynchronized, or a replicated update diverged from the parent."""
+
+
+class ShardUnavailableError(WorkerError):
+    """Raised when a shard cannot serve right now: its circuit breaker is
+    open (flapping worker in cooldown) or every shard is down so not even
+    a partial answer exists.  A :class:`WorkerError` subclass so existing
+    worker-failure handling (HTTP 503, retries) applies unchanged."""

@@ -1,0 +1,266 @@
+"""Deterministic fault injection for the processes serving backend.
+
+Chaos testing a multiprocess system with ``kill -9`` from the outside is
+racy: whether the victim dies before, during, or after a request depends
+on scheduler timing, so a failing run cannot be replayed.  This module
+moves the faults *inside* the system, keyed to request ordinals, so a
+fault schedule is a value — serializable, seedable, and bit-identically
+replayable:
+
+- a :class:`FaultPlan` is a list of :class:`FaultRule` directives
+  ("kill shard 1's worker before it answers its 2nd query", "fail shard
+  0's next 3 respawns", "delay shard 2's 5th reply by 50 ms");
+- worker-side rules ship into each worker process as a picklable
+  :class:`WorkerFaults` table; the worker consults it around every
+  request it serves.  Request ordinals are **global per shard across
+  respawns** — the pool tells each (re)spawned worker how many requests
+  its shard has already been sent — so "kill before request 2" fires
+  exactly once no matter how many times the worker is reborn;
+- parent-side rules (``fail_respawn``) are consumed by the supervisor in
+  :mod:`repro.core.workers` when it tries to bring a dead worker back;
+- the plan's ``seed`` drives the optional randomized schedule builders
+  (:meth:`FaultPlan.kill_loop`) so a "kill a random shard every K
+  queries" chaos run is reproducible from one integer.
+
+Entry points: ``PartitionedSubtrajectorySearch(..., backend="processes",
+fault_plan=plan)``, ``repro serve --fault-plan plan.json``, and the
+chaos suite / ``benchmarks/bench_fault_recovery.py``.
+
+Fault operations (``FaultRule.op``):
+
+=============== ========== =====================================================
+op              side       effect
+=============== ========== =====================================================
+``kill_before`` worker     ``os._exit`` before processing the matched request
+``kill_after``  worker     process + reply, then ``os._exit`` (next request
+                           finds a dead worker)
+``delay_reply`` worker     sleep ``seconds`` before sending the matched reply
+``drop_pipe``   worker     close the parent pipe and exit without replying
+``wedge_stop``  worker     ignore SIGTERM and "stop" requests (only SIGKILL
+                           works — exercises the stop() escalation chain)
+``fail_respawn``parent     make the supervisor's next ``count`` respawn
+                           attempts of the shard fail
+=============== ========== =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass, field
+from random import Random
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["FaultRule", "FaultPlan", "WorkerFaults", "load_fault_plan"]
+
+#: exit status used by injected kills — distinguishable from a real crash
+#: in worker exitcode assertions.
+FAULT_EXIT_CODE = 70
+
+_WORKER_OPS = ("kill_before", "kill_after", "delay_reply", "drop_pipe", "wedge_stop")
+_PARENT_OPS = ("fail_respawn",)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault directive.
+
+    ``shard`` targets one shard's worker.  ``request`` is the 1-based
+    ordinal of the matched request *of kind* ``on`` ("query" or "add"),
+    counted per shard across respawns; ``request=0`` matches every
+    request (a shard held permanently down).  ``count``/``seconds``
+    parameterize ``fail_respawn``/``delay_reply``.
+    """
+
+    shard: int
+    op: str
+    request: int = 0
+    on: str = "query"
+    count: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in _WORKER_OPS + _PARENT_OPS:
+            raise ValueError(
+                f"unknown fault op {self.op!r} "
+                f"(expected one of {_WORKER_OPS + _PARENT_OPS})"
+            )
+        if self.on not in ("query", "add"):
+            raise ValueError(f"fault rule 'on' must be 'query' or 'add', got {self.on!r}")
+        if self.shard < 0 or self.request < 0 or self.count < 1 or self.seconds < 0:
+            raise ValueError(f"malformed fault rule {self!r}")
+
+
+class WorkerFaults:
+    """The worker-side slice of a plan for one shard (picklable).
+
+    The worker calls :meth:`before` as each request arrives and
+    :meth:`after` once the reply is sent; both take the request's global
+    ordinal (offset + local count, maintained by the worker loop).
+    """
+
+    def __init__(self, rules: Sequence[FaultRule]) -> None:
+        self._rules = tuple(rules)
+
+    def __bool__(self) -> bool:
+        return bool(self._rules)
+
+    @property
+    def wedge_stop(self) -> bool:
+        """Whether this worker should ignore SIGTERM / "stop" requests."""
+        return any(r.op == "wedge_stop" for r in self._rules)
+
+    def _matching(self, kind: str, ordinal: int) -> Iterable[FaultRule]:
+        for rule in self._rules:
+            if rule.on == kind and rule.request in (0, ordinal):
+                yield rule
+
+    def install(self) -> None:
+        """Process-level setup at worker start (signal disposition)."""
+        if self.wedge_stop:
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+    def before(self, kind: str, ordinal: int) -> None:
+        """Apply pre-processing faults for request ``ordinal``; may not
+        return (injected kills exit the process)."""
+        for rule in self._matching(kind, ordinal):
+            if rule.op == "kill_before":
+                os._exit(FAULT_EXIT_CODE)
+
+    def delay(self, kind: str, ordinal: int) -> None:
+        """Sleep any injected reply delay for request ``ordinal``."""
+        for rule in self._matching(kind, ordinal):
+            if rule.op == "delay_reply" and rule.seconds > 0:
+                time.sleep(rule.seconds)
+
+    def drop_pipe(self, kind: str, ordinal: int) -> bool:
+        """Whether to vanish without replying to request ``ordinal``."""
+        return any(
+            rule.op == "drop_pipe" for rule in self._matching(kind, ordinal)
+        )
+
+    def after(self, kind: str, ordinal: int) -> None:
+        """Apply post-reply faults for request ``ordinal``."""
+        for rule in self._matching(kind, ordinal):
+            if rule.op == "kill_after":
+                os._exit(FAULT_EXIT_CODE)
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible fault schedule for one engine's worker pool.
+
+    Immutable by convention once handed to an engine (the parent-side
+    ``fail_respawn`` budget is tracked in the supervisor, not here), so
+    one plan value can configure several runs identically.
+    """
+
+    rules: List[FaultRule] = field(default_factory=list)
+    seed: int = 0
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        rules = [FaultRule(**dict(rule)) for rule in payload.get("rules", [])]
+        return cls(rules=rules, seed=int(payload.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan JSON must be an object")
+        return cls.from_dict(payload)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "rules": [asdict(rule) for rule in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def kill_loop(
+        cls,
+        *,
+        seed: int,
+        num_shards: int,
+        kills: int,
+        every: int = 3,
+        after: bool = False,
+    ) -> "FaultPlan":
+        """A seeded kill-loop schedule: ``kills`` worker deaths spread over
+        random shards, one roughly every ``every`` queries per victim.
+
+        The schedule is a pure function of the arguments — the
+        availability benchmark and the chaos CI step replay it exactly.
+        Consecutive kills on one shard are spaced at least two ordinals
+        apart: the retry of a killed query consumes the next ordinal, so
+        a one-ordinal gap would murder the retry as well and the query
+        would be lost even with recovery working perfectly (a shard that
+        *stays* down is the held-down-shard scenario, not a kill loop).
+        """
+        if num_shards < 1 or kills < 0 or every < 1:
+            raise ValueError("kill_loop needs num_shards>=1, kills>=0, every>=1")
+        rng = Random(seed)
+        rules: List[FaultRule] = []
+        # Per-shard request ordinals advance by one per fan-out query, so
+        # scheduling on a shard's ordinal schedules on global query count.
+        next_ordinal = [1] * num_shards
+        for _ in range(kills):
+            shard = rng.randrange(num_shards)
+            step = rng.randrange(1, every + 1) + 1
+            ordinal = next_ordinal[shard] + step
+            rules.append(
+                FaultRule(
+                    shard=shard,
+                    op="kill_after" if after else "kill_before",
+                    request=ordinal,
+                )
+            )
+            next_ordinal[shard] = ordinal
+        return cls(rules=rules, seed=seed)
+
+    # -- slicing ---------------------------------------------------------
+
+    def worker_faults(self, shard: int) -> Optional[WorkerFaults]:
+        """The picklable worker-side rule table for ``shard`` (or None)."""
+        mine = [
+            rule
+            for rule in self.rules
+            if rule.shard == shard and rule.op in _WORKER_OPS
+        ]
+        return WorkerFaults(mine) if mine else None
+
+    def respawn_failures(self, shard: int) -> int:
+        """How many consecutive supervisor respawns of ``shard`` should be
+        made to fail (parent side; the supervisor decrements its copy)."""
+        return sum(
+            rule.count
+            for rule in self.rules
+            if rule.shard == shard and rule.op == "fail_respawn"
+        )
+
+    def kill_ordinals(self, shard: int) -> Tuple[int, ...]:
+        """The query ordinals at which ``shard``'s worker dies (benchmark
+        bookkeeping: expected kills for recovery accounting)."""
+        return tuple(
+            rule.request
+            for rule in self.rules
+            if rule.shard == shard
+            and rule.on == "query"
+            and rule.op in ("kill_before", "kill_after", "drop_pipe")
+        )
+
+
+def load_fault_plan(spec: Optional[str]) -> Optional[FaultPlan]:
+    """Parse a CLI ``--fault-plan`` value: a path to a JSON file, or an
+    inline JSON object (detected by a leading ``{``)."""
+    if spec is None:
+        return None
+    text = spec.strip()
+    if not text.startswith("{"):
+        with open(spec, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return FaultPlan.from_json(text)

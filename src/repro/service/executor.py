@@ -154,6 +154,7 @@ class Executor:
         temporal_mode: TemporalMode = "overlap",
         deadline: Optional[float] = None,
         trace=None,
+        allow_partial: bool = False,
     ) -> QueryResult:
         """Execute one query on the pool and return its merged result.
 
@@ -163,6 +164,12 @@ class Executor:
         ``trace`` (a :class:`repro.obs.tracing.Span`, or None) collects
         ``admission`` and ``execute`` child spans; the engine hangs its
         per-shard and per-stage spans under ``execute``.
+
+        ``allow_partial`` opts the query into graceful degradation and is
+        forwarded to partitioned engines (meaningful on the processes
+        backend, where a shard worker can die independently; in-process
+        engines never degrade, so elsewhere it is inert — including the
+        serial-backend fan-out this executor runs itself).
         """
         if deadline is not None and deadline <= 0:
             # A malformed request, not a missed deadline: report it as
@@ -208,6 +215,10 @@ class Executor:
                     return merged
                 if exec_span is not None:
                     kwargs["trace"] = exec_span
+                if allow_partial and isinstance(
+                    self._engine, PartitionedSubtrajectorySearch
+                ):
+                    kwargs["allow_partial"] = True
                 future = self._pool.submit(
                     self._engine.query, query, cancel=token, **kwargs
                 )

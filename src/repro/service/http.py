@@ -15,14 +15,17 @@ API surface (all bodies JSON):
   dump: completed trace records, JSON;
 - ``POST /query`` — ``{"path": [symbols...], "tau": x | "tau_ratio": r,
   "time_from": t0?, "time_to": t1?, "temporal_mode": "overlap"|"within"?,
-  "deadline": seconds?, "limit": n?}`` → matches plus serving provenance
-  (``cached`` / ``coalesced`` / timing);
+  "deadline": seconds?, "limit": n?, "allow_partial": bool?}`` → matches
+  plus serving provenance (``cached`` / ``coalesced`` / timing).  With
+  ``"allow_partial": true`` and shards down, the answer is still a 200
+  but flagged ``"partial": true`` with the missing ``degraded_shards``;
 - ``POST /trajectories`` — ``{"path": [symbols...], "timestamps":
   [...]?}`` → online insert; invalidates the result cache.  Paths are
   validated as graph walks by default (``"validate": false`` opts out).
 
 Error mapping: malformed requests → 400, admission shed → 429, missed
-deadline → 504.
+deadline → 504, shard worker down/unavailable (and the client did not
+opt into a partial answer) → 503.
 """
 
 from __future__ import annotations
@@ -56,7 +59,7 @@ def response_payload(response: ServiceResponse, *, limit: Optional[int] = None) 
     """The JSON shape of one answered query (shared with the CLI)."""
     result = response.result
     matches = result.matches if limit is None else result.matches[:limit]
-    return {
+    payload = {
         "tau": result.tau,
         "matches": [
             {
@@ -73,7 +76,11 @@ def response_payload(response: ServiceResponse, *, limit: Optional[int] = None) 
         "coalesced": response.coalesced,
         "seconds": response.seconds,
         "engine_seconds": result.total_seconds,
+        "partial": not result.complete,
     }
+    if not result.complete:
+        payload["degraded_shards"] = list(result.degraded_shards)
+    return payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -158,6 +165,24 @@ class _Handler(BaseHTTPRequestHandler):
                         payload["substitution_cache"] = {"error": str(exc)}
                         payload["trie_cache"] = {"error": str(exc)}
                         payload["index"] = {"error": str(exc)}
+                # Per-shard worker supervision state: a dead worker (or an
+                # open breaker) is visible here *before* a query hits it,
+                # and flips the top-level status to "degraded" (still 200
+                # — the server itself is up and can serve partial/other
+                # shards; monitoring alerts on the field, load balancers
+                # on the process).
+                worker_states = getattr(engine, "worker_states", None)
+                if worker_states is not None:
+                    try:
+                        states = worker_states()
+                        payload["workers"] = [s.to_dict() for s in states]
+                        payload["restarts_total"] = sum(s.restarts for s in states)
+                        if any(
+                            not s.alive or s.breaker != "closed" for s in states
+                        ):
+                            payload["status"] = "degraded"
+                    except Exception as exc:  # noqa: BLE001
+                        payload["workers"] = [{"error": str(exc)}]
                 self._send_json(200, payload)
             elif path == "/stats":
                 self._send_json(200, service.stats())
@@ -178,10 +203,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except WorkerError as exc:
             # Stats polling crosses worker pipes on the processes backend;
-            # a dead shard is a server failure the client should see as a
-            # JSON 500, not a dropped connection.
+            # a dead shard is a (usually transient — the supervisor is
+            # respawning it) availability failure: 503 so clients retry.
             logger.error("shard worker failure serving %s: %s", self.path, exc)
-            self._send_json(500, {"error": str(exc)})
+            self._send_json(503, {"error": str(exc)})
         except (ValueError, ReproError) as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - keep-alive clients need a
@@ -208,10 +233,13 @@ class _Handler(BaseHTTPRequestHandler):
             # still "the server gave up on the budget" to a client.
             self._send_json(504, {"error": str(exc)})
         except WorkerError as exc:
-            # A dead/diverged shard worker is a server failure, not a bad
-            # request: 5xx so clients retry and monitoring pages someone.
+            # A dead/diverged/breaker-open shard is an availability
+            # failure, not a bad request: 503 Service Unavailable so
+            # clients retry (the supervisor is likely respawning it) and
+            # monitoring pages someone.  Clients that can live with less
+            # can opt into a 200 instead via {"allow_partial": true}.
             logger.error("shard worker failure serving %s: %s", self.path, exc)
-            self._send_json(500, {"error": str(exc)})
+            self._send_json(503, {"error": str(exc)})
         except (ValueError, TypeError, KeyError, ReproError) as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - keep-alive clients need a
@@ -251,6 +279,9 @@ class _Handler(BaseHTTPRequestHandler):
         limit = body.get("limit")
         if limit is not None and (not isinstance(limit, int) or limit < 0):
             raise ValueError("'limit' must be a nonnegative integer")
+        allow_partial = body.get("allow_partial", False)
+        if not isinstance(allow_partial, bool):
+            raise ValueError("'allow_partial' must be a boolean")
         response = service.query(
             [int(s) for s in path],
             tau=None if tau is None else float(tau),
@@ -260,6 +291,7 @@ class _Handler(BaseHTTPRequestHandler):
             deadline=(
                 None if body.get("deadline") is None else float(body["deadline"])
             ),
+            allow_partial=allow_partial,
         )
         self._send_json(200, response_payload(response, limit=limit))
 

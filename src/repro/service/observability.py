@@ -131,6 +131,10 @@ class ServiceObservability:
             "repro_slow_queries_total",
             "Queries over the slow-query threshold.",
         )
+        self._degraded = reg.counter(
+            "repro_degraded_queries_total",
+            "Queries answered partially (allow_partial with shards down).",
+        )
         reg.register_collector(self._collect_recorder)
         self._service = None
 
@@ -144,6 +148,7 @@ class ServiceObservability:
         self._service = service
         self.registry.register_collector(self._collect_service)
         self.registry.register_collector(self._collect_engine_caches)
+        self.registry.register_collector(self._collect_worker_states)
 
     # -- request-path hooks ---------------------------------------------------
 
@@ -166,6 +171,8 @@ class ServiceObservability:
         outcome = "cached" if cached else ("coalesced" if coalesced else "computed")
         self._queries.inc(outcome=outcome)
         self._latency.observe(seconds, outcome=outcome)
+        if result is not None and not result.complete:
+            self._degraded.inc()
         if result is None or cached or coalesced:
             return
         self._candidates.observe(result.num_candidates)
@@ -332,6 +339,69 @@ class ServiceObservability:
                 )
             )
         return families
+
+    def _collect_worker_states(self):
+        """Shard-worker supervision state (processes backend; in-process
+        backends export synthetic always-up states so dashboards keep one
+        shape).  A failing snapshot yields no samples rather than failing
+        the scrape."""
+        from repro.core.supervision import BREAKER_STATES
+
+        engine = self._service.engine
+        states_of = getattr(engine, "worker_states", None)
+        if states_of is None:
+            return []
+        try:
+            states = states_of()
+        except Exception:  # noqa: BLE001 - scrape must survive a closing
+            # engine; /healthz reports the failure.
+            return []
+        up = []
+        restarts = []
+        breaker = []
+        failures = []
+        for s in states:
+            label = {"shard": str(s.shard)}
+            up.append((label, 1.0 if s.alive else 0.0))
+            restarts.append((label, float(s.restarts)))
+            breaker.append(
+                (
+                    label,
+                    float(
+                        BREAKER_STATES.index(s.breaker)
+                        if s.breaker in BREAKER_STATES
+                        else len(BREAKER_STATES)
+                    ),
+                )
+            )
+            failures.append((label, float(s.consecutive_failures)))
+        return [
+            (
+                "repro_worker_up",
+                "gauge",
+                "Shard worker process liveness (1 = alive).",
+                up,
+            ),
+            (
+                "repro_worker_restarts_total",
+                "counter",
+                "Completed shard-worker respawns.",
+                restarts,
+            ),
+            (
+                "repro_shard_breaker_state",
+                "gauge",
+                "Circuit breaker state per shard "
+                "(0 = closed, 1 = half_open, 2 = open).",
+                breaker,
+            ),
+            (
+                "repro_shard_consecutive_failures",
+                "gauge",
+                "Consecutive shard failures counted by the breaker.",
+                failures,
+            ),
+        ]
 
     def _collect_engine_caches(self):
         """Per-shard engine cache counters from one (non-blocking on the

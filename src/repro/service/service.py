@@ -167,12 +167,22 @@ class QueryService:
         time_interval: Optional[TimeInterval] = None,
         temporal_mode: TemporalMode = "overlap",
         deadline: Optional[float] = None,
+        allow_partial: bool = False,
     ) -> ServiceResponse:
         """Answer one request through cache, coalescing, and executor.
 
         Semantics match the engine exactly; raises
         :class:`~repro.exceptions.AdmissionError` /
         :class:`~repro.exceptions.DeadlineExceededError` under overload.
+
+        ``allow_partial`` opts this request into graceful degradation
+        (processes-backend engines only — see
+        :meth:`~repro.core.partitioned.PartitionedSubtrajectorySearch.query`):
+        with shards down, the response carries ``result.complete=False``
+        and ``result.degraded_shards`` instead of an error.  Partial
+        answers are never cached (the shard could come back) and never
+        shared with a coalesced follower that did not opt in — the flight
+        key includes the flag.
         """
         sig = self.signature(
             query,
@@ -218,10 +228,14 @@ class QueryService:
                 temporal_mode=temporal_mode,
                 deadline=deadline,
                 trace=root,
+                allow_partial=allow_partial,
             )
             # generation guard: if an online update invalidated the cache
             # while this was computing, the result is stale — don't re-cache.
-            self.cache.put(sig, result, generation=generation)
+            # Partial answers are never cached at all: a later request must
+            # not be served yesterday's degradation as if it were complete.
+            if result.complete:
+                self.cache.put(sig, result, generation=generation)
             return result
 
         budget = (
@@ -243,7 +257,7 @@ class QueryService:
                 flight_span = None if root is None else root.child("coalesce")
                 try:
                     result, coalesced = self.batcher.run(
-                        (sig, deadline, generation),
+                        (sig, deadline, generation, allow_partial),
                         compute,
                         wait_timeout=budget,
                         follower_retry=_deadline_is_retryable,

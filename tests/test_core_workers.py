@@ -210,8 +210,11 @@ class TestLifecycle:
     def test_crashed_worker_surfaces_as_worker_error(
         self, vertex_dataset, edr_cost, rng
     ):
+        # supervise=False pins the pre-supervision semantics: a dead
+        # worker stays dead and the query fails loudly.
         engine = PartitionedSubtrajectorySearch(
-            vertex_dataset, edr_cost, num_shards=2, backend="processes"
+            vertex_dataset, edr_cost, num_shards=2, backend="processes",
+            supervise=False,
         )
         try:
             engine._workers._workers[0]._process.terminate()
@@ -220,6 +223,26 @@ class TestLifecycle:
                 engine.query(sample_query(vertex_dataset, rng, 6), tau_ratio=0.25)
         finally:
             engine.close()  # close after a crash must still succeed
+
+    def test_crashed_worker_recovers_under_supervision(
+        self, vertex_dataset, edr_cost, rng
+    ):
+        # The default (supervised) pool respawns the dead worker and
+        # retries the query — the caller never sees the crash.
+        engine = PartitionedSubtrajectorySearch(
+            vertex_dataset, edr_cost, num_shards=2, backend="processes"
+        )
+        try:
+            query = sample_query(vertex_dataset, rng, 6)
+            before = engine.query(query, tau_ratio=0.25)
+            engine._workers._workers[0]._process.kill()
+            engine._workers._workers[0]._process.join(5)
+            after = engine.query(query, tau_ratio=0.25)
+            assert keys(after) == keys(before)
+            assert after.complete
+            assert engine.restarts_total() == 1
+        finally:
+            engine.close()
 
 
 class GatedEDRCost(EDRCost):
