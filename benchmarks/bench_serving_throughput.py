@@ -19,12 +19,22 @@ benchmark measures the serving subsystem built on top of it
    cores are actually available — the assertion is gated on CPU
    affinity so single-core containers still record the numbers.
 
+3. *Remote backend*: the same queries served by standalone worker-node
+   processes over the socket transport — latency percentiles at growing
+   offered load, plus the cost of a reconnect storm (every node's
+   connection torn down at once by an injected fault; the disrupted
+   query's latency *is* the recovery time, since reconnect + journal
+   replay happen inline before it is retried).
+
 Answers stay element-for-element identical across deployments.
 """
 
+import multiprocessing as mp
 import os
+import socket
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 
 from _helpers import load_workload
 
@@ -32,6 +42,8 @@ from repro.bench.harness import SeriesTable
 from repro.bench.workloads import sample_queries, sample_zipf_queries
 from repro.core.engine import SubtrajectorySearch
 from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.core.remote import run_worker_node
+from repro.faultinject import FaultPlan, FaultRule
 from repro.service import QueryService
 
 CONCURRENCY = [1, 2, 4, 8]
@@ -49,6 +61,15 @@ BACKEND_NUM_QUERIES = 4
 BACKEND_REPEATS = 2
 #: processes must beat threads by this factor on a >=4-core machine.
 BACKEND_SPEEDUP_FLOOR = 1.5
+
+#: remote-backend experiment: offered load (client threads), request
+#: count per level, node count, and the storm ordinal (the per-shard
+#: request on which every node's connection is torn down at once).
+REMOTE_CONCURRENCY = [1, 2, 4]
+REMOTE_NUM_REQUESTS = 30
+REMOTE_NODES = 2
+REMOTE_STORM_REQUEST = 2
+REMOTE_RECOVERY_CEILING = 30.0
 
 
 def _match_keys(result):
@@ -251,3 +272,174 @@ def test_backend_single_query_latency(recorder, bench_scale):
             f"speedup {speedup:.2f}x without enforcing the "
             f"{BACKEND_SPEEDUP_FLOOR}x floor"
         )
+
+
+# ---------------------------------------------------------------------------
+# Remote backend: latency vs offered load, reconnect-storm recovery
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def _worker_nodes(count):
+    """``count`` standalone worker-node processes on ephemeral ports."""
+    ctx = mp.get_context("fork")
+    procs, addresses = [], []
+    for _ in range(count):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        proc = ctx.Process(
+            target=run_worker_node,
+            args=("127.0.0.1", port),
+            kwargs={"start_method": "fork"},
+            name="repro-bench-node",
+        )
+        proc.start()
+        procs.append(proc)
+        addresses.append(f"127.0.0.1:{port}")
+    try:
+        yield addresses
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(10)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(5)
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_remote_backend_latency_and_recovery(recorder, bench_scale):
+    """Remote worker nodes over the socket transport: per-request latency
+    percentiles as offered load grows, and the inline cost of a full
+    reconnect storm (every node's connection dropped on the same request
+    ordinal — the disrupted query pays connect + hello + snapshot ship +
+    journal replay before its retry answers)."""
+    graph, dataset, costs, _ = load_workload("small", "EDR", scale=bench_scale)
+    requests = sample_zipf_queries(
+        dataset, REMOTE_NUM_REQUESTS, QUERY_LENGTH, distinct=NUM_DISTINCT, seed=7
+    )
+    direct = SubtrajectorySearch(dataset, costs)
+    expected = {
+        tuple(q): _match_keys(direct.query(q, tau_ratio=TAU_RATIO))
+        for q in requests
+    }
+
+    with _worker_nodes(REMOTE_NODES) as addresses:
+        # Latency percentiles vs offered load.
+        engine = PartitionedSubtrajectorySearch(
+            dataset,
+            costs,
+            backend="remote",
+            shard_map=addresses,
+            connect_timeout=30.0,
+        )
+        percentiles = {"p50": [], "p95": [], "p99": []}
+        qps = []
+        try:
+            engine.query(requests[0], tau_ratio=TAU_RATIO)  # warm connections
+            for concurrency in REMOTE_CONCURRENCY:
+                samples = []
+
+                def timed(q):
+                    t0 = time.perf_counter()
+                    result = engine.query(q, tau_ratio=TAU_RATIO)
+                    samples.append(time.perf_counter() - t0)
+                    return q, result
+
+                t0 = time.perf_counter()
+                with ThreadPoolExecutor(max_workers=concurrency) as clients:
+                    answers = list(clients.map(timed, requests))
+                elapsed = time.perf_counter() - t0
+                for q, result in answers:
+                    assert _match_keys(result) == expected[tuple(q)]
+                percentiles["p50"].append(_percentile(samples, 0.50))
+                percentiles["p95"].append(_percentile(samples, 0.95))
+                percentiles["p99"].append(_percentile(samples, 0.99))
+                qps.append(len(requests) / elapsed)
+        finally:
+            engine.close()
+
+        # Reconnect storm: every shard's connection torn down on its
+        # REMOTE_STORM_REQUEST-th query send.  The disrupted query's
+        # latency is the recovery time — reconnect, snapshot, replay,
+        # retry all happen inline before it returns.
+        storm_plan = FaultPlan(
+            rules=[
+                FaultRule(shard=s, op="conn_drop", request=REMOTE_STORM_REQUEST)
+                for s in range(REMOTE_NODES)
+            ]
+        )
+        engine = PartitionedSubtrajectorySearch(
+            dataset,
+            costs,
+            backend="remote",
+            shard_map=addresses,
+            fault_plan=storm_plan,
+            connect_timeout=30.0,
+        )
+        try:
+            latencies = []
+            for q in requests[: REMOTE_STORM_REQUEST + 2]:
+                t0 = time.perf_counter()
+                result = engine.query(q, tau_ratio=TAU_RATIO)
+                latencies.append(time.perf_counter() - t0)
+                assert _match_keys(result) == expected[tuple(q)]
+            recovery_seconds = latencies[REMOTE_STORM_REQUEST - 1]
+            reconnects = engine.restarts_total()
+        finally:
+            engine.close()
+
+    assert reconnects == REMOTE_NODES
+    assert recovery_seconds < REMOTE_RECOVERY_CEILING
+
+    table = SeriesTable(
+        "series",
+        [f"c={c}" for c in REMOTE_CONCURRENCY],
+        title=(
+            f"Remote backend latency (small / EDR, {REMOTE_NODES} nodes; "
+            f"storm recovery {recovery_seconds * 1e3:.0f} ms over "
+            f"{reconnects} reconnects)"
+        ),
+    )
+    for name in ("p50", "p95", "p99"):
+        table.add_row(
+            f"{name} (ms)",
+            [v * 1e3 for v in percentiles[name]],
+            formatter=lambda v: f"{v:.1f}",
+        )
+    table.add_row("QPS", qps, formatter=lambda v: f"{v:.1f}")
+    table.print()
+
+    recorder.record(
+        "remote_serving_latency",
+        {
+            "concurrency": REMOTE_CONCURRENCY,
+            "qps": qps,
+            "latency_p50_seconds": percentiles["p50"],
+            "latency_p95_seconds": percentiles["p95"],
+            "latency_p99_seconds": percentiles["p99"],
+            "nodes": REMOTE_NODES,
+            "requests": REMOTE_NUM_REQUESTS,
+            "reconnect_storm": {
+                "recovery_seconds": recovery_seconds,
+                "reconnects": reconnects,
+                "storm_request": REMOTE_STORM_REQUEST,
+            },
+            "scale": bench_scale,
+        },
+        expectation=(
+            "remote answers element-identical to the direct engine at every "
+            f"offered load; a full {REMOTE_NODES}-node reconnect storm "
+            f"recovers inline in < {REMOTE_RECOVERY_CEILING:.0f}s with one "
+            "reconnect per node"
+        ),
+    )

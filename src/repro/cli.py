@@ -11,8 +11,13 @@ Gives downstream users a no-code path through the full workflow:
   index into the mmap-able single-file format (``docs/INDEX_FORMAT.md``),
   optionally sharded, and examine an index file's header;
 - ``serve`` — run the JSON-over-HTTP query service (``--self-test``
-  starts it on a synthetic workload, issues one HTTP query, and exits;
-  ``--index`` serves from a prebuilt frozen index);
+  starts it on a synthetic workload, issues one or more HTTP queries,
+  and exits; ``--index`` serves from a prebuilt frozen index;
+  ``--backend remote --shard-map`` fans shards out to standalone worker
+  nodes over fault-tolerant sockets);
+- ``worker`` — run one standalone shard worker node
+  (``--listen HOST:PORT``); a ``serve --shard-map`` frontend connects,
+  ships it a shard, and reconnects through node restarts;
 - ``trace`` — fetch completed traces from a running server's flight
   recorder (``/debug/traces``) and render them as span trees.
 """
@@ -324,15 +329,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if getattr(args, "fault_plan", None) is not None:
         from repro.faultinject import load_fault_plan
 
-        if args.backend != "processes":
-            raise SystemExit("--fault-plan requires --backend processes")
+        if args.backend not in ("processes", "remote"):
+            raise SystemExit(
+                "--fault-plan requires --backend processes or remote"
+            )
         index_kwargs["fault_plan"] = load_fault_plan(args.fault_plan)
-    if args.shards > 1 or args.backend == "processes":
+    if args.backend == "remote":
+        from repro.core.remote import load_shard_map
+
+        if args.shard_map is None:
+            raise SystemExit("--backend remote requires --shard-map")
+        if args.index is not None:
+            raise SystemExit(
+                "--index does not combine with --backend remote (worker "
+                "nodes build their engines from the shipped shard snapshot)"
+            )
+        try:
+            index_kwargs["shard_map"] = load_shard_map(args.shard_map)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"bad --shard-map: {exc}") from exc
+    elif args.shard_map is not None:
+        raise SystemExit("--shard-map requires --backend remote")
+    if args.shards > 1 or args.backend in ("processes", "remote"):
         # "threads" fans shards out on an engine-owned thread pool
         # (GIL-bound verification); "processes" builds one long-lived
         # worker process per shard so verification escapes the GIL —
         # honored even for a single shard (the query still runs in an
-        # isolated worker process rather than being silently dropped).
+        # isolated worker process rather than being silently dropped);
+        # "remote" connects to standalone worker nodes from --shard-map
+        # (the map's length is the shard count).
         engine = PartitionedSubtrajectorySearch(
             dataset,
             costs,
@@ -342,6 +367,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             substitution_cache_size=args.substitution_cache_size,
             trie_cache_size=args.trie_cache_size,
             trie_cache_bytes=int(args.trie_cache_mb * 1024 * 1024),
+            connect_timeout=args.connect_timeout,
             **index_kwargs,
         )
     else:
@@ -370,7 +396,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port = 0 if args.self_test else args.port
         server = ServiceServer(service, host=args.host, port=port)
         if args.self_test:
-            return _serve_self_test(server, service, dataset)
+            return _serve_self_test(
+                server, service, dataset, queries=args.self_test_queries
+            )
         print(
             f"serving {len(dataset)} trajectories on {server.url} "
             f"(backend={getattr(engine, 'backend', 'single')}, "
@@ -391,44 +419,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.close(close_engine=True)
 
 
-def _serve_self_test(server, service, dataset) -> int:
-    """Start the server, answer one HTTP query, verify it against the
-    engine, and exit (the CI smoke path)."""
+def _serve_self_test(server, service, dataset, *, queries: int = 1) -> int:
+    """Start the server, answer ``queries`` HTTP queries, verify each
+    against the engine, and exit (the CI smoke path — with a fault plan
+    and several queries this is the chaos drill: every query must come
+    back 200 and match the engine even while nodes die mid-traffic)."""
     import urllib.request
 
     server.start()
     try:
-        path = list(dataset.symbols(0))[:6]
-        body = json.dumps({"path": path, "tau_ratio": 0.3}).encode("utf-8")
-        request = urllib.request.Request(
-            server.url + "/query",
-            data=body,
-            headers={"Content-Type": "application/json"},
-        )
-        with urllib.request.urlopen(request, timeout=30) as response:
-            answer = json.loads(response.read().decode("utf-8"))
-        direct = service.engine.query(path, tau_ratio=0.3)
-        if answer["total_matches"] != len(direct.matches):
-            print(
-                f"self-test FAILED: HTTP reported {answer['total_matches']} "
-                f"matches, engine found {len(direct.matches)}"
+        answered = 0
+        seconds = 0.0
+        last = {}
+        for i in range(max(1, queries)):
+            path = list(dataset.symbols(i % len(dataset)))[:6]
+            body = json.dumps({"path": path, "tau_ratio": 0.3}).encode("utf-8")
+            request = urllib.request.Request(
+                server.url + "/query",
+                data=body,
+                headers={"Content-Type": "application/json"},
             )
-            return 1
-        print(
-            json.dumps(
-                {
-                    "self_test": "ok",
-                    "url": server.url,
-                    "backend": getattr(service.engine, "backend", "single"),
-                    "total_matches": answer["total_matches"],
-                    "seconds": answer["seconds"],
-                },
-                indent=2,
-            )
-        )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                answer = json.loads(response.read().decode("utf-8"))
+            direct = service.engine.query(path, tau_ratio=0.3)
+            if answer["total_matches"] != len(direct.matches):
+                print(
+                    f"self-test FAILED on query {i}: HTTP reported "
+                    f"{answer['total_matches']} matches, engine found "
+                    f"{len(direct.matches)}"
+                )
+                return 1
+            answered += 1
+            seconds += float(answer["seconds"])
+            last = answer
+        summary = {
+            "self_test": "ok",
+            "url": server.url,
+            "backend": getattr(service.engine, "backend", "single"),
+            "queries": answered,
+            "total_matches": last.get("total_matches"),
+            "seconds": seconds,
+        }
+        restarts_of = getattr(service.engine, "restarts_total", None)
+        if restarts_of is not None:
+            summary["restarts_total"] = restarts_of()
+        print(json.dumps(summary, indent=2))
         return 0
     finally:
         server.shutdown()
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.core.remote import run_worker_node
+    from repro.core.transport import parse_hostport
+
+    try:
+        host, port = parse_hostport(args.listen)
+    except ValueError as exc:
+        raise SystemExit(f"bad --listen address: {exc}") from exc
+    if args.restarts < 0:
+        raise SystemExit("--restarts must be >= 0")
+    try:
+        return run_worker_node(host, port, restarts=args.restarts)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -540,10 +594,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default="threads",
-        choices=["threads", "processes"],
+        choices=["threads", "processes", "remote"],
         help="shard fan-out backend: 'threads' runs shard queries on the "
         "executor thread pool (GIL-bound verification); 'processes' runs "
-        "one worker process per shard (default: threads)",
+        "one worker process per shard; 'remote' connects to standalone "
+        "'repro worker' nodes listed in --shard-map (default: threads)",
+    )
+    p.add_argument(
+        "--shard-map",
+        default=None,
+        help="remote backend only: worker-node addresses, one per shard "
+        "in shard order — a path to a JSON file or inline JSON (leading "
+        "'[' or '{'), e.g. '[\"127.0.0.1:7701\", \"127.0.0.1:7702\"]' or "
+        "'{\"nodes\": [...]}'.  The map's length is the shard count",
+    )
+    p.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=5.0,
+        help="remote backend: total budget (s) for connecting to a "
+        "worker node, including reconnects racing a node restart "
+        "(default: 5)",
     )
     p.add_argument("--workers", type=int, default=4, help="executor thread-pool size")
     p.add_argument("--max-pending", type=int, default=64, help="admission limit")
@@ -582,19 +653,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fault-plan",
         default=None,
-        help="deterministic fault injection for the processes backend: a "
-        "path to a FaultPlan JSON file, or the JSON object inline (leading "
-        "'{').  Chaos drills only — kills/delays/drops shard workers on a "
-        "seeded schedule; see repro.faultinject",
+        help="deterministic fault injection for the processes and remote "
+        "backends: a path to a FaultPlan JSON file, or the JSON object "
+        "inline (leading '{').  Chaos drills only — kills/delays/drops "
+        "shard workers, and on the remote backend injects network faults "
+        "(conn_drop/conn_hang/slow_link_ms/short_write) on a seeded "
+        "schedule; see repro.faultinject",
     )
     p.add_argument(
         "--self-test",
         action="store_true",
-        help="serve a synthetic workload, answer one HTTP query, and exit",
+        help="serve a synthetic workload, answer --self-test-queries "
+        "HTTP queries, and exit",
+    )
+    p.add_argument(
+        "--self-test-queries",
+        type=int,
+        default=1,
+        help="queries the self-test answers and verifies (default: 1; "
+        "raise it for chaos drills so faults land mid-traffic)",
     )
     _add_cost_options(p)
     _add_dp_backend_option(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="run one standalone shard worker node (the remote half of "
+        "'serve --backend remote')",
+    )
+    p.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="address to listen on; the address must also appear in the "
+        "frontend's --shard-map",
+    )
+    p.add_argument(
+        "--restarts",
+        type=int,
+        default=0,
+        help="respawn the serving process up to N times when it dies "
+        "(chaos drills; 0 = serve in-process and leave restarts to an "
+        "external supervisor)",
+    )
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "index", help="build / inspect frozen mmap-able index files"

@@ -525,11 +525,11 @@ class SubtrajectorySearch:
         :class:`~repro.core.frozen.DeltaOverlayIndex` dict overlay, which
         publishes the same immutable tuples, so every individual lookup
         sees a consistent (base + delta) list.  On either backend,
-        publication is atomic per *symbol*, not per trajectory: a query
-        racing the insert may observe the new trajectory's postings for
-        only a prefix of its positions and miss matches anchored on the
-        rest until the insert completes (per-trajectory atomic
-        publication is a ROADMAP item).
+        publication is atomic per *trajectory*: the index stages every
+        touched symbol's new postings and installs them with a single
+        ``dict.update``, so a query racing the insert sees either none of
+        the new trajectory's postings or all of them — never a prefix
+        that would miss matches anchored on the unpublished rest.
         """
         with self._update_lock:
             if self.index.sorted_by_departure:

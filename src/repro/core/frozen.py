@@ -624,9 +624,19 @@ class DeltaOverlayIndex:
     # -- incremental updates -------------------------------------------------
 
     def _index_one(self, tid: int) -> None:
+        # Atomic per-trajectory publication (mirrors the dict backend):
+        # stage every touched symbol's new postings tuple, then install
+        # them with one dict.update — a lock-free reader never observes a
+        # half-indexed trajectory.
+        staged: Dict[int, Tuple[Posting, ...]] = {}
+        added = 0
         for pos, sym in enumerate(self._dataset.symbols(tid)):
-            self._delta[sym] = self._delta.get(sym, _EMPTY) + ((tid, pos),)
-            self._delta_postings += 1
+            staged[sym] = staged.get(
+                sym, self._delta.get(sym, _EMPTY)
+            ) + ((tid, pos),)
+            added += 1
+        self._delta.update(staged)
+        self._delta_postings += added
 
     def append_trajectory(self, tid: int) -> None:
         """Index one trajectory appended to the dataset (delta only; the

@@ -80,11 +80,21 @@ class InvertedIndex:
 
         Only valid for unsorted indexes — the sorted variant is built once
         over a closed dataset (it orders by departure time).
+
+        Publication is atomic per *trajectory*: the new postings are
+        staged aside and installed with a single ``dict.update``, so a
+        concurrent lock-free reader either sees none of the trajectory's
+        symbols or all of them — never a prefix whose candidate counts
+        would disagree with the engine's already-published length tables.
         """
         if self._sorted:
             raise ValueError("cannot append to a departure-sorted index")
+        staged: Dict[int, Tuple[Posting, ...]] = {}
         for pos, sym in enumerate(self._dataset.symbols(tid)):
-            self._postings[sym] = self._postings.get(sym, _EMPTY) + ((tid, pos),)
+            staged[sym] = staged.get(
+                sym, self._postings.get(sym, _EMPTY)
+            ) + ((tid, pos),)
+        self._postings.update(staged)
 
     # -- lookups ------------------------------------------------------------
 

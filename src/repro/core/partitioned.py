@@ -18,7 +18,14 @@ single machine with three interchangeable fan-out backends:
 - ``"processes"`` — each shard's engine lives in a long-lived worker
   process (:class:`~repro.core.workers.ShardWorkerPool`), fed pickled
   query descriptors over pipes.  CPU-bound verification then genuinely
-  parallelizes: a single query uses up to one core per shard.
+  parallelizes: a single query uses up to one core per shard;
+- ``"remote"`` — each shard's engine lives in a standalone worker node
+  (``repro worker --listen``; :mod:`repro.core.remote`), reached over a
+  length-prefixed socket transport and addressed by a JSON shard map.
+  Same protocol, supervision, journal-replay and retry semantics as
+  ``processes`` — plus reconnect-with-backoff, heartbeats, per-call
+  deadlines, and injectable network faults, because links fail in ways
+  pipes cannot.
 
 Whatever the backend, the merge is deterministic (shard order, then
 sorted by global ``(id, start, end)``) and answers are element-for-
@@ -56,7 +63,10 @@ from repro.trajectory.dataset import TrajectoryDataset
 
 __all__ = ["PartitionedSubtrajectorySearch"]
 
-_BACKENDS = ("serial", "threads", "processes")
+_BACKENDS = ("serial", "threads", "processes", "remote")
+#: backends whose shard engines live in another process: workers build
+#: their own engines, caches cannot be shared, faults can be injected.
+_OUT_OF_PROCESS = ("processes", "remote")
 
 
 class PartitionedSubtrajectorySearch:
@@ -125,6 +135,9 @@ class PartitionedSubtrajectorySearch:
         breaker_cooldown: float = 1.0,
         respawn_backoff: float = 0.05,
         respawn_backoff_cap: float = 2.0,
+        shard_map: Optional[Sequence[str]] = None,
+        connect_timeout: float = 5.0,
+        remote_call_timeout: Optional[float] = None,
         **engine_kwargs,
     ) -> None:
         if num_shards < 1:
@@ -145,12 +158,31 @@ class PartitionedSubtrajectorySearch:
                 "pool is the threads backend's; processes always runs one "
                 "worker per shard)"
             )
-        if backend != "processes" and fault_plan is not None:
+        if backend not in _OUT_OF_PROCESS and fault_plan is not None:
             # In-process shards cannot die independently of the parent —
             # there is nothing for a fault plan to act on.
             raise QueryError(
                 f"backend={backend!r} does not take a fault_plan (fault "
-                "injection targets the processes backend's shard workers)"
+                "injection targets out-of-process shard workers)"
+            )
+        if backend == "remote":
+            if shard_map is None:
+                raise QueryError(
+                    "backend='remote' needs a shard_map: one 'host:port' "
+                    "worker-node address per shard"
+                )
+            # The shard map IS the shard layout: one node, one shard.
+            num_shards = len(shard_map)
+            if num_shards > len(dataset):
+                raise QueryError(
+                    f"shard map has {num_shards} nodes but the dataset has "
+                    f"only {len(dataset)} trajectories (a node would own an "
+                    "empty shard)"
+                )
+        elif shard_map is not None:
+            raise QueryError(
+                f"backend={backend!r} does not take a shard_map (node "
+                "addresses drive the remote backend)"
             )
         num_shards = min(num_shards, len(dataset))
         index_path = engine_kwargs.pop("index_path", None)
@@ -172,12 +204,12 @@ class PartitionedSubtrajectorySearch:
         self._backend = backend
         self._dp_backend = str(engine_kwargs.get("dp_backend", "auto"))
         self._trie_cache: Optional[TrieCache] = None
-        if backend == "processes":
+        if backend in _OUT_OF_PROCESS:
             if "trie_cache" in engine_kwargs:
                 # Fail here with the real reason, not deep in the worker
                 # spawn as an opaque "cannot pickle thread lock".
                 raise QueryError(
-                    "backend='processes' cannot share a prebuilt trie_cache "
+                    f"backend={backend!r} cannot share a prebuilt trie_cache "
                     "across worker processes; pass trie_cache_size / "
                     "trie_cache_bytes to size each worker's own cache"
                 )
@@ -213,11 +245,13 @@ class PartitionedSubtrajectorySearch:
         self._engines: List[SubtrajectorySearch] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._workers: Optional[ShardWorkerPool] = None
-        if backend == "processes":
+        if backend in _OUT_OF_PROCESS:
             # Engines are built inside the workers — index memory and
             # build time live there, once, not in the parent too.  With a
             # frozen index_path the workers ship only the *path*: each
-            # opens its shard's file by mmap instead of rebuilding.
+            # opens its shard's file by mmap instead of rebuilding.  On
+            # "remote" the workers are standalone nodes from shard_map
+            # and a respawn is a reconnect.
             self._workers = ShardWorkerPool(
                 self._shards,
                 costs,
@@ -230,6 +264,9 @@ class PartitionedSubtrajectorySearch:
                 breaker_cooldown=breaker_cooldown,
                 respawn_backoff=respawn_backoff,
                 respawn_backoff_cap=respawn_backoff_cap,
+                shard_map=list(shard_map) if backend == "remote" else None,
+                connect_timeout=connect_timeout,
+                call_timeout=remote_call_timeout,
             )
         else:
             self._engines = [
@@ -258,8 +295,17 @@ class PartitionedSubtrajectorySearch:
 
     @property
     def backend(self) -> str:
-        """The fan-out backend: ``serial``, ``threads``, or ``processes``."""
+        """The fan-out backend: ``serial``, ``threads``, ``processes``,
+        or ``remote``."""
         return self._backend
+
+    def nodes(self) -> List[Optional[str]]:
+        """Per-shard worker-node addresses (all ``None`` except on the
+        remote backend)."""
+        self._check_open()
+        if self._workers is not None:
+            return self._workers.nodes()
+        return [None] * self.num_shards
 
     @property
     def costs(self):
@@ -298,9 +344,16 @@ class PartitionedSubtrajectorySearch:
         ]
 
     def restarts_total(self) -> int:
-        """Completed shard-worker respawns (0 on in-process backends)."""
+        """Completed shard-worker respawns — reconnects on the remote
+        backend (0 on in-process backends)."""
         self._check_open()
         return 0 if self._workers is None else self._workers.restarts_total()
+
+    def retry_after(self) -> float:
+        """Seconds until the soonest open breaker admits a probe (0 when
+        every shard is serving) — the HTTP 503 ``Retry-After`` basis."""
+        self._check_open()
+        return 0.0 if self._workers is None else self._workers.retry_after()
 
     #: summed fields of each engine-level cache's counters.
     _SUB_FIELDS = ("capacity", "size", "hits", "misses")
@@ -611,7 +664,7 @@ class PartitionedSubtrajectorySearch:
     ) -> QueryResult:
         if trace is None:
             return self._workers.query_shard(shard, query, kwargs, cancel)
-        span = trace.child("shard", shard=shard, backend="processes")
+        span = trace.child("shard", shard=shard, backend=self._backend)
         try:
             result, exported = self._workers.query_shard(
                 shard, query, kwargs, cancel, trace_ctx=span.context()
@@ -746,7 +799,7 @@ class PartitionedSubtrajectorySearch:
                 )
             else:
                 spans = [
-                    trace.child("shard", shard=i, backend="processes")
+                    trace.child("shard", shard=i, backend=self._backend)
                     for i in range(self.num_shards)
                 ]
                 try:

@@ -2,9 +2,9 @@
 
 :mod:`repro.core.workers` keeps each shard's engine in a child process;
 this module holds the policy objects its supervisor runs on.  They are
-deliberately transport-agnostic — the future socket-backed multi-node
-tier (ROADMAP §1) supervises remote shard nodes with exactly the same
-state machines:
+deliberately transport-agnostic — the socket-backed multi-node tier
+(``backend="remote"``; ROADMAP §1) supervises remote shard nodes with
+exactly the same state machines, where a "respawn" is a reconnect:
 
 - :class:`CircuitBreaker` — the classic three-state breaker, per shard.
   *Closed* passes queries through; ``failure_threshold`` consecutive
@@ -104,6 +104,15 @@ class CircuitBreaker:
             self._probe_in_flight = True
             return True
 
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open breaker will admit its half-open probe
+        (0 when closed, half-open, or already due) — the figure a client
+        can use as ``Retry-After``."""
+        with self._lock:
+            if self._effective_state() != "open":
+                return 0.0
+            return max(0.0, self.cooldown - (self._clock() - self._opened_at))
+
     def record_success(self) -> None:
         with self._lock:
             self._state = "closed"
@@ -161,9 +170,15 @@ class WorkerState:
     last_error: str = ""
     #: events the supervisor recorded for this shard (bounded).
     events: List[str] = field(default_factory=list)
+    #: remote node address ("host:port") when the shard is served over a
+    #: socket; None for in-process and child-process shards.
+    node: Optional[str] = None
+    #: seconds until this shard's open breaker admits a probe (0 when it
+    #: is serving) — the basis of the HTTP 503 ``Retry-After`` header.
+    retry_after: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "shard": self.shard,
             "alive": self.alive,
             "pid": self.pid,
@@ -173,3 +188,8 @@ class WorkerState:
             "respawn_wait": round(self.respawn_wait, 3),
             "last_error": self.last_error,
         }
+        if self.node is not None:
+            payload["node"] = self.node
+        if self.retry_after > 0:
+            payload["retry_after"] = round(self.retry_after, 3)
+        return payload

@@ -72,6 +72,7 @@ when the caller stops waiting):
               trace_ctx | None)
     ("add",   req_id, expected_local_id, trajectory, validate)
     ("stats", req_id)                 -> {"substitution": ..., "trie": ...}
+    ("ping",  req_id)                 -> {"pid": ...}   (liveness heartbeat)
     ("stop",  req_id)
     reply: (req_id, "ok", payload) | (req_id, "error", exception)
 
@@ -89,6 +90,23 @@ and pid (the journal-replay watermark) — so constructor errors (bad
 engine options, mismatched representation) raise in the parent at pool
 construction with their real cause, exactly as the in-process backends
 do.
+
+**Remote nodes** (``shard_map=``): the same protocol runs over the
+length-prefixed socket transport of :mod:`repro.core.transport` against
+standalone ``repro worker --listen`` node processes
+(:mod:`repro.core.remote`).  Each (re)connection ships a ``hello``
+carrying the shard dataset + engine config, and the node answers with
+the same req-0 readiness handshake — so a *reconnect is a respawn*: the
+node builds a fresh engine from the shipped snapshot and the parent
+replays its insert journal past the handshake watermark before the
+connection takes traffic.  Cancellation travels as an out-of-band
+``("cancel", req_id)`` frame instead of a shared flag, per-call
+deadlines derive from the shipped remaining budget (a half-open link
+costs at most the caller's own budget), and the supervisor heartbeats
+idle connections with ``ping`` so silent node death is detected without
+traffic.  Network chaos (``conn_drop`` / ``conn_hang`` /
+``slow_link_ms`` / ``short_write``) is injected client-side around the
+sends, keyed to the same across-reconnect ordinals as worker faults.
 """
 
 from __future__ import annotations
@@ -103,8 +121,9 @@ from collections import deque
 from time import monotonic, sleep
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import transport
 from repro.core.supervision import CircuitBreaker, RespawnBackoff, WorkerState
-from repro.exceptions import ShardUnavailableError, WorkerError
+from repro.exceptions import ShardUnavailableError, TransportError, WorkerError
 
 __all__ = ["ShardWorkerPool", "default_start_method"]
 
@@ -118,6 +137,17 @@ _POLL_SECONDS = 0.02
 _STOP_TIMEOUT = 5.0
 #: supervisor liveness-poll period.
 _SUPERVISOR_POLL = 0.1
+#: how long after the shipped remaining budget expires the parent keeps
+#: waiting for a remote reply before declaring the link dead — covers
+#: transport latency plus the worker's own cancellation reply.
+_REMOTE_DEADLINE_GRACE = 5.0
+#: bound on a remote readiness handshake (connection + engine build).
+_REMOTE_HANDSHAKE_TIMEOUT = 120.0
+#: bound on remote liveness/stats probes when no call timeout is set.
+_REMOTE_PROBE_TIMEOUT = 5.0
+#: period of the supervisor's remote heartbeat (idle connections get a
+#: "ping" this often, so silent node death is detected without traffic).
+_HEARTBEAT_INTERVAL = 1.0
 
 
 def default_start_method() -> str:
@@ -220,6 +250,12 @@ def _worker_main(
         except (EOFError, OSError, KeyboardInterrupt):
             break  # parent gone (or interactive interrupt): nothing to reply to
         kind, req_id = msg[0], msg[1]
+        if kind == "ping":
+            # Liveness heartbeat: answered before fault accounting so a
+            # probe can never consume (or trip) a request-ordinal rule.
+            if not _guarded_send((req_id, "ok", {"pid": os.getpid()})):
+                break
+            continue
         ordinal = 0
         if faults is not None and kind in ("query", "add"):
             ordinal = counts.get(kind, 0) + 1
@@ -375,6 +411,25 @@ class _ShardWorker:
         # construction errors re-raise here with their original type.
         return self._receive(0, None)
 
+    def _teardown_incarnation(self) -> None:
+        """Dispose of the current (dead or dying) incarnation before a
+        respawn.  Caller must hold ``_lock``."""
+        if self._process.is_alive():
+            # Pipe-level death (dropped conn) with the process lingering:
+            # the old incarnation must not keep burning CPU beside the new.
+            self._process.kill()
+            self._process.join(_STOP_TIMEOUT)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def _dead_reason(self) -> str:
+        return (
+            f"shard {self.index} worker process exited "
+            f"(exitcode {self._process.exitcode})"
+        )
+
     def respawn(self, journal: Sequence[Tuple[int, Any, bool]]) -> None:
         """Replace a dead worker with a fresh process and replay the
         insert journal so the replica is bit-identical.
@@ -387,15 +442,7 @@ class _ShardWorker:
         respawn snapshot was taken).  Any id disagreement during replay
         raises :class:`WorkerError` — divergence fails loudly.
         """
-        if self._process.is_alive():
-            # Pipe-level death (dropped conn) with the process lingering:
-            # the old incarnation must not keep burning CPU beside the new.
-            self._process.kill()
-            self._process.join(_STOP_TIMEOUT)
-        try:
-            self._conn.close()
-        except OSError:
-            pass
+        self._teardown_incarnation()
         handshake = self._spawn()
         watermark = int(handshake.get("len", 0)) if handshake else 0
         for expected, trajectory, validate in journal:
@@ -438,11 +485,8 @@ class _ShardWorker:
         if not self._lock.acquire(blocking=False):
             return None
         try:
-            if not self._process.is_alive():
-                raise WorkerError(
-                    f"shard {self.index} worker process exited "
-                    f"(exitcode {self._process.exitcode})"
-                )
+            if not self.alive:
+                raise WorkerError(self._dead_reason())
             self._req += 1
             req_id = self._req
             self._conn.send((kind, req_id, *payload))
@@ -515,11 +559,8 @@ class _ShardWorker:
             if not signalled and token.cancelled():
                 self.signal_cancel(req_id)
                 signalled = True
-            if not self._process.is_alive() and not self._conn.poll(0):
-                raise WorkerError(
-                    f"shard {self.index} worker process exited "
-                    f"(exitcode {self._process.exitcode})"
-                )
+            if not self.alive and not self._conn.poll(0):
+                raise WorkerError(self._dead_reason())
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -556,6 +597,317 @@ class _ShardWorker:
             self._conn.close()
         except OSError:
             pass
+
+
+class _RemoteShardWorker(_ShardWorker):
+    """Parent-side proxy for one shard served by a remote worker node
+    over the framed socket transport.
+
+    Shares the request/response machinery of :class:`_ShardWorker` (lock,
+    req ids, begin/finish pairing, journal-replaying ``respawn``) but the
+    "process" is a TCP connection to a ``repro worker --listen`` node:
+
+    - **connection = incarnation**: every (re)connection ships a
+      ``hello`` carrying the shard dataset snapshot + engine config, and
+      the node builds a *fresh* engine for it, answering with the usual
+      req-0 readiness handshake.  A surviving node-side engine across
+      reconnects would be unsound: an insert the node committed whose ack
+      was lost in a connection drop would leave the replica permanently
+      ahead of the parent's expected ids.  Rebuild-from-snapshot plus
+      journal replay past the handshake watermark — exactly the pipe
+      backend's respawn semantics — makes reconnection idempotent;
+    - ``restarts`` therefore counts *reconnects* (the
+      ``repro_node_reconnects_total`` metric);
+    - cancellation is an out-of-band ``("cancel", req_id)`` frame on the
+      same full-duplex socket (the node's reader thread folds it into the
+      engine's shared flag); the node still sends its one reply, keeping
+      the stream in sync;
+    - per-call deadlines: a query's reply must arrive within the shipped
+      remaining budget plus a grace window, other calls within
+      ``call_timeout`` (when set).  Expiry **poisons the connection** —
+      a late reply would desynchronize the next request — so the link is
+      dropped and the normal reconnect path takes over.  This is the only
+      way a half-open connection (``conn_hang``, a silently dead peer)
+      is ever unmasked;
+    - injected network chaos (:class:`~repro.faultinject.NetworkFaults`)
+      is consulted around every request send, keyed to this proxy's
+      per-kind send ordinals, which persist across reconnects.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        address: str,
+        dataset,
+        costs,
+        engine_kwargs: Dict[str, Any],
+        faults=None,
+        net_faults=None,
+        *,
+        connect_timeout: float = 5.0,
+        call_timeout: Optional[float] = None,
+        max_frame: int = transport.DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.index = index
+        self.restarts = 0
+        self.address = str(address)
+        self._host, self._port = transport.parse_hostport(address)
+        self._dataset = dataset
+        self._costs = costs
+        self._engine_kwargs = dict(engine_kwargs)
+        self._faults = faults
+        self._net_faults = net_faults
+        self._connect_timeout = connect_timeout
+        self._call_timeout = call_timeout
+        self._max_frame = max_frame
+        self._lock = threading.Lock()
+        self._req = 0
+        self._sent: Dict[str, int] = {"query": 0, "add": 0}
+        self._conn: Optional[transport.FramedSocket] = None
+        self._connected = False
+        self._pid: Optional[int] = None
+        #: absolute monotonic deadline of the in-flight call (one request
+        #: in flight per worker, so a scalar is enough).
+        self._call_expires: Optional[float] = None
+        self._spawn()
+
+    # -- connection lifecycle ----------------------------------------------
+
+    def _spawn(self) -> Dict[str, Any]:
+        """(Re)connect to the node, ship the hello, run the handshake.
+        Returns the handshake payload (engine length = replay watermark,
+        node pid).  Caller must hold ``_lock`` on every call but the
+        first.
+
+        ``connect_timeout`` is a *total* budget over the whole attempt —
+        connect, hello, and handshake are all retried inside it.  A
+        killed node's replacement takes a moment to rebind its port, and
+        the race has more than one losing shape: connection-refused
+        before the rebind, but also an RST or EOF *mid-handshake* when
+        the connect lands on a node that is still going down.  Any
+        transport failure before the handshake completes just means
+        "this incarnation attempt lost the race" — try again until the
+        budget runs out."""
+        deadline = monotonic() + self._connect_timeout
+        while True:
+            try:
+                return self._spawn_once()
+            except TransportError:
+                self._teardown_incarnation()
+                if monotonic() >= deadline:
+                    raise
+                sleep(0.05)
+
+    def _spawn_once(self) -> Dict[str, Any]:
+        conn = transport.connect(
+            self._host,
+            self._port,
+            timeout=self._connect_timeout,
+            max_frame=self._max_frame,
+        )
+        self._conn = conn
+        self._connected = True
+        self._call_expires = monotonic() + _REMOTE_HANDSHAKE_TIMEOUT
+        conn.send(
+            (
+                "hello",
+                0,
+                {
+                    "shard": self.index,
+                    "dataset": self._dataset,
+                    "costs": self._costs,
+                    "engine_kwargs": dict(self._engine_kwargs),
+                    "faults": self._faults,
+                    "request_offsets": dict(self._sent),
+                },
+            )
+        )
+        handshake = self._receive(0, None)
+        self._pid = int(handshake.get("pid", 0)) or None
+        return handshake
+
+    def _teardown_incarnation(self) -> None:
+        self._connected = False
+        if self._conn is not None:
+            self._conn.close()
+
+    def _dead_reason(self) -> str:
+        return f"shard {self.index} node {self.address} is disconnected"
+
+    @property
+    def alive(self) -> bool:
+        return (
+            self._connected and self._conn is not None and not self._conn.closed
+        )
+
+    @property
+    def pid(self) -> Optional[int]:
+        """The node process's pid as reported in the handshake."""
+        return self._pid
+
+    @property
+    def daemon(self) -> bool:
+        return True  # the node is external; nothing here outlives us
+
+    def heartbeat(self) -> None:
+        """Idle-connection liveness probe: a bounded ``ping`` that flips
+        :attr:`alive` off when the node is gone (the supervisor's
+        reconnect path takes it from there).  Skips silently when the
+        connection is busy with an in-flight request — traffic is its own
+        heartbeat."""
+        try:
+            self.try_call("ping", ())
+        except WorkerError:
+            pass  # _receive already marked the connection dead
+
+    # -- request/response ---------------------------------------------------
+
+    def begin(self, kind: str, payload: Tuple) -> int:
+        self._lock.acquire()
+        try:
+            self._req += 1
+            req_id = self._req
+            ordinal = 0
+            if kind in self._sent:
+                self._sent[kind] += 1
+                ordinal = self._sent[kind]
+            # Per-call deadline: the shipped remaining budget (queries
+            # carry it at payload[2]) plus grace, else the static call
+            # timeout.  None = wait forever, exactly like a pipe.
+            remaining = payload[2] if kind == "query" else None
+            budget = (
+                remaining + _REMOTE_DEADLINE_GRACE
+                if remaining is not None
+                else self._call_timeout
+            )
+            self._call_expires = (
+                None if budget is None else monotonic() + budget
+            )
+            conn = self._conn
+            if conn is None or conn.closed:
+                raise WorkerError(self._dead_reason())
+            net = self._net_faults
+            chunk = None
+            if net is not None and ordinal:
+                latency = net.latency(kind, ordinal)
+                if latency > 0:
+                    sleep(latency)
+                if net.hang(kind, ordinal):
+                    conn.hang()
+                chunk = net.short_write(kind, ordinal)
+            conn.send((kind, req_id, *payload), chunk=chunk)
+            if net is not None and ordinal and net.drop_after(kind, ordinal):
+                conn.drop()
+            return req_id
+        except BaseException as exc:
+            self._lock.release()
+            if isinstance(exc, TransportError):
+                self._connected = False
+            raise
+
+    def try_call(self, kind: str, payload: Tuple):
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            if not self.alive:
+                raise WorkerError(self._dead_reason())
+            self._req += 1
+            req_id = self._req
+            budget = (
+                self._call_timeout
+                if self._call_timeout is not None
+                else _REMOTE_PROBE_TIMEOUT
+            )
+            self._call_expires = monotonic() + budget
+            self._conn.send((kind, req_id, *payload))
+            return self._receive(req_id, None)
+        except TransportError:
+            self._connected = False
+            raise
+        finally:
+            self._lock.release()
+
+    def signal_cancel(self, req_id: int) -> None:
+        """Cancel ``req_id`` on the node via an out-of-band frame (the
+        socket is full-duplex; the node's reader thread consumes it
+        without a reply, so the stream stays one-reply-per-request)."""
+        conn = self._conn
+        if conn is None or conn.closed:
+            return
+        try:
+            conn.send(("cancel", req_id))
+        except (TransportError, OSError):
+            pass  # a torn link is already being handled by the caller
+
+    def _receive(self, req_id: int, token):
+        signalled = token is None
+        expires = self._call_expires
+        while True:
+            conn = self._conn
+            if not self._connected or conn is None or conn.closed:
+                raise WorkerError(self._dead_reason())
+            try:
+                reply = conn.recv() if conn.poll(_POLL_SECONDS) else None
+            except TransportError:
+                self._connected = False
+                raise
+            if reply is not None:
+                rid, status, payload = reply
+                if rid != req_id:
+                    self._connected = False
+                    conn.drop()
+                    raise WorkerError(
+                        f"shard {self.index} stream desynchronized: got reply "
+                        f"for request {rid}, expected {req_id}"
+                    )
+                if status == "ok":
+                    return payload
+                raise payload
+            if not signalled and token.cancelled():
+                self.signal_cancel(req_id)
+                signalled = True
+            if expires is not None and monotonic() >= expires:
+                # A late reply would poison the next request's framing —
+                # a timed-out link must be torn down, never reused.
+                self._connected = False
+                conn.drop()
+                raise TransportError(
+                    f"shard {self.index} node {self.address}: no reply "
+                    "within the per-call deadline"
+                )
+            if conn.hung and expires is None:
+                # Injected half-open link with nothing bounding the wait:
+                # fail deterministically instead of spinning forever.
+                self._connected = False
+                conn.drop()
+                raise TransportError(
+                    f"shard {self.index} node {self.address}: link went "
+                    "half-open with no call deadline"
+                )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def stop(self, timeout: float = _STOP_TIMEOUT) -> None:
+        """End this connection's engine politely and disconnect.  The
+        node itself is an external process with its own lifecycle — pool
+        shutdown must never kill it."""
+        conn = self._conn
+        if conn is None:
+            return
+        if self.alive:
+            acquired = self._lock.acquire(timeout=timeout)
+            try:
+                if acquired:
+                    try:
+                        self._req += 1
+                        conn.send(("stop", self._req))
+                    except (TransportError, OSError):
+                        pass
+            finally:
+                if acquired:
+                    self._lock.release()
+        self._connected = False
+        conn.close()
 
 
 # Pools still open at interpreter exit get closed here.  Workers are
@@ -610,6 +962,18 @@ class ShardWorkerPool:
     respawn_backoff / respawn_backoff_cap:
         Base and cap (seconds) of the supervisor's exponential respawn
         backoff (jittered per shard).
+    shard_map:
+        One ``"host:port"`` node address per shard.  When given, shards
+        are served by standalone ``repro worker --listen`` node processes
+        over the framed socket transport instead of child processes —
+        respawns become reconnects (hello + handshake + journal replay),
+        the supervisor heartbeats idle connections, and injected network
+        faults from ``fault_plan`` apply around the sends.
+    connect_timeout / call_timeout:
+        Socket-transport bounds (remote only): TCP connect timeout, and
+        the per-call reply deadline used when a request ships no
+        remaining budget (None = wait forever, like a pipe; queries that
+        carry a budget are always bounded by it plus a grace window).
     """
 
     def __init__(
@@ -627,6 +991,10 @@ class ShardWorkerPool:
         respawn_backoff: float = 0.05,
         respawn_backoff_cap: float = 2.0,
         supervisor_poll: float = _SUPERVISOR_POLL,
+        shard_map: Optional[Sequence[str]] = None,
+        connect_timeout: float = 5.0,
+        call_timeout: Optional[float] = None,
+        heartbeat_interval: float = _HEARTBEAT_INTERVAL,
     ) -> None:
         if per_shard_kwargs is not None and len(per_shard_kwargs) != len(
             shard_datasets
@@ -635,10 +1003,21 @@ class ShardWorkerPool:
                 f"expected {len(shard_datasets)} per-shard kwarg dicts, "
                 f"got {len(per_shard_kwargs)}"
             )
-        ctx = mp.get_context(start_method or default_start_method())
+        if shard_map is not None and len(shard_map) != len(shard_datasets):
+            raise WorkerError(
+                f"shard map has {len(shard_map)} nodes but the pool has "
+                f"{len(shard_datasets)} shards"
+            )
+        self._remote = shard_map is not None
+        ctx = (
+            None
+            if self._remote
+            else mp.get_context(start_method or default_start_method())
+        )
         self._closed = False
         self._workers: List[_ShardWorker] = []
         self._supervise = bool(supervise)
+        self._heartbeat_interval = heartbeat_interval
         self._fault_plan = fault_plan
         seed = 0 if fault_plan is None else int(getattr(fault_plan, "seed", 0))
         n = len(shard_datasets)
@@ -674,9 +1053,29 @@ class ShardWorkerPool:
                 faults = (
                     None if fault_plan is None else fault_plan.worker_faults(index)
                 )
-                self._workers.append(
-                    _ShardWorker(ctx, index, dataset, costs, kwargs, faults)
-                )
+                if shard_map is not None:
+                    net = (
+                        None
+                        if fault_plan is None
+                        else fault_plan.network_faults(index)
+                    )
+                    self._workers.append(
+                        _RemoteShardWorker(
+                            index,
+                            shard_map[index],
+                            dataset,
+                            costs,
+                            kwargs,
+                            faults,
+                            net,
+                            connect_timeout=connect_timeout,
+                            call_timeout=call_timeout,
+                        )
+                    )
+                else:
+                    self._workers.append(
+                        _ShardWorker(ctx, index, dataset, costs, kwargs, faults)
+                    )
         except BaseException:
             self.close()
             raise
@@ -705,6 +1104,15 @@ class ShardWorkerPool:
         """Whether the supervisor thread and query-path retry are on."""
         return self._supervise
 
+    @property
+    def remote(self) -> bool:
+        """Whether shards are served by remote nodes over sockets."""
+        return self._remote
+
+    def nodes(self) -> List[Optional[str]]:
+        """Per-shard node addresses (None entries on the pipe backend)."""
+        return [getattr(w, "address", None) for w in self._workers]
+
     def workers_alive(self) -> List[bool]:
         """Liveness of each worker process (diagnostics/tests)."""
         return [w.alive for w in self._workers]
@@ -715,12 +1123,28 @@ class ShardWorkerPool:
         """Liveness poll: respawn dead workers on the backoff schedule.
 
         Runs until ``close()``.  Never raises; a failed respawn is
-        recorded and retried after backoff."""
+        recorded and retried after backoff.  On the remote transport the
+        loop doubles as the heartbeat: idle connections get a bounded
+        ``ping`` every ``heartbeat_interval`` seconds, so a silently dead
+        node flips to not-alive (and into this same respawn/reconnect
+        path) without waiting for query traffic to trip over it."""
+        next_beat = monotonic() + self._heartbeat_interval
         while not self._stop_event.wait(self._supervisor_poll):
             if self._closed:
                 break
+            beat = False
+            if self._remote and monotonic() >= next_beat:
+                beat = True
+                next_beat = monotonic() + self._heartbeat_interval
             for shard, worker in enumerate(self._workers):
                 if worker.alive:
+                    if beat:
+                        try:
+                            worker.heartbeat()
+                        except Exception:  # noqa: BLE001 — loop must survive
+                            logger.exception(
+                                "heartbeat of shard %d failed", shard
+                            )
                     continue
                 try:
                     self._try_respawn(shard, blocking=False)
@@ -762,13 +1186,33 @@ class ShardWorkerPool:
         worker = self._workers[shard]
         if blocking:
             if not worker._lock.acquire(timeout=2.0):
-                return False
+                # The lock is usually held by the supervisor mid-respawn
+                # (a remote reconnect can take up to connect_timeout).
+                # Giving up here would lose the caller's retry — instead
+                # wait, bounded, for the holder's outcome: a changed
+                # generation means the worker came back fresh and the
+                # caller can simply retry on it.
+                budget = getattr(worker, "_connect_timeout", 0.0) + 2.0
+                waited = 0.0
+                acquired = False
+                while waited < budget:
+                    if worker.alive and not (
+                        seen_restarts is not None
+                        and worker.restarts == seen_restarts
+                    ):
+                        return True
+                    if worker._lock.acquire(timeout=0.1):
+                        acquired = True
+                        break
+                    waited += 0.1
+                if not acquired:
+                    return False
         elif not worker._lock.acquire(blocking=False):
             return False
         try:
             if self._closed:
                 return False
-            if worker._process.is_alive() and not (
+            if worker.alive and not (
                 seen_restarts is not None and worker.restarts == seen_restarts
             ):
                 return True
@@ -834,13 +1278,28 @@ class ShardWorkerPool:
                     ),
                     last_error=self._last_errors[shard],
                     events=list(self._events[shard]),
+                    node=getattr(worker, "address", None),
+                    retry_after=breaker.cooldown_remaining(),
                 )
             )
         return states
 
     def restarts_total(self) -> int:
-        """Completed worker respawns across all shards (monotonic)."""
+        """Completed worker respawns across all shards (monotonic).  On
+        the remote transport a "respawn" is a completed reconnect —
+        this is also the ``repro_node_reconnects_total`` figure."""
         return sum(w.restarts for w in self._workers)
+
+    def retry_after(self) -> float:
+        """Seconds a client should wait before retrying: the soonest any
+        currently-open breaker will admit a probe (0 when none is open).
+        The HTTP layer turns this into the 503 ``Retry-After`` header."""
+        waits = [
+            b.cooldown_remaining()
+            for b in self._breakers
+            if b.state == "open"
+        ]
+        return min(waits) if waits else 0.0
 
     # -- queries ------------------------------------------------------------
 

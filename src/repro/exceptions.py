@@ -69,3 +69,24 @@ class ShardUnavailableError(WorkerError):
     open (flapping worker in cooldown) or every shard is down so not even
     a partial answer exists.  A :class:`WorkerError` subclass so existing
     worker-failure handling (HTTP 503, retries) applies unchanged."""
+
+
+class TransportError(WorkerError):
+    """Raised by the socket transport (:mod:`repro.core.transport`) when a
+    connection fails mid-frame: the peer vanished, a send/recv hit an OS
+    error, or a per-call deadline expired.  A :class:`WorkerError`
+    subclass so the pool's reconnect-and-retry-once path treats a broken
+    link exactly like a dead worker process."""
+
+
+class FrameTooLargeError(TransportError):
+    """Raised when a frame (outgoing or incoming) exceeds the transport's
+    maximum frame size.  Raised *before* any payload bytes are consumed,
+    so the stream never desynchronizes — the connection is simply
+    unusable and must be re-established."""
+
+
+class FrameTruncatedError(TransportError):
+    """Raised when the stream ends (EOF) inside a frame: the length
+    prefix promised more bytes than ever arrived.  Distinguishes a
+    half-written frame from a clean close between frames."""

@@ -18,6 +18,11 @@ replayable:
   exactly once no matter how many times the worker is reborn;
 - parent-side rules (``fail_respawn``) are consumed by the supervisor in
   :mod:`repro.core.workers` when it tries to bring a dead worker back;
+- network rules ship into the client-side socket proxies of the
+  ``remote`` backend as a :class:`NetworkFaults` table, consulted around
+  every request *send* — ordinals count sends per shard across
+  reconnects, so a dropped connection's retry lands on the next ordinal
+  exactly like a killed worker's does;
 - the plan's ``seed`` drives the optional randomized schedule builders
   (:meth:`FaultPlan.kill_loop`) so a "kill a random shard every K
   queries" chaos run is reproducible from one integer.
@@ -40,7 +45,21 @@ op              side       effect
                            works — exercises the stop() escalation chain)
 ``fail_respawn``parent     make the supervisor's next ``count`` respawn
                            attempts of the shard fail
+``conn_drop``   network    tear the shard's socket down right after the
+                           matched request is sent (reply lost in flight)
+``conn_hang``   network    half-open link: the matched request is silently
+                           swallowed and no reply ever arrives — only the
+                           per-call deadline unmasks it
+``slow_link_ms``network    sleep ``ms`` milliseconds before sending the
+                           matched request (injected network latency)
+``short_write`` network    send the matched request one byte at a time,
+                           exercising the peer's partial-read reassembly
 =============== ========== =====================================================
+
+Network ops apply only to the ``remote`` backend (pipes have no half-open
+failure mode); worker and parent ops apply to both — on ``remote`` the
+worker table ships to the node in the connection handshake, so an
+injected ``kill_before`` takes the whole node process down.
 """
 
 from __future__ import annotations
@@ -53,7 +72,13 @@ from dataclasses import asdict, dataclass, field
 from random import Random
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["FaultRule", "FaultPlan", "WorkerFaults", "load_fault_plan"]
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "NetworkFaults",
+    "WorkerFaults",
+    "load_fault_plan",
+]
 
 #: exit status used by injected kills — distinguishable from a real crash
 #: in worker exitcode assertions.
@@ -61,6 +86,7 @@ FAULT_EXIT_CODE = 70
 
 _WORKER_OPS = ("kill_before", "kill_after", "delay_reply", "drop_pipe", "wedge_stop")
 _PARENT_OPS = ("fail_respawn",)
+_NETWORK_OPS = ("conn_drop", "conn_hang", "slow_link_ms", "short_write")
 
 
 @dataclass(frozen=True)
@@ -69,9 +95,11 @@ class FaultRule:
 
     ``shard`` targets one shard's worker.  ``request`` is the 1-based
     ordinal of the matched request *of kind* ``on`` ("query" or "add"),
-    counted per shard across respawns; ``request=0`` matches every
-    request (a shard held permanently down).  ``count``/``seconds``
-    parameterize ``fail_respawn``/``delay_reply``.
+    counted per shard across respawns (worker ops count requests the
+    worker received; network ops count requests the client sent);
+    ``request=0`` matches every request (a shard held permanently down).
+    ``count``/``seconds``/``ms`` parameterize
+    ``fail_respawn``/``delay_reply``/``slow_link_ms``.
     """
 
     shard: int
@@ -80,16 +108,23 @@ class FaultRule:
     on: str = "query"
     count: int = 1
     seconds: float = 0.0
+    ms: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.op not in _WORKER_OPS + _PARENT_OPS:
+        ops = _WORKER_OPS + _PARENT_OPS + _NETWORK_OPS
+        if self.op not in ops:
             raise ValueError(
-                f"unknown fault op {self.op!r} "
-                f"(expected one of {_WORKER_OPS + _PARENT_OPS})"
+                f"unknown fault op {self.op!r} (expected one of {ops})"
             )
         if self.on not in ("query", "add"):
             raise ValueError(f"fault rule 'on' must be 'query' or 'add', got {self.on!r}")
-        if self.shard < 0 or self.request < 0 or self.count < 1 or self.seconds < 0:
+        if (
+            self.shard < 0
+            or self.request < 0
+            or self.count < 1
+            or self.seconds < 0
+            or self.ms < 0
+        ):
             raise ValueError(f"malformed fault rule {self!r}")
 
 
@@ -146,6 +181,55 @@ class WorkerFaults:
         for rule in self._matching(kind, ordinal):
             if rule.op == "kill_after":
                 os._exit(FAULT_EXIT_CODE)
+
+
+class NetworkFaults:
+    """The client-side network-fault slice of a plan for one shard.
+
+    Consulted by the remote backend's socket proxy around every request
+    *send*; ordinals are the shard's per-kind send counts across
+    reconnects (the proxy's own bookkeeping), so a schedule replays
+    bit-identically no matter how often the link is re-established.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule]) -> None:
+        self._rules = tuple(rules)
+
+    def __bool__(self) -> bool:
+        return bool(self._rules)
+
+    def _matching(self, kind: str, ordinal: int) -> Iterable[FaultRule]:
+        for rule in self._rules:
+            if rule.on == kind and rule.request in (0, ordinal):
+                yield rule
+
+    def latency(self, kind: str, ordinal: int) -> float:
+        """Injected link latency (seconds) before sending ``ordinal``."""
+        return sum(
+            rule.ms / 1000.0
+            for rule in self._matching(kind, ordinal)
+            if rule.op == "slow_link_ms"
+        )
+
+    def short_write(self, kind: str, ordinal: int) -> Optional[int]:
+        """Chunk size to fragment the send into (None = whole frame)."""
+        for rule in self._matching(kind, ordinal):
+            if rule.op == "short_write":
+                return 1
+        return None
+
+    def hang(self, kind: str, ordinal: int) -> bool:
+        """Whether the link goes half-open instead of sending ``ordinal``."""
+        return any(
+            rule.op == "conn_hang" for rule in self._matching(kind, ordinal)
+        )
+
+    def drop_after(self, kind: str, ordinal: int) -> bool:
+        """Whether to tear the socket down right after sending ``ordinal``
+        (the reply is lost in flight)."""
+        return any(
+            rule.op == "conn_drop" for rule in self._matching(kind, ordinal)
+        )
 
 
 @dataclass
@@ -222,6 +306,66 @@ class FaultPlan:
             next_ordinal[shard] = ordinal
         return cls(rules=rules, seed=seed)
 
+    @classmethod
+    def network_chaos(
+        cls,
+        *,
+        seed: int,
+        num_shards: int,
+        drops: int = 0,
+        hangs: int = 0,
+        slow: int = 0,
+        slow_ms: float = 20.0,
+        short_writes: int = 0,
+        kills: int = 0,
+        every: int = 3,
+    ) -> "FaultPlan":
+        """A seeded mixed network+node chaos schedule for the remote
+        backend: ``drops`` connection drops, ``hangs`` half-open links,
+        ``slow`` injected-latency requests, ``short_writes`` fragmented
+        sends, and ``kills`` node deaths, spread over random shards one
+        roughly every ``every`` queries per victim.
+
+        Like :meth:`kill_loop`, the schedule is a pure function of the
+        arguments.  Disruptive ops (drops, hangs, kills — anything whose
+        retry consumes the next ordinal) are spaced at least two ordinals
+        apart per shard so a retry is never disrupted by the same rule
+        family it is recovering from; benign ops (latency, short writes)
+        share ordinals freely.
+        """
+        if num_shards < 1 or every < 1 or min(
+            drops, hangs, slow, short_writes, kills
+        ) < 0:
+            raise ValueError(
+                "network_chaos needs num_shards>=1, every>=1, counts>=0"
+            )
+        rng = Random(seed)
+        rules: List[FaultRule] = []
+        next_ordinal = [1] * num_shards
+        disruptive = (
+            [("conn_drop", {})] * drops
+            + [("conn_hang", {})] * hangs
+            + [("kill_before", {})] * kills
+        )
+        rng.shuffle(disruptive)
+        for op, extra in disruptive:
+            shard = rng.randrange(num_shards)
+            step = rng.randrange(1, every + 1) + 1
+            ordinal = next_ordinal[shard] + step
+            rules.append(FaultRule(shard=shard, op=op, request=ordinal, **extra))
+            next_ordinal[shard] = ordinal
+        for op, extra, count in (
+            ("slow_link_ms", {"ms": slow_ms}, slow),
+            ("short_write", {}, short_writes),
+        ):
+            for _ in range(count):
+                shard = rng.randrange(num_shards)
+                ordinal = rng.randrange(1, max(2, next_ordinal[shard] + every))
+                rules.append(
+                    FaultRule(shard=shard, op=op, request=ordinal, **extra)
+                )
+        return cls(rules=rules, seed=seed)
+
     # -- slicing ---------------------------------------------------------
 
     def worker_faults(self, shard: int) -> Optional[WorkerFaults]:
@@ -232,6 +376,15 @@ class FaultPlan:
             if rule.shard == shard and rule.op in _WORKER_OPS
         ]
         return WorkerFaults(mine) if mine else None
+
+    def network_faults(self, shard: int) -> Optional["NetworkFaults"]:
+        """The client-side network rule table for ``shard`` (or None)."""
+        mine = [
+            rule
+            for rule in self.rules
+            if rule.shard == shard and rule.op in _NETWORK_OPS
+        ]
+        return NetworkFaults(mine) if mine else None
 
     def respawn_failures(self, shard: int) -> int:
         """How many consecutive supervisor respawns of ``shard`` should be
@@ -251,6 +404,18 @@ class FaultPlan:
             if rule.shard == shard
             and rule.on == "query"
             and rule.op in ("kill_before", "kill_after", "drop_pipe")
+        )
+
+    def disruption_ordinals(self, shard: int) -> Tuple[int, ...]:
+        """Query ordinals at which ``shard``'s in-flight query is lost
+        and must be retried: worker kills plus the network ops that lose
+        a request or its reply (dropped or half-open connections)."""
+        return self.kill_ordinals(shard) + tuple(
+            rule.request
+            for rule in self.rules
+            if rule.shard == shard
+            and rule.on == "query"
+            and rule.op in ("conn_drop", "conn_hang")
         )
 
 

@@ -25,13 +25,17 @@ API surface (all bodies JSON):
 
 Error mapping: malformed requests → 400, admission shed → 429, missed
 deadline → 504, shard worker down/unavailable (and the client did not
-opt into a partial answer) → 503.
+opt into a partial answer) → 503.  503 bodies carry the currently
+unhealthy ``degraded_shards`` plus a ``Retry-After`` header derived from
+the soonest breaker cooldown, so clients back off for exactly as long as
+the supervisor needs.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -93,17 +97,30 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("%s - %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self._send_body(status, body, "application/json")
+        self._send_body(status, body, "application/json", headers)
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
         self._send_body(status, text.encode("utf-8"), content_type)
 
-    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if status >= 400:
             # The request body may not have been (fully) drained on error
             # paths; closing keeps the keep-alive stream from
@@ -112,6 +129,36 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_unavailable(self, service: QueryService, exc: WorkerError) -> None:
+        """One shard-unavailability 503: the body names the shards that
+        are currently down or breaker-gated (``degraded_shards``) and the
+        ``Retry-After`` header tells the client how long the soonest open
+        breaker keeps rejecting — retrying sooner is guaranteed wasted."""
+        payload: Dict[str, Any] = {"error": str(exc)}
+        engine = service.engine
+        retry_after = 0.0
+        states_of = getattr(engine, "worker_states", None)
+        if states_of is not None:
+            try:
+                payload["degraded_shards"] = sorted(
+                    s.shard
+                    for s in states_of()
+                    if not s.alive or s.breaker != "closed"
+                )
+            except Exception:  # noqa: BLE001 — the 503 itself must go out
+                pass
+        retry_of = getattr(engine, "retry_after", None)
+        if retry_of is not None:
+            try:
+                retry_after = float(retry_of())
+            except Exception:  # noqa: BLE001 — the 503 itself must go out
+                retry_after = 0.0
+        # Retry-After is integral delta-seconds; a dead-but-unbroken shard
+        # (cooldown 0) still wants a beat for the supervisor's respawn.
+        seconds = max(1, math.ceil(retry_after)) if retry_after > 0 else 1
+        payload["retry_after"] = seconds
+        self._send_json(503, payload, headers={"Retry-After": str(seconds)})
 
     def _read_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length", 0))
@@ -206,7 +253,7 @@ class _Handler(BaseHTTPRequestHandler):
             # a dead shard is a (usually transient — the supervisor is
             # respawning it) availability failure: 503 so clients retry.
             logger.error("shard worker failure serving %s: %s", self.path, exc)
-            self._send_json(503, {"error": str(exc)})
+            self._send_unavailable(service, exc)
         except (ValueError, ReproError) as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - keep-alive clients need a
@@ -239,7 +286,7 @@ class _Handler(BaseHTTPRequestHandler):
             # monitoring pages someone.  Clients that can live with less
             # can opt into a 200 instead via {"allow_partial": true}.
             logger.error("shard worker failure serving %s: %s", self.path, exc)
-            self._send_json(503, {"error": str(exc)})
+            self._send_unavailable(service, exc)
         except (ValueError, TypeError, KeyError, ReproError) as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - keep-alive clients need a

@@ -360,6 +360,8 @@ class ServiceObservability:
         restarts = []
         breaker = []
         failures = []
+        node_up = []
+        node_reconnects = []
         for s in states:
             label = {"shard": str(s.shard)}
             up.append((label, 1.0 if s.alive else 0.0))
@@ -375,7 +377,14 @@ class ServiceObservability:
                 )
             )
             failures.append((label, float(s.consecutive_failures)))
-        return [
+            if s.node is not None:
+                # Remote backend: node-addressed views of the same state,
+                # so dashboards can join on the shard-map address (a
+                # "reconnect" is the remote spelling of a respawn).
+                node_label = {"shard": str(s.shard), "node": s.node}
+                node_up.append((node_label, 1.0 if s.alive else 0.0))
+                node_reconnects.append((node_label, float(s.restarts)))
+        families = [
             (
                 "repro_worker_up",
                 "gauge",
@@ -402,6 +411,24 @@ class ServiceObservability:
                 failures,
             ),
         ]
+        if node_up:
+            families.append(
+                (
+                    "repro_node_up",
+                    "gauge",
+                    "Remote worker-node connectivity (1 = connected).",
+                    node_up,
+                )
+            )
+            families.append(
+                (
+                    "repro_node_reconnects_total",
+                    "counter",
+                    "Completed reconnects to remote worker nodes.",
+                    node_reconnects,
+                )
+            )
+        return families
 
     def _collect_engine_caches(self):
         """Per-shard engine cache counters from one (non-blocking on the

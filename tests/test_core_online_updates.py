@@ -53,3 +53,50 @@ class TestOnlineUpdates:
         )
         with pytest.raises(ValueError):
             engine.add_trajectory(Trajectory([1, 2], timestamps=[0, 1]))
+
+    @pytest.mark.parametrize("index_backend", ["dict", "frozen"])
+    def test_publication_is_atomic_per_trajectory(
+        self, line_graph, index_backend, monkeypatch
+    ):
+        """A reader racing ``add_trajectory`` must never observe a
+        half-indexed trajectory: while the index is still iterating the
+        new trajectory's symbols, *none* of its postings may be visible
+        (they publish together in one ``dict.update``).
+
+        Deterministic spelling of the race: a spy on
+        ``dataset.symbols`` snapshots the index's view of the new
+        trajectory at every yield — exactly the points where the old
+        per-symbol publication had already leaked a prefix."""
+        ds = TrajectoryDataset(line_graph)
+        ds.add(Trajectory([0, 1, 2], timestamps=[0, 1, 2]))
+        engine = SubtrajectorySearch(
+            ds, LevenshteinCost(), index_backend=index_backend
+        )
+        index = engine.index
+        new_tid = len(ds)
+        new_path = [3, 4, 5]
+        seen_mid_insert = []
+        real_symbols = TrajectoryDataset.symbols
+
+        def spying_symbols(dataset, tid):
+            for sym in real_symbols(dataset, tid):
+                if tid == new_tid:
+                    seen_mid_insert.append(
+                        any(
+                            any(p[0] == new_tid for p in index.postings(s))
+                            for s in new_path
+                        )
+                    )
+                yield sym
+
+        monkeypatch.setattr(TrajectoryDataset, "symbols", spying_symbols)
+        tid = engine.add_trajectory(
+            Trajectory(new_path, timestamps=[0, 1, 2])
+        )
+        assert tid == new_tid
+        # The spy ran (one snapshot per symbol) and never saw a prefix.
+        assert len(seen_mid_insert) == len(new_path)
+        assert not any(seen_mid_insert)
+        # After the single publication step, every posting is visible.
+        for pos, sym in enumerate(new_path):
+            assert (tid, pos) in tuple(index.postings(sym))

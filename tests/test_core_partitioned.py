@@ -1,13 +1,37 @@
 """Partitioned engine: sharded search equals single-node search."""
 
+import threading
+
 import pytest
 
 from repro.core.engine import SubtrajectorySearch
 from repro.core.partitioned import PartitionedSubtrajectorySearch
+from repro.core.remote import WorkerNodeServer
 from repro.core.temporal import TimeInterval
 from repro.exceptions import QueryError
 from repro.trajectory.dataset import TrajectoryDataset
 from tests.conftest import sample_query
+
+
+@pytest.fixture(scope="module")
+def remote_nodes():
+    """Three in-thread worker nodes on ephemeral ports (remote backend)."""
+    servers, threads = [], []
+    for _ in range(3):
+        server = WorkerNodeServer("127.0.0.1", 0)
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-test-node", daemon=True
+        )
+        thread.start()
+        servers.append(server)
+        threads.append(thread)
+    yield [s.address for s in servers]
+    for server in servers:
+        server.close()
+    # Leaked acceptor threads would flip default_start_method() to
+    # "spawn" for every later test in the run.
+    for thread in threads:
+        thread.join(10)
 
 
 def keys(result):
@@ -154,11 +178,14 @@ class TestBackends:
             ("threads", {}),
             ("threads", {"max_workers": 2}),
             ("processes", {}),
+            ("remote", {}),
         ],
     )
     def test_every_backend_matches_single_node(
-        self, vertex_dataset, edr_cost, rng, backend, kwargs
+        self, request, vertex_dataset, edr_cost, rng, backend, kwargs
     ):
+        if backend == "remote":
+            kwargs = dict(kwargs, shard_map=request.getfixturevalue("remote_nodes"))
         single = SubtrajectorySearch(vertex_dataset, edr_cost)
         with PartitionedSubtrajectorySearch(
             vertex_dataset, edr_cost, num_shards=3, backend=backend, **kwargs
@@ -172,22 +199,32 @@ class TestBackends:
                 [m.distance for m in b.matches]
             )
 
-    def test_close_idempotent_on_every_backend(self, vertex_dataset, edr_cost):
-        for backend in ("serial", "threads", "processes"):
+    def test_close_idempotent_on_every_backend(
+        self, vertex_dataset, edr_cost, remote_nodes
+    ):
+        for backend in ("serial", "threads", "processes", "remote"):
             engine = PartitionedSubtrajectorySearch(
-                vertex_dataset, edr_cost, num_shards=2, backend=backend
+                vertex_dataset,
+                edr_cost,
+                num_shards=2,
+                backend=backend,
+                shard_map=remote_nodes if backend == "remote" else None,
             )
             engine.close()
             engine.close()
 
     def test_closed_engine_fails_loudly_on_every_backend(
-        self, vertex_dataset, edr_cost, rng
+        self, vertex_dataset, edr_cost, rng, remote_nodes
     ):
         # No backend may silently degrade (e.g. threads falling back to a
         # serial scan) after close: use-after-close is a caller bug.
-        for backend in ("serial", "threads", "processes"):
+        for backend in ("serial", "threads", "processes", "remote"):
             engine = PartitionedSubtrajectorySearch(
-                vertex_dataset, edr_cost, num_shards=2, backend=backend
+                vertex_dataset,
+                edr_cost,
+                num_shards=2,
+                backend=backend,
+                shard_map=remote_nodes if backend == "remote" else None,
             )
             engine.close()
             with pytest.raises(QueryError):

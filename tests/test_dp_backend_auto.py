@@ -309,8 +309,15 @@ class TestKnobRoundTrip:
             assert "error" in health["substitution_cache"]
 
     def test_healthz_exposes_backend_and_cache(
-        self, vertex_dataset, netedr_cost, rng, trips
+        self, small_graph, netedr_cost, rng, trips
     ):
+        from repro.trajectory.dataset import TrajectoryDataset
+
+        # A private dataset: the single-node engine mutates its dataset
+        # in place on add_trajectory, and the session-scoped fixture
+        # must stay at its seeded length for every later test.
+        vertex_dataset = TrajectoryDataset(small_graph, "vertex")
+        vertex_dataset.extend(trips)
         engine = SubtrajectorySearch(vertex_dataset, netedr_cost)
         service = QueryService(engine)
         with ServiceServer(service) as server:

@@ -602,6 +602,34 @@ class TestHTTPDegradation:
             assert "repro_shard_breaker_state" in metrics
             assert "repro_degraded_queries_total" in metrics
 
+    def test_503_body_names_degraded_shards_and_retry_after(
+        self, degraded_service, vertex_dataset, rng
+    ):
+        import urllib.error
+        import urllib.request
+
+        from repro.service import ServiceServer
+
+        query = sample_query(vertex_dataset, rng, 6)
+        with ServiceServer(degraded_service, port=0).start() as server:
+            req = urllib.request.Request(
+                server.url + "/query",
+                data=json.dumps({"path": query, "tau_ratio": 0.25}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(req, timeout=30)
+            err = excinfo.value
+            assert err.code == 503
+            # The body tells the client *which* shards are down and when
+            # to come back; the header says the same thing in HTTP.
+            body = json.loads(err.read())
+            assert body["degraded_shards"] == [1]
+            assert body["retry_after"] >= 1
+            retry_header = err.headers.get("Retry-After")
+            assert retry_header is not None
+            assert int(retry_header) == body["retry_after"]
+
     def test_healthy_server_payload_says_complete(
         self, vertex_dataset, edr_cost, rng
     ):
