@@ -28,7 +28,7 @@ from repro.core.engine import QueryResult, SubtrajectorySearch
 from repro.core.partitioned import PartitionedSubtrajectorySearch
 from repro.core.results import Match
 from repro.core.temporal import TimeInterval
-from repro.core.topk import topk_search
+from repro.core.topk import TopKResult, topk_search
 from repro.distance.costs import (
     CostModel,
     EDRCost,
@@ -66,6 +66,7 @@ __all__ = [
     "ServiceServer",
     "SubtrajectorySearch",
     "TimeInterval",
+    "TopKResult",
     "Trajectory",
     "TrajectoryDataset",
     "TripGenerator",

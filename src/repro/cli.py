@@ -198,6 +198,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if args.time_from is None or args.time_to is None:
             raise SystemExit("--time-from and --time-to must be given together")
         interval = TimeInterval(args.time_from, args.time_to)
+    if args.top_k is not None:
+        if args.top_k <= 0:
+            raise SystemExit("--top-k must be positive")
+        if args.tau is not None:
+            raise SystemExit("--top-k and --tau are mutually exclusive")
+        if interval is not None:
+            raise SystemExit("--top-k does not support temporal constraints")
+        result = engine.topk(query, args.top_k)
+        out = {
+            "k": result.k,
+            "ties_at_k": result.ties_at_k,
+            "tau_rounds": result.tau_rounds,
+            "tau_final": result.tau_final,
+            "swept": result.swept,
+            "candidates": result.num_candidates,
+            "seconds": result.total_seconds,
+            "results": [
+                {
+                    "rank": rank,
+                    "trajectory": m.trajectory_id,
+                    "start": m.start,
+                    "end": m.end,
+                    "distance": m.distance,
+                }
+                for rank, m in enumerate(result.matches[: args.limit], start=1)
+            ],
+            "total_results": len(result.matches),
+        }
+        print(json.dumps(out, indent=2))
+        return 0
     result = engine.query(
         query,
         tau=args.tau,
@@ -397,7 +427,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = ServiceServer(service, host=args.host, port=port)
         if args.self_test:
             return _serve_self_test(
-                server, service, dataset, queries=args.self_test_queries
+                server, service, dataset, costs, queries=args.self_test_queries
             )
         print(
             f"serving {len(dataset)} trajectories on {server.url} "
@@ -419,12 +449,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.close(close_engine=True)
 
 
-def _serve_self_test(server, service, dataset, *, queries: int = 1) -> int:
+def _serve_self_test(server, service, dataset, costs, *, queries: int = 1) -> int:
     """Start the server, answer ``queries`` HTTP queries, verify each
     against the engine, and exit (the CI smoke path — with a fault plan
     and several queries this is the chaos drill: every query must come
-    back 200 and match the engine even while nodes die mid-traffic)."""
+    back 200 and match the engine even while nodes die mid-traffic).
+
+    After the range loop, one top-k query is posted and checked
+    bit-for-bit against a fresh single-engine oracle (independent of the
+    serving backend), plus a shallower repeat that must come back from
+    the cache — the serving tier's "k' <= k reuse" rule exercised over
+    real HTTP.  Running top-k *after* the range loop keeps fault-plan
+    request ordinals for the chaos drills unchanged."""
     import urllib.request
+
+    def post_query(payload: dict) -> dict:
+        request = urllib.request.Request(
+            server.url + "/query",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return json.loads(response.read().decode("utf-8"))
 
     server.start()
     try:
@@ -433,14 +479,7 @@ def _serve_self_test(server, service, dataset, *, queries: int = 1) -> int:
         last = {}
         for i in range(max(1, queries)):
             path = list(dataset.symbols(i % len(dataset)))[:6]
-            body = json.dumps({"path": path, "tau_ratio": 0.3}).encode("utf-8")
-            request = urllib.request.Request(
-                server.url + "/query",
-                data=body,
-                headers={"Content-Type": "application/json"},
-            )
-            with urllib.request.urlopen(request, timeout=60) as response:
-                answer = json.loads(response.read().decode("utf-8"))
+            answer = post_query({"path": path, "tau_ratio": 0.3})
             direct = service.engine.query(path, tau_ratio=0.3)
             if answer["total_matches"] != len(direct.matches):
                 print(
@@ -452,12 +491,50 @@ def _serve_self_test(server, service, dataset, *, queries: int = 1) -> int:
             answered += 1
             seconds += float(answer["seconds"])
             last = answer
+        # Top-k cell: exactness against a single-engine oracle built
+        # from the same dataset/costs, then cached truncation reuse.
+        from repro.core.topk import topk_search
+
+        path = list(dataset.symbols(0))[:6]
+        k = min(5, len(dataset))
+        answer = post_query({"path": path, "k": k})
+        oracle = topk_search(SubtrajectorySearch(dataset, costs), path, k)
+        got = [
+            (r["trajectory"], r["start"], r["end"], r["distance"])
+            for r in answer["results"]
+        ]
+        want = [
+            (m.trajectory_id, m.start, m.end, m.distance) for m in oracle
+        ]
+        if got != want:
+            print(
+                f"self-test FAILED on top-{k}: HTTP ranking {got} != "
+                f"oracle {want}"
+            )
+            return 1
+        smaller = max(1, k - 2)
+        repeat = post_query({"path": path, "k": smaller})
+        if service.cache.capacity > 0 and not repeat["cached"]:
+            print(
+                f"self-test FAILED: top-{smaller} repeat was not served "
+                f"from the cached top-{k} answer"
+            )
+            return 1
+        if [r["distance"] for r in repeat["results"]] != [
+            r["distance"] for r in answer["results"][:smaller]
+        ]:
+            print("self-test FAILED: cached truncation changed the ranking")
+            return 1
+        answered += 2
         summary = {
             "self_test": "ok",
             "url": server.url,
             "backend": getattr(service.engine, "backend", "single"),
             "queries": answered,
             "total_matches": last.get("total_matches"),
+            "topk_results": len(answer["results"]),
+            "topk_tau_rounds": answer["tau_rounds"],
+            "topk_cached_repeat": repeat["cached"],
             "seconds": seconds,
         }
         restarts_of = getattr(service.engine, "restarts_total", None)
@@ -570,6 +647,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--query", required=True, help="symbols, e.g. '3,4,5'")
     p.add_argument("--tau", type=float, default=None)
     p.add_argument("--tau-ratio", type=float, default=0.1)
+    p.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="top-k mode: return the K best matches (one per trajectory) "
+        "ranked by distance instead of a threshold range query; mutually "
+        "exclusive with --tau and --time-from/--time-to",
+    )
     p.add_argument("--time-from", type=float, default=None)
     p.add_argument("--time-to", type=float, default=None)
     p.add_argument("--limit", type=int, default=20, help="max matches printed")

@@ -5,7 +5,12 @@ Public entry point: :class:`~repro.core.engine.SubtrajectorySearch`.
 """
 
 from repro.core.cancellation import CancelToken
-from repro.core.engine import QueryResult, SubtrajectorySearch
+from repro.core.engine import (
+    QueryResult,
+    SubtrajectorySearch,
+    query_signature,
+    topk_signature,
+)
 from repro.core.eta_tuning import tune_eta
 from repro.core.filtering import QueryElement, query_profile, tau_from_ratio
 from repro.core.frozen import (
@@ -26,7 +31,7 @@ from repro.core.mincand import (
 from repro.core.partitioned import PartitionedSubtrajectorySearch
 from repro.core.results import Match, MatchSet
 from repro.core.temporal import TimeInterval
-from repro.core.topk import topk_search
+from repro.core.topk import TopKResult, topk_search
 from repro.core.workers import ShardWorkerPool
 
 __all__ = [
@@ -43,15 +48,18 @@ __all__ = [
     "ShardWorkerPool",
     "SubtrajectorySearch",
     "TimeInterval",
+    "TopKResult",
     "inspect_index",
     "mincand_all",
     "mincand_exact",
     "mincand_greedy",
     "mincand_prefix",
     "query_profile",
+    "query_signature",
     "round_robin_shards",
     "shard_index_path",
     "tau_from_ratio",
     "topk_search",
+    "topk_signature",
     "tune_eta",
 ]

@@ -58,6 +58,7 @@ __all__ = [
     "SubtrajectorySearch",
     "cost_model_id",
     "query_signature",
+    "topk_signature",
 ]
 
 logger = logging.getLogger(__name__)
@@ -206,6 +207,20 @@ def query_signature(
         threshold,
         constraint,
     )
+
+
+def topk_signature(query: Sequence[int], costs) -> tuple:
+    """A hashable key identifying one top-k query's *ranking*.
+
+    Deliberately excludes ``k`` and the tau-expansion parameters
+    (``initial_tau_ratio`` / ``growth``): the full per-trajectory ranking
+    depends only on the query path and the cost model, so a cached top-k'
+    answer at ``k' >= k`` serves ``k`` by truncation — the serving
+    layer's reuse rule keys on this signature and compares ``k`` inside
+    the cache entry.  The same :func:`cost_model_id` scoping caveat as
+    :func:`query_signature` applies.
+    """
+    return ("topk1", tuple(int(s) for s in query), cost_model_id(costs))
 
 
 class SubtrajectorySearch:
@@ -712,6 +727,31 @@ class SubtrajectorySearch:
             dp_array_allocations=allocations,
             trie_cache_status=trie_status,
             dp_rounds=dp_rounds,
+        )
+
+    def topk(
+        self,
+        query: Sequence[int],
+        k: int,
+        *,
+        initial_tau_ratio: float = 0.05,
+        growth: float = 2.0,
+        cancel=None,
+        trace=None,
+    ):
+        """The ``k`` most similar subtrajectories, one per trajectory —
+        :func:`repro.core.topk.topk_search` run against this engine (see
+        there for the threshold-doubling scheme and the result type)."""
+        from repro.core.topk import topk_search  # circular at import time
+
+        return topk_search(
+            self,
+            query,
+            k,
+            initial_tau_ratio=initial_tau_ratio,
+            growth=growth,
+            cancel=cancel,
+            trace=trace,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -69,6 +69,32 @@ _BACKENDS = ("serial", "threads", "processes", "remote")
 _OUT_OF_PROCESS = ("processes", "remote")
 
 
+class _GlobalDatasetView:
+    """Read-only view of the partitioned corpus in *global* id order.
+
+    The parent keeps a per-shard dataset mirror on every backend (shard
+    engines alias it in-process; worker inserts are mirrored after the
+    authoritative replica acks), and round-robin assignment makes the
+    global↔local mapping arithmetic: global id ``g`` is local id
+    ``g // num_shards`` on shard ``g % num_shards``.  That is all a
+    whole-corpus consumer — e.g. the top-k exhaustion sweep — needs, so
+    this view exposes the single-node dataset surface it reads
+    (``len()`` + ``symbols``) without materializing a merged copy.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "PartitionedSubtrajectorySearch") -> None:
+        self._owner = owner
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+    def symbols(self, tid: int):
+        n = self._owner.num_shards
+        return self._owner._shards[tid % n].symbols(tid // n)
+
+
 class PartitionedSubtrajectorySearch:
     """Exact search over trajectory shards.
 
@@ -311,6 +337,13 @@ class PartitionedSubtrajectorySearch:
     def costs(self):
         """The cost model shared by every shard engine."""
         return self._costs
+
+    @property
+    def dataset(self):
+        """The whole corpus as a read-only global-id-ordered view (the
+        surface :func:`repro.core.topk.topk_search` scans; backed by the
+        per-shard mirrors, so it is current on every backend)."""
+        return _GlobalDatasetView(self)
 
     @property
     def dp_backend(self) -> str:
@@ -849,3 +882,35 @@ class PartitionedSubtrajectorySearch:
             trace.set("matches", len(merged.matches))
             trace.set("candidates", merged.num_candidates)
         return merged
+
+    def topk(
+        self,
+        query: Sequence[int],
+        k: int,
+        *,
+        initial_tau_ratio: float = 0.05,
+        growth: float = 2.0,
+        cancel=None,
+        allow_partial: bool = False,
+        trace=None,
+    ):
+        """The ``k`` most similar subtrajectories across all shards —
+        :func:`repro.core.topk.topk_search` run with this engine as the
+        probe target.  The tau-doubling loop sits *above* the shard
+        fan-out: every probe round is one ordinary :meth:`query` (worker
+        pipes / remote RPC, supervision, retry-once, journal replay all
+        unchanged), and ``allow_partial`` degrades probe rounds exactly
+        like range queries (the result is then ``complete=False``)."""
+        from repro.core.topk import topk_search  # circular at import time
+
+        self._check_open()
+        return topk_search(
+            self,
+            query,
+            k,
+            initial_tau_ratio=initial_tau_ratio,
+            growth=growth,
+            cancel=cancel,
+            allow_partial=allow_partial,
+            trace=trace,
+        )

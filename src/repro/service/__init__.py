@@ -28,7 +28,7 @@ answers are element-for-element identical to a direct
 from repro.service.batching import Batcher
 from repro.service.cache import ResultCache
 from repro.service.executor import Executor
-from repro.service.http import ServiceServer, response_payload
+from repro.service.http import ServiceServer, response_payload, topk_payload
 from repro.service.metrics import Metrics, percentile
 from repro.service.observability import ServiceObservability
 from repro.service.service import QueryService, ServiceResponse
@@ -44,4 +44,5 @@ __all__ = [
     "ServiceServer",
     "percentile",
     "response_payload",
+    "topk_payload",
 ]

@@ -94,6 +94,49 @@ class ResultCache:
             while len(self._data) > self._capacity:
                 self._data.popitem(last=False)
 
+    # -- top-k reuse --------------------------------------------------------
+    #
+    # Top-k entries are keyed on repro.core.engine.topk_signature — which
+    # deliberately excludes k — and hold a TopKResult.  The reuse rule: a
+    # cached answer computed at k' covers a request for k when k <= k', or
+    # when the stored answer already ranks the entire dataset (no deeper
+    # answer exists); serving is then a truncation (TopKResult.at_k), so a
+    # k'-deep computation pays for every shallower repeat.
+
+    def get_topk(self, key: Hashable, k: int):
+        """The cached top-k answer re-cut to ``k`` — or ``None`` when no
+        entry exists or the stored one is too shallow to cover ``k``
+        (counted as a miss either way: the caller must compute)."""
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None or not entry.covers(k):
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return entry.at_k(k)
+
+    def put_topk(
+        self, key: Hashable, value: Any, *, generation: Optional[int] = None
+    ) -> None:
+        """Insert one top-k answer unless an existing entry already covers
+        it — a deeper (or full-ranking) answer must never be replaced by a
+        shallower one computed concurrently.  Same generation guard as
+        :meth:`put`."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if generation is not None and generation != self._generation:
+                return
+            existing = self._data.get(key)
+            if existing is not None and existing.covers(value.k):
+                self._data.move_to_end(key)
+                return
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+
     # -- invalidation hooks -------------------------------------------------
 
     def invalidate(self, key: Hashable) -> bool:

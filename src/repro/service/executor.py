@@ -240,6 +240,82 @@ class Executor:
             with self._lock:
                 self._pending -= 1
 
+    def topk(
+        self,
+        query: Sequence[int],
+        k: int,
+        *,
+        initial_tau_ratio: float = 0.05,
+        growth: float = 2.0,
+        deadline: Optional[float] = None,
+        trace=None,
+        allow_partial: bool = False,
+    ):
+        """Execute one top-k query on the pool; same admission control and
+        deadline semantics as :meth:`query`.
+
+        The whole tau-doubling loop runs as one pool task — the loop owns
+        its probe fan-out (each round is one ``engine.query``, which the
+        threads/processes/remote backends parallelize internally, and the
+        serial backend runs inline: a probe is already a full-corpus pass,
+        so there is nothing for this pool to split).  The deadline token
+        is threaded through every probe round *and* the exhaustion sweep,
+        so an expired budget stops within one verification iteration or
+        one swept trajectory.
+        """
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if trace is None:
+            self._admit()
+        else:
+            span = trace.child("admission", pending=self.pending)
+            try:
+                self._admit()
+            except BaseException as exc:
+                span.set("error", type(exc).__name__)
+                raise
+            finally:
+                span.finish()
+        try:
+            budget = deadline if deadline is not None else self._default_deadline
+            token = CancelToken(budget)
+            exec_span = (
+                None if trace is None else trace.child("execute", mode="topk")
+            )
+            try:
+                from repro.core.topk import topk_search
+
+                future = self._pool.submit(
+                    topk_search,
+                    self._engine,
+                    query,
+                    k,
+                    initial_tau_ratio=initial_tau_ratio,
+                    growth=growth,
+                    cancel=token,
+                    allow_partial=allow_partial,
+                    trace=exec_span,
+                )
+                result = self._gather([future], token)[0]
+                if exec_span is not None:
+                    exec_span.set("matches", len(result.matches))
+                    exec_span.set("tau_rounds", result.tau_rounds)
+                return result
+            except RuntimeError as exc:
+                if "shutdown" in str(exc):
+                    raise AdmissionError("service is shutting down") from None
+                raise
+            except BaseException as exc:
+                if exec_span is not None:
+                    exec_span.set("error", type(exc).__name__)
+                raise
+            finally:
+                if exec_span is not None:
+                    exec_span.finish()
+        finally:
+            with self._lock:
+                self._pending -= 1
+
     # -- internals ----------------------------------------------------------
 
     def _admit(self) -> None:

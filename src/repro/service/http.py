@@ -19,6 +19,14 @@ API surface (all bodies JSON):
   plus serving provenance (``cached`` / ``coalesced`` / timing).  With
   ``"allow_partial": true`` and shards down, the answer is still a 200
   but flagged ``"partial": true`` with the missing ``degraded_shards``;
+- ``POST /query`` with ``{"path": [...], "k": n}`` instead of a
+  threshold — top-k mode: the n best matches (one per trajectory),
+  ranked; optional ``"initial_tau_ratio"`` / ``"growth"`` tune the
+  threshold expansion.  The response carries ``results`` (with explicit
+  ``rank``), ``ties_at_k``, and the expansion provenance (``tau_rounds``
+  / ``tau_final`` / ``swept``); ``deadline`` / ``limit`` /
+  ``allow_partial`` work as in range mode.  ``k`` is mutually exclusive
+  with ``tau`` / ``tau_ratio`` and with temporal constraints;
 - ``POST /trajectories`` — ``{"path": [symbols...], "timestamps":
   [...]?}`` → online insert; invalidates the result cache.  Paths are
   validated as graph walks by default (``"validate": false`` opts out).
@@ -52,7 +60,7 @@ from repro.exceptions import (
 from repro.service.service import QueryService, ServiceResponse
 from repro.trajectory.model import Trajectory
 
-__all__ = ["ServiceServer", "response_payload"]
+__all__ = ["ServiceServer", "response_payload", "topk_payload"]
 
 logger = logging.getLogger(__name__)
 
@@ -75,6 +83,46 @@ def response_payload(response: ServiceResponse, *, limit: Optional[int] = None) 
             for m in matches
         ],
         "total_matches": len(result.matches),
+        "candidates": result.num_candidates,
+        "cached": response.cached,
+        "coalesced": response.coalesced,
+        "seconds": response.seconds,
+        "engine_seconds": result.total_seconds,
+        "partial": not result.complete,
+    }
+    if not result.complete:
+        payload["degraded_shards"] = list(result.degraded_shards)
+    return payload
+
+
+def topk_payload(
+    response: ServiceResponse, *, limit: Optional[int] = None
+) -> Dict[str, Any]:
+    """The JSON shape of one answered top-k query (shared with the CLI).
+
+    ``results`` carries an explicit 1-based ``rank`` — the ranking *is*
+    the answer here, unlike range mode's order-irrelevant match set —
+    and ``ties_at_k`` says how many equal-distance entries the k-th cut
+    dropped (0 = the ranking boundary is strict)."""
+    result = response.result
+    matches = result.matches if limit is None else result.matches[:limit]
+    payload = {
+        "k": result.k,
+        "results": [
+            {
+                "rank": rank,
+                "trajectory": m.trajectory_id,
+                "start": m.start,
+                "end": m.end,
+                "distance": m.distance,
+            }
+            for rank, m in enumerate(matches, start=1)
+        ],
+        "total_results": len(result.matches),
+        "ties_at_k": result.ties_at_k,
+        "tau_rounds": result.tau_rounds,
+        "tau_final": result.tau_final,
+        "swept": result.swept,
         "candidates": result.num_candidates,
         "cached": response.cached,
         "coalesced": response.coalesced,
@@ -329,6 +377,37 @@ class _Handler(BaseHTTPRequestHandler):
         allow_partial = body.get("allow_partial", False)
         if not isinstance(allow_partial, bool):
             raise ValueError("'allow_partial' must be a boolean")
+        k = body.get("k")
+        if k is not None:
+            # Top-k mode: the request names a depth instead of a radius.
+            if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
+                raise ValueError("'k' must be a positive integer")
+            if tau is not None or tau_ratio is not None:
+                raise ValueError(
+                    "'k' is mutually exclusive with 'tau'/'tau_ratio' — "
+                    "a request is either top-k or range"
+                )
+            if interval is not None:
+                raise ValueError(
+                    "top-k does not support temporal constraints"
+                )
+            kwargs: Dict[str, Any] = {}
+            for knob in ("initial_tau_ratio", "growth"):
+                if body.get(knob) is not None:
+                    kwargs[knob] = float(body[knob])
+            response = service.topk(
+                [int(s) for s in path],
+                k,
+                deadline=(
+                    None
+                    if body.get("deadline") is None
+                    else float(body["deadline"])
+                ),
+                allow_partial=allow_partial,
+                **kwargs,
+            )
+            self._send_json(200, topk_payload(response, limit=limit))
+            return
         response = service.query(
             [int(s) for s in path],
             tau=None if tau is None else float(tau),

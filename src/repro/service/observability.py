@@ -48,6 +48,7 @@ _CANDIDATE_BUCKETS = (1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000)
 _DP_COLUMN_BUCKETS = (
     10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000, 300000,
 )
+_K_BUCKETS = (1, 3, 10, 30, 100, 300, 1000)
 
 
 class ServiceObservability:
@@ -135,6 +136,34 @@ class ServiceObservability:
             "repro_degraded_queries_total",
             "Queries answered partially (allow_partial with shards down).",
         )
+        self._topk_queries = reg.counter(
+            "repro_topk_queries_total",
+            "Completed top-k queries by serving outcome.",
+            labelnames=("outcome",),
+        )
+        self._topk_reuse = reg.counter(
+            "repro_topk_cache_reuse_total",
+            "Top-k requests answered by truncating a cached answer "
+            "computed at k' >= k.",
+        )
+        self._topk_rounds = reg.counter(
+            "repro_topk_tau_rounds_total",
+            "Threshold probe rounds run by engine-computed top-k queries.",
+        )
+        self._topk_sweeps = reg.counter(
+            "repro_topk_exhaustion_sweeps_total",
+            "Top-k queries whose threshold expansion exhausted and fell "
+            "through to the Smith-Waterman sweep.",
+        )
+        self._topk_ties = reg.counter(
+            "repro_topk_ties_at_k_total",
+            "Ties cut at the k-th distance across answered top-k queries.",
+        )
+        self._topk_k = reg.histogram(
+            "repro_topk_k",
+            "Requested k per top-k query.",
+            buckets=_K_BUCKETS,
+        )
         reg.register_collector(self._collect_recorder)
         self._service = None
 
@@ -182,6 +211,42 @@ class ServiceObservability:
         self._stage_seconds.inc(result.lookup_seconds, stage="lookup")
         self._stage_seconds.inc(result.verify_seconds, stage="verify")
         self._dp_rounds.inc(result.dp_rounds)
+
+    def observe_topk(
+        self,
+        seconds: float,
+        *,
+        k: int,
+        cached: bool = False,
+        coalesced: bool = False,
+        result=None,
+    ) -> None:
+        """Record one successful top-k response (``result`` is a
+        :class:`~repro.core.topk.TopKResult` or ``None``).
+
+        Top-k traffic gets its own query counter but shares the latency
+        histogram's outcome labels with range queries — one latency SLO
+        covers both modalities."""
+        outcome = "cached" if cached else ("coalesced" if coalesced else "computed")
+        self._topk_queries.inc(outcome=outcome)
+        self._latency.observe(seconds, outcome=outcome)
+        self._topk_k.observe(k)
+        if result is None:
+            return
+        if not result.complete:
+            self._degraded.inc()
+        self._topk_ties.inc(result.ties_at_k)
+        if cached:
+            self._topk_reuse.inc()
+        if cached or coalesced:
+            return
+        self._topk_rounds.inc(result.tau_rounds)
+        if result.swept:
+            self._topk_sweeps.inc()
+        self._candidates.observe(result.num_candidates)
+        self._stage_seconds.inc(result.mincand_seconds, stage="mincand")
+        self._stage_seconds.inc(result.lookup_seconds, stage="lookup")
+        self._stage_seconds.inc(result.verify_seconds, stage="verify")
 
     def observe_error(self, exc: BaseException) -> None:
         """Record one failed request, labelled by exception type."""
@@ -242,6 +307,79 @@ class ServiceObservability:
                 matches=0 if result is None else len(result.matches),
                 candidates=0 if result is None else result.num_candidates,
                 dp_backend="" if result is None else result.dp_backend_used,
+            )
+            slow_query_logger.warning(json.dumps(payload, sort_keys=True))
+        self.recorder.record(record)
+
+    def finish_topk_trace(
+        self,
+        trace: Optional[Trace],
+        *,
+        seconds: float,
+        result=None,
+        cached: bool = False,
+        coalesced: bool = False,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """:meth:`finish_trace` for top-k requests: same slow-query and
+        flight-recorder handling, but the synthesized stage breakdown
+        speaks :class:`~repro.core.topk.TopKResult` (summed probe-round
+        stage clocks, tau rounds, sweep size) instead of the range
+        result's DP provenance."""
+        slow = (
+            self.slow_query_seconds is not None
+            and seconds >= self.slow_query_seconds
+        )
+        record: Optional[Dict[str, Any]] = None
+        if trace is not None:
+            root = trace.root
+            root.set("seconds", round(seconds, 6))
+            if cached:
+                root.set("outcome", "cached")
+            elif coalesced:
+                root.set("outcome", "coalesced")
+            if error is not None:
+                root.set("error", type(error).__name__)
+            trace.finish()
+            record = trace.to_dict()
+        elif slow:
+            stages: List[Tuple[str, float, Dict[str, Any]]] = []
+            attrs: Dict[str, Any] = {"mode": "topk"}
+            if cached:
+                attrs["outcome"] = "cached"
+            elif coalesced:
+                attrs["outcome"] = "coalesced"
+            if error is not None:
+                attrs["error"] = type(error).__name__
+            if result is not None and not (cached or coalesced):
+                stages = [
+                    ("mincand", result.mincand_seconds, {}),
+                    ("lookup", result.lookup_seconds,
+                     {"candidates": result.num_candidates}),
+                    ("verify", result.verify_seconds,
+                     {"tau_rounds": result.tau_rounds,
+                      "swept": result.swept}),
+                ]
+                attrs["k"] = result.k
+                attrs["matches"] = len(result.matches)
+            record = synthesize_trace(
+                "topk", seconds=seconds, stages=stages, **attrs
+            )
+        if record is None:
+            return
+        if slow:
+            record["slow"] = True
+            self._slow.inc()
+            payload = slow_query_record(
+                record,
+                seconds=seconds,
+                threshold=self.slow_query_seconds,
+                cached=cached,
+                coalesced=coalesced,
+                error="" if error is None else type(error).__name__,
+                matches=0 if result is None else len(result.matches),
+                candidates=0 if result is None else result.num_candidates,
+                dp_backend="topk",
             )
             slow_query_logger.warning(json.dumps(payload, sort_keys=True))
         self.recorder.record(record)

@@ -26,9 +26,9 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.engine import QueryResult, query_signature
+from repro.core.engine import QueryResult, query_signature, topk_signature
 from repro.core.temporal import TemporalMode, TimeInterval
-from repro.exceptions import AdmissionError, DeadlineExceededError
+from repro.exceptions import AdmissionError, DeadlineExceededError, QueryError
 from repro.service.batching import Batcher
 from repro.service.cache import ResultCache
 from repro.service.executor import Executor
@@ -47,7 +47,11 @@ def _deadline_is_retryable(exc: BaseException) -> bool:
 
 @dataclass(frozen=True, slots=True)
 class ServiceResponse:
-    """One answered request: the engine result plus serving provenance."""
+    """One answered request: the engine result plus serving provenance.
+
+    ``result`` is a :class:`~repro.core.engine.QueryResult` for range
+    requests and a :class:`~repro.core.topk.TopKResult` for top-k
+    requests (:meth:`QueryService.topk`)."""
 
     result: QueryResult
     signature: tuple
@@ -293,11 +297,147 @@ class QueryService:
         )
         return ServiceResponse(result, sig, False, coalesced, seconds)
 
+    def topk_signature(self, query: Sequence[int]) -> tuple:
+        """The cache/coalescing key this service uses for a top-k
+        request.  Deliberately k-independent (see
+        :func:`repro.core.engine.topk_signature`): the cached answer's
+        own ``k`` decides coverage."""
+        return topk_signature(query, self._costs)
+
+    def topk(
+        self,
+        query: Sequence[int],
+        k: int,
+        *,
+        initial_tau_ratio: float = 0.05,
+        growth: float = 2.0,
+        deadline: Optional[float] = None,
+        allow_partial: bool = False,
+    ) -> ServiceResponse:
+        """Answer one top-k request through cache, coalescing, executor.
+
+        The cache applies the truncation reuse rule: an earlier answer
+        computed at ``k' >= k`` (same query, same cost model — the
+        k-independent :meth:`topk_signature`) serves this request without
+        touching the engine, re-cut to ``k`` with its tie count
+        recomputed.  Generation guards match range queries, so an online
+        insert invalidates top-k answers identically.  Partial answers
+        (``allow_partial`` with shards down) are never cached and never
+        shared with followers that did not opt in — the flight key
+        includes the flag.  Raises the same admission/deadline errors as
+        :meth:`query`.
+        """
+        if k <= 0:
+            raise QueryError("k must be positive")
+        sig = self.topk_signature(query)
+        obs = self.observability
+        trace = obs.start_trace(query_length=len(query), mode="topk", k=int(k))
+        root = None if trace is None else trace.root
+        if root is not None and deadline is not None:
+            root.set("deadline_seconds", float(deadline))
+        t0 = time.perf_counter()
+        # Same capture-before-lookup discipline as query(): the generation
+        # keys the flight too, so post-insert requests never share a
+        # pre-insert computation.
+        generation = self.cache.generation
+        lookup_span = None if root is None else root.child("cache_lookup")
+        hit = self.cache.get_topk(sig, k)
+        if lookup_span is not None:
+            lookup_span.set("hit", hit is not None)
+            lookup_span.finish()
+        if hit is not None:
+            seconds = time.perf_counter() - t0
+            self.metrics.observe(seconds, cached=True, result=hit)
+            obs.observe_topk(seconds, k=k, cached=True, result=hit)
+            if root is not None:
+                root.set("tau_rounds", hit.tau_rounds)
+                root.set("ties_at_k", hit.ties_at_k)
+            obs.finish_topk_trace(trace, seconds=seconds, result=hit, cached=True)
+            return ServiceResponse(hit, sig, True, False, seconds)
+
+        def compute():
+            result = self.executor.topk(
+                query,
+                k,
+                initial_tau_ratio=initial_tau_ratio,
+                growth=growth,
+                deadline=deadline,
+                trace=root,
+                allow_partial=allow_partial,
+            )
+            # Cache only complete answers (a degraded ranking could be
+            # missing a shard's better match); put_topk additionally
+            # refuses to replace a deeper cached answer with this one.
+            if result.complete:
+                self.cache.put_topk(sig, result, generation=generation)
+            return result
+
+        budget = (
+            deadline if deadline is not None else self.executor.default_deadline
+        )
+        result, coalesced = None, False
+        try:
+            if self.batcher is not None:
+                # Same flight-key discipline as query(), plus k: two
+                # concurrent requests coalesce only when the leader's
+                # answer is exactly the follower's (depth included —
+                # truncation reuse happens in the cache, not mid-flight).
+                flight_span = None if root is None else root.child("coalesce")
+                try:
+                    result, coalesced = self.batcher.run(
+                        (sig, k, deadline, generation, allow_partial),
+                        compute,
+                        wait_timeout=budget,
+                        follower_retry=_deadline_is_retryable,
+                    )
+                finally:
+                    if flight_span is not None:
+                        flight_span.set("coalesced", coalesced)
+                        flight_span.finish()
+            else:
+                result, coalesced = compute(), False
+        except AdmissionError as exc:
+            self.metrics.observe_error("rejected", exc=exc)
+            self._trace_topk_error(trace, t0, exc)
+            raise
+        except DeadlineExceededError as exc:
+            self.metrics.observe_error("deadline", exc=exc)
+            self._trace_topk_error(trace, t0, exc)
+            raise
+        except TimeoutError as exc:
+            converted = DeadlineExceededError(str(exc))
+            self.metrics.observe_error("deadline", exc=converted)
+            self._trace_topk_error(trace, t0, converted)
+            raise converted from None
+        except Exception as exc:
+            self.metrics.observe_error(exc=exc)
+            self._trace_topk_error(trace, t0, exc)
+            raise
+        seconds = time.perf_counter() - t0
+        self.metrics.observe(seconds, coalesced=coalesced, result=result)
+        obs.observe_topk(seconds, k=k, coalesced=coalesced, result=result)
+        if root is not None:
+            root.set("tau_rounds", result.tau_rounds)
+            root.set("ties_at_k", result.ties_at_k)
+        obs.finish_topk_trace(
+            trace, seconds=seconds, result=result, coalesced=coalesced
+        )
+        return ServiceResponse(result, sig, False, coalesced, seconds)
+
     def _trace_error(self, trace, t0: float, exc: BaseException) -> None:
         """Close out a failed request's trace and error instruments."""
         obs = self.observability
         obs.observe_error(exc)
         obs.finish_trace(trace, seconds=time.perf_counter() - t0, error=exc)
+
+    def _trace_topk_error(self, trace, t0: float, exc: BaseException) -> None:
+        """Close out a failed top-k request's trace and error
+        instruments."""
+        obs = self.observability
+        obs.observe_error(exc)
+        obs.finish_topk_trace(
+            trace, seconds=time.perf_counter() - t0, error=exc
+        )
 
     # -- online updates -----------------------------------------------------
 
